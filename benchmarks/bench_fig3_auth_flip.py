@@ -1,0 +1,27 @@
+"""FIG3: the two-client authentication-flip scenario.
+
+Reproduces Figure 3: a LAN-scoped authentication capability means the
+off-LAN client authenticates and the local one does not; after the
+object migrates to the other LAN the roles flip, with no client code
+changes.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.scenario import run_fig3_scenario
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_auth_flip(benchmark, record_result):
+    result = benchmark.pedantic(run_fig3_scenario, rounds=1, iterations=1)
+
+    table = format_table(
+        ["client", "before migration", "after migration"],
+        [["P1", result.before["P1"], result.after["P1"]],
+         ["P2", result.before["P2"], result.after["P2"]]])
+    record_result("fig3_auth_flip",
+                  "Figure 3 authentication adaptivity\n" + table)
+
+    assert result.before == {"P1": "nexus", "P2": "glue[auth]"}
+    assert result.after == {"P1": "glue[auth]", "P2": "nexus"}

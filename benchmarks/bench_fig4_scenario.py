@@ -1,0 +1,41 @@
+"""FIG4: the §5 migration experiment — protocol choice per stage.
+
+Reproduces Figure 4-A's tour (client on M0; server migrates
+M1 -> M2 -> M3 -> M0) and prints the per-stage table: which protocol the
+GP selected and the bandwidth it achieved — the adaptive-capabilities
+headline of the paper.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.scenario import run_fig4_scenario
+from repro.simnet.linktypes import ATM_155
+
+EXPECTED_SEQUENCE = [
+    "glue[quota+encryption]",
+    "glue[quota]",
+    "nexus",
+    "shm",
+]
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_migration_tour(benchmark, record_result):
+    stages = benchmark.pedantic(
+        lambda: run_fig4_scenario(fabric=ATM_155, repetitions=5),
+        rounds=1, iterations=1)
+
+    table = format_table(
+        ["stage", "server machine", "locality", "protocol selected",
+         "bandwidth (Mbps)"],
+        [[s.stage, s.machine, s.locality, s.selected,
+          f"{s.bandwidth_mbps:.4g}"] for s in stages])
+    record_result("fig4_scenario",
+                  "Figure 4 migration experiment (64 KiB payload)\n"
+                  + table)
+
+    assert [s.selected for s in stages] == EXPECTED_SEQUENCE
+    bws = [s.bandwidth_mbps for s in stages]
+    assert bws[0] < bws[1] < bws[2] < bws[3]
+    assert bws[3] / bws[2] > 5  # shared memory is the big jump

@@ -1,0 +1,41 @@
+"""FIG5-ATM: Figure 5 — bandwidth vs array size over 155 Mbps ATM.
+
+Regenerates the paper's only results figure.  The printed table is the
+figure as data: one row per array size, one column per protocol curve.
+Expected shape (paper, §5): the three network protocols nearly coincide;
+shared memory is more than an order of magnitude faster.
+"""
+
+import pytest
+
+from repro.bench.figures import DEFAULT_SIZES, PROTOCOL_LABELS, run_fig5
+from repro.bench.reporting import format_series_table
+from repro.simnet.linktypes import ATM_155
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_atm(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig5(fabric=ATM_155, repetitions=3),
+        rounds=1, iterations=1)
+
+    table = format_series_table(
+        "bytes", result.sizes,
+        {label: [f"{v:.4g}" for v in series]
+         for label, series in result.series().items()})
+    shape = (
+        f"shm speedup @1MB          : "
+        f"{result.shm_speedup_at(DEFAULT_SIZES[-1]):.1f}x\n"
+        f"capability overhead @1MB  : "
+        f"{100 * result.capability_overhead_at(DEFAULT_SIZES[-1]):.1f}%"
+    )
+    record_result("fig5_atm",
+                  f"Figure 5 over {result.fabric} (bandwidth, Mbps)\n"
+                  f"{table}\n{shape}")
+
+    # The paper's qualitative claims must hold.
+    assert result.shm_speedup_at(DEFAULT_SIZES[-1]) > 10
+    assert result.capability_overhead_at(DEFAULT_SIZES[-1]) < 0.15
+    for i in range(len(result.sizes)):
+        network = [result.bandwidth_mbps[l][i] for l in PROTOCOL_LABELS[:3]]
+        assert max(network) / min(network) < 1.30

@@ -1,0 +1,37 @@
+"""FIG5-ETH: the Figure 5 sweep over 10 Mbps Ethernet.
+
+§5: "The results for ATM are shown in Figure 5 (those for Ethernet are
+virtually identical)" — same qualitative shape, lower plateau.
+"""
+
+import pytest
+
+from repro.bench.figures import DEFAULT_SIZES, PROTOCOL_LABELS, run_fig5
+from repro.bench.reporting import format_series_table
+from repro.simnet.linktypes import ETHERNET_10
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_ethernet(benchmark, record_result):
+    result = benchmark.pedantic(
+        lambda: run_fig5(fabric=ETHERNET_10, repetitions=3),
+        rounds=1, iterations=1)
+
+    table = format_series_table(
+        "bytes", result.sizes,
+        {label: [f"{v:.4g}" for v in series]
+         for label, series in result.series().items()})
+    record_result("fig5_ethernet",
+                  f"Figure 5 over {result.fabric} (bandwidth, Mbps)\n"
+                  f"{table}")
+
+    assert result.shm_speedup_at(DEFAULT_SIZES[-1]) > 10
+    # Wire time dominates even harder on the slow fabric: the capability
+    # overhead is smaller than on ATM.
+    assert result.capability_overhead_at(DEFAULT_SIZES[-1]) < 0.05
+    for i, size in enumerate(result.sizes):
+        network = [result.bandwidth_mbps[l][i] for l in PROTOCOL_LABELS[:3]]
+        # Small messages feel the fixed per-capability setup cost; from a
+        # few KiB up the curves coincide within 10%.
+        bound = 1.30 if size < 4096 else 1.10
+        assert max(network) / min(network) < bound

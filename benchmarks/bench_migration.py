@@ -1,0 +1,119 @@
+"""ABL-MIG: the cost of migration itself.
+
+Migration buys locality (Figure 4) at a price: re-export, capability
+re-creation, state transfer, and one wasted round trip per stale GP.
+This ablation measures (a) wall-clock migration latency vs servant state
+size for by-value moves, and (b) the virtual-time penalty a client pays
+on its first post-migration request (the MOVED round trip), versus the
+per-request savings the move buys — i.e. the break-even request count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core import ORB
+from repro.core.migration import migrate
+from repro.idl import remote_interface, remote_method
+from repro.simnet import NetworkSimulator, paper_testbed
+
+
+@remote_interface("Stateful")
+class Stateful:
+    def __init__(self, nbytes: int = 0):
+        self.blob = np.zeros(nbytes, dtype=np.uint8)
+
+    @remote_method
+    def size(self) -> int:
+        return int(self.blob.nbytes)
+
+    @remote_method
+    def touch(self, payload):
+        return len(payload)
+
+    def hpc_get_state(self):
+        return {"blob": self.blob}
+
+    def hpc_set_state(self, state):
+        self.blob = np.array(state["blob"], dtype=np.uint8)
+
+
+@pytest.mark.benchmark(group="migration")
+@pytest.mark.parametrize("state_bytes", [0, 1 << 16, 1 << 22],
+                         ids=["empty", "64KiB", "4MiB"])
+def test_by_value_migration_latency(benchmark, state_bytes):
+    """Wall-clock cost of one by-value migration (marshal state, rebuild
+    servant, re-register stacks, install forward)."""
+    tb = paper_testbed()
+    sim = NetworkSimulator(tb.topology, keep_records=0)
+    orb = ORB(simulator=sim)
+    a = orb.context("mig-a", machine=tb.m1)
+    b = orb.context("mig-b", machine=tb.m2)
+
+    counter = [0]
+
+    def one_migration():
+        counter[0] += 1
+        oref = a.export(Stateful(state_bytes),
+                        object_id=f"obj-{counter[0]}")
+        new = migrate(a, oref.object_id, b, by_value=True)
+        # Clean up the target so state does not accumulate over rounds.
+        b.unexport(new.object_id)
+        with a._lock:
+            a.forwards.pop(oref.object_id, None)
+
+    benchmark(one_migration)
+    orb.shutdown()
+
+
+@pytest.mark.benchmark(group="migration")
+def test_break_even_request_count(benchmark, record_result):
+    """How many requests until a migration pays for itself?  (virtual
+    time; 64 KiB echo payloads, remote site -> client's machine)"""
+
+    def run():
+        tb = paper_testbed()
+        sim = NetworkSimulator(tb.topology, keep_records=0)
+        orb = ORB(simulator=sim)
+        client = orb.context("client", machine=tb.m0)
+        far = orb.context("far", machine=tb.m1)
+        near = orb.context("near", machine=tb.m0)
+        oref = far.export(Stateful(1 << 16))
+        gp = client.bind(oref)
+        payload = np.zeros(1 << 16, dtype=np.uint8)
+        gp.invoke("touch", payload)  # settle
+
+        t0 = sim.clock.now()
+        gp.invoke("touch", payload)
+        cost_far = sim.clock.now() - t0
+
+        t0 = sim.clock.now()
+        migrate(far, oref.object_id, near, by_value=True)
+        gp.invoke("touch", payload)  # pays the MOVED + retry penalty
+        migration_penalty = sim.clock.now() - t0
+
+        t0 = sim.clock.now()
+        gp.invoke("touch", payload)
+        cost_near = sim.clock.now() - t0
+        orb.shutdown()
+        saving = cost_far - cost_near
+        return {
+            "cost_far_ms": cost_far * 1e3,
+            "cost_near_ms": cost_near * 1e3,
+            "penalty_ms": migration_penalty * 1e3,
+            "break_even_requests": migration_penalty / saving,
+        }
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result("migration_break_even", format_table(
+        ["metric", "value"],
+        [["remote request (ms)", f"{stats['cost_far_ms']:.3f}"],
+         ["local request (ms)", f"{stats['cost_near_ms']:.3f}"],
+         ["migration penalty (ms)", f"{stats['penalty_ms']:.3f}"],
+         ["break-even (requests)",
+          f"{stats['break_even_requests']:.1f}"]]))
+
+    assert stats["cost_near_ms"] < stats["cost_far_ms"]
+    # Migration must amortize within a modest number of requests for the
+    # Figure 4 story to make sense.
+    assert stats["break_even_requests"] < 20

@@ -1,0 +1,74 @@
+"""ABL-ORB: wall-clock ORB overhead on real transports.
+
+The simulated benches measure *modelled* time; this one measures what
+the Python implementation actually costs per invocation over the real
+in-process transports — the number an adopter embedding the library
+cares about.  Four configurations mirror the Figure 5 curves: plain
+nexus, glue[quota], glue[quota+encryption], and the shm-ring transport.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import WorkUnit
+from repro.core import ORB
+from repro.core.capabilities import CallQuotaCapability, EncryptionCapability
+from repro.core.context import Placement
+
+PAYLOAD = np.arange(1 << 16, dtype=np.uint8)  # 64 KiB
+
+
+def build(config: str):
+    orb = ORB()
+    if config == "shm":
+        # Same machine: the shm protocol is applicable.
+        server = orb.context("s")
+        client = orb.context("c")
+        gp = client.bind(server.export(WorkUnit("w")))
+        assert gp.selected_proto_id == "shm"
+        return orb, gp
+    server = orb.context("s", placement=Placement("sm", "sl", "ss"))
+    client = orb.context("c", placement=Placement("cm", "cl", "cs"))
+    if config == "nexus":
+        gp = client.bind(server.export(WorkUnit("w")))
+        assert gp.selected_proto_id == "nexus"
+    elif config == "glue-quota":
+        gp = client.bind(server.export(WorkUnit("w"), glue_stacks=[
+            [CallQuotaCapability.for_calls(10 ** 9,
+                                           applicability="always")]]))
+        assert gp.describe_selection() == "glue[quota]"
+    else:  # glue-quota-encryption
+        gp = client.bind(server.export(WorkUnit("w"), glue_stacks=[
+            [CallQuotaCapability.for_calls(10 ** 9,
+                                           applicability="always"),
+             EncryptionCapability.server_descriptor(
+                 key_seed=3, applicability="always")]]))
+        assert gp.describe_selection() == "glue[quota+encryption]"
+    return orb, gp
+
+
+@pytest.mark.benchmark(group="orb-wallclock")
+@pytest.mark.parametrize("config", [
+    "nexus", "glue-quota", "glue-quota-encryption", "shm"])
+def test_invocation_latency(benchmark, config):
+    orb, gp = build(config)
+    stub = gp.narrow()
+    stub.process(PAYLOAD[:1])  # settle the connection
+    try:
+        out = benchmark(lambda: stub.process(PAYLOAD))
+        assert len(out) == len(PAYLOAD)
+    finally:
+        orb.shutdown()
+
+
+@pytest.mark.benchmark(group="orb-wallclock")
+def test_small_call_latency(benchmark):
+    """Fixed per-call overhead: a no-payload invocation."""
+    orb, gp = build("nexus")
+    stub = gp.narrow()
+    stub.status()
+    try:
+        out = benchmark(stub.status)
+        assert out["name"] == "w"
+    finally:
+        orb.shutdown()

@@ -1,0 +1,75 @@
+"""ABL-SEL: protocol-selection cost.
+
+Selection runs on *every* remote request (§3.2), so its cost is part of
+the per-request overhead budget.  Measured: first-match selection over
+realistic and adversarially large protocol tables, plus the applicability
+evaluation of a capability-stacked glue entry.
+"""
+
+import pytest
+
+from repro.core.objref import ProtocolEntry
+from repro.core.proto_pool import ProtocolPool
+from repro.core.selection import FirstMatchPolicy, Locality
+from repro.core.protocol import get_proto_class
+
+REMOTE = Locality(False, False, False)
+POLICY = FirstMatchPolicy()
+
+
+def paper_table():
+    """The Figure 4-B table: two glue entries, shm, nexus."""
+    inner = ProtocolEntry("nexus", {"addresses": []}).to_wire()
+    return [
+        ProtocolEntry("glue", {
+            "glue_id": "g1",
+            "capabilities": [{"type": "quota", "max_calls": 10},
+                             {"type": "encryption", "server_public": 5}],
+            "inner": inner}),
+        ProtocolEntry("glue", {
+            "glue_id": "g2",
+            "capabilities": [{"type": "quota", "max_calls": 10}],
+            "inner": inner}),
+        ProtocolEntry("shm", {}),
+        ProtocolEntry("nexus", {}),
+    ]
+
+
+def applicable(entry):
+    return get_proto_class(entry.proto_id).applicable(entry, REMOTE, None)
+
+
+@pytest.mark.benchmark(group="selection")
+def test_select_paper_table(benchmark):
+    entries = paper_table()
+    pool = ProtocolPool(["glue", "shm", "nexus"]).ids()
+
+    chosen = benchmark(lambda: POLICY.select(entries, pool, REMOTE,
+                                             applicable))
+    assert chosen.proto_id == "glue"
+
+    # Selection must stay well under the fixed per-request CPU cost the
+    # simulator charges (40 us on the reference machine).
+    assert benchmark.stats.stats.mean < 40e-6
+
+
+@pytest.mark.benchmark(group="selection")
+def test_select_large_table(benchmark):
+    """100 inapplicable entries before the winner: linear scan cost."""
+    entries = [ProtocolEntry("shm", {}) for _ in range(100)]
+    entries.append(ProtocolEntry("nexus", {}))
+    pool = ["shm", "nexus"]
+
+    chosen = benchmark(lambda: POLICY.select(entries, pool, REMOTE,
+                                             applicable))
+    assert chosen.proto_id == "nexus"
+
+
+@pytest.mark.benchmark(group="selection")
+def test_glue_applicability_evaluation(benchmark):
+    """Evaluating a two-capability glue entry's AND rule."""
+    entry = paper_table()[0]
+    glue_cls = get_proto_class("glue")
+
+    out = benchmark(lambda: glue_cls.applicable(entry, REMOTE, None))
+    assert out is True

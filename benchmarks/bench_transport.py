@@ -1,0 +1,83 @@
+"""ABL-XPORT: raw transport throughput (wall clock).
+
+Round-trip echo over each *real* transport — in-process queues, the
+shared-memory ring, and genuine TCP loopback — measuring the Python-level
+cost of the byte-moving layer that sits under every protocol object.
+"""
+
+import threading
+
+import pytest
+
+from repro.transport.inproc import InProcTransport
+from repro.transport.shm import ShmTransport
+from repro.transport.tcp import TcpTransport
+
+PAYLOAD_SMALL = b"x" * 64
+PAYLOAD_LARGE = b"x" * (1 << 20)
+
+
+def make_echo_pair(transport):
+    listener = transport.listen()
+    client = transport.connect(listener.address)
+    server = listener.accept(timeout=5.0)
+    stop = threading.Event()
+
+    def echo_loop():
+        while not stop.is_set():
+            try:
+                server.send(server.recv(timeout=0.5))
+            except Exception:
+                if stop.is_set():
+                    break
+
+    thread = threading.Thread(target=echo_loop, daemon=True)
+    thread.start()
+
+    def cleanup():
+        stop.set()
+        client.close()
+        server.close()
+        listener.close()
+        thread.join(timeout=2.0)
+
+    return client, cleanup
+
+
+@pytest.mark.benchmark(group="transport-small")
+@pytest.mark.parametrize("transport_cls",
+                         [InProcTransport, ShmTransport, TcpTransport],
+                         ids=["inproc", "shm", "tcp"])
+def test_small_message_roundtrip(benchmark, transport_cls):
+    # Large ring so the 1 MiB bench below also streams comfortably.
+    transport = (transport_cls(ring_capacity=1 << 22)
+                 if transport_cls is ShmTransport else transport_cls())
+    client, cleanup = make_echo_pair(transport)
+    try:
+        def roundtrip():
+            client.send(PAYLOAD_SMALL)
+            return client.recv(timeout=5.0)
+
+        out = benchmark(roundtrip)
+        assert out == PAYLOAD_SMALL
+    finally:
+        cleanup()
+
+
+@pytest.mark.benchmark(group="transport-large")
+@pytest.mark.parametrize("transport_cls",
+                         [InProcTransport, ShmTransport, TcpTransport],
+                         ids=["inproc", "shm", "tcp"])
+def test_large_message_roundtrip(benchmark, transport_cls):
+    transport = (transport_cls(ring_capacity=1 << 22)
+                 if transport_cls is ShmTransport else transport_cls())
+    client, cleanup = make_echo_pair(transport)
+    try:
+        def roundtrip():
+            client.send(PAYLOAD_LARGE)
+            return client.recv(timeout=10.0)
+
+        out = benchmark(roundtrip)
+        assert len(out) == len(PAYLOAD_LARGE)
+    finally:
+        cleanup()

@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""The paper's motivating scenario (§1): an environmental simulation
+served to very different clients.
+
+"Consider a large environmental simulation running on a multi-processor
+supercomputer at a national lab.  There can be many kinds of clients for
+this simulation..."
+
+This example builds that deployment on the simulated network and gives
+each client class exactly the access §1 prescribes:
+
+* **analyst** (inside the lab's LAN): full interface, no authentication,
+  no encryption — plain protocol.
+* **university partner** (another site): full interface, but requests
+  are authenticated and encrypted over the WAN.
+* **subscriber** (commercial client): *read-only view* of the interface,
+  authenticated, and metered — access "on a total number of accesses
+  basis".
+* **trial user**: read-only view with a *time lease* — "access to the
+  weather data only for the time they have paid for".
+
+Run:  python examples/weather_service.py
+"""
+
+import numpy as np
+
+from repro import (
+    ORB,
+    AuthenticationCapability,
+    CallQuotaCapability,
+    EncryptionCapability,
+    InterfaceView,
+    LeaseExpiredError,
+    Principal,
+    QuotaExceededError,
+    RemoteException,
+    TimeLeaseCapability,
+    remote_interface,
+    remote_method,
+)
+from repro.simnet import (
+    ETHERNET_100,
+    NetworkSimulator,
+    Topology,
+    WAN_T3,
+)
+
+
+@remote_interface("WeatherSimulation")
+class WeatherSimulation:
+    """The supercomputer-resident simulation servant."""
+
+    def __init__(self, grid: int = 64):
+        rng = np.random.default_rng(1999)
+        self._field = rng.standard_normal((grid, grid))
+        self._steps = 0
+
+    @remote_method
+    def step(self, hours: int) -> int:
+        """Advance the simulation (privileged)."""
+        for _ in range(hours):
+            # A toy diffusion step — enough to make state evolve.
+            f = self._field
+            self._field = 0.6 * f + 0.1 * (
+                np.roll(f, 1, 0) + np.roll(f, -1, 0)
+                + np.roll(f, 1, 1) + np.roll(f, -1, 1))
+            self._steps += 1
+        return self._steps
+
+    @remote_method
+    def feed_observations(self, data) -> int:
+        """Assimilate observations (privileged)."""
+        arr = np.asarray(data, dtype=np.float64)
+        n = min(len(arr), self._field.size)
+        self._field.reshape(-1)[:n] += 0.01 * arr[:n]
+        return int(n)
+
+    @remote_method
+    def get_map(self, resolution: int):
+        """The final weather map (what every client wants)."""
+        step = max(1, self._field.shape[0] // max(resolution, 1))
+        return self._field[::step, ::step].copy()
+
+    @remote_method
+    def forecast_summary(self) -> dict:
+        return {
+            "steps": self._steps,
+            "mean": float(self._field.mean()),
+            "max": float(self._field.max()),
+        }
+
+
+READ_ONLY = InterfaceView("WeatherReadOnly",
+                          ["get_map", "forecast_summary"])
+
+
+def main() -> None:
+    # --- the world: lab site + university site + commercial ISP -------
+    topo = Topology()
+    lab = topo.add_site("national-lab")
+    campus = topo.add_site("university")
+    isp = topo.add_site("commercial-isp")
+    lab_lan = topo.add_lan("lab-lan", lab, ETHERNET_100)
+    uni_lan = topo.add_lan("uni-lan", campus, ETHERNET_100)
+    isp_lan = topo.add_lan("isp-lan", isp, ETHERNET_100)
+    topo.connect(lab_lan, uni_lan, WAN_T3)
+    topo.connect(lab_lan, isp_lan, WAN_T3)
+    topo.add_machine("supercomputer", lab_lan)
+    topo.add_machine("analyst-ws", lab_lan)
+    topo.add_machine("uni-ws", uni_lan)
+    topo.add_machine("subscriber-pc", isp_lan)
+
+    sim = NetworkSimulator(topo)
+    orb = ORB(simulator=sim)
+    lab_ctx = orb.context("lab", machine="supercomputer")
+    analyst_ctx = orb.context("analyst", machine="analyst-ws")
+    uni_ctx = orb.context("university", machine="uni-ws")
+    sub_ctx = orb.context("subscriber", machine="subscriber-pc")
+
+    simulation = WeatherSimulation()
+
+    # --- principals and keys ------------------------------------------
+    uni = Principal("partner", "university")
+    subscriber = Principal("acme", "commercial")
+    for principal, ctx in ((uni, uni_ctx), (subscriber, sub_ctx)):
+        key = lab_ctx.keystore.generate(principal)
+        ctx.keystore.install(principal, key)
+
+    # --- one export per client class (different ORs, one servant) -----
+    analyst_oref = lab_ctx.export(simulation)
+
+    partner_oref = lab_ctx.export(simulation, glue_stacks=[[
+        AuthenticationCapability.for_principal(uni),
+        EncryptionCapability.server_descriptor(key_seed=77),
+    ]])
+
+    subscriber_oref = lab_ctx.export(
+        simulation, view=READ_ONLY, glue_stacks=[[
+            AuthenticationCapability.for_principal(
+                subscriber, applicability="always"),
+            CallQuotaCapability.for_calls(5, applicability="always"),
+        ]])
+
+    # --- analyst: local, trusted, full interface -----------------------
+    analyst = analyst_ctx.bind(analyst_oref)
+    print("analyst protocol      :", analyst.describe_selection())
+    analyst.narrow().feed_observations(np.linspace(0, 1, 512))
+    print("analyst stepped to    :", analyst.narrow().step(6))
+
+    # --- university partner: authenticated + encrypted over the WAN ----
+    partner = uni_ctx.bind(partner_oref)
+    print("partner protocol      :", partner.describe_selection())
+    summary = partner.narrow().forecast_summary()
+    print("partner sees steps    :", summary["steps"])
+    m = partner.narrow().get_map(8)
+    print("partner map shape     :", m.shape)
+
+    # --- subscriber: metered read-only view ----------------------------
+    sub = sub_ctx.bind(subscriber_oref)
+    print("subscriber protocol   :", sub.describe_selection())
+    stub = sub.narrow()
+    print("subscriber methods    :", sub.oref.interface.method_names())
+    try:
+        for i in range(10):
+            stub.forecast_summary()
+    except QuotaExceededError as exc:
+        print(f"subscriber metered    : cut off after {i} calls ({exc})")
+    # The restricted view refuses privileged methods outright.
+    try:
+        stub.step  # noqa: B018
+    except AttributeError:
+        print("subscriber view       : 'step' not even visible on stub")
+
+    # --- trial user: time-leased access ---------------------------------
+    # The lease clock starts when the trial is sold, i.e. now.
+    trial_oref = lab_ctx.export(
+        simulation, view=READ_ONLY, glue_stacks=[[
+            TimeLeaseCapability.until(sim.clock.now() + 0.25),
+        ]])
+    trial = sub_ctx.bind(trial_oref)
+    trial.narrow().forecast_summary()
+    sim.clock.advance(0.5)  # half a virtual second later...
+    try:
+        trial.narrow().forecast_summary()
+    except (LeaseExpiredError, RemoteException) as exc:
+        print("trial user            : lease expired ->",
+              type(exc).__name__)
+
+    print(f"total virtual time    : {sim.clock.now() * 1e3:.2f} ms")
+    orb.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup entry point.
+
+Exists so `pip install -e .` works on offline machines without the
+`wheel` package (see the note at the top of pyproject.toml). All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,156 @@
+"""Open HPC++ reproduction: a capabilities-based communication model for
+high-performance distributed applications.
+
+Reproduces Diwan & Gannon, *A Capabilities Based Communication Model for
+High-Performance Distributed Applications: The Open HPC++ Approach*
+(IPPS 1999): an open ORB with HPC++ global-pointer/context abstractions,
+run-time protocol adaptivity, and remote access capabilities stacked in
+a glue protocol — plus the substrates the paper depends on (XDR/CDR
+serialization, transports, a Nexus-like RSR layer, security and
+compression primitives, and a deterministic network simulator standing
+in for the 1999 testbed).
+
+Quick tour::
+
+    from repro import ORB, remote_interface, remote_method
+
+    @remote_interface("Echo")
+    class Echo:
+        @remote_method
+        def echo(self, x):
+            return x
+
+    orb = ORB()
+    server = orb.context("server")
+    client = orb.context("client")
+    gp = client.bind(server.export(Echo()))
+    assert gp.narrow().echo(42) == 42
+
+See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
+reproduced evaluation.
+"""
+
+from repro.core import (
+    ORB,
+    APPLICABILITY_RULES,
+    CAPABILITY_TYPES,
+    Capability,
+    Context,
+    CostAwarePolicy,
+    FirstMatchPolicy,
+    GLOBAL_HOOKS,
+    GlobalPointer,
+    HealthMonitor,
+    HookBus,
+    Invocation,
+    LoadBalancer,
+    LoadMonitor,
+    NameService,
+    ObjectReference,
+    PROTO_CLASSES,
+    ProtocolClass,
+    ProtocolClient,
+    ProtocolEntry,
+    ProtocolPool,
+    SelectionPolicy,
+    Locality,
+    make_capability,
+    migrate,
+    register_applicability_rule,
+    register_proto_class,
+)
+from repro.core.context import Placement
+from repro.core.capabilities import (
+    AuthenticationCapability,
+    CallQuotaCapability,
+    CompressionCapability,
+    EncryptionCapability,
+    IntegrityCapability,
+    PaddingCapability,
+    TimeLeaseCapability,
+    TracingCapability,
+)
+from repro.exceptions import (
+    AuthenticationError,
+    CapabilityError,
+    HpcError,
+    LeaseExpiredError,
+    NoApplicableProtocolError,
+    QuotaExceededError,
+    RemoteException,
+)
+from repro.idl import (
+    InterfaceSpec,
+    InterfaceView,
+    interface_of,
+    parse_idl,
+    remote_interface,
+    remote_method,
+)
+from repro.security.acl import AccessControlList, Permission
+from repro.security.keys import KeyStore, Principal
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # runtime
+    "ORB",
+    "Context",
+    "Placement",
+    "GlobalPointer",
+    "ObjectReference",
+    "ProtocolEntry",
+    "ProtocolPool",
+    "Invocation",
+    "NameService",
+    "migrate",
+    "LoadBalancer",
+    "LoadMonitor",
+    "HealthMonitor",
+    "CostAwarePolicy",
+    "HookBus",
+    "GLOBAL_HOOKS",
+    # protocols & selection
+    "PROTO_CLASSES",
+    "ProtocolClass",
+    "ProtocolClient",
+    "register_proto_class",
+    "SelectionPolicy",
+    "FirstMatchPolicy",
+    "Locality",
+    "APPLICABILITY_RULES",
+    "register_applicability_rule",
+    # capabilities
+    "CAPABILITY_TYPES",
+    "Capability",
+    "make_capability",
+    "AuthenticationCapability",
+    "CallQuotaCapability",
+    "CompressionCapability",
+    "EncryptionCapability",
+    "IntegrityCapability",
+    "PaddingCapability",
+    "TimeLeaseCapability",
+    "TracingCapability",
+    # idl
+    "remote_interface",
+    "remote_method",
+    "interface_of",
+    "InterfaceSpec",
+    "InterfaceView",
+    "parse_idl",
+    # security
+    "KeyStore",
+    "Principal",
+    "AccessControlList",
+    "Permission",
+    # exceptions
+    "HpcError",
+    "RemoteException",
+    "CapabilityError",
+    "QuotaExceededError",
+    "LeaseExpiredError",
+    "AuthenticationError",
+    "NoApplicableProtocolError",
+]

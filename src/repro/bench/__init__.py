@@ -1,0 +1,34 @@
+"""Experiment drivers for the paper's evaluation (§5).
+
+Each function here regenerates one paper artifact as structured data;
+the ``benchmarks/`` suite wraps them with pytest-benchmark and prints
+the tables/series.  EXPERIMENTS.md records paper-vs-measured.
+
+* :func:`repro.bench.figures.run_fig5` — Figure 5 (bandwidth vs array
+  size, four protocol configurations, selectable fabric)
+* :func:`repro.bench.scenario.run_fig4_scenario` — the Figure 4
+  migration tour (per-stage protocol choice + bandwidth)
+* :func:`repro.bench.scenario.run_fig3_scenario` — the Figure 3
+  authentication-flip scenario
+* :mod:`repro.bench.reporting` — ascii tables/series for the console
+"""
+
+from repro.bench.figures import Fig5Result, run_fig5
+from repro.bench.scenario import (
+    Fig3Result,
+    Fig4Stage,
+    run_fig3_scenario,
+    run_fig4_scenario,
+)
+from repro.bench.reporting import format_series_table, format_table
+
+__all__ = [
+    "run_fig5",
+    "Fig5Result",
+    "run_fig4_scenario",
+    "Fig4Stage",
+    "run_fig3_scenario",
+    "Fig3Result",
+    "format_table",
+    "format_series_table",
+]

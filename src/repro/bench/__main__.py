@@ -1,0 +1,85 @@
+"""Command-line experiment runner: ``python -m repro.bench <experiment>``.
+
+Regenerates the paper's artifacts without pytest:
+
+    python -m repro.bench fig5            # ATM sweep (default)
+    python -m repro.bench fig5 --fabric ethernet
+    python -m repro.bench fig4
+    python -m repro.bench fig3
+    python -m repro.bench all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.figures import run_fig5
+from repro.bench.reporting import format_series_table, format_table
+from repro.bench.scenario import run_fig3_scenario, run_fig4_scenario
+from repro.simnet.linktypes import ATM_155, ETHERNET_10
+
+_FABRICS = {"atm": ATM_155, "ethernet": ETHERNET_10}
+
+
+def print_fig5(fabric_name: str, repetitions: int) -> None:
+    result = run_fig5(fabric=_FABRICS[fabric_name],
+                      repetitions=repetitions)
+    print(f"\nFigure 5 over {result.fabric} (bandwidth, Mbps)")
+    print(format_series_table(
+        "bytes", result.sizes,
+        {label: [f"{v:.4g}" for v in series]
+         for label, series in result.series().items()}))
+    last = result.sizes[-1]
+    print(f"\nshm speedup @{last}B        : "
+          f"{result.shm_speedup_at(last):.1f}x")
+    print(f"capability overhead @{last}B: "
+          f"{100 * result.capability_overhead_at(last):.1f}%")
+
+
+def print_fig4(repetitions: int) -> None:
+    stages = run_fig4_scenario(repetitions=repetitions)
+    print("\nFigure 4 migration experiment (64 KiB payload)")
+    print(format_table(
+        ["stage", "server machine", "protocol selected",
+         "bandwidth (Mbps)"],
+        [[s.stage, s.machine, s.selected, f"{s.bandwidth_mbps:.4g}"]
+         for s in stages]))
+
+
+def print_fig3() -> None:
+    result = run_fig3_scenario()
+    print("\nFigure 3 authentication adaptivity")
+    print(format_table(
+        ["client", "before migration", "after migration"],
+        [["P1", result.before["P1"], result.after["P1"]],
+         ["P2", result.before["P2"], result.after["P2"]]]))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the Open HPC++ paper's evaluation.")
+    parser.add_argument("experiment",
+                        choices=["fig5", "fig4", "fig3", "all"],
+                        help="which artifact to regenerate")
+    parser.add_argument("--fabric", choices=sorted(_FABRICS),
+                        default="atm",
+                        help="physical fabric for fig5 (default: atm)")
+    parser.add_argument("--repetitions", type=int, default=3,
+                        help="readings averaged per point (default: 3)")
+    args = parser.parse_args(argv)
+
+    if args.experiment in ("fig5", "all"):
+        print_fig5(args.fabric, args.repetitions)
+        if args.experiment == "all" and args.fabric == "atm":
+            print_fig5("ethernet", args.repetitions)
+    if args.experiment in ("fig4", "all"):
+        print_fig4(args.repetitions)
+    if args.experiment in ("fig3", "all"):
+        print_fig3()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""Figure 5 driver: bandwidth vs array size for four protocols.
+
+The paper's §5 experiment: "The requests exchange an array of integers
+between the client and the server, and the average bandwidth over a
+large number of readings is computed.  The requests are repeated for
+array sizes ranging from 1 to 1 million [bytes]."
+
+Four configurations, matching the figure's curves:
+
+* ``glue with timeout & security`` — server on the remote machine M1;
+  glue stack = call quota + encryption;
+* ``glue with timeout``           — same placement, quota only;
+* ``Nexus``                        — same placement, plain protocol;
+* ``shared memory``                — server co-located with the client
+  (shared memory is meaningless across machines), shm protocol.
+
+Bandwidth is computed the classic ping-pong way: the array travels in
+both directions, so ``bandwidth = 2 * nbytes / round_trip_time`` — all
+in virtual time, which is what makes the curves deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.capabilities import CallQuotaCapability, EncryptionCapability
+from repro.core.orb import ORB
+from repro.simnet.linktypes import ATM_155, LinkModel
+from repro.simnet.presets import paper_testbed
+from repro.simnet.simulator import NetworkSimulator
+
+from repro.cluster.node import WorkUnit
+
+__all__ = ["Fig5Result", "run_fig5", "DEFAULT_SIZES", "PROTOCOL_LABELS"]
+
+#: Array sizes in bytes: powers of 4 from 1 to ~1M, the paper's x range.
+DEFAULT_SIZES = [4 ** k for k in range(11)]  # 1 .. 1,048,576
+
+PROTOCOL_LABELS = [
+    "glue with timeout & security",
+    "glue with timeout",
+    "Nexus",
+    "shared memory",
+]
+
+
+@dataclass
+class Fig5Result:
+    """One full sweep: fabric name, sizes, and Mbps per protocol."""
+
+    fabric: str
+    sizes: List[int]
+    bandwidth_mbps: Dict[str, List[float]] = field(default_factory=dict)
+
+    def series(self) -> Dict[str, List[float]]:
+        return dict(self.bandwidth_mbps)
+
+    # -- shape checks used by tests and EXPERIMENTS.md ---------------------
+
+    def shm_speedup_at(self, size: int) -> float:
+        """Shared-memory bandwidth / best network bandwidth at a size."""
+        i = self.sizes.index(size)
+        shm = self.bandwidth_mbps["shared memory"][i]
+        others = [self.bandwidth_mbps[l][i] for l in PROTOCOL_LABELS[:3]]
+        return shm / max(others)
+
+    def capability_overhead_at(self, size: int) -> float:
+        """(Nexus - glue[timeout+security]) / Nexus bandwidth at a size:
+        the relative cost the paper calls 'only a small amount'."""
+        i = self.sizes.index(size)
+        nexus = self.bandwidth_mbps["Nexus"][i]
+        glue2 = self.bandwidth_mbps["glue with timeout & security"][i]
+        return (nexus - glue2) / nexus
+
+
+def _measure(gp, sizes: Sequence[int], repetitions: int, sim) -> List[float]:
+    out = []
+    stub = gp.narrow()
+    for size in sizes:
+        payload = np.arange(size, dtype=np.uint8)
+        # Warm the connection so setup cost is not in the measurement.
+        stub.process(payload[:1])
+        t0 = sim.clock.now()
+        for _ in range(repetitions):
+            stub.process(payload)
+        elapsed = sim.clock.now() - t0
+        mbps = (2 * size * repetitions * 8.0) / elapsed / 1e6
+        out.append(mbps)
+    return out
+
+
+def run_fig5(fabric: LinkModel = ATM_155,
+             sizes: Sequence[int] = DEFAULT_SIZES,
+             repetitions: int = 3) -> Fig5Result:
+    """Run the full Figure 5 sweep over the given fabric."""
+    tb = paper_testbed(fabric=fabric)
+    sim = NetworkSimulator(tb.topology, keep_records=0)
+    orb = ORB(simulator=sim)
+    client = orb.context("client", machine=tb.m0)
+    remote = orb.context("remote-server", machine=tb.m1)
+    local = orb.context("local-server", machine=tb.m0)
+
+    result = Fig5Result(fabric=fabric.name, sizes=list(sizes))
+
+    quota = CallQuotaCapability.for_calls(10_000_000,
+                                          applicability="always")
+    security = EncryptionCapability.server_descriptor(
+        key_seed=42, applicability="always")
+
+    # glue with timeout & security
+    oref = remote.export(WorkUnit("sec"), glue_stacks=[[quota, security]])
+    gp = client.bind(oref)
+    gp.pool.reorder(["glue", "shm", "nexus"])
+    gp.drop_protocol("shm")
+    gp.drop_protocol("nexus")
+    assert gp.describe_selection() == "glue[quota+encryption]"
+    result.bandwidth_mbps[PROTOCOL_LABELS[0]] = _measure(
+        gp, sizes, repetitions, sim)
+
+    # glue with timeout
+    oref = remote.export(WorkUnit("to"), glue_stacks=[[quota]])
+    gp = client.bind(oref)
+    gp.drop_protocol("shm")
+    gp.drop_protocol("nexus")
+    assert gp.describe_selection() == "glue[quota]"
+    result.bandwidth_mbps[PROTOCOL_LABELS[1]] = _measure(
+        gp, sizes, repetitions, sim)
+
+    # plain Nexus
+    oref = remote.export(WorkUnit("nx"))
+    gp = client.bind(oref)
+    gp.drop_protocol("shm")
+    assert gp.describe_selection() == "nexus"
+    result.bandwidth_mbps[PROTOCOL_LABELS[2]] = _measure(
+        gp, sizes, repetitions, sim)
+
+    # shared memory (server co-located with the client)
+    oref = local.export(WorkUnit("shm"))
+    gp = client.bind(oref)
+    assert gp.describe_selection() == "shm"
+    result.bandwidth_mbps[PROTOCOL_LABELS[3]] = _measure(
+        gp, sizes, repetitions, sim)
+
+    orb.shutdown()
+    return result

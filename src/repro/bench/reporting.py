@@ -1,0 +1,56 @@
+"""ASCII reporting helpers for benchmark output.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output aligned and parseable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_series_table", "format_number"]
+
+
+def format_number(x, sig: int = 4) -> str:
+    """Compact human-friendly number formatting."""
+    if isinstance(x, str):
+        return x
+    if x is None:
+        return "-"
+    if isinstance(x, bool):
+        return str(x)
+    if isinstance(x, int):
+        return str(x)
+    if x == 0:
+        return "0"
+    if abs(x) >= 10 ** sig or abs(x) < 10 ** -(sig - 1):
+        return f"{x:.{sig - 1}e}"
+    return f"{x:.{sig}g}"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[format_number(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(parts):
+        return "  ".join(p.rjust(w) for p, w in zip(parts, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_series_table(x_label: str, xs: Sequence,
+                        series: Dict[str, Sequence]) -> str:
+    """A figure-as-table: one x column, one column per named series.
+
+    ``series`` maps label -> y values aligned with ``xs``.
+    """
+    headers = [x_label, *series.keys()]
+    rows: List[list] = []
+    for i, x in enumerate(xs):
+        rows.append([x, *(ys[i] for ys in series.values())])
+    return format_table(headers, rows)

@@ -1,0 +1,21 @@
+"""Cluster harness: multi-context deployments and synthetic workloads.
+
+Utilities for standing up a simulated cluster (one or more contexts per
+machine, worker objects exported on each) and driving deterministic
+synthetic request streams against it — the machinery behind the
+load-balancing experiments (ABL-LB in DESIGN.md) and the larger
+examples.
+"""
+
+from repro.cluster.node import ClusterNode, build_cluster
+from repro.cluster.scheduler import PlacementScheduler
+from repro.cluster.workload import RequestSpec, SyntheticWorkload, WorkloadResult
+
+__all__ = [
+    "ClusterNode",
+    "build_cluster",
+    "PlacementScheduler",
+    "RequestSpec",
+    "SyntheticWorkload",
+    "WorkloadResult",
+]

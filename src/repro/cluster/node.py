@@ -1,0 +1,79 @@
+"""Cluster construction helpers.
+
+A :class:`ClusterNode` pairs a simulated machine with a serving context
+and a bag of exported worker objects; :func:`build_cluster` stamps out a
+node per machine.  The worker servant (:class:`WorkUnit`) does real
+byte-level work — it echoes payloads through the full marshalling path —
+so cluster experiments exercise the invocation machinery, not stubs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.context import Context
+from repro.core.objref import ObjectReference
+from repro.core.orb import ORB
+from repro.idl.interface import remote_interface, remote_method
+
+__all__ = ["WorkUnit", "ClusterNode", "build_cluster"]
+
+
+@remote_interface("WorkUnit")
+class WorkUnit:
+    """A migratable worker: echoes payloads and tracks call counts."""
+
+    def __init__(self, name: str = "work"):
+        self.name = name
+        self.calls = 0
+
+    @remote_method
+    def process(self, payload):
+        """Echo ``payload`` back (the classic bandwidth servant)."""
+        self.calls += 1
+        return payload
+
+    @remote_method
+    def status(self) -> dict:
+        return {"name": self.name, "calls": self.calls}
+
+    # migration state protocol
+    def hpc_get_state(self):
+        return {"name": self.name, "calls": self.calls}
+
+    def hpc_set_state(self, state):
+        self.name = state["name"]
+        self.calls = state["calls"]
+
+
+@dataclass
+class ClusterNode:
+    """One machine's worth of cluster: context + its exported objects."""
+
+    machine_name: str
+    context: Context
+    objects: Dict[str, ObjectReference] = field(default_factory=dict)
+
+    def export_worker(self, name: str, **export_kwargs) -> ObjectReference:
+        oref = self.context.export(WorkUnit(name), **export_kwargs)
+        self.objects[name] = oref
+        return oref
+
+
+def build_cluster(orb: ORB, machine_names: List[str],
+                  workers_per_node: int = 0) -> List[ClusterNode]:
+    """One context per machine; optionally pre-export workers.
+
+    Worker object names are ``w<machine>-<i>``.
+    """
+    if orb.sim is None:
+        raise ValueError("build_cluster needs a simulated ORB")
+    nodes = []
+    for mname in machine_names:
+        ctx = orb.context(f"node-{mname}", machine=mname)
+        node = ClusterNode(machine_name=mname, context=ctx)
+        for i in range(workers_per_node):
+            node.export_worker(f"w{mname}-{i}")
+        nodes.append(node)
+    return nodes

@@ -1,0 +1,99 @@
+"""Admission-time placement: where should a new object live?
+
+The load balancer (§4.3) is *reactive* — it moves objects after a
+context overheats.  The :class:`PlacementScheduler` is its proactive
+complement: it places newly exported objects according to a policy,
+so hotspots are less likely to form in the first place.
+
+Policies:
+
+``round-robin``
+    cycle through the contexts (the classic default);
+``least-loaded``
+    pick the context with the lowest busy-fraction EWMA;
+``locality``
+    pick the context closest (same machine > LAN > site) to a given
+    client placement — the right choice when the dominant consumer is
+    known up front, mirroring what migration discovers after the fact.
+
+A :class:`~repro.core.health.HealthMonitor` may veto dead contexts
+under any policy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Tuple
+
+from repro.core.context import Context, Placement
+from repro.core.objref import ObjectReference
+from repro.exceptions import HpcError
+
+__all__ = ["PlacementScheduler"]
+
+_POLICIES = ("round-robin", "least-loaded", "locality")
+
+
+class PlacementScheduler:
+    """Pick a context for each new export."""
+
+    def __init__(self, contexts: List[Context],
+                 policy: str = "least-loaded", health=None):
+        if not contexts:
+            raise HpcError("scheduler needs at least one context")
+        if policy not in _POLICIES:
+            raise HpcError(f"unknown placement policy {policy!r}; "
+                           f"choose from {_POLICIES}")
+        self.contexts = list(contexts)
+        self.policy = policy
+        self.health = health
+        self._rr = itertools.cycle(range(len(self.contexts)))
+        self.placements: List[Tuple[str, str]] = []  # (object id, ctx id)
+
+    # -- candidate filtering -------------------------------------------------
+
+    def _alive(self) -> List[Context]:
+        if self.health is None:
+            return list(self.contexts)
+        out = [c for c in self.contexts if self.health.is_alive(c.id)]
+        if not out:
+            raise HpcError("no live context available for placement")
+        return out
+
+    # -- policies ----------------------------------------------------------------
+
+    def choose(self, near: Optional[Placement] = None) -> Context:
+        """The context the current policy would pick."""
+        candidates = self._alive()
+        if self.policy == "round-robin":
+            for _ in range(len(self.contexts)):
+                ctx = self.contexts[next(self._rr)]
+                if ctx in candidates:
+                    return ctx
+            raise HpcError("no live context available for placement")
+        if self.policy == "least-loaded":
+            return min(candidates, key=lambda c: c.monitor.load)
+        # locality
+        if near is None:
+            raise HpcError("locality policy needs a client placement")
+
+        def distance(ctx: Context) -> int:
+            loc = near.locality_to(ctx.placement)
+            if loc.same_machine:
+                return 0
+            if loc.same_lan:
+                return 1
+            if loc.same_site:
+                return 2
+            return 3
+
+        return min(candidates, key=lambda c: (distance(c),
+                                              c.monitor.load))
+
+    def place(self, servant, near: Optional[Placement] = None,
+              **export_kwargs) -> Tuple[Context, ObjectReference]:
+        """Choose a context and export ``servant`` there."""
+        ctx = self.choose(near=near)
+        oref = ctx.export(servant, **export_kwargs)
+        self.placements.append((oref.object_id, ctx.id))
+        return ctx, oref

@@ -1,0 +1,31 @@
+"""Compression substrate backing the compression capability.
+
+Three codecs behind one registry:
+
+* :mod:`repro.compression.rle` — byte run-length encoding, vectorized;
+  near-zero cost, wins on sparse numerical arrays (the common HPC case of
+  mostly-zero blocks).
+* :mod:`repro.compression.lz` — LZSS with a hash-chain matcher; a real
+  dictionary compressor implemented from scratch.
+* :mod:`repro.compression.zlib_codec` — stdlib zlib wrapper, the
+  "production" option.
+
+Each codec maps ``bytes -> bytes`` with a self-identifying header so the
+decompressor can reject foreign input, and registers itself in
+:data:`repro.compression.codec.CODECS`.
+"""
+
+from repro.compression.codec import CODECS, Codec, get_codec, register_codec
+from repro.compression.rle import RleCodec
+from repro.compression.lz import LzssCodec
+from repro.compression.zlib_codec import ZlibCodec
+
+__all__ = [
+    "CODECS",
+    "Codec",
+    "get_codec",
+    "register_codec",
+    "RleCodec",
+    "LzssCodec",
+    "ZlibCodec",
+]

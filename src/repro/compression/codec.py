@@ -1,0 +1,59 @@
+"""Codec interface and registry.
+
+A :class:`Codec` is a reversible ``bytes -> bytes`` transform.  The
+compression capability looks codecs up by name at both ends of the wire,
+so codec names are part of the capability descriptor that travels inside
+object references.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+from repro.exceptions import CompressionError
+
+__all__ = ["Codec", "CODECS", "register_codec", "get_codec"]
+
+
+class Codec(abc.ABC):
+    """Reversible byte transform with a registry name."""
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+
+    @abc.abstractmethod
+    def compress(self, data) -> bytes:
+        """Compress ``data`` (bytes-like) into an owned ``bytes``."""
+
+    @abc.abstractmethod
+    def decompress(self, data) -> bytes:
+        """Invert :meth:`compress`; raises ``CompressionError`` on bad
+        input."""
+
+    def ratio(self, data) -> float:
+        """Convenience: compressed size / original size (1.0 for empty)."""
+        n = len(data)
+        if n == 0:
+            return 1.0
+        return len(self.compress(data)) / n
+
+
+CODECS: Dict[str, Codec] = {}
+
+
+def register_codec(codec: Codec, replace: bool = False) -> Codec:
+    """Add ``codec`` to the global registry; returns it for chaining."""
+    if not codec.name:
+        raise ValueError("codec must define a non-empty name")
+    if codec.name in CODECS and not replace:
+        raise ValueError(f"codec {codec.name!r} already registered")
+    CODECS[codec.name] = codec
+    return codec
+
+
+def get_codec(name: str) -> Codec:
+    try:
+        return CODECS[name]
+    except KeyError:
+        raise CompressionError(f"unknown codec {name!r}") from None

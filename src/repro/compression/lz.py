@@ -1,0 +1,155 @@
+"""LZSS dictionary compression with a hash-chain matcher.
+
+Wire format: magic ``b"LZ1"`` + uint32 original length + token stream.
+Tokens are grouped eight-per-flag-byte (bit ``i`` set = token ``i`` is a
+match).  A literal token is one raw byte; a match token is two bytes:
+``dddddddd dddd llll`` — 12-bit distance (1..4096), 4-bit length encoding
+lengths 3..18.
+
+This is the classic storer-szymanski scheme every 90s wire compressor
+(including the modem-era V.42bis cousins) used.  The matcher keeps, for
+each 3-byte prefix hash, a bounded chain of previous positions; bounding
+the chain gives O(n) worst-case behaviour at a small ratio cost.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.compression.codec import Codec, register_codec
+from repro.exceptions import CompressionError
+
+__all__ = ["LzssCodec"]
+
+_MAGIC = b"LZ1"
+_HEADER = struct.Struct(">I")
+
+_MIN_MATCH = 3
+_MAX_MATCH = 18
+_WINDOW = 4096
+_MAX_CHAIN = 16
+_HASH_BITS = 13
+_HASH_SIZE = 1 << _HASH_BITS
+
+
+def _hash3(data: bytes, i: int) -> int:
+    return ((data[i] << 6) ^ (data[i + 1] << 3) ^ data[i + 2]) \
+        & (_HASH_SIZE - 1)
+
+
+class LzssCodec(Codec):
+    """LZSS codec (see module docstring for the wire format)."""
+
+    name = "lzss"
+
+    def compress(self, data) -> bytes:
+        data = bytes(data)
+        n = len(data)
+        out = bytearray(_MAGIC + _HEADER.pack(n))
+        if n == 0:
+            return bytes(out)
+
+        head = [-1] * _HASH_SIZE          # hash -> most recent position
+        prev = [-1] * n                   # position -> previous same-hash
+        tokens: list[tuple] = []          # ('lit', byte) | ('match', d, l)
+
+        i = 0
+        while i < n:
+            best_len = 0
+            best_dist = 0
+            if i + _MIN_MATCH <= n:
+                h = _hash3(data, i)
+                candidate = head[h]
+                chain = 0
+                limit = min(_MAX_MATCH, n - i)
+                while candidate >= 0 and chain < _MAX_CHAIN:
+                    dist = i - candidate
+                    if dist > _WINDOW:
+                        break
+                    # Compare forward from the candidate.
+                    length = 0
+                    while (length < limit
+                           and data[candidate + length] == data[i + length]):
+                        length += 1
+                    if length > best_len:
+                        best_len = length
+                        best_dist = dist
+                        if length == limit:
+                            break
+                    candidate = prev[candidate]
+                    chain += 1
+            if best_len >= _MIN_MATCH:
+                tokens.append(("match", best_dist, best_len))
+                # Insert every covered position into the chains so later
+                # matches can reference inside this one.
+                end = i + best_len
+                while i < end:
+                    if i + _MIN_MATCH <= n:
+                        h = _hash3(data, i)
+                        prev[i] = head[h]
+                        head[h] = i
+                    i += 1
+            else:
+                tokens.append(("lit", data[i]))
+                if i + _MIN_MATCH <= n:
+                    h = _hash3(data, i)
+                    prev[i] = head[h]
+                    head[h] = i
+                i += 1
+
+        # Serialize tokens in groups of eight under a flag byte.
+        for group_start in range(0, len(tokens), 8):
+            group = tokens[group_start:group_start + 8]
+            flags = 0
+            body = bytearray()
+            for bit, tok in enumerate(group):
+                if tok[0] == "match":
+                    flags |= 1 << bit
+                    _, dist, length = tok
+                    word = ((dist - 1) << 4) | (length - _MIN_MATCH)
+                    body += word.to_bytes(2, "big")
+                else:
+                    body.append(tok[1])
+            out.append(flags)
+            out += body
+        return bytes(out)
+
+    def decompress(self, data) -> bytes:
+        view = memoryview(data)
+        if len(view) < 7 or bytes(view[:3]) != _MAGIC:
+            raise CompressionError("not an LZ1 stream")
+        (orig_len,) = _HEADER.unpack(view[3:7])
+        src = bytes(view[7:])
+        out = bytearray()
+        pos = 0
+        while len(out) < orig_len:
+            if pos >= len(src):
+                raise CompressionError("truncated LZ1 stream")
+            flags = src[pos]
+            pos += 1
+            for bit in range(8):
+                if len(out) >= orig_len:
+                    break
+                if flags & (1 << bit):
+                    if pos + 2 > len(src):
+                        raise CompressionError("truncated LZ1 match token")
+                    word = int.from_bytes(src[pos:pos + 2], "big")
+                    pos += 2
+                    dist = (word >> 4) + 1
+                    length = (word & 0xF) + _MIN_MATCH
+                    start = len(out) - dist
+                    if start < 0:
+                        raise CompressionError("LZ1 match before start")
+                    for k in range(length):
+                        out.append(out[start + k])
+                else:
+                    if pos >= len(src):
+                        raise CompressionError("truncated LZ1 literal")
+                    out.append(src[pos])
+                    pos += 1
+        if len(out) != orig_len:
+            raise CompressionError("LZ1 output length mismatch")
+        return bytes(out)
+
+
+register_codec(LzssCodec())

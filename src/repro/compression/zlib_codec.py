@@ -1,0 +1,50 @@
+"""zlib-backed codec: the production-grade option in the registry.
+
+Same magic-header discipline as the from-scratch codecs so the
+decompressor can tell codec streams apart and fail loudly on mismatches.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.compression.codec import Codec, register_codec
+from repro.exceptions import CompressionError
+
+__all__ = ["ZlibCodec"]
+
+_MAGIC = b"ZL1"
+_HEADER = struct.Struct(">I")
+
+
+class ZlibCodec(Codec):
+    """Deflate via zlib at a configurable level (default 6)."""
+
+    name = "zlib"
+
+    def __init__(self, level: int = 6):
+        if not 0 <= level <= 9:
+            raise ValueError("zlib level must be 0..9")
+        self.level = level
+
+    def compress(self, data) -> bytes:
+        raw = bytes(data)
+        return _MAGIC + _HEADER.pack(len(raw)) + zlib.compress(raw,
+                                                               self.level)
+
+    def decompress(self, data) -> bytes:
+        view = memoryview(data)
+        if len(view) < 7 or bytes(view[:3]) != _MAGIC:
+            raise CompressionError("not a ZL1 stream")
+        (orig_len,) = _HEADER.unpack(view[3:7])
+        try:
+            out = zlib.decompress(bytes(view[7:]))
+        except zlib.error as exc:
+            raise CompressionError(f"zlib inflate failed: {exc}") from exc
+        if len(out) != orig_len:
+            raise CompressionError("ZL1 length mismatch")
+        return out
+
+
+register_codec(ZlibCodec())

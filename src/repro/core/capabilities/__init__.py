@@ -1,0 +1,55 @@
+"""Remote access capabilities (§4).
+
+"The requirements or attributes of remote access, such as data
+compression (and encryption) or client authentication, can be
+encapsulated under the concept of remote access capabilities."
+
+A capability is a pair of processing halves around the wire: the client
+half ``process``-es each outgoing request payload, the server half
+``unprocess``-es it before dispatch (Figure 2); replies take the same
+path back.  Capabilities are *described* by marshallable descriptors that
+ride inside OR glue entries — that is how capabilities pass between
+processes — and *instantiated* per side from the registry here.
+
+Built-in capability types:
+
+=============  ==========================================================
+``encryption``  DH-agreed symmetric encryption of the whole request
+``auth``        per-request HMAC client authentication (+ reply MAC)
+``quota``       the paper's "timeout" capability: max number of requests
+``lease``       paid-time capability: requests allowed until an expiry
+``compression`` payload compression via a registered codec
+``integrity``   checksum/MAC integrity protection without secrecy
+``tracing``     pass-through audit trail of requests and sizes
+``padding``     size-class padding against traffic analysis
+=============  ==========================================================
+"""
+
+from repro.core.capabilities.base import (
+    CAPABILITY_TYPES,
+    Capability,
+    make_capability,
+    register_capability_type,
+)
+from repro.core.capabilities.encryption import EncryptionCapability
+from repro.core.capabilities.authentication import AuthenticationCapability
+from repro.core.capabilities.quota import CallQuotaCapability, TimeLeaseCapability
+from repro.core.capabilities.compression import CompressionCapability
+from repro.core.capabilities.integrity import IntegrityCapability
+from repro.core.capabilities.padding import PaddingCapability
+from repro.core.capabilities.tracing import TracingCapability
+
+__all__ = [
+    "CAPABILITY_TYPES",
+    "Capability",
+    "make_capability",
+    "register_capability_type",
+    "EncryptionCapability",
+    "AuthenticationCapability",
+    "CallQuotaCapability",
+    "TimeLeaseCapability",
+    "CompressionCapability",
+    "IntegrityCapability",
+    "PaddingCapability",
+    "TracingCapability",
+]

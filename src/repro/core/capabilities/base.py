@@ -1,0 +1,134 @@
+"""Capability base class, descriptors, and type registry.
+
+Descriptor convention
+---------------------
+A capability descriptor is a marshallable dict::
+
+    {"type": "<registry name>", "applicability": "<rule name>", ...params}
+
+Descriptors are data, never secrets: key material is looked up locally
+(key stores) or agreed on the fly (DH); this is what makes it safe for
+capabilities to travel inside object references between processes (§4).
+
+Processing protocol
+-------------------
+``process(data, meta)`` transforms an outgoing payload;
+``unprocess(data, meta)`` inverts it on the receiving side.  Replies use
+``process_reply``/``unprocess_reply``, which default to the same
+transforms — capabilities that only act on requests (quota, lease)
+override the reply hooks to pass through.
+
+Cost accounting
+---------------
+``cost_kind`` names which :class:`~repro.simnet.linktypes.CpuModel`
+bucket a transform bills ("cipher", "digest", "compress", "memcpy" or
+``None``), letting the glue protocol charge virtual CPU time under
+simulation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Type
+
+from repro.core.request import RequestMeta
+from repro.exceptions import CapabilityError
+
+__all__ = [
+    "Capability",
+    "CAPABILITY_TYPES",
+    "register_capability_type",
+    "make_capability",
+]
+
+
+class Capability(abc.ABC):
+    """One half (client or server) of a remote access capability."""
+
+    #: Registry name; subclasses must override.
+    type_name: str = ""
+    #: Default applicability rule when the descriptor does not set one.
+    default_applicability: str = "always"
+    #: CPU cost bucket for the simulator ("cipher", "digest", "compress",
+    #: "memcpy") or None for free transforms.
+    cost_kind: Optional[str] = None
+
+    def __init__(self, descriptor: dict, context, role: str):
+        if role not in ("client", "server"):
+            raise CapabilityError(f"invalid capability role {role!r}")
+        self.descriptor = dict(descriptor)
+        self.context = context
+        self.role = role
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def applicability(self) -> str:
+        return self.descriptor.get("applicability",
+                                   self.default_applicability)
+
+    # -- wire transforms -----------------------------------------------------
+
+    @abc.abstractmethod
+    def process(self, data: bytes, meta: RequestMeta) -> bytes:
+        """Transform an outgoing request payload."""
+
+    @abc.abstractmethod
+    def unprocess(self, data: bytes, meta: RequestMeta) -> bytes:
+        """Invert :meth:`process` on an incoming request payload."""
+
+    def process_reply(self, data: bytes, meta: RequestMeta) -> bytes:
+        """Transform an outgoing reply (server side).  Defaults to the
+        request transform."""
+        return self.process(data, meta)
+
+    def unprocess_reply(self, data: bytes, meta: RequestMeta) -> bytes:
+        """Invert :meth:`process_reply` (client side)."""
+        return self.unprocess(data, meta)
+
+    # -- migration support -----------------------------------------------------
+
+    def absorb_state(self, other: "Capability") -> None:
+        """Adopt run-time state from a predecessor half.
+
+        Called during object migration on the freshly created server-side
+        capability, with the retiring context's half as ``other`` — so
+        metering counters, replay windows, etc. survive the move.  The
+        default is stateless (no-op)."""
+
+    # -- descriptor helpers ----------------------------------------------------
+
+    @classmethod
+    def describe(cls, **params) -> dict:
+        """Build a descriptor for this capability type."""
+        descriptor = {"type": cls.type_name}
+        descriptor.update(params)
+        return descriptor
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<{type(self).__name__} role={self.role} "
+                f"applicability={self.applicability!r}>")
+
+
+CAPABILITY_TYPES: Dict[str, Type[Capability]] = {}
+
+
+def register_capability_type(cls: Type[Capability],
+                             replace: bool = False) -> Type[Capability]:
+    """Add a capability class to the registry (usable as a decorator)."""
+    if not cls.type_name:
+        raise CapabilityError(f"{cls.__name__} has no type_name")
+    if cls.type_name in CAPABILITY_TYPES and not replace:
+        raise CapabilityError(
+            f"capability type {cls.type_name!r} already registered")
+    CAPABILITY_TYPES[cls.type_name] = cls
+    return cls
+
+
+def make_capability(descriptor: dict, context, role: str) -> Capability:
+    """Instantiate one capability half from a descriptor."""
+    type_name = descriptor.get("type")
+    cls = CAPABILITY_TYPES.get(type_name)
+    if cls is None:
+        raise CapabilityError(f"unknown capability type {type_name!r}")
+    return cls(descriptor, context, role)

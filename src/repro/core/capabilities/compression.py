@@ -1,0 +1,83 @@
+"""Compression capability: shrink payloads through a registered codec.
+
+"The requirements or attributes of remote access, such as data
+compression..." (§1) — this is the capability form of the
+:mod:`repro.compression` substrate.  The descriptor names the codec
+(``rle``, ``lzss`` or ``zlib``) and an optional ``min_size`` below which
+payloads pass through unchanged (tiny messages expand under any codec; a
+one-byte flag records which branch was taken).
+
+Default applicability: ``different-lan`` — compression pays for itself
+when bandwidth is scarce, i.e. off the local segment.
+"""
+
+from __future__ import annotations
+
+from repro.compression.codec import get_codec
+from repro.core.capabilities.base import Capability, register_capability_type
+from repro.core.request import RequestMeta
+from repro.exceptions import CapabilityError, CompressionError
+
+__all__ = ["CompressionCapability"]
+
+_RAW = b"\x00"
+_PACKED = b"\x01"
+
+
+@register_capability_type
+class CompressionCapability(Capability):
+    """Codec-backed payload compression."""
+
+    type_name = "compression"
+    default_applicability = "different-lan"
+    cost_kind = "compress"
+
+    def __init__(self, descriptor: dict, context, role: str):
+        super().__init__(descriptor, context, role)
+        codec_name = self.descriptor.get("codec", "zlib")
+        self.codec = get_codec(codec_name)   # raises on unknown codec
+        min_size = self.descriptor.get("min_size", 64)
+        if not isinstance(min_size, int) or min_size < 0:
+            raise CapabilityError("min_size must be a non-negative int")
+        self.min_size = min_size
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    @classmethod
+    def with_codec(cls, codec: str = "zlib", min_size: int = 64,
+                   applicability: str | None = None) -> dict:
+        descriptor = cls.describe(codec=codec, min_size=min_size)
+        if applicability:
+            descriptor["applicability"] = applicability
+        return descriptor
+
+    def process(self, data: bytes, meta: RequestMeta) -> bytes:
+        data = bytes(data)
+        self.bytes_in += len(data)
+        if len(data) < self.min_size:
+            out = _RAW + data
+        else:
+            packed = self.codec.compress(data)
+            # Keep whichever is smaller; incompressible data rides raw.
+            out = (_PACKED + packed) if len(packed) < len(data) \
+                else (_RAW + data)
+        self.bytes_out += len(out)
+        return out
+
+    def unprocess(self, data: bytes, meta: RequestMeta) -> bytes:
+        data = bytes(data)
+        if not data:
+            raise CompressionError("empty compressed payload")
+        flag, body = data[:1], data[1:]
+        if flag == _RAW:
+            return body
+        if flag == _PACKED:
+            return self.codec.decompress(body)
+        raise CompressionError(f"unknown compression flag {flag!r}")
+
+    @property
+    def overall_ratio(self) -> float:
+        """Bytes out / bytes in across the capability's lifetime."""
+        if self.bytes_in == 0:
+            return 1.0
+        return self.bytes_out / self.bytes_in

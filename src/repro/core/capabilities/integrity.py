@@ -1,0 +1,96 @@
+"""Integrity capability: tamper detection without secrecy.
+
+Two modes, chosen by the descriptor:
+
+* ``checksum`` (default) — Adler-32 over the payload; detects accidental
+  corruption (the classic use on long-haul links of the era).
+* ``mac`` — HMAC-SHA256 under a shared key looked up by key id in the
+  context keystore; detects deliberate tampering.
+
+Applied to both requests and replies; the receiving half raises
+:class:`~repro.exceptions.IntegrityError` on mismatch.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.capabilities.base import Capability, register_capability_type
+from repro.core.request import RequestMeta
+from repro.exceptions import CapabilityError, IntegrityError
+from repro.security.hmac_md import DIGEST_SIZE, hmac_sign, hmac_verify
+from repro.security.keys import Principal
+from repro.util.checksums import adler32
+
+__all__ = ["IntegrityCapability"]
+
+_ADLER = struct.Struct(">I")
+
+
+@register_capability_type
+class IntegrityCapability(Capability):
+    """Checksum or MAC protection of message payloads."""
+
+    type_name = "integrity"
+    default_applicability = "always"
+    cost_kind = "digest"
+
+    def __init__(self, descriptor: dict, context, role: str):
+        super().__init__(descriptor, context, role)
+        mode = self.descriptor.get("mode", "checksum")
+        if mode not in ("checksum", "mac"):
+            raise CapabilityError(f"unknown integrity mode {mode!r}")
+        self.mode = mode
+        if mode == "mac":
+            key_id = self.descriptor.get("key_id")
+            if not key_id:
+                raise CapabilityError("mac mode needs a key_id")
+            self.key_principal = Principal.parse(key_id)
+        self.verified = 0
+        self.failures = 0
+
+    @classmethod
+    def checksum(cls, applicability: str | None = None) -> dict:
+        descriptor = cls.describe(mode="checksum")
+        if applicability:
+            descriptor["applicability"] = applicability
+        return descriptor
+
+    @classmethod
+    def mac(cls, key_id: str, applicability: str | None = None) -> dict:
+        descriptor = cls.describe(mode="mac", key_id=key_id)
+        if applicability:
+            descriptor["applicability"] = applicability
+        return descriptor
+
+    def _mac_key(self) -> bytes:
+        keystore = getattr(self.context, "keystore", None)
+        if keystore is None:
+            raise IntegrityError("context has no keystore for MAC mode")
+        return keystore.lookup(self.key_principal)
+
+    def process(self, data: bytes, meta: RequestMeta) -> bytes:
+        data = bytes(data)
+        if self.mode == "checksum":
+            return _ADLER.pack(adler32(data)) + data
+        return hmac_sign(self._mac_key(), data) + data
+
+    def unprocess(self, data: bytes, meta: RequestMeta) -> bytes:
+        data = bytes(data)
+        if self.mode == "checksum":
+            if len(data) < _ADLER.size:
+                raise IntegrityError("payload shorter than its checksum")
+            (expected,) = _ADLER.unpack(data[:_ADLER.size])
+            body = data[_ADLER.size:]
+            if adler32(body) != expected:
+                self.failures += 1
+                raise IntegrityError("payload checksum mismatch")
+        else:
+            if len(data) < DIGEST_SIZE:
+                raise IntegrityError("payload shorter than its MAC")
+            tag, body = data[:DIGEST_SIZE], data[DIGEST_SIZE:]
+            if not hmac_verify(self._mac_key(), body, tag):
+                self.failures += 1
+                raise IntegrityError("payload MAC mismatch")
+        self.verified += 1
+        return body

@@ -1,0 +1,83 @@
+"""Padding capability: hide message sizes from the wire.
+
+Encryption hides content but leaks length — and in an RPC system, length
+alone often identifies the method being called.  This capability rounds
+every payload up to the next multiple of ``quantum`` (or to a fixed
+``bucket`` scheme of powers of two), so an observer sees only coarse
+size classes.  Stack it *after* compression and *before* encryption for
+the textbook ordering: compress -> pad -> encrypt.
+
+Wire layout: ``uhyper original_length`` + payload + zero padding.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.capabilities.base import Capability, register_capability_type
+from repro.core.request import RequestMeta
+from repro.exceptions import CapabilityError
+
+__all__ = ["PaddingCapability"]
+
+_LEN = struct.Struct(">Q")
+
+
+@register_capability_type
+class PaddingCapability(Capability):
+    """Round payload sizes up to hide their true length."""
+
+    type_name = "padding"
+    default_applicability = "different-site"
+    cost_kind = "memcpy"
+
+    def __init__(self, descriptor: dict, context, role: str):
+        super().__init__(descriptor, context, role)
+        self.mode = self.descriptor.get("mode", "quantum")
+        if self.mode not in ("quantum", "power2"):
+            raise CapabilityError(f"unknown padding mode {self.mode!r}")
+        quantum = self.descriptor.get("quantum", 256)
+        if not isinstance(quantum, int) or quantum <= 0:
+            raise CapabilityError("padding quantum must be positive")
+        self.quantum = quantum
+
+    @classmethod
+    def quantized(cls, quantum: int = 256,
+                  applicability: str | None = None) -> dict:
+        descriptor = cls.describe(mode="quantum", quantum=quantum)
+        if applicability:
+            descriptor["applicability"] = applicability
+        return descriptor
+
+    @classmethod
+    def power_of_two(cls, applicability: str | None = None) -> dict:
+        descriptor = cls.describe(mode="power2")
+        if applicability:
+            descriptor["applicability"] = applicability
+        return descriptor
+
+    def _padded_size(self, n: int) -> int:
+        if self.mode == "quantum":
+            return ((n + self.quantum - 1) // self.quantum) * self.quantum \
+                if n else self.quantum
+        size = 1
+        while size < max(n, 1):
+            size <<= 1
+        return size
+
+    def process(self, data: bytes, meta: RequestMeta) -> bytes:
+        data = bytes(data)
+        target = self._padded_size(len(data))
+        return _LEN.pack(len(data)) + data + b"\x00" * (target - len(data))
+
+    def unprocess(self, data: bytes, meta: RequestMeta) -> bytes:
+        data = bytes(data)
+        if len(data) < _LEN.size:
+            raise CapabilityError("padded payload shorter than its header")
+        (length,) = _LEN.unpack(data[:_LEN.size])
+        body = data[_LEN.size:]
+        if length > len(body):
+            raise CapabilityError(
+                f"padding header claims {length} bytes, only "
+                f"{len(body)} present")
+        return body[:length]

@@ -1,0 +1,181 @@
+"""Metered-access capabilities: call quotas and time leases.
+
+Two of the motivating scenario's billing policies (§1):
+
+* "Some clients may even be given access on a total number of accesses
+  basis" — :class:`CallQuotaCapability`, which the paper's experiments
+  call the **timeout capability** ("a timeout capability that lets the
+  client make only a certain maximum number of requests", §4.2).
+* "Some clients ... may be given access to the weather data only for the
+  time they have paid for" — :class:`TimeLeaseCapability`.
+
+Both are *enforcement* capabilities: they do not transform bytes (beyond
+a small accounting header), they gate them.  Enforcement happens on both
+halves — the client half fails fast without a round trip; the server half
+is authoritative (a client could always hand-craft requests).
+"""
+
+from __future__ import annotations
+
+from repro.core.capabilities.base import Capability, register_capability_type
+from repro.core.request import RequestMeta
+from repro.exceptions import CapabilityError, LeaseExpiredError, QuotaExceededError
+from repro.serialization.xdr import XdrDecoder, XdrEncoder
+
+__all__ = ["CallQuotaCapability", "TimeLeaseCapability"]
+
+
+@register_capability_type
+class CallQuotaCapability(Capability):
+    """Allow at most ``max_calls`` requests (the paper's "timeout").
+
+    Default applicability is ``different-lan``: metering applies to
+    outside clients, matching the Figure 4 scenario where no capability
+    applies once the server reaches the client's own LAN.
+    """
+
+    type_name = "quota"
+    default_applicability = "different-lan"
+    cost_kind = None
+
+    def __init__(self, descriptor: dict, context, role: str):
+        super().__init__(descriptor, context, role)
+        max_calls = self.descriptor.get("max_calls")
+        if not isinstance(max_calls, int) or max_calls <= 0:
+            raise CapabilityError("quota needs a positive integer max_calls")
+        self.max_calls = max_calls
+        self.used = 0
+        # Server halves are shared across concurrently dispatched
+        # requests; the spend check must be atomic.
+        import threading
+
+        self._lock = threading.Lock()
+
+    @classmethod
+    def for_calls(cls, max_calls: int,
+                  applicability: str | None = None) -> dict:
+        descriptor = cls.describe(max_calls=max_calls)
+        if applicability:
+            descriptor["applicability"] = applicability
+        return descriptor
+
+    @property
+    def remaining(self) -> int:
+        return max(self.max_calls - self.used, 0)
+
+    def absorb_state(self, other: "Capability") -> None:
+        """Metering continues across migration: the call count moves."""
+        if isinstance(other, CallQuotaCapability):
+            self.used = max(self.used, other.used)
+
+    def _spend(self) -> None:
+        with self._lock:
+            if self.used >= self.max_calls:
+                raise QuotaExceededError(
+                    f"call quota of {self.max_calls} exhausted "
+                    f"({self.role} side)")
+            self.used += 1
+
+    def process(self, data: bytes, meta: RequestMeta) -> bytes:
+        self._spend()
+        # Prepend the client-side call ordinal, so the server can audit.
+        enc = XdrEncoder()
+        enc.pack_uhyper(self.used)
+        enc.pack_opaque(data)
+        return enc.getvalue()
+
+    def unprocess(self, data: bytes, meta: RequestMeta) -> bytes:
+        dec = XdrDecoder(data)
+        ordinal = dec.unpack_uhyper()
+        payload = bytes(dec.unpack_opaque())
+        self._spend()
+        meta.properties["quota.ordinal"] = ordinal
+        meta.properties["quota.remaining"] = self.remaining
+        return payload
+
+    # Quotas only meter requests; replies pass through untouched.
+
+    def process_reply(self, data: bytes, meta: RequestMeta) -> bytes:
+        return bytes(data)
+
+    def unprocess_reply(self, data: bytes, meta: RequestMeta) -> bytes:
+        return bytes(data)
+
+
+@register_capability_type
+class TimeLeaseCapability(Capability):
+    """Allow requests only while the lease is live.
+
+    The descriptor carries an absolute expiry (``expires_at``, in the
+    deployment's clock) or a relative ``duration`` resolved against the
+    context clock when the capability is instantiated.  Both halves
+    enforce against their own context clock — under simulation that is
+    the shared virtual clock, which makes lease expiry exactly testable.
+    """
+
+    type_name = "lease"
+    default_applicability = "always"
+    cost_kind = None
+
+    def __init__(self, descriptor: dict, context, role: str):
+        super().__init__(descriptor, context, role)
+        expires_at = self.descriptor.get("expires_at")
+        duration = self.descriptor.get("duration")
+        if expires_at is None and duration is None:
+            raise CapabilityError("lease needs expires_at or duration")
+        if expires_at is None:
+            if duration <= 0:
+                raise CapabilityError("lease duration must be positive")
+            expires_at = self._now() + float(duration)
+        self.expires_at = float(expires_at)
+
+    @classmethod
+    def until(cls, expires_at: float,
+              applicability: str | None = None) -> dict:
+        descriptor = cls.describe(expires_at=float(expires_at))
+        if applicability:
+            descriptor["applicability"] = applicability
+        return descriptor
+
+    @classmethod
+    def lasting(cls, duration: float,
+                applicability: str | None = None) -> dict:
+        descriptor = cls.describe(duration=float(duration))
+        if applicability:
+            descriptor["applicability"] = applicability
+        return descriptor
+
+    def _now(self) -> float:
+        clock = getattr(self.context, "clock", None)
+        if clock is None:
+            import time
+
+            return time.time()
+        return clock.now()
+
+    @property
+    def remaining_seconds(self) -> float:
+        return max(self.expires_at - self._now(), 0.0)
+
+    def _check(self) -> None:
+        now = self._now()
+        if now > self.expires_at:
+            raise LeaseExpiredError(
+                f"lease expired {now - self.expires_at:.3f}s ago "
+                f"({self.role} side)")
+
+    def process(self, data: bytes, meta: RequestMeta) -> bytes:
+        self._check()
+        return bytes(data)
+
+    def unprocess(self, data: bytes, meta: RequestMeta) -> bytes:
+        self._check()
+        return bytes(data)
+
+    def process_reply(self, data: bytes, meta: RequestMeta) -> bytes:
+        # A reply to a request admitted under the lease is always allowed
+        # out — billing is per request.
+        return bytes(data)
+
+    def unprocess_reply(self, data: bytes, meta: RequestMeta) -> bytes:
+        return bytes(data)

@@ -1,0 +1,79 @@
+"""Tracing capability: a pass-through audit trail.
+
+Records ``(direction, role, nbytes, timestamp)`` for every message that
+flows through the glue stack, without touching the bytes.  Useful for
+examples (watching the Figure 2 path happen) and for tests asserting the
+exact processing order of stacked capabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.capabilities.base import Capability, register_capability_type
+from repro.core.request import RequestMeta
+
+__all__ = ["TracingCapability", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observed message."""
+
+    direction: str     # "request" | "reply"
+    stage: str         # "process" | "unprocess"
+    role: str          # "client" | "server"
+    nbytes: int
+    timestamp: float
+
+
+@register_capability_type
+class TracingCapability(Capability):
+    """Observe the glue pipeline without altering it."""
+
+    type_name = "tracing"
+    default_applicability = "always"
+    cost_kind = None
+
+    def __init__(self, descriptor: dict, context, role: str):
+        super().__init__(descriptor, context, role)
+        self.events: List[TraceEvent] = []
+        self.max_events = self.descriptor.get("max_events", 10_000)
+
+    def _now(self) -> float:
+        clock = getattr(self.context, "clock", None)
+        if clock is None:
+            import time
+
+            return time.time()
+        return clock.now()
+
+    def _record(self, direction: str, stage: str, nbytes: int) -> None:
+        if len(self.events) < self.max_events:
+            self.events.append(TraceEvent(
+                direction=direction, stage=stage, role=self.role,
+                nbytes=nbytes, timestamp=self._now()))
+
+    def process(self, data: bytes, meta: RequestMeta) -> bytes:
+        data = bytes(data)
+        self._record("request", "process", len(data))
+        return data
+
+    def unprocess(self, data: bytes, meta: RequestMeta) -> bytes:
+        data = bytes(data)
+        self._record("request", "unprocess", len(data))
+        return data
+
+    def process_reply(self, data: bytes, meta: RequestMeta) -> bytes:
+        data = bytes(data)
+        self._record("reply", "process", len(data))
+        return data
+
+    def unprocess_reply(self, data: bytes, meta: RequestMeta) -> bytes:
+        data = bytes(data)
+        self._record("reply", "unprocess", len(data))
+        return data
+
+    def clear(self) -> None:
+        self.events.clear()

@@ -1,0 +1,118 @@
+"""Cost-aware protocol selection: an extension beyond first-match.
+
+The paper's selection rule is ordinal (first applicable match, §3.2) and
+leaves "which order is best" to whoever built the OR.  Its companion
+EMOP work points toward *adaptive utilization of communication
+resources* — so this module implements the natural next step: a
+:class:`CostAwarePolicy` that, when a network simulator is available,
+*predicts* each applicable entry's cost for a reference payload — wire
+time along the actual route plus modelled capability CPU — and picks the
+cheapest.  Without a simulator it degrades to first-match, so it is safe
+as a drop-in default.
+
+This is the ABL-POLICY ablation's subject: against a well-ordered OR it
+matches first-match exactly; against an adversarially ordered OR it
+recovers the good choice that first-match misses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.objref import ProtocolEntry
+from repro.core.selection import (
+    FirstMatchPolicy,
+    Locality,
+    SelectionPolicy,
+)
+__all__ = ["CostAwarePolicy"]
+
+#: Capability cost-kind per bucket, mirroring Capability.cost_kind.
+_CAP_COST_KINDS = {
+    "encryption": "cipher",
+    "auth": "digest",
+    "integrity": "digest",
+    "compression": "compress",
+    "quota": None,
+    "lease": None,
+    "tracing": None,
+    "padding": "memcpy",
+}
+
+
+class CostAwarePolicy(SelectionPolicy):
+    """Pick the applicable entry with the lowest predicted request cost.
+
+    Parameters
+    ----------
+    context:
+        The client context; supplies the simulator, the local machine,
+        and the CPU model.  May be a wall-clock context, in which case
+        the policy behaves exactly like :class:`FirstMatchPolicy`.
+    reference_bytes:
+        Payload size the prediction is evaluated at (pick the workload's
+        typical message size).  Ties break toward OR order.
+    """
+
+    def __init__(self, context, reference_bytes: int = 65536):
+        if reference_bytes <= 0:
+            raise ValueError("reference_bytes must be positive")
+        self.context = context
+        self.reference_bytes = reference_bytes
+        self._fallback = FirstMatchPolicy()
+
+    # -- cost model ----------------------------------------------------------
+
+    def predict_cost(self, entry: ProtocolEntry) -> Optional[float]:
+        """Predicted one-way request cost in virtual seconds, or ``None``
+        when no prediction is possible (no simulator / unknown machine)."""
+        sim = getattr(self.context, "sim", None)
+        machine = getattr(self.context, "machine", None)
+        if sim is None or machine is None:
+            return None
+        target_name = entry.proto_data.get("machine")
+        if not target_name or \
+                target_name not in sim.topology.machines:
+            return None
+        target = sim.topology.machine(target_name)
+        n = self.reference_bytes
+
+        if entry.proto_id == "shm":
+            wire = sim.topology.loopback.transfer_time(n) \
+                if machine.name == target.name else float("inf")
+        else:
+            from repro.simnet.linktypes import TCP_LOOPBACK
+
+            wire = sim.transfer_duration(machine, target, n,
+                                         loopback=TCP_LOOPBACK)
+        cpu = machine.cpu.memcpy_cost(n)
+        for descriptor in entry.proto_data.get("capabilities", []):
+            kind = _CAP_COST_KINDS.get(descriptor.get("type"))
+            if kind is None:
+                continue
+            cost_fn = getattr(machine.cpu, f"{kind}_cost", None)
+            if cost_fn is not None:
+                # Client-side processing plus the server's unprocessing.
+                cpu += 2 * cost_fn(n)
+        return wire + cpu
+
+    # -- SelectionPolicy interface ---------------------------------------------
+
+    def select(self, entries: List[ProtocolEntry], pool_ids, locality:
+               Locality, applicable) -> ProtocolEntry:
+        allowed = set(pool_ids)
+        candidates = [e for e in entries
+                      if e.proto_id in allowed and applicable(e)]
+        if not candidates:
+            # Delegate for the detailed error message.
+            return self._fallback.select(entries, pool_ids, locality,
+                                         applicable)
+        scored = []
+        for index, entry in enumerate(candidates):
+            cost = self.predict_cost(entry)
+            if cost is None:
+                # No prediction possible anywhere -> pure first-match.
+                return candidates[0]
+            scored.append((cost, index, entry))
+        scored.sort(key=lambda t: (t[0], t[1]))
+        return scored[0][2]

@@ -1,0 +1,207 @@
+"""The glue protocol: capability stacks around a real protocol (§4.1-4.2).
+
+"A glue protocol object is a special kind of protocol object that can be
+used to hold capab-objects in a specific order. ... A glue object does
+not contain any communication mechanism but depends on a real protocol
+object to do the actual communication."
+
+Wire shape of a glue request (Figure 2's arrows, serialized)::
+
+    XDR: string glue_id
+         array<string> capability types     (as applied, outermost last)
+         opaque processed_payload
+
+The client half applies capabilities in stack order; the server glue
+class (registered per export under ``glue_id``) un-processes them in
+reverse, dispatches the inner invocation, then processes the reply back
+out through the same stack.
+
+Glue proto-data::
+
+    {"glue_id": ..., "capabilities": [descriptor...],
+     "inner": <ProtocolEntry wire dict>, "machine": ...}
+
+Applicability: "the logical AND of all its constituent capabilities"
+(§4.3) — AND'd, additionally, with the inner protocol's own rule.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.core.capabilities.base import Capability, make_capability
+from repro.core.objref import ProtocolEntry
+from repro.core.protocol import (
+    GLUE_HANDLER,
+    ProtocolClass,
+    ProtocolClient,
+    get_proto_class,
+    register_proto_class,
+)
+from repro.core.request import (
+    Invocation,
+    RequestMeta,
+    decode_reply,
+    encode_invocation,
+)
+from repro.core.selection import Locality, rule_applies
+from repro.exceptions import CapabilityError, ProtocolError
+from repro.serialization.xdr import XdrDecoder, XdrEncoder
+
+__all__ = ["GlueProtocol", "GlueClient", "ServerGlueStack",
+           "encode_glue_envelope", "decode_glue_envelope",
+           "encode_glue_reply", "decode_glue_reply",
+           "GLUE_REPLY_PROCESSED", "GLUE_REPLY_BARE"]
+
+#: Glue reply flag values: PROCESSED replies went through the server's
+#: capability stack; BARE replies did not (server-side capability
+#: processing failed before a usable stack context existed) and must be
+#: decoded directly.
+GLUE_REPLY_PROCESSED = 0
+GLUE_REPLY_BARE = 1
+
+
+def encode_glue_reply(flag: int, payload: bytes) -> bytes:
+    enc = XdrEncoder()
+    enc.pack_uint(flag)
+    enc.pack_opaque(payload)
+    return enc.getvalue()
+
+
+def decode_glue_reply(data) -> tuple[int, bytes]:
+    dec = XdrDecoder(data)
+    flag = dec.unpack_uint()
+    return flag, bytes(dec.unpack_opaque())
+
+
+def encode_glue_envelope(glue_id: str, cap_types: List[str],
+                         payload: bytes) -> bytes:
+    enc = XdrEncoder()
+    enc.pack_string(glue_id)
+    enc.pack_array(cap_types, enc.pack_string)
+    enc.pack_opaque(payload)
+    return enc.getvalue()
+
+
+def decode_glue_envelope(data) -> tuple[str, List[str], bytes]:
+    dec = XdrDecoder(data)
+    glue_id = dec.unpack_string()
+    cap_types = dec.unpack_array(dec.unpack_string)
+    payload = bytes(dec.unpack_opaque())
+    return glue_id, cap_types, payload
+
+
+class GlueClient(ProtocolClient):
+    """Client glue object G of Figure 2."""
+
+    def __init__(self, entry: ProtocolEntry, context):
+        super().__init__(entry, context)
+        descriptors = entry.proto_data.get("capabilities", [])
+        if not descriptors:
+            raise ProtocolError("glue entry has no capabilities")
+        self.capabilities: List[Capability] = [
+            make_capability(d, context, "client") for d in descriptors]
+        inner_wire = entry.proto_data.get("inner")
+        if not inner_wire:
+            raise ProtocolError("glue entry has no inner protocol")
+        self.inner_entry = ProtocolEntry.from_wire(inner_wire)
+        inner_cls = get_proto_class(self.inner_entry.proto_id)
+        self.inner = inner_cls.make_client(self.inner_entry, context)
+        self.glue_id = entry.proto_data.get("glue_id")
+        if not self.glue_id:
+            raise ProtocolError("glue entry has no glue_id")
+        # Marshal with the inner protocol's encoding.
+        self.marshaller = self.inner.marshaller
+
+    def invoke(self, invocation: Invocation) -> Any:
+        meta = RequestMeta(direction="request")
+        payload = encode_invocation(self.marshaller, invocation)
+        self.context.charge_cost("memcpy", len(payload))
+        for cap in self.capabilities:
+            self.context.charge_cost(cap.cost_kind, len(payload))
+            payload = cap.process(payload, meta)
+        envelope = encode_glue_envelope(
+            self.glue_id, [c.type_name for c in self.capabilities], payload)
+        reply = self.inner.call_raw(GLUE_HANDLER, envelope,
+                                    oneway=invocation.oneway)
+        if invocation.oneway:
+            return None
+        flag, data = decode_glue_reply(reply)
+        meta.direction = "reply"
+        if flag == GLUE_REPLY_PROCESSED:
+            for cap in reversed(self.capabilities):
+                self.context.charge_cost(cap.cost_kind, len(data))
+                data = cap.unprocess_reply(data, meta)
+        return decode_reply(self.marshaller, data)
+
+    def close(self) -> None:
+        self.inner.close()
+        super().close()
+
+
+class ServerGlueStack:
+    """Server glue class GC of Figure 2: the server's own copies of the
+    capabilities, keyed by glue id in the serving context."""
+
+    def __init__(self, glue_id: str, descriptors: List[dict], context):
+        self.glue_id = glue_id
+        self.descriptors = [dict(d) for d in descriptors]
+        self.capabilities: List[Capability] = [
+            make_capability(d, context, "server") for d in descriptors]
+        self.context = context
+
+    def check_types(self, cap_types: List[str]) -> None:
+        expected = [c.type_name for c in self.capabilities]
+        if list(cap_types) != expected:
+            raise CapabilityError(
+                f"glue stack mismatch: request says {cap_types}, "
+                f"server has {expected}")
+
+    def unprocess_request(self, payload: bytes,
+                          meta: RequestMeta) -> bytes:
+        data = payload
+        for cap in reversed(self.capabilities):
+            self.context.charge_cost(cap.cost_kind, len(data))
+            data = cap.unprocess(data, meta)
+        return data
+
+    def process_reply(self, payload: bytes, meta: RequestMeta) -> bytes:
+        data = payload
+        meta.direction = "reply"
+        for cap in self.capabilities:
+            self.context.charge_cost(cap.cost_kind, len(data))
+            data = cap.process_reply(data, meta)
+        return data
+
+
+@register_proto_class
+class GlueProtocol(ProtocolClass):
+    """The registered proto-class for glue entries."""
+
+    proto_id = "glue"
+    default_applicability = "always"
+    client_cls = GlueClient
+
+    @classmethod
+    def applicable(cls, entry: ProtocolEntry, locality: Locality,
+                   context) -> bool:
+        # AND of all constituent capabilities (§4.3) ...
+        from repro.core.capabilities.base import CAPABILITY_TYPES
+
+        for descriptor in entry.proto_data.get("capabilities", []):
+            cap_cls = CAPABILITY_TYPES.get(descriptor.get("type"))
+            if cap_cls is None:
+                return False
+            rule = descriptor.get("applicability",
+                                  cap_cls.default_applicability)
+            if not rule_applies(rule, locality):
+                return False
+        # ... AND the carrying protocol must itself be usable.
+        inner_wire = entry.proto_data.get("inner")
+        if inner_wire:
+            inner = ProtocolEntry.from_wire(inner_wire)
+            inner_cls = get_proto_class(inner.proto_id)
+            if not inner_cls.applicable(inner, locality, context):
+                return False
+        # ... AND any explicit rule on the glue entry itself.
+        return rule_applies(cls.applicability_rule(entry), locality)

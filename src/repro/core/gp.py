@@ -1,0 +1,273 @@
+"""Global pointers (§3.1).
+
+"An Open HPC++ GP contains an OR representing a remote server object.  As
+different GPs to a single server object may contain ORs with different
+protocol tables, the GPs may support different communication protocols."
+
+A :class:`GlobalPointer` is the client proxy:
+
+* **selection per request** — every invocation re-runs protocol selection
+  against the GP's own OR copy and proto-pool ("the system selects an
+  appropriate proto-object for each individual remote request", §3.2);
+  connected proto-objects are cached per table entry so repeated use of
+  the same choice does not reconnect;
+* **migration adaptivity** — a MOVED reply updates the OR in place and
+  re-selects, which is how Figure 4's protocol sequence happens without
+  any client code changes;
+* **dynamic capabilities** — ``add_capability_stack`` negotiates a new
+  glue stack with the server's control surface and prepends the entry to
+  this GP's table (capabilities "can also be changed dynamically", §1);
+* **openness** — ``pool``, ``policy``, and the OR's ``protocols`` list
+  are public and mutable; ``select_protocol`` exposes the decision.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Dict, Optional
+
+from repro.core.context import CONTROL_HANDLER, Context, Placement
+from repro.core.instrumentation import GLOBAL_HOOKS, HookBus
+from repro.core.objref import ObjectReference, ProtocolEntry
+from repro.core.protocol import ProtocolClient, get_proto_class
+from repro.core.proto_pool import ProtocolPool
+from repro.core.request import Invocation
+from repro.core.selection import FirstMatchPolicy, Locality, SelectionPolicy
+from repro.exceptions import (
+    HpcError,
+    InterfaceError,
+    ObjectMovedError,
+    RemoteInvocationError,
+)
+from repro.idl.stubs import make_stub_class
+
+__all__ = ["GlobalPointer"]
+
+#: Bound on MOVED-forwarding hops per invocation; a cycle of forwarding
+#: records would otherwise loop forever.
+MAX_FORWARD_HOPS = 8
+
+
+class GlobalPointer:
+    """Client proxy for one remote object."""
+
+    def __init__(self, oref: ObjectReference, context: Context,
+                 pool: Optional[ProtocolPool] = None,
+                 policy: Optional[SelectionPolicy] = None):
+        self.oref = oref.clone()
+        self.context = context
+        self.pool = pool if pool is not None else context.proto_pool.clone()
+        self.policy = policy or FirstMatchPolicy()
+        self._clients: Dict[int, ProtocolClient] = {}
+        self._lock = threading.RLock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        #: Per-GP observability hooks; GLOBAL_HOOKS fires as well.
+        self.hooks = HookBus()
+
+    def _emit(self, kind: str, **data) -> None:
+        data.setdefault("object_id", self.oref.object_id)
+        self.hooks.emit(kind, **data)
+        GLOBAL_HOOKS.emit(kind, **data)
+
+    # ------------------------------------------------------------------
+    # placement & selection
+    # ------------------------------------------------------------------
+
+    def server_placement(self) -> Placement:
+        if not self.oref.protocols:
+            raise RemoteInvocationError("OR has an empty protocol table")
+        return Placement.from_wire(self.oref.protocols[0].proto_data)
+
+    def locality(self) -> Locality:
+        return self.context.placement.locality_to(self.server_placement())
+
+    def _entry_applicable(self, entry: ProtocolEntry,
+                          locality: Locality) -> bool:
+        proto_cls = get_proto_class(entry.proto_id)
+        return proto_cls.applicable(entry, locality, self.context)
+
+    def select_protocol(self) -> ProtocolEntry:
+        """Run protocol selection for the current placement/pool state."""
+        locality = self.locality()
+        return self.policy.select(
+            self.oref.protocols, self.pool.ids(), locality,
+            lambda entry: self._entry_applicable(entry, locality))
+
+    @property
+    def selected_proto_id(self) -> str:
+        """Which protocol the next request would use (for inspection)."""
+        return self.select_protocol().proto_id
+
+    def describe_selection(self) -> str:
+        """Human-readable account of the choice (glue entries include
+        their capability types) — the open-implementation peephole."""
+        entry = self.select_protocol()
+        if entry.proto_id == "glue":
+            caps = "+".join(d.get("type", "?")
+                            for d in entry.proto_data.get("capabilities", []))
+            return f"glue[{caps}]"
+        return entry.proto_id
+
+    def _client_for(self, entry: ProtocolEntry) -> ProtocolClient:
+        key = id(entry)
+        with self._lock:
+            client = self._clients.get(key)
+            if client is None:
+                proto_cls = get_proto_class(entry.proto_id)
+                client = proto_cls.make_client(entry, self.context)
+                self._clients[key] = client
+            return client
+
+    # ------------------------------------------------------------------
+    # invocation
+    # ------------------------------------------------------------------
+
+    def _invoke(self, method: str, args: tuple,
+                oneway: bool = False) -> Any:
+        # Fail fast on interface violations without a round trip.
+        if method not in self.oref.interface.methods:
+            raise InterfaceError(
+                f"interface {self.oref.interface.name!r} does not expose "
+                f"{method!r}")
+        invocation = Invocation(object_id=self.oref.object_id,
+                                method=method, args=tuple(args),
+                                oneway=oneway)
+        for _hop in range(MAX_FORWARD_HOPS):
+            entry = self.select_protocol()
+            client = self._client_for(entry)
+            self._emit("selection", proto_id=entry.proto_id, entry=entry,
+                       method=method)
+            started = self.context.clock.now()
+            try:
+                result = client.invoke(invocation)
+            except ObjectMovedError as moved:
+                if moved.forward is None:
+                    raise
+                self._emit("moved", forward=moved.forward,
+                           from_context=self.oref.context_id,
+                           to_context=moved.forward.context_id)
+                self.update_reference(moved.forward)
+                continue
+            except Exception as exc:
+                self._emit("request", method=method,
+                           proto_id=entry.proto_id, outcome="error",
+                           error=exc,
+                           duration=self.context.clock.now() - started)
+                raise
+            self._emit("request", method=method, proto_id=entry.proto_id,
+                       outcome="ok",
+                       duration=self.context.clock.now() - started)
+            return result
+        raise RemoteInvocationError(
+            f"object {self.oref.object_id} still moving after "
+            f"{MAX_FORWARD_HOPS} forwarding hops")
+
+    def invoke(self, method: str, *args) -> Any:
+        """Synchronous remote invocation."""
+        return self._invoke(method, args)
+
+    def invoke_oneway(self, method: str, *args) -> None:
+        """Fire-and-forget invocation (no reply, errors are dropped)."""
+        self._invoke(method, args, oneway=True)
+
+    def invoke_async(self, method: str, *args) -> "Future[Any]":
+        """Asynchronous invocation.
+
+        Real transports run in a per-GP worker pool; simulated contexts
+        execute inline (the virtual world is synchronous) and return an
+        already-completed future, preserving the calling convention.
+        """
+        if self.context.sim is not None:
+            future: Future = Future()
+            try:
+                future.set_result(self._invoke(method, args))
+            except BaseException as exc:  # noqa: BLE001
+                future.set_exception(exc)
+            return future
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=4, thread_name_prefix="gp-async")
+        return self._executor.submit(self._invoke, method, args)
+
+    # ------------------------------------------------------------------
+    # adaptivity
+    # ------------------------------------------------------------------
+
+    def update_reference(self, new_oref: ObjectReference) -> None:
+        """Adopt a new OR (migration notice or out-of-band refresh)."""
+        if new_oref.object_id != self.oref.object_id:
+            raise HpcError("replacement OR names a different object")
+        self._close_clients()
+        self.oref = new_oref.clone()
+
+    def add_capability_stack(self, descriptors, *, prefer: bool = True,
+                             applicability: Optional[str] = None) -> None:
+        """Negotiate a new capability stack with the server and graft the
+        resulting glue entry onto this GP's protocol table."""
+        nexus_entry = self.oref.entry("nexus")
+        if nexus_entry is None:
+            raise HpcError(
+                "dynamic capabilities need a plain nexus entry to carry "
+                "the control request")
+        client = self._client_for(nexus_entry)
+        m = client.marshaller
+        request = {"op": "make_glue",
+                   "capabilities": [dict(d) for d in descriptors]}
+        if applicability:
+            request["applicability"] = applicability
+        reply = m.loads(client.call_raw(CONTROL_HANDLER, m.dumps(request)))
+        if not reply.get("ok"):
+            raise HpcError(f"server refused capability stack: "
+                           f"{reply.get('error')}")
+        entry = ProtocolEntry.from_wire(reply["entry"])
+        if prefer:
+            self.oref.protocols.insert(0, entry)
+        else:
+            self.oref.protocols.append(entry)
+
+    def drop_protocol(self, proto_id: str) -> None:
+        """Remove every entry of the given protocol from this GP's OR."""
+        self.oref.protocols = [e for e in self.oref.protocols
+                               if e.proto_id != proto_id]
+
+    # ------------------------------------------------------------------
+    # ergonomics
+    # ------------------------------------------------------------------
+
+    def narrow(self):
+        """A typed stub over this GP's interface: remote calls read like
+        local ones."""
+        stub_cls = make_stub_class(self.oref.interface)
+        return stub_cls(
+            lambda method, args, oneway: self._invoke(method, args, oneway),
+            self.oref.interface)
+
+    def dup(self) -> ObjectReference:
+        """A copy of the OR suitable for handing to another process —
+        the capability-passing mechanism of §4."""
+        return self.oref.clone()
+
+    def ping(self) -> dict:
+        """Control-surface liveness probe of the serving context."""
+        entry = self.oref.entry("nexus") or self.oref.protocols[0]
+        client = self._client_for(entry)
+        m = client.marshaller
+        return m.loads(client.call_raw(CONTROL_HANDLER,
+                                       m.dumps({"op": "ping"})))
+
+    def _close_clients(self) -> None:
+        with self._lock:
+            for client in self._clients.values():
+                client.close()
+            self._clients.clear()
+
+    def close(self) -> None:
+        self._close_clients()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<GlobalPointer {self.oref.object_id}@"
+                f"{self.oref.context_id} table={self.oref.proto_ids()}>")

@@ -1,0 +1,104 @@
+"""Dynamic load balancing via migration (§4.3, conclusion).
+
+"Consider that the load on the server's machine increases beyond a
+high-water mark and the application decides to migrate S0 to a machine
+residing on the LAN of client P2."
+
+The :class:`LoadBalancer` watches a set of contexts' load monitors.  On
+``rebalance_once()`` it migrates the busiest object off any context above
+the high-water mark onto the least-loaded context below the low-water
+mark.  Combined with capability applicability this produces the paper's
+adaptivity story: after a migration, clients' protocol selection changes
+on its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.context import Context
+from repro.core.migration import migrate
+from repro.core.objref import ObjectReference
+
+__all__ = ["LoadBalancer", "MigrationEvent"]
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One balancing decision, for audit and tests."""
+
+    object_id: str
+    source_id: str
+    target_id: str
+    source_load: float
+    target_load: float
+    new_oref: ObjectReference
+
+
+class LoadBalancer:
+    """High/low-water-mark migration policy over a context group."""
+
+    def __init__(self, contexts: List[Context], *,
+                 high_water: float = 0.75, low_water: float = 0.40,
+                 on_migrate: Optional[Callable[[MigrationEvent], None]]
+                 = None,
+                 health=None):
+        if not 0.0 <= low_water <= high_water <= 1.0:
+            raise ValueError("need 0 <= low_water <= high_water <= 1")
+        self.contexts = list(contexts)
+        self.high_water = high_water
+        self.low_water = low_water
+        self.on_migrate = on_migrate
+        #: Optional :class:`repro.core.health.HealthMonitor`; contexts
+        #: whose last probe failed are never chosen as receivers.
+        self.health = health
+        self.history: List[MigrationEvent] = []
+
+    def add_context(self, ctx: Context) -> None:
+        self.contexts.append(ctx)
+
+    def loads(self) -> dict:
+        return {ctx.id: ctx.monitor.load for ctx in self.contexts}
+
+    def _overloaded(self) -> List[Context]:
+        return sorted(
+            (c for c in self.contexts if c.monitor.load > self.high_water),
+            key=lambda c: c.monitor.load, reverse=True)
+
+    def _receivers(self) -> List[Context]:
+        candidates = (c for c in self.contexts
+                      if c.monitor.load < self.low_water)
+        if self.health is not None:
+            candidates = (c for c in candidates
+                          if self.health.is_alive(c.id))
+        return sorted(candidates, key=lambda c: c.monitor.load)
+
+    def rebalance_once(self) -> List[MigrationEvent]:
+        """One balancing pass; returns the migrations performed."""
+        events: List[MigrationEvent] = []
+        receivers = self._receivers()
+        for source in self._overloaded():
+            if not receivers:
+                break
+            object_id = source.monitor.busiest_object()
+            if object_id is None:
+                continue
+            record = source.servants.get(object_id)
+            if record is None or not record.migratable:
+                continue
+            target = receivers[0]
+            if target is source:
+                continue
+            new_oref = migrate(source, object_id, target)
+            event = MigrationEvent(
+                object_id=object_id, source_id=source.id,
+                target_id=target.id, source_load=source.monitor.load,
+                target_load=target.monitor.load, new_oref=new_oref)
+            events.append(event)
+            self.history.append(event)
+            if self.on_migrate is not None:
+                self.on_migrate(event)
+            # Recompute receiver order: the target just got work.
+            receivers = self._receivers()
+        return events

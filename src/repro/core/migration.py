@@ -1,0 +1,116 @@
+"""Object migration between contexts (§4.3).
+
+"Open HPC++ provides a facility for objects to migrate from one context
+to another."  Migration here is the real thing, not a pointer swap:
+
+1. the servant record (instance, restricted interface, ACL) moves to the
+   target context;
+2. every glue stack attached to the export is re-created on the target
+   (fresh glue ids, same capability descriptors) — the server-side
+   capability copies must live where the object lives;
+3. the source context keeps a *forwarding record*: requests arriving on
+   stale GPs get a MOVED reply carrying the new OR, and the GP re-runs
+   protocol selection against the new placement — the mechanism behind
+   Figure 4's protocol changes.
+
+Servant state travels by direct reference within one process; a servant
+may also implement ``hpc_get_state()``/``hpc_set_state(state)`` to move
+by value (state must be marshallable), in which case the source instance
+is detached and a fresh instance is built on the target — the
+cross-process-faithful path, exercised by the tests either way.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.context import Context
+from repro.core.objref import ObjectReference
+from repro.exceptions import MigrationError
+from repro.serialization.marshal import dumps, loads
+
+__all__ = ["migrate"]
+
+
+def migrate(source: Context, object_id: str, target: Context,
+            by_value: Optional[bool] = None) -> ObjectReference:
+    """Move an exported object from ``source`` to ``target``.
+
+    Returns the new OR (version bumped).  ``by_value`` forces the state
+    transfer mode; the default is by-value when the servant implements
+    the state protocol, by-reference otherwise.
+    """
+    if source is target:
+        raise MigrationError("source and target context are the same")
+    with source._lock:
+        record = source.servants.get(object_id)
+    if record is None:
+        raise MigrationError(
+            f"context {source.id!r} exports no object {object_id!r}")
+    if not record.migratable:
+        raise MigrationError(f"object {object_id!r} is pinned")
+
+    instance = record.instance
+    has_state_protocol = (hasattr(instance, "hpc_get_state")
+                          and hasattr(instance, "hpc_set_state"))
+    if by_value is None:
+        by_value = has_state_protocol
+    if by_value:
+        if not has_state_protocol:
+            raise MigrationError(
+                f"{type(instance).__name__} does not implement the "
+                "hpc_get_state/hpc_set_state protocol")
+        # Marshal through the wire format: guarantees the state would
+        # survive a genuine cross-process move.
+        state = loads(dumps(instance.hpc_get_state()))
+        fresh = type(instance).__new__(type(instance))
+        fresh.hpc_set_state(state)
+        moved_instance = fresh
+    else:
+        moved_instance = instance
+
+    # Re-export on the target with the same object id, interface
+    # restriction, ACL, and capability stacks.
+    new_oref = target.export(
+        moved_instance,
+        object_id=object_id,
+        interface=record.spec,
+        glue_stacks=[descriptors for _gid, descriptors in record.glue],
+        acl=record.acl,
+        migratable=record.migratable,
+    )
+    new_oref.version = _next_version(source, object_id)
+
+    # Capability state (quota counters, replay windows) migrates with the
+    # object: pair old and new server-side stacks positionally and let
+    # each fresh capability absorb its predecessor's run-time state.
+    with target._lock:
+        new_record = target.servants[object_id]
+    for (old_gid, _d1), (new_gid, _d2) in zip(record.glue,
+                                              new_record.glue):
+        old_stack = source.glue_stacks.get(old_gid)
+        new_stack = target.glue_stacks.get(new_gid)
+        if old_stack is None or new_stack is None:
+            continue
+        for old_cap, new_cap in zip(old_stack.capabilities,
+                                    new_stack.capabilities):
+            new_cap.absorb_state(old_cap)
+
+    # Retire the source export but keep its glue stacks: in-flight glue
+    # requests must still unprocess cleanly to *receive* the MOVED reply.
+    with source._lock:
+        source.servants.pop(object_id, None)
+        source.forwards[object_id] = new_oref.clone()
+    source.monitor.forget_object(object_id)
+
+    from repro.core.instrumentation import GLOBAL_HOOKS
+
+    GLOBAL_HOOKS.emit("migration", object_id=object_id,
+                      source=source.id, target=target.id,
+                      by_value=by_value, new_oref=new_oref)
+    return new_oref
+
+
+def _next_version(source: Context, object_id: str) -> int:
+    previous = source.forwards.get(object_id)
+    return (previous.version if previous else 0) + 1

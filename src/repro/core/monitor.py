@@ -1,0 +1,88 @@
+"""Per-context load monitoring.
+
+Feeds the §4.3 load-balancing machinery: "the load on the server's
+machine increases beyond a high-water mark and the application decides to
+migrate".  The monitor tracks, per context and per object:
+
+* a request-rate EWMA (requests/second against the context clock),
+* a busy-fraction EWMA (service time / wall time),
+* cumulative counters for reporting.
+
+Under simulation the context clock is the virtual clock, so load and the
+migration decisions derived from it are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.util.stats import EwmAverage
+
+__all__ = ["LoadMonitor", "ObjectLoad"]
+
+
+@dataclass
+class ObjectLoad:
+    """Cumulative per-object counters."""
+
+    requests: int = 0
+    busy_seconds: float = 0.0
+
+
+class LoadMonitor:
+    """Request-rate and busy-fraction tracking for one context."""
+
+    def __init__(self, clock, alpha: float = 0.3):
+        self.clock = clock
+        self.total_requests = 0
+        self.busy_seconds = 0.0
+        self.rate = EwmAverage(alpha=alpha, initial=0.0)
+        self.busy_fraction = EwmAverage(alpha=alpha, initial=0.0)
+        self.per_object: Dict[str, ObjectLoad] = {}
+        self._last_seen = clock.now()
+
+    def record_request(self, object_id: str, service_seconds: float) -> None:
+        """Record one dispatched request and its service time."""
+        now = self.clock.now()
+        self.total_requests += 1
+        self.busy_seconds += service_seconds
+        obj = self.per_object.get(object_id)
+        if obj is None:
+            obj = self.per_object[object_id] = ObjectLoad()
+        obj.requests += 1
+        obj.busy_seconds += service_seconds
+        gap = now - self._last_seen
+        if gap > 0:
+            self.rate.add(1.0 / gap)
+            self.busy_fraction.add(min(service_seconds / gap, 1.0))
+        else:
+            # Same-instant burst: nudge the rate up without dividing by 0.
+            self.rate.add(self.rate.value + 1.0)
+            self.busy_fraction.add(1.0)
+        self._last_seen = now
+
+    @property
+    def load(self) -> float:
+        """The scalar the balancer compares against water marks: the
+        busy-fraction EWMA (0 = idle, ~1 = saturated)."""
+        return self.busy_fraction.value
+
+    def busiest_object(self) -> str | None:
+        """Object id with the most cumulative busy time, if any."""
+        if not self.per_object:
+            return None
+        return max(self.per_object.items(),
+                   key=lambda kv: kv[1].busy_seconds)[0]
+
+    def forget_object(self, object_id: str) -> None:
+        self.per_object.pop(object_id, None)
+
+    def reset(self) -> None:
+        self.total_requests = 0
+        self.busy_seconds = 0.0
+        self.rate = EwmAverage(alpha=self.rate.alpha, initial=0.0)
+        self.busy_fraction = EwmAverage(alpha=self.busy_fraction.alpha,
+                                        initial=0.0)
+        self.per_object.clear()
+        self._last_seen = self.clock.now()

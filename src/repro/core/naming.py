@@ -1,0 +1,100 @@
+"""Name service: how clients obtain object references.
+
+In-process registry plus an exportable servant wrapper
+(:class:`NameServer`) so the registry itself can be served remotely —
+bootstrap with one well-known OR, resolve everything else through it,
+exactly the CORBA naming pattern the paper's ORB presumes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+from repro.core.objref import ObjectReference
+from repro.exceptions import NameAlreadyBoundError, NameNotFoundError
+from repro.idl.interface import remote_interface, remote_method
+
+__all__ = ["NameService", "NameServer"]
+
+
+class NameService:
+    """Thread-safe name -> ObjectReference registry."""
+
+    def __init__(self):
+        self._bindings: Dict[str, ObjectReference] = {}
+        self._lock = threading.Lock()
+
+    def bind(self, name: str, oref: ObjectReference) -> None:
+        """Bind a fresh name; raises if already bound."""
+        if not name:
+            raise NameNotFoundError("empty name")
+        with self._lock:
+            if name in self._bindings:
+                raise NameAlreadyBoundError(f"name {name!r} already bound")
+            self._bindings[name] = oref.clone()
+
+    def rebind(self, name: str, oref: ObjectReference) -> None:
+        """Bind or replace."""
+        if not name:
+            raise NameNotFoundError("empty name")
+        with self._lock:
+            self._bindings[name] = oref.clone()
+
+    def resolve(self, name: str) -> ObjectReference:
+        with self._lock:
+            try:
+                return self._bindings[name].clone()
+            except KeyError:
+                raise NameNotFoundError(f"name {name!r} is not bound") \
+                    from None
+
+    def unbind(self, name: str) -> None:
+        with self._lock:
+            if name not in self._bindings:
+                raise NameNotFoundError(f"name {name!r} is not bound")
+            del self._bindings[name]
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._bindings)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._bindings
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._bindings)
+
+
+@remote_interface("NameServer")
+class NameServer:
+    """Remote facade over a :class:`NameService`.
+
+    ORs are marshallable values, so the remote signatures traffic in them
+    directly.
+    """
+
+    def __init__(self, service: NameService):
+        self._service = service
+
+    @remote_method
+    def bind(self, name: str, oref) -> None:
+        self._service.bind(name, oref)
+
+    @remote_method
+    def rebind(self, name: str, oref) -> None:
+        self._service.rebind(name, oref)
+
+    @remote_method
+    def resolve(self, name: str):
+        return self._service.resolve(name)
+
+    @remote_method
+    def unbind(self, name: str) -> None:
+        self._service.unbind(name)
+
+    @remote_method(returns="list")
+    def names(self) -> list:
+        return self._service.names()

@@ -1,0 +1,168 @@
+"""Object references and protocol tables.
+
+An Object Reference (OR) "uniquely identifies an Open HPC++ server object
+[and] contains a table of protocols and protocol specific information
+(proto-data) that can be used to access the object.  The protocols in the
+OR are ordered by preference." (§3.1)
+
+ORs are plain data and fully marshallable, which is what makes the
+paper's capability-exchange property (§4) fall out for free: passing a GP
+(and hence its OR, and hence its glue entries' capability descriptors) to
+another process is just marshalling a value.
+
+The protocol table is an ordinary mutable list — deliberately so.  Open
+Implementation means the application may reorder or edit it to steer
+protocol selection (§3.2, fourth aspect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.exceptions import MarshalError
+from repro.idl.types import InterfaceSpec
+from repro.serialization import marshal as _marshal
+
+__all__ = ["ProtocolEntry", "ObjectReference"]
+
+
+@dataclass
+class ProtocolEntry:
+    """One row of an OR's protocol table: a proto id plus proto-data.
+
+    ``proto_data`` is schemaless by design (each proto-class owns its own
+    address format); common keys:
+
+    ``machine``
+        server machine name, used by applicability predicates;
+    ``addresses``
+        list of transport addresses (multimethod);
+    ``capabilities``
+        (glue only) ordered capability descriptors;
+    ``inner``
+        (glue only) the wire-carrying protocol entry underneath;
+    ``applicability``
+        optional named rule overriding the proto-class default.
+    """
+
+    proto_id: str
+    proto_data: dict = field(default_factory=dict)
+
+    def to_wire(self) -> dict:
+        return {"proto_id": self.proto_id, "proto_data": self.proto_data}
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "ProtocolEntry":
+        return cls(proto_id=data["proto_id"],
+                   proto_data=dict(data["proto_data"]))
+
+    def clone(self) -> "ProtocolEntry":
+        import copy
+
+        return ProtocolEntry(self.proto_id, copy.deepcopy(self.proto_data))
+
+
+@dataclass
+class ObjectReference:
+    """Identifies one exported server object and how to reach it."""
+
+    object_id: str
+    context_id: str
+    interface: InterfaceSpec
+    protocols: List[ProtocolEntry] = field(default_factory=list)
+    version: int = 0          # bumped on migration
+
+    def entry(self, proto_id: str) -> Optional[ProtocolEntry]:
+        """First table entry with the given proto id, if any."""
+        for entry in self.protocols:
+            if entry.proto_id == proto_id:
+                return entry
+        return None
+
+    def proto_ids(self) -> List[str]:
+        return [e.proto_id for e in self.protocols]
+
+    def clone(self) -> "ObjectReference":
+        return ObjectReference(
+            object_id=self.object_id,
+            context_id=self.context_id,
+            interface=self.interface,
+            protocols=[e.clone() for e in self.protocols],
+            version=self.version,
+        )
+
+    # -- wire form -----------------------------------------------------------
+
+    def to_wire_dict(self) -> dict:
+        return {
+            "object_id": self.object_id,
+            "context_id": self.context_id,
+            "interface": self.interface.to_wire(),
+            "protocols": [e.to_wire() for e in self.protocols],
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_wire_dict(cls, data: dict) -> "ObjectReference":
+        return cls(
+            object_id=data["object_id"],
+            context_id=data["context_id"],
+            interface=InterfaceSpec.from_wire(data["interface"]),
+            protocols=[ProtocolEntry.from_wire(e)
+                       for e in data["protocols"]],
+            version=int(data["version"]),
+        )
+
+    def to_bytes(self) -> bytes:
+        return _marshal.dumps(self.to_wire_dict())
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ObjectReference":
+        value = _marshal.loads(data)
+        if not isinstance(value, dict) or "object_id" not in value:
+            raise MarshalError("not an ObjectReference wire form")
+        return cls.from_wire_dict(value)
+
+    # -- stringified references (the CORBA IOR analogue) -----------------
+
+    #: URI scheme for stringified references.
+    URI_SCHEME = "hpcor"
+
+    def to_uri(self) -> str:
+        """Stringify for out-of-band exchange (files, env vars, mail) —
+        the moral equivalent of CORBA's ``IOR:...`` strings."""
+        import base64
+
+        payload = base64.urlsafe_b64encode(self.to_bytes()).decode("ascii")
+        return f"{self.URI_SCHEME}:{payload}"
+
+    @classmethod
+    def from_uri(cls, uri: str) -> "ObjectReference":
+        import base64
+        import binascii
+
+        prefix = cls.URI_SCHEME + ":"
+        if not uri.startswith(prefix):
+            raise MarshalError(
+                f"not an object-reference URI (expected {prefix!r}...)")
+        try:
+            raw = base64.urlsafe_b64decode(uri[len(prefix):].encode())
+        except (binascii.Error, ValueError) as exc:
+            raise MarshalError(f"corrupt object-reference URI: {exc}") \
+                from exc
+        return cls.from_bytes(raw)
+
+
+def _install_marshal_hooks() -> None:
+    """Teach the marshaller to carry ORs as first-class values, so GPs
+    (and the capabilities inside them) can be method arguments/results."""
+
+    _marshal.set_objref_hooks(
+        is_objref=lambda v: isinstance(v, ObjectReference),
+        to_bytes=lambda v: v.to_bytes(),
+        from_bytes=ObjectReference.from_bytes,
+    )
+
+
+_install_marshal_hooks()

@@ -1,0 +1,124 @@
+"""The open ORB: the runtime that owns contexts, transports, naming.
+
+"Open HPC++ uses the principle of Open Implementation to design an open
+ORB that lets its applications control its critical communication
+protocol decisions in a limited scope, while still hiding low-level
+details of the communication mechanism." (§2)
+
+Two deployment shapes:
+
+* ``ORB()`` — wall-clock mode: contexts talk over in-process queues,
+  shared-memory rings, and (opt-in) real TCP.
+* ``ORB(simulator=NetworkSimulator(...))`` — simulated mode: contexts
+  are placed on simulated machines and all traffic is charged virtual
+  time; this is the mode the paper's experiments run in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.context import Context, Placement
+from repro.core.naming import NameService
+from repro.exceptions import HpcError
+from repro.simnet.simulator import NetworkSimulator
+from repro.transport.inproc import InProcTransport
+from repro.transport.shm import ShmTransport
+from repro.transport.tcp import TcpTransport
+
+__all__ = ["ORB"]
+
+
+class ORB:
+    """Runtime root object."""
+
+    def __init__(self, simulator: Optional[NetworkSimulator] = None):
+        self.sim = simulator
+        # Shared wall-clock transports (every non-sim context can reach
+        # every other through these).
+        self.inproc = InProcTransport()
+        self.shm = ShmTransport()
+        self.tcp = TcpTransport()
+        self.contexts: Dict[str, Context] = {}
+        self.naming = NameService()
+
+    # ------------------------------------------------------------------
+    # contexts
+    # ------------------------------------------------------------------
+
+    def context(self, name: Optional[str] = None, *, machine=None,
+                placement: Optional[Placement] = None,
+                encoding: str = "xdr", enable_tcp: bool = False,
+                pool=None) -> Context:
+        """Create and register a context.
+
+        ``machine`` (a simulated :class:`~repro.simnet.topology.Machine`
+        or its name) places the context in the simulated world;
+        ``placement`` tags a wall-clock context's machine/LAN/site for
+        applicability purposes.
+        """
+        if machine is not None:
+            if self.sim is None:
+                raise HpcError("this ORB has no simulator; "
+                               "cannot place a context on a machine")
+            if isinstance(machine, str):
+                machine = self.sim.topology.machine(machine)
+        ctx = Context(self, name=name, machine=machine,
+                      placement=placement, encoding=encoding,
+                      enable_tcp=enable_tcp, pool=pool)
+        if ctx.id in self.contexts:
+            raise HpcError(f"context id {ctx.id!r} already in use")
+        self.contexts[ctx.id] = ctx
+        return ctx
+
+    def find_context(self, context_id: str) -> Context:
+        try:
+            return self.contexts[context_id]
+        except KeyError:
+            raise HpcError(f"unknown context {context_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # naming sugar
+    # ------------------------------------------------------------------
+
+    def bind_name(self, name: str, oref) -> None:
+        self.naming.bind(name, oref)
+
+    def resolve(self, name: str):
+        return self.naming.resolve(name)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Snapshot of the whole runtime (see ``Context.describe``)."""
+        info = {
+            "mode": "sim" if self.sim is not None else "wall-clock",
+            "contexts": {cid: ctx.describe()
+                         for cid, ctx in self.contexts.items()},
+            "names": self.naming.names(),
+        }
+        if self.sim is not None:
+            info["virtual_time"] = self.sim.clock.now()
+            info["messages"] = self.sim.log.total_messages
+        return info
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        for ctx in list(self.contexts.values()):
+            ctx.stop()
+        self.contexts.clear()
+
+    def __enter__(self) -> "ORB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mode = "sim" if self.sim is not None else "wall-clock"
+        return f"<ORB {mode} contexts={sorted(self.contexts)}>"

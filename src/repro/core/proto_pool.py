@@ -1,0 +1,76 @@
+"""Protocol pools (§3.1).
+
+"A proto-pool is a repository of proto-objects, where the proto-objects
+are ordered by preference.  An application component uses a proto-pool to
+determine the protocols available to it for communication."
+
+Our pools hold *proto ids* (the proto-objects themselves are built on
+demand by the proto-classes); what matters to selection is membership and
+order, and both are mutable by the application — the Open Implementation
+control surface.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.exceptions import ProtocolError
+
+__all__ = ["ProtocolPool"]
+
+
+class ProtocolPool:
+    """Ordered, mutable set of allowed protocol ids."""
+
+    def __init__(self, proto_ids: Iterable[str] = ()):
+        self._ids: List[str] = []
+        for pid in proto_ids:
+            self.allow(pid)
+
+    def allow(self, proto_id: str, *, prefer: bool = False) -> None:
+        """Add a protocol (idempotent).  ``prefer=True`` puts it first."""
+        if not proto_id:
+            raise ProtocolError("empty protocol id")
+        if proto_id in self._ids:
+            if prefer:
+                self._ids.remove(proto_id)
+                self._ids.insert(0, proto_id)
+            return
+        if prefer:
+            self._ids.insert(0, proto_id)
+        else:
+            self._ids.append(proto_id)
+
+    def disallow(self, proto_id: str) -> None:
+        """Remove a protocol; unknown ids are ignored."""
+        try:
+            self._ids.remove(proto_id)
+        except ValueError:
+            pass
+
+    def reorder(self, proto_ids: Iterable[str]) -> None:
+        """Replace the order wholesale; must be a permutation of the
+        current contents."""
+        new = list(proto_ids)
+        if sorted(new) != sorted(self._ids):
+            raise ProtocolError(
+                f"reorder {new} is not a permutation of {self._ids}")
+        self._ids = new
+
+    def ids(self) -> List[str]:
+        return list(self._ids)
+
+    def clone(self) -> "ProtocolPool":
+        return ProtocolPool(self._ids)
+
+    def __contains__(self, proto_id: str) -> bool:
+        return proto_id in self._ids
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._ids)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ProtocolPool({self._ids})"

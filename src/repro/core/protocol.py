@@ -1,0 +1,211 @@
+"""Proto-classes and proto-objects (§3.1).
+
+"A proto-object encapsulates a specific communication protocol ... (a
+proto-object is an instance of a proto-class)."  In this library:
+
+* a :class:`ProtocolClass` is the registered *type* of a protocol: it
+  knows its applicability rule and how to build a client-side
+  proto-object from an OR entry;
+* a :class:`ProtocolClient` is the client-side proto-object: it owns a
+  connection (startpoint) and performs marshalled invocations.
+
+Custom protocols (§3.2, second aspect) are ordinary subclasses registered
+with :func:`register_proto_class` — "users write their own proto-classes
+that satisfy a standard interface".
+
+Two concrete protocols live here:
+
+* ``nexus`` — the general-purpose protocol: any transport, applicable
+  everywhere (the paper's "Nexus based protocol that uses TCP").
+* ``shm``  — the shared-memory protocol, applicable only on one machine.
+
+The capability-carrying ``glue`` protocol is in :mod:`repro.core.glue`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Optional, Type
+
+from repro.core.objref import ProtocolEntry
+from repro.core.request import (
+    Invocation,
+    decode_reply,
+    encode_invocation,
+)
+from repro.core.selection import Locality, rule_applies
+from repro.exceptions import ProtocolError, TransportError, UnknownProtocolError
+from repro.nexus.endpoint import Startpoint
+from repro.serialization.cdr import CdrDecoder, CdrEncoder
+from repro.serialization.marshal import Marshaller
+from repro.serialization.xdr import XdrDecoder, XdrEncoder
+
+__all__ = [
+    "ProtocolClient",
+    "ProtocolClass",
+    "PROTO_CLASSES",
+    "register_proto_class",
+    "get_proto_class",
+    "INVOKE_HANDLER",
+    "GLUE_HANDLER",
+    "marshaller_for",
+]
+
+#: RSR handler names used by the invocation path (Figure 1 / Figure 2).
+INVOKE_HANDLER = "hpc.invoke"
+GLUE_HANDLER = "hpc.glue"
+
+_MARSHALLERS = {
+    "xdr": Marshaller(XdrEncoder, XdrDecoder),
+    "cdr": Marshaller(CdrEncoder, CdrDecoder),
+}
+
+
+def marshaller_for(encoding: str) -> Marshaller:
+    """The shared marshaller for a named encoding (``xdr`` or ``cdr``)."""
+    try:
+        return _MARSHALLERS[encoding]
+    except KeyError:
+        raise ProtocolError(f"unknown encoding {encoding!r}") from None
+
+
+class ProtocolClient(abc.ABC):
+    """Client-side proto-object: a connected invoker."""
+
+    def __init__(self, entry: ProtocolEntry, context):
+        self.entry = entry
+        self.context = context
+        self.marshaller = marshaller_for(
+            entry.proto_data.get("encoding", "xdr"))
+        self._startpoint: Optional[Startpoint] = None
+
+    # -- connection management -------------------------------------------------
+
+    def _connect(self) -> Startpoint:
+        """Open (and cache) the startpoint to the first reachable
+        address in the entry's address list (multimethod fallback)."""
+        if self._startpoint is not None:
+            return self._startpoint
+        addresses = self.entry.proto_data.get("addresses", [])
+        errors = []
+        for address in addresses:
+            transport = self.context.transports.get(address.get("transport"))
+            if transport is None:
+                errors.append(f"{address.get('transport')}: not available "
+                              "in this context")
+                continue
+            try:
+                channel = transport.connect(address)
+            except TransportError as exc:
+                errors.append(f"{address.get('transport')}: {exc}")
+                continue
+            self._startpoint = Startpoint(channel,
+                                          timeout=self.context.call_timeout)
+            return self._startpoint
+        raise ProtocolError(
+            "no reachable address for protocol "
+            f"{self.entry.proto_id!r}: {errors or 'empty address list'}")
+
+    def call_raw(self, handler: str, payload: bytes,
+                 oneway: bool = False) -> Optional[bytes]:
+        """One RSR to the server endpoint, reconnecting once on a dead
+        cached channel."""
+        sp = self._connect()
+        try:
+            return sp.call(handler, payload, oneway=oneway)
+        except TransportError:
+            # Cached connection went stale (peer restarted): retry fresh.
+            self.close()
+            sp = self._connect()
+            return sp.call(handler, payload, oneway=oneway)
+
+    # -- invocation --------------------------------------------------------------
+
+    def invoke(self, invocation: Invocation) -> Any:
+        """Marshal, send, decode.  The default path used by ``nexus`` and
+        ``shm``; ``glue`` overrides to weave capabilities in."""
+        payload = encode_invocation(self.marshaller, invocation)
+        self.context.charge_cost("memcpy", len(payload))
+        reply = self.call_raw(INVOKE_HANDLER, payload,
+                              oneway=invocation.oneway)
+        if invocation.oneway:
+            return None
+        return decode_reply(self.marshaller, reply)
+
+    def close(self) -> None:
+        if self._startpoint is not None:
+            self._startpoint.close()
+            self._startpoint = None
+
+
+class ProtocolClass(abc.ABC):
+    """Registered protocol type: applicability + client factory."""
+
+    #: Registry key, also the proto id appearing in ORs.
+    proto_id: str = ""
+    #: Default applicability rule (overridable per entry via proto-data).
+    default_applicability: str = "always"
+    #: Client proto-object class.
+    client_cls: Type[ProtocolClient] = ProtocolClient
+
+    @classmethod
+    def applicability_rule(cls, entry: ProtocolEntry) -> str:
+        return entry.proto_data.get("applicability",
+                                    cls.default_applicability)
+
+    @classmethod
+    def applicable(cls, entry: ProtocolEntry, locality: Locality,
+                   context) -> bool:
+        """Is this entry usable for the given client/server relationship?
+
+        Subclasses extend (the glue protocol ANDs its capabilities)."""
+        return rule_applies(cls.applicability_rule(entry), locality)
+
+    @classmethod
+    def make_client(cls, entry: ProtocolEntry, context) -> ProtocolClient:
+        return cls.client_cls(entry, context)
+
+
+PROTO_CLASSES: Dict[str, Type[ProtocolClass]] = {}
+
+
+def register_proto_class(cls: Type[ProtocolClass],
+                         replace: bool = False) -> Type[ProtocolClass]:
+    """Register a proto-class (usable as a decorator) — the standard
+    interface custom protocols plug into."""
+    if not cls.proto_id:
+        raise ProtocolError(f"{cls.__name__} has no proto_id")
+    if cls.proto_id in PROTO_CLASSES and not replace:
+        raise ProtocolError(
+            f"proto-class {cls.proto_id!r} already registered")
+    PROTO_CLASSES[cls.proto_id] = cls
+    return cls
+
+
+def get_proto_class(proto_id: str) -> Type[ProtocolClass]:
+    try:
+        return PROTO_CLASSES[proto_id]
+    except KeyError:
+        raise UnknownProtocolError(
+            f"no proto-class registered for {proto_id!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Built-in protocols
+# ---------------------------------------------------------------------------
+
+
+@register_proto_class
+class NexusProtocol(ProtocolClass):
+    """General-purpose protocol over any transport ("Nexus based")."""
+
+    proto_id = "nexus"
+    default_applicability = "always"
+
+
+@register_proto_class
+class ShmProtocol(ProtocolClass):
+    """Shared-memory protocol; same machine only (§4.3)."""
+
+    proto_id = "shm"
+    default_applicability = "same-machine"

@@ -1,0 +1,105 @@
+"""Invocation and reply wire model.
+
+An :class:`Invocation` is what the GP marshals and what the server
+dispatches: ``(object id, method, args)``.  Replies use a small status
+envelope so the three outcomes the ORB distinguishes — a value, a remote
+exception, or a *moved* notice carrying the forwarding OR (migration,
+§4.3) — all flow through the same capability processing path.
+
+Both directions go through the value marshaller, so arguments may be any
+marshallable value including numpy arrays and other object references.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.exceptions import (
+    MarshalError,
+    ObjectMovedError,
+    RemoteException,
+)
+from repro.serialization.marshal import Marshaller
+
+__all__ = ["Invocation", "ReplyStatus", "RequestMeta",
+           "encode_invocation", "decode_invocation",
+           "encode_reply_ok", "encode_reply_exception",
+           "encode_reply_moved", "decode_reply"]
+
+
+class ReplyStatus(enum.IntEnum):
+    """Outcome discriminator in the reply envelope."""
+
+    OK = 0
+    EXCEPTION = 1
+    MOVED = 2
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """One remote method invocation."""
+
+    object_id: str
+    method: str
+    args: Tuple = ()
+    oneway: bool = False
+
+
+@dataclass
+class RequestMeta:
+    """Per-request context threaded through capability processing.
+
+    ``principal`` is set by the server half of the authentication
+    capability and consulted by the ACL check at dispatch.
+    """
+
+    direction: str = "request"      # "request" | "reply"
+    principal: Optional[object] = None
+    properties: dict = field(default_factory=dict)
+
+
+def encode_invocation(m: Marshaller, inv: Invocation) -> bytes:
+    return m.dumps_many([inv.object_id, inv.method, list(inv.args),
+                         inv.oneway])
+
+
+def decode_invocation(m: Marshaller, data) -> Invocation:
+    object_id, method, args, oneway = m.loads_many(data, 4)
+    if not isinstance(object_id, str) or not isinstance(method, str):
+        raise MarshalError("malformed invocation payload")
+    return Invocation(object_id=object_id, method=method, args=tuple(args),
+                      oneway=bool(oneway))
+
+
+def encode_reply_ok(m: Marshaller, value) -> bytes:
+    return m.dumps_many([int(ReplyStatus.OK), value])
+
+
+def encode_reply_exception(m: Marshaller, exc: BaseException) -> bytes:
+    return m.dumps_many([int(ReplyStatus.EXCEPTION),
+                         (type(exc).__name__, str(exc))])
+
+
+def encode_reply_moved(m: Marshaller, forward_bytes: bytes) -> bytes:
+    return m.dumps_many([int(ReplyStatus.MOVED), forward_bytes])
+
+
+def decode_reply(m: Marshaller, data):
+    """Decode a reply envelope; returns the value or raises the carried
+    :class:`RemoteException` / :class:`ObjectMovedError`."""
+    status, payload = m.loads_many(data, 2)
+    status = ReplyStatus(status)
+    if status is ReplyStatus.OK:
+        return payload
+    if status is ReplyStatus.EXCEPTION:
+        remote_type, message = payload
+        raise RemoteException(remote_type, message)
+    # MOVED: payload is the forwarding OR in wire bytes.
+    from repro.core.objref import ObjectReference
+
+    forward = ObjectReference.from_bytes(payload)
+    raise ObjectMovedError(
+        f"object {forward.object_id} moved to context "
+        f"{forward.context_id}", forward=forward)

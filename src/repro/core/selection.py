@@ -1,0 +1,150 @@
+"""Automatic run-time protocol selection (§3.2) and applicability rules.
+
+"When a remote request is made, the protocols in the GP's OR are compared
+with those in the proto-pool and the first match is used to satisfy the
+request."  Before a match counts, its *applicability* is checked: "a
+shared memory based protocol is applicable only for clients and servers
+running on the same machine. The applicability of a glue protocol is the
+logical AND of all its constituent capabilities." (§4.3)
+
+Applicability is expressed as *named rules* over a :class:`Locality`
+value — names, not closures, because applicability must travel inside
+ORs.  Applications register custom rules with
+:func:`register_applicability_rule` (an Open Implementation hook), and
+custom selection behaviour by substituting a :class:`SelectionPolicy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.exceptions import NoApplicableProtocolError, ProtocolError
+
+__all__ = [
+    "Locality",
+    "APPLICABILITY_RULES",
+    "register_applicability_rule",
+    "rule_applies",
+    "SelectionPolicy",
+    "FirstMatchPolicy",
+    "PoolOrderPolicy",
+]
+
+
+@dataclass(frozen=True)
+class Locality:
+    """The relationship between a client and a server placement."""
+
+    same_machine: bool
+    same_lan: bool
+    same_site: bool
+
+    def __post_init__(self):
+        # The relations are nested: same machine implies same LAN implies
+        # same site.  Reject impossible combinations early.
+        if self.same_machine and not self.same_lan:
+            raise ValueError("same machine implies same LAN")
+        if self.same_lan and not self.same_site:
+            raise ValueError("same LAN implies same site")
+
+    @classmethod
+    def from_string(cls, relation: str) -> "Locality":
+        """Build from a topology locality string."""
+        if relation == "same-machine":
+            return cls(True, True, True)
+        if relation == "same-lan":
+            return cls(False, True, True)
+        if relation == "same-site":
+            return cls(False, False, True)
+        if relation == "remote":
+            return cls(False, False, False)
+        raise ValueError(f"unknown locality relation {relation!r}")
+
+
+RulePredicate = Callable[[Locality], bool]
+
+#: Named applicability rules.  Rule names are wire data (they ride in
+#: proto-data), so removing or renaming an entry is a compatibility break.
+APPLICABILITY_RULES: Dict[str, RulePredicate] = {
+    "always": lambda loc: True,
+    "never": lambda loc: False,
+    "same-machine": lambda loc: loc.same_machine,
+    "same-lan": lambda loc: loc.same_lan,
+    "same-site": lambda loc: loc.same_site,
+    "different-machine": lambda loc: not loc.same_machine,
+    "different-lan": lambda loc: not loc.same_lan,
+    "different-site": lambda loc: not loc.same_site,
+}
+
+
+def register_applicability_rule(name: str, predicate: RulePredicate,
+                                replace: bool = False) -> None:
+    """Register a custom named applicability rule."""
+    if not name:
+        raise ValueError("rule needs a name")
+    if name in APPLICABILITY_RULES and not replace:
+        raise ValueError(f"applicability rule {name!r} already registered")
+    APPLICABILITY_RULES[name] = predicate
+
+
+def rule_applies(name: str, locality: Locality) -> bool:
+    try:
+        predicate = APPLICABILITY_RULES[name]
+    except KeyError:
+        raise ProtocolError(f"unknown applicability rule {name!r}") \
+            from None
+    return bool(predicate(locality))
+
+
+class SelectionPolicy:
+    """Strategy interface for protocol selection.
+
+    ``select`` receives the OR's table (preference-ordered entries), the
+    local pool (ordered proto ids), the current locality, and a predicate
+    ``applicable(entry) -> bool`` supplied by the ORB (it knows how to
+    evaluate glue entries).  Returns the chosen entry.
+    """
+
+    def select(self, entries, pool_ids: List[str], locality: Locality,
+               applicable) -> "ProtocolEntry":  # noqa: F821
+        raise NotImplementedError
+
+
+class FirstMatchPolicy(SelectionPolicy):
+    """The paper's default: walk the OR table in preference order; the
+    first entry that is both in the pool and applicable wins."""
+
+    def select(self, entries, pool_ids, locality, applicable):
+        allowed = set(pool_ids)
+        rejected: List[Tuple[str, str]] = []
+        for entry in entries:
+            if entry.proto_id not in allowed:
+                rejected.append((entry.proto_id, "not in pool"))
+                continue
+            if not applicable(entry):
+                rejected.append((entry.proto_id, "not applicable"))
+                continue
+            return entry
+        detail = "; ".join(f"{pid}: {why}" for pid, why in rejected) \
+            or "empty protocol table"
+        raise NoApplicableProtocolError(
+            f"no applicable protocol ({detail})")
+
+
+class PoolOrderPolicy(SelectionPolicy):
+    """Alternative policy: the *pool's* order wins (local preference
+    over server preference).  Demonstrates the user-control aspect of
+    §3.2 — applications swap this in per GP or per context."""
+
+    def select(self, entries, pool_ids, locality, applicable):
+        by_id: Dict[str, list] = {}
+        for entry in entries:
+            by_id.setdefault(entry.proto_id, []).append(entry)
+        for pid in pool_ids:
+            for entry in by_id.get(pid, ()):
+                if applicable(entry):
+                    return entry
+        raise NoApplicableProtocolError(
+            f"no applicable protocol (pool order: {pool_ids}, "
+            f"table: {[e.proto_id for e in entries]})")

@@ -1,0 +1,237 @@
+"""Exception hierarchy for the Open HPC++ reproduction.
+
+Every error raised by the library derives from :class:`HpcError` so that
+applications can catch library failures with a single ``except`` clause,
+mirroring the CORBA system-exception convention the paper's ORB follows.
+
+The hierarchy is split along the paper's architectural seams:
+
+* serialization errors (:class:`MarshalError`)
+* transport/wire errors (:class:`TransportError` and friends)
+* protocol-selection errors (:class:`NoApplicableProtocolError`)
+* capability enforcement errors (:class:`CapabilityError` subtree) — these
+  are the *application-visible* face of the capabilities model: a quota
+  capability raising :class:`QuotaExceededError` on the client side, an
+  authentication capability raising :class:`AuthenticationError` on the
+  server side, and so on.
+* remote invocation errors (:class:`RemoteInvocationError`,
+  :class:`ObjectNotFoundError`, :class:`ObjectMovedError`)
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HpcError",
+    "MarshalError",
+    "TypeCodeError",
+    "BufferUnderflowError",
+    "TransportError",
+    "ChannelClosedError",
+    "FramingError",
+    "DeliveryError",
+    "ProtocolError",
+    "UnknownProtocolError",
+    "NoApplicableProtocolError",
+    "CapabilityError",
+    "CapabilityNotApplicableError",
+    "QuotaExceededError",
+    "LeaseExpiredError",
+    "AuthenticationError",
+    "IntegrityError",
+    "DecryptionError",
+    "CompressionError",
+    "RemoteInvocationError",
+    "RemoteException",
+    "ObjectNotFoundError",
+    "ObjectMovedError",
+    "InterfaceError",
+    "MethodNotExposedError",
+    "MigrationError",
+    "NamingError",
+    "NameNotFoundError",
+    "NameAlreadyBoundError",
+    "SimulationError",
+    "TopologyError",
+    "IdlError",
+    "IdlSyntaxError",
+]
+
+
+class HpcError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+class MarshalError(HpcError):
+    """A value could not be encoded to, or decoded from, its wire form."""
+
+
+class TypeCodeError(MarshalError):
+    """An unknown or inconsistent typecode was encountered."""
+
+
+class BufferUnderflowError(MarshalError):
+    """A decoder ran past the end of its input buffer."""
+
+
+# ---------------------------------------------------------------------------
+# Transport
+# ---------------------------------------------------------------------------
+
+class TransportError(HpcError):
+    """Base class for failures in the byte-moving layer."""
+
+
+class ChannelClosedError(TransportError):
+    """An operation was attempted on a closed channel."""
+
+
+class FramingError(TransportError):
+    """A message frame on the wire was malformed."""
+
+
+class DeliveryError(TransportError):
+    """The (simulated or real) network could not deliver a message."""
+
+
+# ---------------------------------------------------------------------------
+# Protocols and selection
+# ---------------------------------------------------------------------------
+
+class ProtocolError(HpcError):
+    """Base class for protocol-layer failures."""
+
+
+class UnknownProtocolError(ProtocolError):
+    """A protocol id present in an OR has no registered proto-class."""
+
+
+class NoApplicableProtocolError(ProtocolError):
+    """Protocol selection found no (OR-table x pool) match that is applicable.
+
+    This is the error the paper's selection algorithm produces when the
+    intersection of the object reference's protocol table and the local
+    protocol pool is empty after applicability filtering.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Capabilities
+# ---------------------------------------------------------------------------
+
+class CapabilityError(HpcError):
+    """Base class for capability construction and enforcement failures."""
+
+
+class CapabilityNotApplicableError(CapabilityError):
+    """A capability was asked to process a request outside its applicability."""
+
+
+class QuotaExceededError(CapabilityError):
+    """A call-quota ("timeout") capability ran out of permitted requests."""
+
+
+class LeaseExpiredError(CapabilityError):
+    """A time-lease capability's paid-for window has elapsed."""
+
+
+class AuthenticationError(CapabilityError):
+    """Client authentication failed at the server-side glue class."""
+
+
+class IntegrityError(CapabilityError):
+    """A message checksum or MAC did not verify."""
+
+
+class DecryptionError(CapabilityError):
+    """Ciphertext could not be decrypted (bad key, truncation, corruption)."""
+
+
+class CompressionError(CapabilityError):
+    """Compressed payload could not be inflated."""
+
+
+# ---------------------------------------------------------------------------
+# Remote invocation
+# ---------------------------------------------------------------------------
+
+class RemoteInvocationError(HpcError):
+    """A remote method invocation failed at the ORB level."""
+
+
+class RemoteException(RemoteInvocationError):
+    """The remote servant raised; carries the remote type name and message.
+
+    The server-side ORB marshals the servant's exception into the reply;
+    the client-side GP re-raises it as a ``RemoteException`` whose
+    ``remote_type`` preserves the original class name.
+    """
+
+    def __init__(self, remote_type: str, message: str):
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_message = message
+
+
+class ObjectNotFoundError(RemoteInvocationError):
+    """The target object id is not exported by the addressed context."""
+
+
+class ObjectMovedError(RemoteInvocationError):
+    """The object migrated away; carries a forwarding OR when available."""
+
+    def __init__(self, message: str, forward=None):
+        super().__init__(message)
+        self.forward = forward
+
+
+class InterfaceError(RemoteInvocationError):
+    """A request violated the remote interface contract."""
+
+
+class MethodNotExposedError(InterfaceError):
+    """The method exists on the servant but is outside the client's view.
+
+    Raised when a client holding a *restricted interface view* (the paper's
+    "access only to a subset of the server interface") calls a method the
+    view does not expose.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Migration / naming / simulation / IDL
+# ---------------------------------------------------------------------------
+
+class MigrationError(HpcError):
+    """Object migration failed or was attempted on a non-migratable servant."""
+
+
+class NamingError(HpcError):
+    """Base class for name-service errors."""
+
+
+class NameNotFoundError(NamingError):
+    """Lookup of an unbound name."""
+
+
+class NameAlreadyBoundError(NamingError):
+    """``bind`` of a name that is already bound (use ``rebind``)."""
+
+
+class SimulationError(HpcError):
+    """The network simulator was driven into an invalid state."""
+
+
+class TopologyError(SimulationError):
+    """The simulated topology is malformed (unknown machine, no route...)."""
+
+
+class IdlError(HpcError):
+    """Base class for interface-definition errors."""
+
+
+class IdlSyntaxError(IdlError):
+    """The tiny-IDL parser rejected its input."""

@@ -1,0 +1,41 @@
+"""Interface definition layer (tiny IDL).
+
+Open HPC++ follows CORBA in separating *interface* from *implementation*;
+the intro's motivating scenario further wants per-client *views* — "some
+clients may need access to the complete server interface, others may need
+access only to a subset of it" (§1).  This package provides:
+
+* :mod:`repro.idl.types` — :class:`MethodSpec` / :class:`InterfaceSpec`
+  value objects (marshallable, so interfaces can travel inside ORs);
+* :mod:`repro.idl.interface` — ``@remote_interface`` / ``@remote_method``
+  decorators for defining interfaces in Python, plus
+  :class:`InterfaceView` for subsetting;
+* :mod:`repro.idl.parser` — a parser for the small textual IDL;
+* :mod:`repro.idl.stubs` — dynamic client stub classes over a
+  global pointer.
+"""
+
+from repro.idl.types import InterfaceSpec, MethodSpec, ParamSpec
+from repro.idl.interface import (
+    InterfaceView,
+    interface_of,
+    remote_interface,
+    remote_method,
+)
+from repro.idl.parser import parse_idl
+from repro.idl.skeletons import make_servant_base, validate_servant
+from repro.idl.stubs import make_stub_class
+
+__all__ = [
+    "InterfaceSpec",
+    "MethodSpec",
+    "ParamSpec",
+    "remote_interface",
+    "remote_method",
+    "interface_of",
+    "InterfaceView",
+    "parse_idl",
+    "make_stub_class",
+    "make_servant_base",
+    "validate_servant",
+]

@@ -1,0 +1,144 @@
+"""Define interfaces with decorators; subset them with views.
+
+Usage::
+
+    @remote_interface("Weather")
+    class WeatherService:
+        @remote_method(returns="array")
+        def get_map(self, region: str, resolution: int):
+            ...
+
+        @remote_method(oneway=True)
+        def feed(self, data):
+            ...
+
+The decorator inspects each marked method's Python signature to build
+:class:`~repro.idl.types.MethodSpec` entries and stores the resulting
+:class:`~repro.idl.types.InterfaceSpec` on the class.  Servants are then
+exported with ``context.export(WeatherService(), ...)`` and the ORB uses
+the spec (or a view of it) to gate dispatch.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Iterable, Optional
+
+from repro.exceptions import IdlError
+from repro.idl.types import InterfaceSpec, MethodSpec, ParamSpec
+
+__all__ = ["remote_method", "remote_interface", "interface_of",
+           "InterfaceView"]
+
+_MARK = "__hpc_remote_method__"
+_SPEC_ATTR = "__hpc_interface__"
+
+#: Map Python annotation -> IDL wire type name.
+_ANNOTATION_TYPES = {
+    int: "int",
+    float: "float",
+    str: "string",
+    bytes: "bytes",
+    bool: "bool",
+    list: "list",
+    dict: "dict",
+    None: "void",
+    type(None): "void",
+}
+
+
+def remote_method(fn=None, *, returns: str = "any", oneway: bool = False):
+    """Mark a method for inclusion in the class's remote interface."""
+
+    def mark(func):
+        setattr(func, _MARK, {"returns": returns, "oneway": oneway})
+        return func
+
+    if fn is not None:  # bare @remote_method
+        return mark(fn)
+    return mark
+
+
+def _param_type(annotation) -> str:
+    if annotation is inspect.Parameter.empty:
+        return "any"
+    return _ANNOTATION_TYPES.get(annotation, "any")
+
+
+def _spec_for(func, name: str, meta: dict) -> MethodSpec:
+    sig = inspect.signature(func)
+    params = []
+    for i, (pname, p) in enumerate(sig.parameters.items()):
+        if i == 0 and pname in ("self", "cls"):
+            continue
+        if p.kind in (inspect.Parameter.VAR_POSITIONAL,
+                      inspect.Parameter.VAR_KEYWORD):
+            raise IdlError(
+                f"remote method {name!r} cannot use *args/**kwargs")
+        params.append(ParamSpec(pname, _param_type(p.annotation)))
+    returns = meta["returns"]
+    if returns == "any" and sig.return_annotation \
+            is not inspect.Signature.empty:
+        returns = _ANNOTATION_TYPES.get(sig.return_annotation, "any")
+    if meta["oneway"]:
+        returns = "void"
+    return MethodSpec(name=name, params=tuple(params), returns=returns,
+                      oneway=meta["oneway"], doc=(func.__doc__ or ""))
+
+
+def remote_interface(name: Optional[str] = None):
+    """Class decorator collecting ``@remote_method`` members."""
+
+    def build(cls):
+        methods = {}
+        for attr_name, member in inspect.getmembers(
+                cls, predicate=inspect.isfunction):
+            meta = getattr(member, _MARK, None)
+            if meta is not None:
+                methods[attr_name] = _spec_for(member, attr_name, meta)
+        if not methods:
+            raise IdlError(
+                f"{cls.__name__} declares no @remote_method members")
+        spec = InterfaceSpec(name=name or cls.__name__, methods=methods)
+        setattr(cls, _SPEC_ATTR, spec)
+        return cls
+
+    return build
+
+
+def interface_of(obj) -> InterfaceSpec:
+    """The :class:`InterfaceSpec` of a decorated class or its instance."""
+    spec = getattr(obj, _SPEC_ATTR, None)
+    if spec is None:
+        raise IdlError(
+            f"{type(obj).__name__ if not isinstance(obj, type) else obj.__name__}"
+            " has no remote interface (missing @remote_interface?)")
+    return spec
+
+
+class InterfaceView:
+    """A named subset of an interface, for restricted clients.
+
+    Views are the library-level realization of "different kinds of
+    accesses for different clients" (§1): a server exports one servant but
+    hands different clients ORs carrying different views.
+
+    >>> view = InterfaceView("ReadOnly", ["get_map"])
+    """
+
+    def __init__(self, name: str, allowed: Iterable[str]):
+        self.name = name
+        self.allowed = frozenset(allowed)
+        if not self.allowed:
+            raise IdlError("a view must expose at least one method")
+
+    def apply(self, spec: InterfaceSpec) -> InterfaceSpec:
+        return spec.subset(self.allowed, name=self.name)
+
+    def __or__(self, other: "InterfaceView") -> "InterfaceView":
+        """Union of two views."""
+        return InterfaceView(f"{self.name}_or_{other.name}",
+                             self.allowed | other.allowed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"InterfaceView({self.name!r}, {sorted(self.allowed)})"

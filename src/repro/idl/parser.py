@@ -1,0 +1,135 @@
+"""Parser for the tiny textual IDL.
+
+Grammar (whitespace-insensitive, ``//`` and ``/* */`` comments)::
+
+    file      := interface*
+    interface := "interface" IDENT "{" method* "}" ";"?
+    method    := ["oneway"] TYPE IDENT "(" params? ")" ";"
+    params    := param ("," param)*
+    param     := TYPE IDENT | IDENT          # untyped params default to any
+    TYPE      := one of repro.idl.types.WIRE_TYPES
+
+Example::
+
+    interface Weather {
+        array get_map(string region, int resolution);
+        oneway void feed(any data);
+        int remaining_credits();
+    };
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.exceptions import IdlSyntaxError
+from repro.idl.types import InterfaceSpec, MethodSpec, ParamSpec, WIRE_TYPES
+
+__all__ = ["parse_idl", "tokenize"]
+
+_TOKEN = re.compile(r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[{}();,])
+  | (?P<space>\s+)
+  | (?P<bad>.)
+""", re.VERBOSE | re.DOTALL)
+
+
+def tokenize(text: str) -> List[str]:
+    """Split IDL text into identifier and punctuation tokens."""
+    tokens = []
+    for match in _TOKEN.finditer(text):
+        kind = match.lastgroup
+        if kind in ("comment", "space"):
+            continue
+        if kind == "bad":
+            raise IdlSyntaxError(
+                f"unexpected character {match.group()!r} at "
+                f"offset {match.start()}")
+        tokens.append(match.group())
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, tokens: List[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise IdlSyntaxError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise IdlSyntaxError(f"expected {token!r}, got {got!r}")
+
+
+def _parse_param(cur: _Cursor) -> ParamSpec:
+    first = cur.next()
+    if cur.peek() not in (",", ")"):
+        # "TYPE name" form
+        if first not in WIRE_TYPES:
+            raise IdlSyntaxError(f"unknown parameter type {first!r}")
+        return ParamSpec(cur.next(), first)
+    return ParamSpec(first, "any")
+
+
+def _parse_method(cur: _Cursor) -> MethodSpec:
+    oneway = False
+    tok = cur.next()
+    if tok == "oneway":
+        oneway = True
+        tok = cur.next()
+    if tok not in WIRE_TYPES:
+        raise IdlSyntaxError(f"unknown return type {tok!r}")
+    returns = tok
+    name = cur.next()
+    cur.expect("(")
+    params: List[ParamSpec] = []
+    if cur.peek() != ")":
+        params.append(_parse_param(cur))
+        while cur.peek() == ",":
+            cur.next()
+            params.append(_parse_param(cur))
+    cur.expect(")")
+    cur.expect(";")
+    if oneway and returns != "void":
+        raise IdlSyntaxError(
+            f"oneway method {name!r} must return void, not {returns!r}")
+    return MethodSpec(name=name, params=tuple(params), returns=returns,
+                      oneway=oneway)
+
+
+def parse_idl(text: str) -> Dict[str, InterfaceSpec]:
+    """Parse IDL text into ``{interface name: InterfaceSpec}``."""
+    cur = _Cursor(tokenize(text))
+    interfaces: Dict[str, InterfaceSpec] = {}
+    while cur.peek() is not None:
+        cur.expect("interface")
+        name = cur.next()
+        if name in interfaces:
+            raise IdlSyntaxError(f"duplicate interface {name!r}")
+        cur.expect("{")
+        methods: Dict[str, MethodSpec] = {}
+        while cur.peek() != "}":
+            spec = _parse_method(cur)
+            if spec.name in methods:
+                raise IdlSyntaxError(
+                    f"duplicate method {spec.name!r} in {name!r}")
+            methods[spec.name] = spec
+        cur.expect("}")
+        if cur.peek() == ";":
+            cur.next()
+        if not methods:
+            raise IdlSyntaxError(f"interface {name!r} declares no methods")
+        interfaces[name] = InterfaceSpec(name=name, methods=methods)
+    return interfaces

@@ -1,0 +1,98 @@
+"""Servant skeletons and servant validation.
+
+The server-side complement of :mod:`repro.idl.stubs`:
+
+* :func:`validate_servant` — check that an object actually implements an
+  interface spec (methods present, callable, arity-compatible); used by
+  ``Context.export`` to fail fast instead of at first dispatch.
+* :func:`make_servant_base` — generate an ABC from a spec (for example a
+  spec parsed from textual IDL) whose subclasses *must* implement every
+  declared method; the generated base also carries the spec so
+  ``interface_of`` works on it, closing the loop:
+
+      specs = parse_idl(text)
+      Base = make_servant_base(specs["Weather"])
+      class MyWeather(Base): ...
+      context.export(MyWeather())
+"""
+
+from __future__ import annotations
+
+import abc
+import inspect
+from typing import Dict, Type
+
+from repro.exceptions import IdlError
+from repro.idl.interface import _SPEC_ATTR
+from repro.idl.types import InterfaceSpec, MethodSpec
+
+__all__ = ["validate_servant", "make_servant_base"]
+
+_SKELETON_CACHE: Dict[tuple, type] = {}
+
+
+def _arity_compatible(fn, spec: MethodSpec) -> bool:
+    """Can ``fn`` accept ``spec.arity`` positional arguments?"""
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return True  # builtins etc.: give the benefit of the doubt
+    required = 0
+    maximum = 0
+    for p in sig.parameters.values():
+        if p.kind in (inspect.Parameter.POSITIONAL_ONLY,
+                      inspect.Parameter.POSITIONAL_OR_KEYWORD):
+            maximum += 1
+            if p.default is inspect.Parameter.empty:
+                required += 1
+        elif p.kind is inspect.Parameter.VAR_POSITIONAL:
+            maximum = float("inf")
+    return required <= spec.arity <= maximum
+
+
+def validate_servant(obj, spec: InterfaceSpec) -> None:
+    """Raise :class:`IdlError` unless ``obj`` implements ``spec``."""
+    problems = []
+    for name, method_spec in spec.methods.items():
+        member = getattr(obj, name, None)
+        if member is None:
+            problems.append(f"missing method {name!r}")
+        elif not callable(member):
+            problems.append(f"{name!r} is not callable")
+        elif not _arity_compatible(member, method_spec):
+            problems.append(
+                f"{name!r} cannot accept {method_spec.arity} argument(s)")
+    if problems:
+        raise IdlError(
+            f"{type(obj).__name__} does not implement interface "
+            f"{spec.name!r}: " + "; ".join(problems))
+
+
+def _make_abstract(spec: MethodSpec):
+    params = ", ".join(p.name for p in spec.params)
+
+    def placeholder(self, *args):  # pragma: no cover - always overridden
+        raise NotImplementedError(spec.name)
+
+    placeholder.__name__ = spec.name
+    placeholder.__doc__ = (spec.doc or
+                           f"({params}) -> {spec.returns}"
+                           + (" [oneway]" if spec.oneway else ""))
+    return abc.abstractmethod(placeholder)
+
+
+def make_servant_base(spec: InterfaceSpec) -> Type:
+    """Generate (and cache) an abstract servant base class for ``spec``."""
+    key = (spec.name, spec.version, spec.method_names())
+    cached = _SKELETON_CACHE.get(key)
+    if cached is not None:
+        return cached
+    namespace = {name: _make_abstract(ms)
+                 for name, ms in spec.methods.items()}
+    namespace["__doc__"] = (
+        f"Abstract servant base for interface {spec.name!r}; subclasses "
+        f"must implement: {', '.join(spec.method_names())}.")
+    namespace[_SPEC_ATTR] = spec
+    cls = abc.ABCMeta(f"{spec.name}Servant", (), namespace)
+    _SKELETON_CACHE[key] = cls
+    return cls

@@ -1,0 +1,74 @@
+"""Dynamic client stub generation.
+
+``make_stub_class(spec)`` builds a Python class whose methods forward to
+the owning global pointer's ``_invoke``.  The GP's ``narrow()`` wraps
+itself in a stub so application code reads like local calls::
+
+    weather = gp.narrow()          # stub over the OR's interface
+    m = weather.get_map("midwest", 4)
+
+Arity is checked client-side against the spec (a misuse fails fast
+without a round trip); oneway methods forward with ``oneway=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Type
+
+from repro.exceptions import InterfaceError
+from repro.idl.types import InterfaceSpec, MethodSpec
+
+__all__ = ["make_stub_class", "StubBase"]
+
+_STUB_CACHE: Dict[tuple, type] = {}
+
+
+class StubBase:
+    """Common base for generated stubs; holds the invoker."""
+
+    __hpc_stub__ = True
+
+    def __init__(self, invoker, spec: InterfaceSpec):
+        # invoker: callable(method_name, args_tuple, oneway) -> result
+        self._invoker = invoker
+        self._spec = spec
+
+    @property
+    def interface(self) -> InterfaceSpec:
+        return self._spec
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<stub {self._spec.name} methods={self._spec.method_names()}>"
+
+
+def _make_method(spec: MethodSpec):
+    def method(self, *args):
+        if len(args) != spec.arity:
+            raise InterfaceError(
+                f"{spec.name}() takes {spec.arity} argument(s), "
+                f"got {len(args)}")
+        return self._invoker(spec.name, args, spec.oneway)
+
+    method.__name__ = spec.name
+    method.__qualname__ = spec.name
+    method.__doc__ = spec.doc or (
+        f"Remote method {spec.name}"
+        f"({', '.join(p.name for p in spec.params)}) -> {spec.returns}")
+    return method
+
+
+def make_stub_class(spec: InterfaceSpec) -> Type[StubBase]:
+    """Build (and cache) a stub class for ``spec``."""
+    key = (spec.name, spec.version, spec.method_names(),
+           tuple((m, spec.methods[m].arity, spec.methods[m].oneway)
+                 for m in spec.method_names()))
+    cached = _STUB_CACHE.get(key)
+    if cached is not None:
+        return cached
+    namespace: Dict[str, Any] = {
+        m: _make_method(ms) for m, ms in spec.methods.items()
+    }
+    namespace["__doc__"] = f"Generated stub for interface {spec.name!r}."
+    cls = type(f"{spec.name}Stub", (StubBase,), namespace)
+    _STUB_CACHE[key] = cls
+    return cls

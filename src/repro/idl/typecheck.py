@@ -1,0 +1,76 @@
+"""Run-time argument checking against declared IDL types.
+
+The tiny IDL declares parameter types (``int``, ``string``, ``array``,
+...).  The ORB enforces them at dispatch: a request whose arguments do
+not fit the declared signature is rejected *before* the servant runs,
+with a precise :class:`~repro.exceptions.InterfaceError` — the
+wire-contract behaviour a CORBA-lineage ORB owes its users.
+
+Checking philosophy: strict on scalars, liberal on aggregates.
+
+* ``any`` accepts anything (the default for unannotated parameters);
+* ``int``/``float``/``bool``/``string``/``bytes`` must match exactly
+  (with the universal numeric courtesy of ``int`` being acceptable where
+  ``float`` is declared);
+* ``array`` accepts numpy arrays *or* sequences; ``list`` accepts any
+  sequence; ``dict`` accepts mappings; ``objref`` accepts object
+  references — aggregate shapes are the application's business.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import InterfaceError
+from repro.idl.types import MethodSpec
+
+__all__ = ["check_args", "value_fits"]
+
+
+def value_fits(value, wire_type: str) -> bool:
+    """Does ``value`` satisfy the declared wire type?"""
+    if wire_type == "any":
+        return True
+    if wire_type == "void":
+        return value is None
+    if wire_type == "bool":
+        return isinstance(value, (bool, np.bool_))
+    if wire_type == "int":
+        return isinstance(value, (int, np.integer)) \
+            and not isinstance(value, bool)
+    if wire_type == "float":
+        # ints are acceptable floats, as in every IDL since CORBA.
+        return (isinstance(value, (float, np.floating))
+                or (isinstance(value, (int, np.integer))
+                    and not isinstance(value, bool)))
+    if wire_type == "string":
+        return isinstance(value, str)
+    if wire_type == "bytes":
+        return isinstance(value, (bytes, bytearray, memoryview))
+    if wire_type == "array":
+        return isinstance(value, (np.ndarray, list, tuple))
+    if wire_type == "list":
+        return isinstance(value, (list, tuple))
+    if wire_type == "dict":
+        return isinstance(value, dict)
+    if wire_type == "objref":
+        from repro.core.objref import ObjectReference
+
+        return isinstance(value, ObjectReference)
+    # Unknown declared type: be permissive (forward compatibility).
+    return True
+
+
+def check_args(spec: MethodSpec, args: Tuple) -> None:
+    """Raise :class:`InterfaceError` unless ``args`` fits ``spec``."""
+    if len(args) != spec.arity:
+        raise InterfaceError(
+            f"{spec.name}() takes {spec.arity} argument(s), "
+            f"got {len(args)}")
+    for param, value in zip(spec.params, args):
+        if not value_fits(value, param.type):
+            raise InterfaceError(
+                f"{spec.name}() argument {param.name!r} must be "
+                f"{param.type}, got {type(value).__name__}")

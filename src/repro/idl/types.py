@@ -1,0 +1,133 @@
+"""Interface/method/parameter value objects.
+
+These are deliberately plain data: an :class:`InterfaceSpec` can be
+converted to and from a marshallable dict (``to_wire``/``from_wire``) so
+that object references can carry the interface they serve, letting a
+client discover a server's methods without out-of-band knowledge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import IdlError, MethodNotExposedError
+
+__all__ = ["ParamSpec", "MethodSpec", "InterfaceSpec", "WIRE_TYPES"]
+
+#: Recognized (informational) wire type names for the textual IDL.
+WIRE_TYPES = frozenset({
+    "any", "void", "bool", "int", "float", "string", "bytes",
+    "array", "list", "dict", "objref",
+})
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One declared parameter."""
+
+    name: str
+    type: str = "any"
+
+    def __post_init__(self):
+        if not self.name.isidentifier():
+            raise IdlError(f"invalid parameter name {self.name!r}")
+        if self.type not in WIRE_TYPES:
+            raise IdlError(f"unknown parameter type {self.type!r}")
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One remote method signature."""
+
+    name: str
+    params: Tuple[ParamSpec, ...] = ()
+    returns: str = "any"
+    oneway: bool = False
+    doc: str = ""
+
+    def __post_init__(self):
+        if not self.name.isidentifier():
+            raise IdlError(f"invalid method name {self.name!r}")
+        if self.returns not in WIRE_TYPES:
+            raise IdlError(f"unknown return type {self.returns!r}")
+        if self.oneway and self.returns not in ("void", "any"):
+            raise IdlError("oneway methods cannot declare a return value")
+        names = [p.name for p in self.params]
+        if len(set(names)) != len(names):
+            raise IdlError(f"duplicate parameter names in {self.name!r}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+
+@dataclass(frozen=True)
+class InterfaceSpec:
+    """A named set of remote methods."""
+
+    name: str
+    methods: Dict[str, MethodSpec] = field(default_factory=dict)
+    version: str = "1.0"
+
+    def __post_init__(self):
+        if not self.name.isidentifier():
+            raise IdlError(f"invalid interface name {self.name!r}")
+        for key, spec in self.methods.items():
+            if key != spec.name:
+                raise IdlError(
+                    f"method table key {key!r} != spec name {spec.name!r}")
+
+    def method(self, name: str) -> MethodSpec:
+        try:
+            return self.methods[name]
+        except KeyError:
+            raise MethodNotExposedError(
+                f"interface {self.name!r} has no method {name!r}") from None
+
+    def method_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.methods))
+
+    def subset(self, allowed, name: Optional[str] = None) -> "InterfaceSpec":
+        """A new interface exposing only the listed methods."""
+        allowed = set(allowed)
+        missing = allowed - set(self.methods)
+        if missing:
+            raise IdlError(
+                f"cannot subset {self.name!r}: unknown {sorted(missing)}")
+        return InterfaceSpec(
+            name=name or f"{self.name}View",
+            methods={m: s for m, s in self.methods.items() if m in allowed},
+            version=self.version,
+        )
+
+    # -- wire form -----------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        return {
+            "name": self.name,
+            "version": self.version,
+            "methods": [
+                {
+                    "name": m.name,
+                    "params": [(p.name, p.type) for p in m.params],
+                    "returns": m.returns,
+                    "oneway": m.oneway,
+                }
+                for m in self.methods.values()
+            ],
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "InterfaceSpec":
+        methods = {}
+        for m in data["methods"]:
+            spec = MethodSpec(
+                name=m["name"],
+                params=tuple(ParamSpec(n, t) for n, t in m["params"]),
+                returns=m["returns"],
+                oneway=bool(m["oneway"]),
+            )
+            methods[spec.name] = spec
+        return cls(name=data["name"], methods=methods,
+                   version=data.get("version", "1.0"))

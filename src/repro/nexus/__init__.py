@@ -1,0 +1,32 @@
+"""Nexus-like communication layer: startpoints, endpoints, RSRs.
+
+The paper builds its proto-objects over Nexus [Foster/Kesselman/Tuecke],
+whose model is: a *startpoint* names a remote *endpoint*; issuing a
+*remote service request* (RSR) on a startpoint runs a named handler on
+the endpoint's context.  This package recreates that model over our
+transports:
+
+* :mod:`repro.nexus.rsr` — the RSR wire format (XDR header + opaque
+  payload) and its request/reply/error framing.
+* :mod:`repro.nexus.endpoint` — :class:`Endpoint` (handler table +
+  service loops) and :class:`Startpoint` (synchronous ``call``).
+* :mod:`repro.nexus.multimethod` — :class:`MultiMethodServer`: one
+  endpoint attached to several transports simultaneously (Nexus's
+  multi-method communication), publishing one address per transport.
+
+Real transports are served by daemon threads; simulated transports are
+served inline through the channel callbacks, keeping virtual time
+deterministic.
+"""
+
+from repro.nexus.rsr import RsrFlags, RsrMessage
+from repro.nexus.endpoint import Endpoint, Startpoint
+from repro.nexus.multimethod import MultiMethodServer
+
+__all__ = [
+    "RsrFlags",
+    "RsrMessage",
+    "Endpoint",
+    "Startpoint",
+    "MultiMethodServer",
+]

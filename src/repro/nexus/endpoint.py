@@ -1,0 +1,206 @@
+"""Endpoints (servers) and startpoints (clients) for RSR traffic.
+
+An :class:`Endpoint` owns a table of named handlers
+(``name -> callable(payload: bytes) -> bytes``).  It can serve:
+
+* **threaded** — ``serve_listener`` starts a daemon accept loop; each
+  accepted channel gets a daemon service loop.  Used for the real
+  transports (inproc/shm/tcp).
+* **inline** — ``serve_sim_listener`` installs callbacks on a simulated
+  listener so requests dispatch synchronously inside the sender's
+  ``send`` call, keeping virtual time single-threaded.
+
+A :class:`Startpoint` wraps one connected channel and provides
+synchronous ``call``; each call writes one request and reads messages
+until its own reply arrives (replies can only interleave when the
+application multiplexes one startpoint across threads, which the lock
+serializes anyway).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import (
+    ChannelClosedError,
+    HpcError,
+    RemoteException,
+    RemoteInvocationError,
+)
+from repro.nexus.rsr import RsrMessage
+from repro.serialization.marshal import dumps, loads
+from repro.transport.base import Channel, Listener
+from repro.util.ids import IdGenerator
+
+__all__ = ["Endpoint", "Startpoint"]
+
+Handler = Callable[[bytes], bytes]
+
+
+class Endpoint:
+    """Named-handler dispatch target."""
+
+    def __init__(self, name: str = ""):
+        self.name = name or "endpoint"
+        self._handlers: Dict[str, Handler] = {}
+        self._threads: list[threading.Thread] = []
+        self._listeners: list[Listener] = []
+        self._channels: list[Channel] = []
+        self._stopping = False
+        self._lock = threading.Lock()
+
+    # -- handler table -------------------------------------------------------
+
+    def register(self, handler_name: str, fn: Handler) -> None:
+        if not handler_name:
+            raise ValueError("handler name must be non-empty")
+        with self._lock:
+            self._handlers[handler_name] = fn
+
+    def unregister(self, handler_name: str) -> None:
+        with self._lock:
+            self._handlers.pop(handler_name, None)
+
+    def handlers(self) -> list[str]:
+        with self._lock:
+            return sorted(self._handlers)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def handle_message(self, data: bytes, channel: Channel) -> None:
+        """Decode one inbound message and act on it."""
+        message = RsrMessage.decode(data)
+        if not message.is_request():
+            # A stray reply at an endpoint: drop (matches Nexus, which
+            # treats unsolicited replies as protocol noise).
+            return
+        try:
+            with self._lock:
+                handler = self._handlers.get(message.handler)
+            if handler is None:
+                raise RemoteInvocationError(
+                    f"endpoint {self.name!r} has no handler "
+                    f"{message.handler!r}")
+            result = handler(message.payload)
+            if result is None:
+                result = b""
+        except Exception as exc:  # noqa: BLE001 - marshalled to the peer
+            if not message.is_oneway():
+                err = dumps((type(exc).__name__, str(exc)))
+                channel.send(RsrMessage.error(message.request_id,
+                                              err).encode())
+            return
+        if not message.is_oneway():
+            channel.send(RsrMessage.reply(message.request_id,
+                                          result).encode())
+
+    # -- threaded service (real transports) -----------------------------------
+
+    def serve_channel(self, channel: Channel) -> None:
+        """Blocking per-channel service loop (run in a thread)."""
+        with self._lock:
+            self._channels.append(channel)
+        try:
+            while not self._stopping:
+                try:
+                    data = channel.recv(timeout=0.5)
+                except ChannelClosedError:
+                    break
+                except HpcError:
+                    continue  # timeout: poll the stop flag
+                self.handle_message(data, channel)
+        finally:
+            channel.close()
+
+    def serve_listener(self, listener: Listener) -> None:
+        """Start the daemon accept loop for a real-transport listener."""
+        with self._lock:
+            self._listeners.append(listener)
+
+        def accept_loop():
+            while not self._stopping:
+                try:
+                    channel = listener.accept(timeout=0.5)
+                except ChannelClosedError:
+                    break
+                except HpcError:
+                    continue
+                worker = threading.Thread(
+                    target=self.serve_channel, args=(channel,),
+                    name=f"{self.name}-serve", daemon=True)
+                worker.start()
+                with self._lock:
+                    self._threads.append(worker)
+
+        acceptor = threading.Thread(target=accept_loop,
+                                    name=f"{self.name}-accept", daemon=True)
+        acceptor.start()
+        with self._lock:
+            self._threads.append(acceptor)
+
+    # -- inline service (simulated transport) ---------------------------------
+
+    def serve_sim_listener(self, listener) -> None:
+        """Install inline dispatch on a simulated listener."""
+        with self._lock:
+            self._listeners.append(listener)
+
+        def on_connect(channel):
+            channel.on_message = self.handle_message
+
+        listener.on_connect = on_connect
+        # Adopt any connections that raced in before we were installed.
+        while listener.pending:
+            on_connect(listener.pending.popleft())
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def stop(self) -> None:
+        self._stopping = True
+        with self._lock:
+            listeners = list(self._listeners)
+            channels = list(self._channels)
+            threads = list(self._threads)
+        for listener in listeners:
+            listener.close()
+        for channel in channels:
+            channel.close()
+        for thread in threads:
+            thread.join(timeout=2.0)
+
+
+class Startpoint:
+    """Client handle: synchronous RSR calls over one channel."""
+
+    _ids = IdGenerator("rsr", start=1)
+
+    def __init__(self, channel: Channel, timeout: Optional[float] = 30.0):
+        self.channel = channel
+        self.timeout = timeout
+        self._lock = threading.Lock()
+
+    def call(self, handler: str, payload: bytes,
+             oneway: bool = False) -> Optional[bytes]:
+        """Issue one RSR; returns the reply payload (``None`` if oneway).
+
+        Raises :class:`RemoteException` if the handler raised remotely.
+        """
+        request_id = self._ids.next_int()
+        message = RsrMessage.request(request_id, handler, payload,
+                                     oneway=oneway)
+        with self._lock:
+            self.channel.send(message.encode())
+            if oneway:
+                return None
+            while True:
+                reply = RsrMessage.decode(self.channel.recv(self.timeout))
+                if not reply.is_reply() or reply.request_id != request_id:
+                    continue  # stale or foreign message: skip
+                if reply.is_error():
+                    remote_type, remote_msg = loads(reply.payload)
+                    raise RemoteException(remote_type, remote_msg)
+                return reply.payload
+
+    def close(self) -> None:
+        self.channel.close()

@@ -1,0 +1,54 @@
+"""Multi-method serving: one endpoint, many transports.
+
+Nexus's "multimethod communication" lets a single communication target be
+reachable over several media at once.  :class:`MultiMethodServer` owns an
+:class:`~repro.nexus.endpoint.Endpoint` and binds it to any number of
+transports; each binding yields a transport-specific address, and the set
+of addresses is what a server context publishes in its object references
+(one protocol-table entry per medium, §3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nexus.endpoint import Endpoint
+from repro.transport.base import Transport
+from repro.transport.simtransport import SimTransport
+
+__all__ = ["MultiMethodServer"]
+
+
+class MultiMethodServer:
+    """An endpoint bound to several transports simultaneously."""
+
+    def __init__(self, name: str = ""):
+        self.endpoint = Endpoint(name)
+        self._bindings: list[tuple[str, dict]] = []
+
+    def bind(self, transport: Transport,
+             address: Optional[dict] = None) -> dict:
+        """Listen on ``transport``; returns the bound address.
+
+        Simulated transports are served inline; everything else gets a
+        threaded accept loop.
+        """
+        listener = transport.listen(address)
+        if isinstance(transport, SimTransport):
+            self.endpoint.serve_sim_listener(listener)
+        else:
+            self.endpoint.serve_listener(listener)
+        bound = dict(listener.address)
+        self._bindings.append((transport.name, bound))
+        return bound
+
+    @property
+    def addresses(self) -> list[dict]:
+        """All bound addresses, in binding order (= preference order)."""
+        return [dict(addr) for _name, addr in self._bindings]
+
+    def register(self, handler_name: str, fn) -> None:
+        self.endpoint.register(handler_name, fn)
+
+    def stop(self) -> None:
+        self.endpoint.stop()

@@ -1,0 +1,94 @@
+"""Remote service request wire format.
+
+An RSR message is an XDR stream::
+
+    uint    flags        (request/reply/error/oneway bits)
+    uhyper  request_id
+    string  handler      (empty in replies)
+    opaque  payload
+
+The payload is opaque at this layer — protocol objects put marshalled
+argument tuples in it, and the glue protocol puts *capability-processed*
+bytes in it, which is exactly the layering Figure 2 draws.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import MarshalError
+from repro.serialization.xdr import XdrDecoder, XdrEncoder
+
+__all__ = ["RsrFlags", "RsrMessage"]
+
+
+class RsrFlags(enum.IntFlag):
+    """Message-kind bits."""
+
+    REQUEST = 0x1
+    REPLY = 0x2
+    ERROR = 0x4      # reply carrying a marshalled remote exception
+    ONEWAY = 0x8     # request not expecting a reply
+
+
+@dataclass(frozen=True)
+class RsrMessage:
+    """One RSR on the wire."""
+
+    flags: RsrFlags
+    request_id: int
+    handler: str
+    payload: bytes
+
+    def is_request(self) -> bool:
+        return bool(self.flags & RsrFlags.REQUEST)
+
+    def is_reply(self) -> bool:
+        return bool(self.flags & RsrFlags.REPLY)
+
+    def is_error(self) -> bool:
+        return bool(self.flags & RsrFlags.ERROR)
+
+    def is_oneway(self) -> bool:
+        return bool(self.flags & RsrFlags.ONEWAY)
+
+    def encode(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_uint(int(self.flags))
+        enc.pack_uhyper(self.request_id)
+        enc.pack_string(self.handler)
+        enc.pack_opaque(self.payload)
+        return enc.getvalue()
+
+    @classmethod
+    def decode(cls, data) -> "RsrMessage":
+        dec = XdrDecoder(data)
+        flags = RsrFlags(dec.unpack_uint())
+        request_id = dec.unpack_uhyper()
+        handler = dec.unpack_string()
+        payload = bytes(dec.unpack_opaque())
+        if not (flags & (RsrFlags.REQUEST | RsrFlags.REPLY)):
+            raise MarshalError("RSR is neither request nor reply")
+        return cls(flags=flags, request_id=request_id, handler=handler,
+                   payload=payload)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def request(cls, request_id: int, handler: str, payload: bytes,
+                oneway: bool = False) -> "RsrMessage":
+        flags = RsrFlags.REQUEST | (RsrFlags.ONEWAY if oneway
+                                    else RsrFlags(0))
+        return cls(flags=flags, request_id=request_id, handler=handler,
+                   payload=payload)
+
+    @classmethod
+    def reply(cls, request_id: int, payload: bytes) -> "RsrMessage":
+        return cls(flags=RsrFlags.REPLY, request_id=request_id,
+                   handler="", payload=payload)
+
+    @classmethod
+    def error(cls, request_id: int, payload: bytes) -> "RsrMessage":
+        return cls(flags=RsrFlags.REPLY | RsrFlags.ERROR,
+                   request_id=request_id, handler="", payload=payload)

@@ -1,0 +1,41 @@
+"""Security substrate backing the encryption/authentication capabilities.
+
+The paper's motivating example (§1) wants per-client security policy: WAN
+clients authenticate and encrypt, LAN clients do neither, commercial
+clients get metered access.  The capability objects that enforce those
+policies are built on the primitives here — all implemented from scratch
+(the 1999 system would have carried its own DES/MD5; we carry equivalents
+whose speed we can also *model* for the simulator's cost accounting):
+
+* :mod:`repro.security.prng` — xorshift128+ and PCG32 deterministic PRNGs
+* :mod:`repro.security.stream_cipher` — keystream XOR cipher, vectorized
+* :mod:`repro.security.block_cipher` — XTEA in CTR mode, vectorized
+* :mod:`repro.security.hmac_md` — HMAC-SHA256 message authentication
+* :mod:`repro.security.dh` — finite-field Diffie-Hellman key agreement
+* :mod:`repro.security.keys` — key store and principal registry
+* :mod:`repro.security.acl` — access-control lists over principals
+"""
+
+from repro.security.prng import Pcg32, XorShift128
+from repro.security.stream_cipher import StreamCipher
+from repro.security.block_cipher import XteaCtr
+from repro.security.hmac_md import hmac_sign, hmac_verify
+from repro.security.dh import DhParams, DhPrivateKey, DEFAULT_DH_PARAMS
+from repro.security.keys import KeyStore, Principal
+from repro.security.acl import AccessControlList, Permission
+
+__all__ = [
+    "Pcg32",
+    "XorShift128",
+    "StreamCipher",
+    "XteaCtr",
+    "hmac_sign",
+    "hmac_verify",
+    "DhParams",
+    "DhPrivateKey",
+    "DEFAULT_DH_PARAMS",
+    "KeyStore",
+    "Principal",
+    "AccessControlList",
+    "Permission",
+]

@@ -1,0 +1,81 @@
+"""Access-control lists over principals and methods.
+
+Implements the intro's "some clients may need access to the complete
+server interface, others to a subset": an :class:`AccessControlList` maps
+principals (or the wildcard) to sets of permitted method names, and the
+server-side dispatch asks it before invoking a servant method when an
+authenticated principal is attached to the request.
+"""
+
+from __future__ import annotations
+
+import enum
+import fnmatch
+import threading
+from typing import Iterable
+
+from repro.security.keys import Principal
+
+__all__ = ["Permission", "AccessControlList"]
+
+
+class Permission(enum.Enum):
+    """Coarse permission classes attachable alongside method patterns."""
+
+    INVOKE = "invoke"
+    MIGRATE = "migrate"
+    ADMIN = "admin"
+
+
+class AccessControlList:
+    """Principal -> permitted method patterns (fnmatch style).
+
+    An entry for ``None`` is the anonymous/default rule.  Deny-by-default:
+    an unknown principal with no default rule is refused.
+
+    >>> acl = AccessControlList()
+    >>> acl.grant(Principal("alice"), ["get_*", "run"])
+    >>> acl.allows(Principal("alice"), "get_map")
+    True
+    >>> acl.allows(Principal("bob"), "get_map")
+    False
+    """
+
+    def __init__(self):
+        self._rules: dict[Principal | None, set[str]] = {}
+        self._perms: dict[Principal | None, set[Permission]] = {}
+        self._lock = threading.Lock()
+
+    def grant(self, principal: Principal | None,
+              method_patterns: Iterable[str],
+              permissions: Iterable[Permission] = (Permission.INVOKE,)
+              ) -> None:
+        with self._lock:
+            self._rules.setdefault(principal, set()).update(method_patterns)
+            self._perms.setdefault(principal, set()).update(permissions)
+
+    def revoke(self, principal: Principal | None) -> None:
+        with self._lock:
+            self._rules.pop(principal, None)
+            self._perms.pop(principal, None)
+
+    def allows(self, principal: Principal | None, method: str) -> bool:
+        with self._lock:
+            for who in (principal, None):
+                patterns = self._rules.get(who)
+                if patterns and any(fnmatch.fnmatchcase(method, p)
+                                    for p in patterns):
+                    return True
+        return False
+
+    def has_permission(self, principal: Principal | None,
+                       permission: Permission) -> bool:
+        with self._lock:
+            for who in (principal, None):
+                if permission in self._perms.get(who, ()):
+                    return True
+        return False
+
+    def principals(self) -> list[Principal | None]:
+        with self._lock:
+            return list(self._rules)

@@ -1,0 +1,101 @@
+"""XTEA block cipher in counter (CTR) mode, numpy-vectorized.
+
+A genuine (if dated) block cipher to sit alongside the keystream cipher:
+XTEA is the 64-bit-block, 128-bit-key Feistel network of Needham &
+Wheeler.  In CTR mode the cipher encrypts a counter sequence to produce
+keystream, so *all blocks are independent* — which lets the 32 Feistel
+rounds run vectorized across every block of the message at once instead
+of per-block Python loops.
+
+This is the "expensive, serious crypto" option for the encryption
+capability (``cipher="xtea"``), roughly 5-10x slower per byte than the
+xorshift keystream — a realistic stand-in for 1999 software DES, and the
+cost model the simulator charges for the security capability mirrors that
+ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["XteaCtr"]
+
+_DELTA = np.uint32(0x9E3779B9)
+_ROUNDS = 32
+_MASK32 = np.uint32(0xFFFFFFFF)
+
+
+class XteaCtr:
+    """XTEA-CTR over a 16-byte key.
+
+    ``apply(data, nonce)`` encrypts or decrypts (CTR is symmetric).
+    """
+
+    def __init__(self, key: bytes):
+        if len(key) != 16:
+            raise ValueError("XTEA key must be exactly 16 bytes")
+        self._k = np.frombuffer(key, dtype=">u4").astype(np.uint32)
+
+    def _keystream_blocks(self, nonce: int, nblocks: int) -> np.ndarray:
+        """Encrypt counter blocks [nonce, nonce+1, ...); returns uint32
+        array of shape (nblocks, 2) — the (v0, v1) halves of each block."""
+        counters = (np.uint64(nonce & 0xFFFFFFFFFFFFFFFF)
+                    + np.arange(nblocks, dtype=np.uint64))
+        v0 = (counters >> np.uint64(32)).astype(np.uint32)
+        v1 = (counters & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        k = self._k
+        total = np.uint32(0)
+        with np.errstate(over="ignore"):
+            for _ in range(_ROUNDS):
+                v0 = v0 + ((((v1 << np.uint32(4)) ^ (v1 >> np.uint32(5)))
+                            + v1) ^ (total + k[int(total & np.uint32(3))]))
+                total = total + _DELTA
+                v1 = v1 + ((((v0 << np.uint32(4)) ^ (v0 >> np.uint32(5)))
+                            + v0) ^ (total + k[int((total >> np.uint32(11))
+                                                   & np.uint32(3))]))
+        return np.stack([v0, v1], axis=1)
+
+    def keystream(self, nonce: int, nbytes: int) -> np.ndarray:
+        nblocks = (nbytes + 7) // 8
+        blocks = self._keystream_blocks(nonce, nblocks)
+        # big-endian serialization of each 32-bit half
+        raw = blocks.astype(">u4").tobytes()
+        return np.frombuffer(raw, dtype=np.uint8)[:nbytes]
+
+    def apply(self, data, nonce: int) -> bytes:
+        buf = np.frombuffer(memoryview(data).cast("B"), dtype=np.uint8)
+        if len(buf) == 0:
+            return b""
+        ks = self.keystream(nonce, len(buf))
+        return (buf ^ ks).tobytes()
+
+    encrypt = apply
+    decrypt = apply
+
+    # -- reference single-block primitives (used by tests) -----------------
+
+    def encrypt_block(self, v0: int, v1: int) -> tuple[int, int]:
+        """Scalar one-block XTEA encryption (reference implementation)."""
+        k = [int(x) for x in self._k]
+        total = 0
+        delta = 0x9E3779B9
+        for _ in range(_ROUNDS):
+            v0 = (v0 + (((((v1 << 4) & 0xFFFFFFFF) ^ (v1 >> 5)) + v1)
+                        ^ (total + k[total & 3]))) & 0xFFFFFFFF
+            total = (total + delta) & 0xFFFFFFFF
+            v1 = (v1 + (((((v0 << 4) & 0xFFFFFFFF) ^ (v0 >> 5)) + v0)
+                        ^ (total + k[(total >> 11) & 3]))) & 0xFFFFFFFF
+        return v0, v1
+
+    def decrypt_block(self, v0: int, v1: int) -> tuple[int, int]:
+        """Scalar one-block XTEA decryption (reference implementation)."""
+        k = [int(x) for x in self._k]
+        delta = 0x9E3779B9
+        total = (delta * _ROUNDS) & 0xFFFFFFFF
+        for _ in range(_ROUNDS):
+            v1 = (v1 - (((((v0 << 4) & 0xFFFFFFFF) ^ (v0 >> 5)) + v0)
+                        ^ (total + k[(total >> 11) & 3]))) & 0xFFFFFFFF
+            total = (total - delta) & 0xFFFFFFFF
+            v0 = (v0 - (((((v1 << 4) & 0xFFFFFFFF) ^ (v1 >> 5)) + v1)
+                        ^ (total + k[total & 3]))) & 0xFFFFFFFF
+        return v0, v1

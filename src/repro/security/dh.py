@@ -1,0 +1,81 @@
+"""Finite-field Diffie-Hellman key agreement.
+
+When an encryption capability is created without an explicit pre-shared
+key, the client and server glue halves run a DH exchange at capability
+registration time to derive one (see
+:class:`repro.core.capabilities.encryption.EncryptionCapability`).  Python
+integers make the modular exponentiation a one-liner (``pow``), so this is
+a complete, working implementation of the protocol, not a mock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.security.prng import Pcg32
+
+__all__ = ["DhParams", "DhPrivateKey", "DEFAULT_DH_PARAMS"]
+
+
+@dataclass(frozen=True)
+class DhParams:
+    """A DH group: safe prime modulus ``p`` and generator ``g``."""
+
+    p: int
+    g: int
+
+    def __post_init__(self):
+        if self.p < 5 or self.g < 2:
+            raise ValueError("degenerate DH parameters")
+
+
+# RFC 3526 group 5 (1536-bit MODP) — the smallest group the RFC still
+# lists; ample for a reproduction and fast in Python.
+_MODP_1536_HEX = (
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF"
+)
+
+DEFAULT_DH_PARAMS = DhParams(p=int(_MODP_1536_HEX, 16), g=2)
+
+
+class DhPrivateKey:
+    """One party's half of a DH exchange.
+
+    >>> a = DhPrivateKey(seed=1)
+    >>> b = DhPrivateKey(seed=2)
+    >>> a.shared_secret(b.public) == b.shared_secret(a.public)
+    True
+    """
+
+    def __init__(self, params: DhParams = DEFAULT_DH_PARAMS,
+                 seed: int | None = None):
+        self.params = params
+        rng = Pcg32(seed if seed is not None else id(self) ^ 0x5DEECE66D)
+        # 256 bits of private exponent is plenty for the 1536-bit group.
+        exponent = 0
+        for _ in range(8):
+            exponent = (exponent << 32) | rng.next_u32()
+        self._x = (exponent % (params.p - 3)) + 2
+        self.public = pow(params.g, self._x, params.p)
+
+    def shared_secret(self, other_public: int) -> int:
+        if not 2 <= other_public <= self.params.p - 2:
+            raise ValueError("peer public value out of range")
+        return pow(other_public, self._x, self.params.p)
+
+    def derive_key(self, other_public: int, nbytes: int = 16) -> bytes:
+        """Hash the shared secret down to a symmetric key."""
+        secret = self.shared_secret(other_public)
+        raw = secret.to_bytes((self.params.p.bit_length() + 7) // 8, "big")
+        digest = hashlib.sha256(raw).digest()
+        while len(digest) < nbytes:
+            digest += hashlib.sha256(digest).digest()
+        return digest[:nbytes]

@@ -1,0 +1,54 @@
+"""Message authentication: HMAC over SHA-256.
+
+Used by the authentication capability (per-request client authentication,
+as the Figure 3 scenario demands for off-LAN clients) and by the integrity
+capability's MAC mode.  ``hashlib`` provides the compression function; the
+HMAC construction itself (ipad/opad keying, RFC 2104) is written out here
+rather than taken from :mod:`hmac` so the whole wire transformation chain
+is visible in this codebase.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["hmac_sign", "hmac_verify", "constant_time_eq", "DIGEST_SIZE"]
+
+_BLOCK_SIZE = 64  # SHA-256 block size in bytes
+DIGEST_SIZE = 32
+
+_IPAD = bytes(0x36 for _ in range(_BLOCK_SIZE))
+_OPAD = bytes(0x5C for _ in range(_BLOCK_SIZE))
+
+
+def _prepare_key(key: bytes) -> bytes:
+    if len(key) > _BLOCK_SIZE:
+        key = hashlib.sha256(key).digest()
+    return key.ljust(_BLOCK_SIZE, b"\x00")
+
+
+def hmac_sign(key: bytes, message) -> bytes:
+    """RFC 2104 HMAC-SHA256 of ``message`` under ``key`` (32 bytes)."""
+    k = _prepare_key(key)
+    inner_key = bytes(a ^ b for a, b in zip(k, _IPAD))
+    outer_key = bytes(a ^ b for a, b in zip(k, _OPAD))
+    inner = hashlib.sha256(inner_key)
+    inner.update(message)
+    outer = hashlib.sha256(outer_key)
+    outer.update(inner.digest())
+    return outer.digest()
+
+
+def constant_time_eq(a: bytes, b: bytes) -> bool:
+    """Length-then-XOR-accumulate comparison; no early exit on mismatch."""
+    if len(a) != len(b):
+        return False
+    acc = 0
+    for x, y in zip(a, b):
+        acc |= x ^ y
+    return acc == 0
+
+
+def hmac_verify(key: bytes, message, tag: bytes) -> bool:
+    """Verify ``tag`` authenticates ``message`` under ``key``."""
+    return constant_time_eq(hmac_sign(key, message), bytes(tag))

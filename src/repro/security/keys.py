@@ -1,0 +1,81 @@
+"""Key store and principals.
+
+The authentication capability identifies clients by *principal* — the
+(name, realm) identity the national-lab scenario of §1 would assign to
+each collaborating site.  A :class:`KeyStore` holds the shared secrets the
+server uses to verify request MACs, keyed by principal name.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.exceptions import AuthenticationError
+from repro.security.prng import Pcg32
+
+__all__ = ["Principal", "KeyStore"]
+
+
+@dataclass(frozen=True)
+class Principal:
+    """A named identity within a realm (e.g. ``alice@lab.gov``)."""
+
+    name: str
+    realm: str = "default"
+
+    def __str__(self) -> str:
+        return f"{self.name}@{self.realm}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Principal":
+        if "@" in text:
+            name, realm = text.split("@", 1)
+            return cls(name, realm)
+        return cls(text)
+
+
+class KeyStore:
+    """Thread-safe map from principal to shared secret key.
+
+    Server contexts own one; the authentication capability consults it on
+    every request.  ``generate`` mints a fresh random key so tests and
+    examples don't hand-roll key material.
+    """
+
+    def __init__(self, seed: int = 0x5EED):
+        self._keys: dict[Principal, bytes] = {}
+        self._lock = threading.Lock()
+        self._rng = Pcg32(seed)
+
+    def install(self, principal: Principal, key: bytes) -> None:
+        if not key:
+            raise ValueError("empty key")
+        with self._lock:
+            self._keys[principal] = bytes(key)
+
+    def generate(self, principal: Principal, nbytes: int = 16) -> bytes:
+        with self._lock:
+            key = self._rng.bytes(nbytes)
+            self._keys[principal] = key
+            return key
+
+    def lookup(self, principal: Principal) -> bytes:
+        with self._lock:
+            try:
+                return self._keys[principal]
+            except KeyError:
+                raise AuthenticationError(
+                    f"no key installed for principal {principal}") from None
+
+    def revoke(self, principal: Principal) -> None:
+        with self._lock:
+            self._keys.pop(principal, None)
+
+    def known_principals(self) -> list[Principal]:
+        with self._lock:
+            return list(self._keys)
+
+    def __contains__(self, principal: Principal) -> bool:
+        with self._lock:
+            return principal in self._keys

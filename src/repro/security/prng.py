@@ -1,0 +1,136 @@
+"""Deterministic pseudo-random number generators.
+
+Two classic generators, implemented from scratch:
+
+* :class:`XorShift128` — Marsaglia xorshift128+, used to derive keystream
+  blocks for the stream cipher (fast, vectorizable state-free expansion).
+* :class:`Pcg32` — PCG-XSH-RR 32, used wherever the library needs
+  reproducible randomness that must be independent of numpy's global state
+  (nonce generation, synthetic workload draws).
+
+These are *not* cryptographically secure — neither was 1999-era exportable
+crypto; the capability layer cares about the mechanics (key agreement,
+per-connection policy, wire transformation), which these primitives
+exercise faithfully.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["XorShift128", "Pcg32", "splitmix64_stream"]
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def splitmix64_stream(seed: int, nbytes: int) -> np.ndarray:
+    """Counter-mode SplitMix64 keystream: byte ``8k..8k+7`` comes from
+    ``splitmix64(seed + k)``.
+
+    Unlike a stateful generator, every 64-bit block depends only on
+    ``(seed, k)``, so the whole stream is one vectorized numpy pass —
+    this is the cipher-grade fast path (hundreds of MB/s in Python).
+    """
+    if nbytes <= 0:
+        return np.empty(0, dtype=np.uint8)
+    nwords = (nbytes + 7) // 8
+    z = (np.uint64(seed & _MASK64)
+         + np.arange(nwords, dtype=np.uint64)
+         * np.uint64(0x9E3779B97F4A7C15))
+    with np.errstate(over="ignore"):
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        z = z ^ (z >> np.uint64(31))
+    return z.view(np.uint8)[:nbytes]
+
+
+class XorShift128:
+    """xorshift128+ with 64-bit outputs.
+
+    ``fill_block`` produces a numpy byte block, used as cipher keystream.
+    """
+
+    def __init__(self, seed: int):
+        if seed < 0:
+            raise ValueError("seed must be non-negative")
+        # SplitMix64 expansion of the seed into two nonzero state words.
+        s = (seed + 0x9E3779B97F4A7C15) & _MASK64
+        self.s0 = self._splitmix(s)
+        self.s1 = self._splitmix((s + 0x9E3779B97F4A7C15) & _MASK64)
+        if self.s0 == 0 and self.s1 == 0:
+            self.s1 = 1
+
+    @staticmethod
+    def _splitmix(z: int) -> int:
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EB & _MASK64
+        return (z ^ (z >> 31)) & _MASK64
+
+    def next_u64(self) -> int:
+        s1, s0 = self.s0, self.s1
+        self.s0 = s0
+        s1 ^= (s1 << 23) & _MASK64
+        self.s1 = (s1 ^ s0 ^ (s1 >> 17) ^ (s0 >> 26)) & _MASK64
+        return (self.s1 + s0) & _MASK64
+
+    def fill_block(self, nbytes: int) -> np.ndarray:
+        """Return ``nbytes`` of keystream as a uint8 array.
+
+        The state advances by ``ceil(nbytes / 8)`` steps.
+        """
+        nwords = (nbytes + 7) // 8
+        words = np.empty(nwords, dtype=np.uint64)
+        for i in range(nwords):
+            words[i] = self.next_u64()
+        return words.view(np.uint8)[:nbytes]
+
+
+class Pcg32:
+    """PCG-XSH-RR: 64-bit state, 32-bit output, selectable stream."""
+
+    _MULT = 6364136223846793005
+
+    def __init__(self, seed: int, stream: int = 0):
+        self.state = 0
+        self.inc = ((stream << 1) | 1) & _MASK64
+        self.next_u32()
+        self.state = (self.state + (seed & _MASK64)) & _MASK64
+        self.next_u32()
+
+    def next_u32(self) -> int:
+        old = self.state
+        self.state = (old * self._MULT + self.inc) & _MASK64
+        xorshifted = (((old >> 18) ^ old) >> 27) & 0xFFFFFFFF
+        rot = old >> 59
+        return ((xorshifted >> rot) | (xorshifted << ((-rot) & 31))) \
+            & 0xFFFFFFFF
+
+    def uniform(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self.next_u32() / 4294967296.0
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi] via rejection-free modulo (biased by
+        at most 2**-32 * (hi-lo), fine for workload synthesis)."""
+        if hi < lo:
+            raise ValueError("hi must be >= lo")
+        span = hi - lo + 1
+        return lo + self.next_u32() % span
+
+    def expovariate(self, rate: float) -> float:
+        """Exponentially distributed sample with the given rate."""
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        u = max(self.uniform(), 2.0 ** -33)
+        return -np.log(u) / rate
+
+    def choice(self, seq):
+        if not seq:
+            raise ValueError("choice from empty sequence")
+        return seq[self.randint(0, len(seq) - 1)]
+
+    def bytes(self, n: int) -> bytes:
+        out = bytearray()
+        while len(out) < n:
+            out += self.next_u32().to_bytes(4, "little")
+        return bytes(out[:n])

@@ -1,0 +1,258 @@
+"""Self-describing value marshaller over an XDR or CDR codec.
+
+This is the layer the ORB uses to turn Python method arguments into wire
+bytes.  Supported values: ``None``, ``bool``, ``int`` (any size), ``float``,
+``complex``, ``str``, ``bytes``/``bytearray``/``memoryview``, ``list``,
+``tuple``, ``set``, ``dict``, numpy ``ndarray``, and — via the pluggable
+hook — :class:`repro.core.objref.ObjectReference` so global pointers can be
+passed as arguments (how capabilities travel between processes, §4).
+
+Zero-copy discipline
+--------------------
+Large contiguous numpy arrays are encoded as a small header plus the raw
+buffer, which the underlying :class:`~repro.util.bytesbuf.ByteBuffer`
+stores *by reference*; decoding wraps the incoming ``memoryview`` with
+``np.frombuffer``.  Hence a 4 MB array argument crosses the codec with no
+byte-level copies in either direction — the property §3.2 demands of
+proto-object implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import MarshalError, TypeCodeError
+from repro.serialization.typecodes import ARRAY_DTYPES, DTYPE_CODES, TypeCode
+from repro.serialization.xdr import XdrDecoder, XdrEncoder
+
+__all__ = ["Marshaller", "dumps", "loads", "set_objref_hooks"]
+
+# Pluggable ObjectReference (de)serialization, installed by repro.core.objref
+# at import time to avoid a circular dependency: the marshaller must encode
+# ORs, and ORs carry protocol tables that are themselves marshalled.
+_OBJREF_HOOKS: Optional[tuple[Callable[[Any], bool],
+                              Callable[[Any], bytes],
+                              Callable[[bytes], Any]]] = None
+
+
+def set_objref_hooks(is_objref: Callable[[Any], bool],
+                     to_bytes: Callable[[Any], bytes],
+                     from_bytes: Callable[[bytes], Any]) -> None:
+    """Install the ObjectReference marshalling hooks (called by core)."""
+    global _OBJREF_HOOKS
+    _OBJREF_HOOKS = (is_objref, to_bytes, from_bytes)
+
+
+class Marshaller:
+    """Encode/decode arbitrary supported values over a codec pair.
+
+    ``encoder_cls``/``decoder_cls`` default to XDR; pass the CDR classes to
+    obtain a CDR marshaller.  Instances are stateless and thread-safe.
+    """
+
+    def __init__(self, encoder_cls=XdrEncoder, decoder_cls=XdrDecoder):
+        self.encoder_cls = encoder_cls
+        self.decoder_cls = decoder_cls
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+
+    def dumps(self, value: Any) -> bytes:
+        enc = self.encoder_cls()
+        self.encode_value(enc, value)
+        return enc.getvalue()
+
+    def dumps_many(self, values) -> bytes:
+        """Encode a fixed-arity sequence without a length prefix."""
+        enc = self.encoder_cls()
+        for value in values:
+            self.encode_value(enc, value)
+        return enc.getvalue()
+
+    def encode_value(self, enc, value: Any) -> None:
+        if value is None:
+            enc.pack_uint(TypeCode.NONE)
+        elif isinstance(value, bool):
+            enc.pack_uint(TypeCode.BOOL)
+            enc.pack_bool(value)
+        elif isinstance(value, int):
+            self._encode_int(enc, value)
+        elif isinstance(value, float):
+            enc.pack_uint(TypeCode.FLOAT64)
+            enc.pack_double(value)
+        elif isinstance(value, complex):
+            enc.pack_uint(TypeCode.COMPLEX128)
+            enc.pack_double(value.real)
+            enc.pack_double(value.imag)
+        elif isinstance(value, str):
+            enc.pack_uint(TypeCode.STRING)
+            enc.pack_string(value)
+        elif isinstance(value, (bytes, bytearray, memoryview)):
+            enc.pack_uint(TypeCode.BYTES)
+            enc.pack_opaque(value)
+        elif isinstance(value, np.ndarray):
+            self._encode_ndarray(enc, value)
+        elif isinstance(value, list):
+            enc.pack_uint(TypeCode.LIST)
+            enc.pack_array(value, lambda v: self.encode_value(enc, v))
+        elif isinstance(value, tuple):
+            enc.pack_uint(TypeCode.TUPLE)
+            enc.pack_array(value, lambda v: self.encode_value(enc, v))
+        elif isinstance(value, (set, frozenset)):
+            enc.pack_uint(TypeCode.SET)
+            enc.pack_array(sorted(value, key=repr),
+                           lambda v: self.encode_value(enc, v))
+        elif isinstance(value, dict):
+            enc.pack_uint(TypeCode.DICT)
+            enc.pack_uint(len(value))
+            for k, v in value.items():
+                self.encode_value(enc, k)
+                self.encode_value(enc, v)
+        elif _OBJREF_HOOKS is not None and _OBJREF_HOOKS[0](value):
+            enc.pack_uint(TypeCode.OBJREF)
+            enc.pack_opaque(_OBJREF_HOOKS[1](value))
+        elif isinstance(value, np.generic):
+            # numpy scalar: degrade to the matching Python scalar.
+            self.encode_value(enc, value.item())
+        else:
+            raise MarshalError(
+                f"cannot marshal value of type {type(value).__name__}")
+
+    def _encode_int(self, enc, value: int) -> None:
+        if -(2 ** 31) <= value < 2 ** 31:
+            enc.pack_uint(TypeCode.INT32)
+            enc.pack_int(value)
+        elif -(2 ** 63) <= value < 2 ** 63:
+            enc.pack_uint(TypeCode.INT64)
+            enc.pack_hyper(value)
+        else:
+            enc.pack_uint(TypeCode.BIGINT)
+            nbytes = (value.bit_length() + 8) // 8  # +8 keeps the sign bit
+            enc.pack_opaque(value.to_bytes(nbytes, "big", signed=True))
+
+    def _encode_ndarray(self, enc, arr: np.ndarray) -> None:
+        code = DTYPE_CODES.get(_canonical_dtype_str(arr.dtype))
+        if code is None:
+            raise MarshalError(f"unsupported ndarray dtype {arr.dtype}")
+        if not arr.flags.c_contiguous:
+            arr = np.ascontiguousarray(arr)
+        # Payload bytes are always little-endian on the wire regardless of
+        # the codec's integer byte order (the header says so via the dtype
+        # code table); byteswap only if the source array is big-endian.
+        if arr.dtype.byteorder == ">":
+            arr = arr.astype(arr.dtype.newbyteorder("<"))
+        enc.pack_uint(TypeCode.NDARRAY)
+        enc.pack_uint(code)
+        enc.pack_uint(arr.ndim)
+        for dim in arr.shape:
+            enc.pack_uhyper(dim)
+        data = arr.reshape(-1).view(np.uint8).data  # zero-copy memoryview
+        enc.pack_opaque(data)
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+
+    def loads(self, data) -> Any:
+        dec = self.decoder_cls(data)
+        value = self.decode_value(dec)
+        return value
+
+    def loads_many(self, data, count: int) -> list:
+        """Decode a fixed-arity sequence encoded by :meth:`dumps_many`."""
+        dec = self.decoder_cls(data)
+        return [self.decode_value(dec) for _ in range(count)]
+
+    def decode_value(self, dec) -> Any:
+        tag = dec.unpack_uint()
+        try:
+            code = TypeCode(tag)
+        except ValueError as exc:
+            raise TypeCodeError(f"unknown typecode {tag}") from exc
+        if code is TypeCode.NONE:
+            return None
+        if code is TypeCode.BOOL:
+            return dec.unpack_bool()
+        if code is TypeCode.INT32:
+            return dec.unpack_int()
+        if code is TypeCode.INT64:
+            return dec.unpack_hyper()
+        if code is TypeCode.BIGINT:
+            return int.from_bytes(bytes(dec.unpack_opaque()), "big",
+                                  signed=True)
+        if code is TypeCode.FLOAT64:
+            return dec.unpack_double()
+        if code is TypeCode.FLOAT32:
+            return dec.unpack_float()
+        if code is TypeCode.COMPLEX128:
+            return complex(dec.unpack_double(), dec.unpack_double())
+        if code is TypeCode.STRING:
+            return dec.unpack_string()
+        if code is TypeCode.BYTES:
+            return bytes(dec.unpack_opaque())
+        if code is TypeCode.NDARRAY:
+            return self._decode_ndarray(dec)
+        if code is TypeCode.LIST:
+            return dec.unpack_array(lambda: self.decode_value(dec))
+        if code is TypeCode.TUPLE:
+            return tuple(dec.unpack_array(lambda: self.decode_value(dec)))
+        if code is TypeCode.SET:
+            return set(dec.unpack_array(lambda: self.decode_value(dec)))
+        if code is TypeCode.DICT:
+            n = dec.unpack_uint()
+            out = {}
+            for _ in range(n):
+                k = self.decode_value(dec)
+                out[k] = self.decode_value(dec)
+            return out
+        if code is TypeCode.EXCEPTION:
+            remote_type = dec.unpack_string()
+            message = dec.unpack_string()
+            return (remote_type, message)
+        if code is TypeCode.OBJREF:
+            if _OBJREF_HOOKS is None:
+                raise MarshalError("OBJREF seen but no hooks installed")
+            return _OBJREF_HOOKS[2](bytes(dec.unpack_opaque()))
+        raise TypeCodeError(f"unhandled typecode {code!r}")
+
+    def _decode_ndarray(self, dec) -> np.ndarray:
+        dtype_code = dec.unpack_uint()
+        dtype_str = ARRAY_DTYPES.get(dtype_code)
+        if dtype_str is None:
+            raise TypeCodeError(f"unknown ndarray dtype code {dtype_code}")
+        ndim = dec.unpack_uint()
+        shape = tuple(dec.unpack_uhyper() for _ in range(ndim))
+        raw = dec.unpack_opaque()
+        dtype = np.dtype(dtype_str)
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if len(raw) != expected:
+            raise MarshalError(
+                f"ndarray payload is {len(raw)} bytes, expected {expected}")
+        # frombuffer is zero-copy; the result aliases the receive buffer and
+        # is read-only, matching in-argument semantics.
+        arr = np.frombuffer(raw, dtype=dtype)
+        return arr.reshape(shape)
+
+
+def _canonical_dtype_str(dtype: np.dtype) -> str:
+    """Map a dtype to the explicit-little-endian key used in DTYPE_CODES."""
+    if dtype == np.bool_:
+        return "|b1"
+    kind_char = dtype.kind + str(dtype.itemsize)
+    return "<" + kind_char
+
+
+_DEFAULT = Marshaller()
+
+
+def dumps(value: Any) -> bytes:
+    """Marshal ``value`` with the default (XDR) marshaller."""
+    return _DEFAULT.dumps(value)
+
+
+def loads(data) -> Any:
+    """Unmarshal bytes produced by :func:`dumps`."""
+    return _DEFAULT.loads(data)

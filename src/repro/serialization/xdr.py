@@ -1,0 +1,194 @@
+"""XDR (External Data Representation) encoder/decoder — RFC 1832 subset.
+
+XDR is the encoding the paper's reference proto-object uses ("a TCP based
+proto-object that uses XDR for data encoding", §3.1).  Properties:
+
+* big-endian integers and IEEE-754 floats,
+* every item padded to a 4-byte boundary,
+* variable-length opaque/string = 4-byte length + bytes + pad.
+
+Implemented from scratch on :class:`repro.util.bytesbuf.ByteBuffer` /
+:class:`~repro.util.bytesbuf.ByteReader`; opaque bodies ride the buffer's
+zero-copy path so a multi-megabyte array argument is never copied by the
+codec itself.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.exceptions import MarshalError
+from repro.util.bytesbuf import ByteBuffer, ByteReader
+
+__all__ = ["XdrEncoder", "XdrDecoder"]
+
+_PAD = b"\x00\x00\x00"
+
+_S_INT = struct.Struct(">i")
+_S_UINT = struct.Struct(">I")
+_S_HYPER = struct.Struct(">q")
+_S_UHYPER = struct.Struct(">Q")
+_S_FLOAT = struct.Struct(">f")
+_S_DOUBLE = struct.Struct(">d")
+
+INT32_MIN = -(2 ** 31)
+INT32_MAX = 2 ** 31 - 1
+INT64_MIN = -(2 ** 63)
+INT64_MAX = 2 ** 63 - 1
+
+
+def _padding(n: int) -> bytes:
+    r = n & 3
+    return _PAD[: (4 - r) & 3] if r else b""
+
+
+class XdrEncoder:
+    """Streaming XDR encoder.
+
+    All ``pack_*`` methods return ``self`` so encodings chain fluently::
+
+        enc = XdrEncoder()
+        enc.pack_uint(3).pack_string("add").pack_double(2.5)
+        wire = enc.getvalue()
+    """
+
+    #: Short stable name used in protocol descriptors.
+    name = "xdr"
+    byteorder = "big"
+
+    def __init__(self, buffer: ByteBuffer | None = None):
+        self.buffer = buffer if buffer is not None else ByteBuffer()
+
+    # -- integers ----------------------------------------------------------
+
+    def pack_int(self, value: int) -> "XdrEncoder":
+        if not INT32_MIN <= value <= INT32_MAX:
+            raise MarshalError(f"int32 out of range: {value}")
+        self.buffer.write(_S_INT.pack(value))
+        return self
+
+    def pack_uint(self, value: int) -> "XdrEncoder":
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise MarshalError(f"uint32 out of range: {value}")
+        self.buffer.write(_S_UINT.pack(value))
+        return self
+
+    def pack_hyper(self, value: int) -> "XdrEncoder":
+        if not INT64_MIN <= value <= INT64_MAX:
+            raise MarshalError(f"int64 out of range: {value}")
+        self.buffer.write(_S_HYPER.pack(value))
+        return self
+
+    def pack_uhyper(self, value: int) -> "XdrEncoder":
+        if not 0 <= value <= 0xFFFFFFFFFFFFFFFF:
+            raise MarshalError(f"uint64 out of range: {value}")
+        self.buffer.write(_S_UHYPER.pack(value))
+        return self
+
+    def pack_bool(self, value: bool) -> "XdrEncoder":
+        return self.pack_uint(1 if value else 0)
+
+    # -- floats ------------------------------------------------------------
+
+    def pack_float(self, value: float) -> "XdrEncoder":
+        self.buffer.write(_S_FLOAT.pack(value))
+        return self
+
+    def pack_double(self, value: float) -> "XdrEncoder":
+        self.buffer.write(_S_DOUBLE.pack(value))
+        return self
+
+    # -- opaque / strings ----------------------------------------------------
+
+    def pack_fixed_opaque(self, data) -> "XdrEncoder":
+        """Fixed-length opaque: bytes + pad, no length prefix."""
+        self.buffer.write(data)
+        self.buffer.write(_padding(len(data)))
+        return self
+
+    def pack_opaque(self, data) -> "XdrEncoder":
+        """Variable-length opaque: uint32 length + bytes + pad."""
+        self.pack_uint(len(data))
+        return self.pack_fixed_opaque(data)
+
+    def pack_string(self, value: str) -> "XdrEncoder":
+        return self.pack_opaque(value.encode("utf-8"))
+
+    # -- arrays --------------------------------------------------------------
+
+    def pack_array(self, items, pack_item) -> "XdrEncoder":
+        """Variable-length array: uint32 count then each item."""
+        items = list(items)
+        self.pack_uint(len(items))
+        for item in items:
+            pack_item(item)
+        return self
+
+    def getvalue(self) -> bytes:
+        return self.buffer.getvalue()
+
+
+class XdrDecoder:
+    """Streaming XDR decoder over a zero-copy :class:`ByteReader`."""
+
+    name = "xdr"
+    byteorder = "big"
+
+    def __init__(self, data):
+        self.reader = data if isinstance(data, ByteReader) else ByteReader(data)
+
+    def _skip_pad(self, n: int) -> None:
+        r = n & 3
+        if r:
+            self.reader.skip(4 - r)
+
+    # -- integers ----------------------------------------------------------
+
+    def unpack_int(self) -> int:
+        return _S_INT.unpack(self.reader.read(4))[0]
+
+    def unpack_uint(self) -> int:
+        return _S_UINT.unpack(self.reader.read(4))[0]
+
+    def unpack_hyper(self) -> int:
+        return _S_HYPER.unpack(self.reader.read(8))[0]
+
+    def unpack_uhyper(self) -> int:
+        return _S_UHYPER.unpack(self.reader.read(8))[0]
+
+    def unpack_bool(self) -> bool:
+        v = self.unpack_uint()
+        if v not in (0, 1):
+            raise MarshalError(f"XDR bool must be 0 or 1, got {v}")
+        return bool(v)
+
+    # -- floats ------------------------------------------------------------
+
+    def unpack_float(self) -> float:
+        return _S_FLOAT.unpack(self.reader.read(4))[0]
+
+    def unpack_double(self) -> float:
+        return _S_DOUBLE.unpack(self.reader.read(8))[0]
+
+    # -- opaque / strings ----------------------------------------------------
+
+    def unpack_fixed_opaque(self, n: int) -> memoryview:
+        out = self.reader.read(n)
+        self._skip_pad(n)
+        return out
+
+    def unpack_opaque(self) -> memoryview:
+        n = self.unpack_uint()
+        return self.unpack_fixed_opaque(n)
+
+    def unpack_string(self) -> str:
+        return bytes(self.unpack_opaque()).decode("utf-8")
+
+    # -- arrays --------------------------------------------------------------
+
+    def unpack_array(self, unpack_item) -> list:
+        n = self.unpack_uint()
+        return [unpack_item() for _ in range(n)]
+
+    def done(self) -> bool:
+        return self.reader.remaining == 0

@@ -1,0 +1,60 @@
+"""Deterministic network simulator.
+
+This package replaces the paper's physical testbed (Sun Ultra-10
+workstations on 10 Mbps Ethernet and 155 Mbps ATM, §5) with a virtual-time
+model:
+
+* :mod:`repro.simnet.linktypes` — link cost models (latency + bandwidth)
+  and the CPU cost model used to charge capability processing time,
+  calibrated to 1999-era hardware.
+* :mod:`repro.simnet.clock` — the virtual clock.
+* :mod:`repro.simnet.topology` — machines, LANs, sites, links, and routes.
+* :mod:`repro.simnet.simulator` — event queue plus synchronous transfer
+  accounting; every byte that crosses the simulated network is charged
+  wire time, and every capability transformation is charged CPU time.
+* :mod:`repro.simnet.presets` — ready-made topologies, including the
+  paper's Figure 4 testbed.
+* :mod:`repro.simnet.stats` — per-link transfer statistics.
+
+Design note: the *data* always really moves (transports hand actual bytes
+to the peer); the simulator only decides how much virtual time that
+movement costs.  This keeps the full marshalling/capability code path
+honest while making the Figure 5 bandwidth curves deterministic.
+"""
+
+from repro.simnet.clock import VirtualClock
+from repro.simnet.linktypes import (
+    ATM_155,
+    CpuModel,
+    ETHERNET_10,
+    ETHERNET_100,
+    LinkModel,
+    SHARED_MEMORY,
+    ULTRA10_CPU,
+    WAN_T3,
+)
+from repro.simnet.topology import LAN, Machine, Site, Topology
+from repro.simnet.simulator import NetworkSimulator
+from repro.simnet.presets import paper_testbed, two_machine_lan
+from repro.simnet.stats import LinkStats, TransferRecord
+
+__all__ = [
+    "VirtualClock",
+    "LinkModel",
+    "CpuModel",
+    "ETHERNET_10",
+    "ETHERNET_100",
+    "ATM_155",
+    "WAN_T3",
+    "SHARED_MEMORY",
+    "ULTRA10_CPU",
+    "Machine",
+    "LAN",
+    "Site",
+    "Topology",
+    "NetworkSimulator",
+    "paper_testbed",
+    "two_machine_lan",
+    "LinkStats",
+    "TransferRecord",
+]

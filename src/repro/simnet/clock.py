@@ -1,0 +1,41 @@
+"""Virtual clock for the network simulator.
+
+Implements the same ``now()`` protocol as
+:class:`repro.util.timing.WallClock`, so time-dependent components (the
+lease capability, the load monitor) run unchanged under simulation.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SimulationError
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Monotonic virtual time in seconds; advanced explicitly."""
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError("start time must be non-negative")
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance by ``dt`` seconds; returns the new time."""
+        if dt < 0:
+            raise SimulationError(f"cannot advance clock by {dt} (< 0)")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Jump forward to absolute time ``t`` (no-op if in the past is
+        requested — the event queue may deliver same-time events)."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock(t={self._now:.9f})"

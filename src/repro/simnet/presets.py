@@ -1,0 +1,79 @@
+"""Ready-made topologies, including the paper's Figure 4 testbed.
+
+:func:`paper_testbed` reproduces the experimental setup of §5 / Figure 4:
+
+* client context on machine **M0**;
+* server object starts on **M1**, then "pseudo-migrates" to **M2**, **M3**,
+  and finally **M0** itself;
+* the logical structure makes a different protocol win at each stop:
+
+  - M1 sits at a *different site*, so both the security and timeout
+    capabilities are applicable → glue(timeout+security) is selected;
+  - M2 is on the *same site but a different LAN* (same campus — "do not
+    need to use secure communication"), so only timeout applies →
+    glue(timeout);
+  - M3 is on the *same LAN* as M0, so no capability applies, and shared
+    memory is inapplicable (different machines) → plain Nexus/TCP;
+  - M0 is the *same machine* → shared memory.
+
+* physically, all four machines are plugged into the same network fabric
+  (the experiments ran once over Ethernet, once over ATM), so the
+  `fabric` argument picks the link model used for every non-loopback hop,
+  exactly as the paper re-ran one experiment per medium.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simnet.linktypes import ATM_155, ETHERNET_10, LinkModel
+from repro.simnet.topology import Machine, Topology
+
+__all__ = ["PaperTestbed", "paper_testbed", "two_machine_lan"]
+
+
+@dataclass(frozen=True)
+class PaperTestbed:
+    """The Figure 4 machines plus their topology."""
+
+    topology: Topology
+    m0: Machine  # client machine (and final migration target S4)
+    m1: Machine  # S1: remote site
+    m2: Machine  # S2: same site, different LAN
+    m3: Machine  # S3: same LAN as the client
+
+    @property
+    def machines(self):
+        return (self.m0, self.m1, self.m2, self.m3)
+
+
+def paper_testbed(fabric: LinkModel = ATM_155) -> PaperTestbed:
+    """Build the §5 experimental topology over the given physical fabric."""
+    topo = Topology()
+    campus = topo.add_site("campus")
+    remote_site = topo.add_site("remote-lab")
+
+    lan_client = topo.add_lan("campus-lan-1", campus, fabric)
+    lan_campus2 = topo.add_lan("campus-lan-2", campus, fabric)
+    lan_remote = topo.add_lan("remote-lan", remote_site, fabric)
+
+    # One fabric link between each pair of LANs (same physical medium).
+    topo.connect(lan_client, lan_campus2, fabric)
+    topo.connect(lan_client, lan_remote, fabric)
+    topo.connect(lan_campus2, lan_remote, fabric)
+
+    m0 = topo.add_machine("M0", lan_client)
+    m3 = topo.add_machine("M3", lan_client)
+    m2 = topo.add_machine("M2", lan_campus2)
+    m1 = topo.add_machine("M1", lan_remote)
+    return PaperTestbed(topology=topo, m0=m0, m1=m1, m2=m2, m3=m3)
+
+
+def two_machine_lan(fabric: LinkModel = ETHERNET_10) -> Topology:
+    """Minimal topology: two machines on one LAN (unit-test workhorse)."""
+    topo = Topology()
+    site = topo.add_site("site")
+    lan = topo.add_lan("lan", site, fabric)
+    topo.add_machine("A", lan)
+    topo.add_machine("B", lan)
+    return topo

@@ -1,0 +1,196 @@
+"""The network simulator: event queue + synchronous transfer accounting.
+
+Two usage styles, both over the same :class:`VirtualClock`:
+
+* **Synchronous** (what the RPC path uses): :meth:`NetworkSimulator.transfer`
+  charges the clock for one message immediately and returns its duration.
+  A remote invocation is request-transfer, server CPU, reply-transfer —
+  executed inline, with virtual time accumulating.
+
+* **Event-driven** (what the cluster workload harness uses):
+  :meth:`~NetworkSimulator.schedule` posts a callback at a future virtual
+  time and :meth:`~NetworkSimulator.run` drains the queue in timestamp
+  order; :meth:`~NetworkSimulator.post_message` is transfer-as-an-event.
+
+CPU cost accounting (:meth:`~NetworkSimulator.charge_cpu`) lives here as
+well: capabilities report "I digested N bytes" and the simulator converts
+that to virtual seconds using the *acting machine's* CPU model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+from repro.exceptions import SimulationError
+from repro.simnet.clock import VirtualClock
+from repro.simnet.stats import TransferLog, TransferRecord
+from repro.simnet.topology import Machine, Topology
+
+__all__ = ["NetworkSimulator"]
+
+
+class NetworkSimulator:
+    """Virtual-time message delivery over a :class:`Topology`.
+
+    ``congestion=True`` enables the queueing model: each link tracks its
+    recent utilization (busy seconds, exponentially decayed over
+    ``congestion_window`` virtual seconds) and messages crossing a
+    loaded link are delayed by the M/M/1-flavoured factor
+    ``1 / (1 - min(rho, 0.9))``.  Deterministic, like everything else —
+    the same message sequence always produces the same delays."""
+
+    def __init__(self, topology: Topology, clock: VirtualClock | None = None,
+                 keep_records: int = 10_000, congestion: bool = False,
+                 congestion_window: float = 1.0):
+        self.topology = topology
+        self.clock = clock if clock is not None else VirtualClock()
+        self.log = TransferLog(keep_records=keep_records)
+        self._queue: list = []
+        self._seq = itertools.count()
+        self.cpu_seconds = 0.0
+        self.congestion = congestion
+        if congestion_window <= 0:
+            raise SimulationError("congestion window must be positive")
+        self.congestion_window = congestion_window
+        # link name -> (decayed busy seconds, last update time)
+        self._link_busy: dict = {}
+
+    # ------------------------------------------------------------------
+    # congestion accounting
+    # ------------------------------------------------------------------
+
+    def link_utilization(self, link_name: str) -> float:
+        """Recent utilization of a link in [0, 1] (0 without congestion
+        accounting or traffic)."""
+        busy, last = self._link_busy.get(link_name, (0.0, 0.0))
+        now = self.clock.now()
+        if now > last:
+            busy *= 2.0 ** (-(now - last) / self.congestion_window)
+        return min(busy / self.congestion_window, 1.0)
+
+    def _congestion_factor(self, link) -> float:
+        rho = min(self.link_utilization(link.name), 0.9)
+        return 1.0 / (1.0 - rho)
+
+    def _record_busy(self, link, seconds: float) -> None:
+        busy, last = self._link_busy.get(link.name, (0.0, 0.0))
+        now = self.clock.now()
+        if now > last:
+            busy *= 2.0 ** (-(now - last) / self.congestion_window)
+        self._link_busy[link.name] = (busy + seconds, now)
+
+    # ------------------------------------------------------------------
+    # synchronous accounting (RPC path)
+    # ------------------------------------------------------------------
+
+    def _route(self, src: Machine, dst: Machine, loopback=None):
+        """Route for a message; a same-machine message may override the
+        default loopback model (e.g. a network protocol talking to itself
+        pays TCP-loopback cost, not raw shared-memory cost)."""
+        if loopback is not None and src.name == dst.name:
+            return [loopback]
+        return self.topology.route(src, dst)
+
+    def transfer_duration(self, src: Machine, dst: Machine,
+                          nbytes: int, loopback=None) -> float:
+        """Virtual seconds for one ``nbytes`` message, store-and-forward
+        across each link on the route (including any congestion delay at
+        current utilization)."""
+        links = self._route(src, dst, loopback)
+        if not self.congestion:
+            return sum(link.transfer_time(nbytes) for link in links)
+        return sum(link.transfer_time(nbytes)
+                   * self._congestion_factor(link) for link in links)
+
+    def transfer(self, src: Machine, dst: Machine, nbytes: int,
+                 loopback=None) -> float:
+        """Charge the clock for one message now; returns its duration."""
+        links = tuple(self._route(src, dst, loopback))
+        duration = 0.0
+        for link in links:
+            base = link.transfer_time(nbytes)
+            if self.congestion:
+                base *= self._congestion_factor(link)
+                self._record_busy(link, base)
+            duration += base
+        record = TransferRecord(
+            src=src.name, dst=dst.name, nbytes=nbytes,
+            start_time=self.clock.now(), duration=duration, links=links)
+        self.clock.advance(duration)
+        self.log.add(record)
+        return duration
+
+    def charge_cpu(self, machine: Machine, seconds: float) -> float:
+        """Charge ``seconds`` of CPU work on ``machine`` to the clock.
+
+        The machine's ``cpu.speed_factor`` is already applied by the
+        CpuModel cost methods; this just advances time and keeps a
+        cumulative counter for reporting.
+        """
+        if seconds < 0:
+            raise SimulationError("negative CPU charge")
+        self.clock.advance(seconds)
+        self.cpu_seconds += seconds
+        return seconds
+
+    # ------------------------------------------------------------------
+    # event-driven mode
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise SimulationError("cannot schedule in the past")
+        heapq.heappush(self._queue,
+                       (self.clock.now() + delay, next(self._seq), action))
+
+    def post_message(self, src: Machine, dst: Machine, nbytes: int,
+                     on_delivered: Callable[[TransferRecord], None]) -> None:
+        """Deliver a message as an event: ``on_delivered(record)`` fires
+        after the route's transfer time elapses."""
+        links = tuple(self.topology.route(src, dst))
+        duration = 0.0
+        for link in links:
+            base = link.transfer_time(nbytes)
+            if self.congestion:
+                base *= self._congestion_factor(link)
+                self._record_busy(link, base)
+            duration += base
+        record = TransferRecord(
+            src=src.name, dst=dst.name, nbytes=nbytes,
+            start_time=self.clock.now(), duration=duration, links=links)
+
+        def deliver():
+            self.log.add(record)
+            on_delivered(record)
+
+        self.schedule(duration, deliver)
+
+    def run(self, until: Optional[float] = None,
+            max_events: int = 1_000_000) -> int:
+        """Drain the event queue in timestamp order.
+
+        Stops when the queue empties, virtual time would pass ``until``,
+        or ``max_events`` have fired (guard against runaway self-scheduling
+        workloads).  Returns the number of events processed.
+        """
+        processed = 0
+        while self._queue and processed < max_events:
+            t, _seq, action = self._queue[0]
+            if until is not None and t > until:
+                break
+            heapq.heappop(self._queue)
+            self.clock.advance_to(t)
+            action()
+            processed += 1
+        if until is not None:
+            # Simulated time always reaches the horizon, whether or not
+            # events remain beyond it.
+            self.clock.advance_to(until)
+        return processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,86 @@
+"""Transfer statistics for the simulator.
+
+Every simulated message leaves a :class:`TransferRecord`; aggregated
+:class:`LinkStats` feed the benchmark reports and the load monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.util.stats import OnlineStats
+
+__all__ = ["TransferRecord", "LinkStats", "TransferLog"]
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One simulated message delivery."""
+
+    src: str
+    dst: str
+    nbytes: int
+    start_time: float
+    duration: float
+    links: tuple
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration
+
+    @property
+    def bandwidth_mbps(self) -> float:
+        if self.duration <= 0:
+            return float("inf")
+        return self.nbytes * 8.0 / self.duration / 1e6
+
+
+@dataclass
+class LinkStats:
+    """Aggregate per-link counters."""
+
+    name: str
+    messages: int = 0
+    bytes: int = 0
+    busy_seconds: float = 0.0
+
+    def record(self, nbytes: int, duration: float) -> None:
+        self.messages += 1
+        self.bytes += nbytes
+        self.busy_seconds += duration
+
+
+class TransferLog:
+    """Bounded log of transfers plus per-link aggregates.
+
+    ``keep_records=0`` disables the per-record log (aggregates are always
+    maintained), which the long-running load-balancing benchmarks use.
+    """
+
+    def __init__(self, keep_records: int = 10_000):
+        self.keep_records = keep_records
+        self.records: List[TransferRecord] = []
+        self.per_link: Dict[str, LinkStats] = {}
+        self.total_messages = 0
+        self.total_bytes = 0
+        self.durations = OnlineStats()
+
+    def add(self, record: TransferRecord) -> None:
+        self.total_messages += 1
+        self.total_bytes += record.nbytes
+        self.durations.add(record.duration)
+        if self.keep_records and len(self.records) < self.keep_records:
+            self.records.append(record)
+        for link in record.links:
+            stats = self.per_link.get(link.name)
+            if stats is None:
+                stats = self.per_link[link.name] = LinkStats(link.name)
+            stats.record(record.nbytes, record.duration)
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.per_link.clear()
+        self.total_messages = 0
+        self.total_bytes = 0
+        self.durations = OnlineStats()

@@ -1,0 +1,174 @@
+"""Simulated topology: machines, LANs, sites, links, and routing.
+
+The granularity matches what the paper's applicability predicates care
+about (§4.3): *same machine*, *same LAN*, *same site* (campus), or
+farther.  Machines belong to LANs, LANs belong to sites.  Links connect
+LANs (intra-LAN traffic uses the LAN's own link model; the loopback
+"link" for same-machine traffic is the shared-memory model).
+
+Routing is shortest-path by hop count over the LAN graph (plain BFS — the
+topologies of interest are a handful of LANs, so this needs no external
+graph library).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.exceptions import TopologyError
+from repro.simnet.linktypes import (
+    CpuModel,
+    LinkModel,
+    SHARED_MEMORY,
+    ULTRA10_CPU,
+)
+
+__all__ = ["Machine", "LAN", "Site", "Topology"]
+
+
+@dataclass(frozen=True)
+class Site:
+    """An administrative site (campus); the trust boundary of §4.3."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class LAN:
+    """A local-area network segment within a site."""
+
+    name: str
+    site: Site
+    link: LinkModel
+
+    def __post_init__(self):
+        if not self.name:
+            raise TopologyError("LAN needs a name")
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A host: the unit object migration moves servants between."""
+
+    name: str
+    lan: LAN
+    cpu: CpuModel = ULTRA10_CPU
+
+    @property
+    def site(self) -> Site:
+        return self.lan.site
+
+    def locality_to(self, other: "Machine") -> str:
+        """Classify the relationship: ``same-machine`` / ``same-lan`` /
+        ``same-site`` / ``remote``.  This string is what applicability
+        predicates dispatch on."""
+        if self.name == other.name:
+            return "same-machine"
+        if self.lan.name == other.lan.name:
+            return "same-lan"
+        if self.site.name == other.site.name:
+            return "same-site"
+        return "remote"
+
+
+class Topology:
+    """Mutable registry of sites/LANs/machines plus the inter-LAN graph."""
+
+    def __init__(self):
+        self.sites: Dict[str, Site] = {}
+        self.lans: Dict[str, LAN] = {}
+        self.machines: Dict[str, Machine] = {}
+        # adjacency: lan name -> [(peer lan name, link model)]
+        self._links: Dict[str, List[Tuple[str, LinkModel]]] = {}
+        self.loopback: LinkModel = SHARED_MEMORY
+
+    # -- construction -------------------------------------------------------
+
+    def add_site(self, name: str) -> Site:
+        if name in self.sites:
+            raise TopologyError(f"site {name!r} already exists")
+        site = Site(name)
+        self.sites[name] = site
+        return site
+
+    def add_lan(self, name: str, site: Site, link: LinkModel) -> LAN:
+        if name in self.lans:
+            raise TopologyError(f"LAN {name!r} already exists")
+        if site.name not in self.sites:
+            raise TopologyError(f"unknown site {site.name!r}")
+        lan = LAN(name, site, link)
+        self.lans[name] = lan
+        self._links.setdefault(name, [])
+        return lan
+
+    def add_machine(self, name: str, lan: LAN,
+                    cpu: CpuModel = ULTRA10_CPU) -> Machine:
+        if name in self.machines:
+            raise TopologyError(f"machine {name!r} already exists")
+        if lan.name not in self.lans:
+            raise TopologyError(f"unknown LAN {lan.name!r}")
+        machine = Machine(name, lan, cpu)
+        self.machines[name] = machine
+        return machine
+
+    def connect(self, lan_a: LAN, lan_b: LAN, link: LinkModel) -> None:
+        """Join two LANs with a bidirectional link."""
+        for lan in (lan_a, lan_b):
+            if lan.name not in self.lans:
+                raise TopologyError(f"unknown LAN {lan.name!r}")
+        if lan_a.name == lan_b.name:
+            raise TopologyError("cannot connect a LAN to itself")
+        self._links[lan_a.name].append((lan_b.name, link))
+        self._links[lan_b.name].append((lan_a.name, link))
+
+    # -- queries -------------------------------------------------------------
+
+    def machine(self, name: str) -> Machine:
+        try:
+            return self.machines[name]
+        except KeyError:
+            raise TopologyError(f"unknown machine {name!r}") from None
+
+    def route(self, src: Machine, dst: Machine) -> List[LinkModel]:
+        """The ordered links a message crosses from ``src`` to ``dst``.
+
+        Same machine -> ``[loopback]``.  Same LAN -> ``[lan.link]``.
+        Otherwise BFS over the inter-LAN graph; each inter-LAN hop
+        contributes its connecting link, plus the source and destination
+        LAN segments themselves.
+        """
+        if src.name not in self.machines or dst.name not in self.machines:
+            raise TopologyError("route between unregistered machines")
+        if src.name == dst.name:
+            return [self.loopback]
+        if src.lan.name == dst.lan.name:
+            return [src.lan.link]
+
+        # BFS over LANs, tracking the links crossed.
+        start, goal = src.lan.name, dst.lan.name
+        frontier = deque([start])
+        came_from: Dict[str, Tuple[str, LinkModel]] = {start: (start, None)}
+        while frontier:
+            here = frontier.popleft()
+            if here == goal:
+                break
+            for peer, link in self._links.get(here, ()):
+                if peer not in came_from:
+                    came_from[peer] = (here, link)
+                    frontier.append(peer)
+        if goal not in came_from:
+            raise TopologyError(
+                f"no route from LAN {start!r} to LAN {goal!r}")
+        hops: List[LinkModel] = []
+        node = goal
+        while node != start:
+            node, link = came_from[node]
+            hops.append(link)
+        hops.reverse()
+        # Source and destination LAN segments carry the message too.
+        return [src.lan.link, *hops, dst.lan.link]
+
+    def locality(self, src_name: str, dst_name: str) -> str:
+        return self.machine(src_name).locality_to(self.machine(dst_name))

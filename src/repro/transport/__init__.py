@@ -1,0 +1,56 @@
+"""Byte-moving transports underneath the protocol objects.
+
+A *transport* turns an address into a duplex, message-framed
+:class:`~repro.transport.base.Channel`.  Four implementations:
+
+* :mod:`repro.transport.inproc` — queue pair inside one process; the
+  baseline used by unit tests and the wall-clock benchmarks.
+* :mod:`repro.transport.shm` — single-producer/single-consumer byte ring
+  with blocking semantics, modelling a shared-memory segment between two
+  contexts on one machine.
+* :mod:`repro.transport.tcp` — real TCP sockets (loopback), with the
+  length-prefixed framing of :mod:`repro.transport.framing`.
+* :mod:`repro.transport.simtransport` — delivery through the
+  :class:`~repro.simnet.simulator.NetworkSimulator`: bytes arrive intact
+  and instantly, but each message charges virtual wire time for the
+  route between the two machines.
+
+Transports register by name in :data:`repro.transport.base.TRANSPORTS` so
+protocol descriptors can reference them portably.
+"""
+
+from repro.transport.base import (
+    Channel,
+    Listener,
+    Transport,
+    TRANSPORTS,
+    get_transport,
+    register_transport,
+)
+from repro.transport.framing import read_frame, write_frame
+from repro.transport.inproc import InProcTransport
+from repro.transport.shm import ShmRing, ShmTransport
+from repro.transport.tcp import TcpTransport
+from repro.transport.simtransport import (
+    SimChannel,
+    SimShmTransport,
+    SimTransport,
+)
+
+__all__ = [
+    "Channel",
+    "Listener",
+    "Transport",
+    "TRANSPORTS",
+    "get_transport",
+    "register_transport",
+    "read_frame",
+    "write_frame",
+    "InProcTransport",
+    "ShmRing",
+    "ShmTransport",
+    "TcpTransport",
+    "SimChannel",
+    "SimTransport",
+    "SimShmTransport",
+]

@@ -1,0 +1,108 @@
+"""Transport abstractions: channels, listeners, transports, registry.
+
+A :class:`Channel` is duplex and **message-oriented**: ``send`` delivers a
+whole message; ``recv`` returns a whole message.  Framing over stream
+media is the transport's job, not the caller's.
+
+Addresses are plain dicts (the proto-data of §3.1 is deliberately
+schemaless — each proto-class knows its own address shape); they must be
+marshallable because they travel inside object references.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional
+
+from repro.exceptions import TransportError
+
+__all__ = [
+    "Channel",
+    "Listener",
+    "Transport",
+    "TRANSPORTS",
+    "register_transport",
+    "get_transport",
+]
+
+
+class Channel(abc.ABC):
+    """Duplex message pipe between two parties."""
+
+    @abc.abstractmethod
+    def send(self, data) -> None:
+        """Send one message (bytes-like).  Raises ``ChannelClosedError``
+        if the channel is closed."""
+
+    @abc.abstractmethod
+    def recv(self, timeout: Optional[float] = None) -> bytes:
+        """Block for the next message.  ``timeout`` in seconds; ``None``
+        blocks indefinitely.  Raises ``ChannelClosedError`` when the peer
+        has closed and no data remains, ``TransportError`` on timeout."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Close both directions; idempotent."""
+
+    @property
+    @abc.abstractmethod
+    def closed(self) -> bool:
+        ...
+
+    def __enter__(self) -> "Channel":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class Listener(abc.ABC):
+    """Server-side accept point."""
+
+    @abc.abstractmethod
+    def accept(self, timeout: Optional[float] = None) -> Channel:
+        """Block for the next inbound connection."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        ...
+
+    @property
+    @abc.abstractmethod
+    def address(self) -> dict:
+        """The address clients should ``connect`` to (marshallable)."""
+
+
+class Transport(abc.ABC):
+    """Factory for listeners and outbound channels."""
+
+    #: Registry key; also referenced from protocol descriptors.
+    name: str = ""
+
+    @abc.abstractmethod
+    def listen(self, address: Optional[dict] = None) -> Listener:
+        """Open an accept point; ``address`` may be partial (e.g. port 0)."""
+
+    @abc.abstractmethod
+    def connect(self, address: dict) -> Channel:
+        """Open a channel to a listener's address."""
+
+
+TRANSPORTS: Dict[str, Transport] = {}
+
+
+def register_transport(transport: Transport,
+                       replace: bool = False) -> Transport:
+    if not transport.name:
+        raise ValueError("transport must define a name")
+    if transport.name in TRANSPORTS and not replace:
+        raise ValueError(f"transport {transport.name!r} already registered")
+    TRANSPORTS[transport.name] = transport
+    return transport
+
+
+def get_transport(name: str) -> Transport:
+    try:
+        return TRANSPORTS[name]
+    except KeyError:
+        raise TransportError(f"unknown transport {name!r}") from None

@@ -1,0 +1,118 @@
+"""In-process transport: a pair of thread-safe queues per channel.
+
+The fastest *real* (wall-clock) transport; contexts in the same Python
+process talk through it with no serialization shortcuts — messages are
+still the same bytes every other transport carries, so the full
+marshalling path is exercised.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from typing import Optional
+
+from repro.exceptions import ChannelClosedError, TransportError
+from repro.transport.base import Channel, Listener, Transport
+
+__all__ = ["InProcTransport", "InProcChannel"]
+
+_CLOSE = object()  # sentinel pushed into the queue on close
+
+
+class InProcChannel(Channel):
+    """One endpoint of a queue pair."""
+
+    def __init__(self, send_q: queue.Queue, recv_q: queue.Queue):
+        self._send_q = send_q
+        self._recv_q = recv_q
+        self._closed = False
+
+    def send(self, data) -> None:
+        if self._closed:
+            raise ChannelClosedError("send on closed channel")
+        self._send_q.put(bytes(data))
+
+    def recv(self, timeout: Optional[float] = None) -> bytes:
+        if self._closed:
+            raise ChannelClosedError("recv on closed channel")
+        try:
+            item = self._recv_q.get(timeout=timeout)
+        except queue.Empty:
+            raise TransportError(f"recv timed out after {timeout}s") \
+                from None
+        if item is _CLOSE:
+            self._closed = True
+            raise ChannelClosedError("peer closed")
+        return item
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._send_q.put(_CLOSE)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class _InProcListener(Listener):
+    def __init__(self, transport: "InProcTransport", key: str):
+        self._transport = transport
+        self._key = key
+        self._pending: queue.Queue = queue.Queue()
+        self._closed = False
+
+    def accept(self, timeout: Optional[float] = None) -> Channel:
+        if self._closed:
+            raise ChannelClosedError("accept on closed listener")
+        try:
+            item = self._pending.get(timeout=timeout)
+        except queue.Empty:
+            raise TransportError("accept timed out") from None
+        if item is _CLOSE:
+            raise ChannelClosedError("listener closed")
+        return item
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._transport._listeners.pop(self._key, None)
+            self._pending.put(_CLOSE)
+
+    @property
+    def address(self) -> dict:
+        return {"transport": self._transport.name, "key": self._key}
+
+
+class InProcTransport(Transport):
+    """Registry of in-process listeners keyed by string."""
+
+    name = "inproc"
+
+    def __init__(self):
+        self._listeners: dict[str, _InProcListener] = {}
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+
+    def listen(self, address: Optional[dict] = None) -> Listener:
+        with self._lock:
+            key = (address or {}).get("key") or f"ep-{next(self._counter)}"
+            if key in self._listeners:
+                raise TransportError(f"inproc key {key!r} already bound")
+            listener = _InProcListener(self, key)
+            self._listeners[key] = listener
+            return listener
+
+    def connect(self, address: dict) -> Channel:
+        key = address.get("key")
+        listener = self._listeners.get(key)
+        if listener is None or listener._closed:
+            raise TransportError(f"no inproc listener at {key!r}")
+        a_to_b: queue.Queue = queue.Queue()
+        b_to_a: queue.Queue = queue.Queue()
+        client = InProcChannel(a_to_b, b_to_a)
+        server = InProcChannel(b_to_a, a_to_b)
+        listener._pending.put(server)
+        return client

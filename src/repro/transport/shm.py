@@ -1,0 +1,218 @@
+"""Shared-memory-style transport: SPSC byte rings with blocking semantics.
+
+Models the paper's shared-memory protocol ("applicable only for clients
+and servers running on the same machine", §4.3).  Each direction of a
+channel is a :class:`ShmRing` — a fixed-capacity circular byte buffer
+with a single producer and single consumer, the classic shm-segment
+construction: writers block when the ring is full, readers when empty,
+and messages are length-prefixed inside the ring exactly as they would be
+in a real segment.
+
+The ring is deliberately implemented at the byte level (not a queue of
+Python objects) so its capacity pressure, wrap-around handling, and
+partial-write behaviour are real and testable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+import threading
+from typing import Optional
+
+from repro.exceptions import ChannelClosedError, FramingError, TransportError
+from repro.transport.base import Channel, Listener, Transport
+
+__all__ = ["ShmRing", "ShmChannel", "ShmTransport"]
+
+_LEN = struct.Struct(">I")
+
+
+class ShmRing:
+    """Single-producer single-consumer circular byte buffer.
+
+    ``write(data)`` appends raw bytes, blocking while full;
+    ``read(n)`` removes exactly ``n`` bytes, blocking while empty.
+    Message boundaries are the caller's concern (:class:`ShmChannel`
+    length-prefixes).
+    """
+
+    def __init__(self, capacity: int = 1 << 16):
+        if capacity < 8:
+            raise ValueError("ring capacity must be at least 8 bytes")
+        self.capacity = capacity
+        self._buf = bytearray(capacity)
+        self._head = 0          # read position
+        self._size = 0          # bytes currently stored
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    @property
+    def size(self) -> int:
+        with self._lock:
+            return self._size
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def write(self, data, timeout: Optional[float] = None) -> None:
+        """Append all of ``data``, blocking in chunks while the ring is
+        full.  Chunked writes let messages larger than the ring capacity
+        stream through, as they would through a real segment."""
+        view = memoryview(data)
+        offset = 0
+        with self._not_full:
+            while offset < len(view):
+                while self._size == self.capacity and not self._closed:
+                    if not self._not_full.wait(timeout):
+                        raise TransportError("ring write timed out")
+                if self._closed:
+                    raise ChannelClosedError("ring closed during write")
+                take = min(len(view) - offset, self.capacity - self._size)
+                tail = (self._head + self._size) % self.capacity
+                first = min(take, self.capacity - tail)
+                self._buf[tail:tail + first] = view[offset:offset + first]
+                if take > first:
+                    self._buf[: take - first] = \
+                        view[offset + first:offset + take]
+                self._size += take
+                offset += take
+                self._not_empty.notify()
+
+    def read(self, n: int, timeout: Optional[float] = None) -> bytes:
+        """Remove exactly ``n`` bytes, blocking while fewer are stored."""
+        if n < 0:
+            raise ValueError("read size must be non-negative")
+        out = bytearray(n)
+        offset = 0
+        with self._not_empty:
+            while offset < n:
+                while self._size == 0 and not self._closed:
+                    if not self._not_empty.wait(timeout):
+                        raise TransportError("ring read timed out")
+                if self._size == 0 and self._closed:
+                    raise ChannelClosedError("ring closed during read")
+                take = min(n - offset, self._size)
+                first = min(take, self.capacity - self._head)
+                out[offset:offset + first] = \
+                    self._buf[self._head:self._head + first]
+                if take > first:
+                    out[offset + first:offset + take] = \
+                        self._buf[: take - first]
+                self._head = (self._head + take) % self.capacity
+                self._size -= take
+                offset += take
+                self._not_full.notify()
+        return bytes(out)
+
+
+class ShmChannel(Channel):
+    """Duplex channel over two rings, with length-prefixed messages."""
+
+    def __init__(self, send_ring: ShmRing, recv_ring: ShmRing):
+        self._send_ring = send_ring
+        self._recv_ring = recv_ring
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+
+    def send(self, data) -> None:
+        payload = memoryview(data)
+        with self._send_lock:
+            # Header and payload must be adjacent in the ring: hold the
+            # sender lock across both writes.
+            self._send_ring.write(_LEN.pack(len(payload)))
+            self._send_ring.write(payload)
+
+    def recv(self, timeout: Optional[float] = None) -> bytes:
+        with self._recv_lock:
+            header = self._recv_ring.read(_LEN.size, timeout)
+            (length,) = _LEN.unpack(header)
+            if length > (1 << 31):
+                raise FramingError("implausible shm message length")
+            return self._recv_ring.read(length, timeout)
+
+    def close(self) -> None:
+        self._send_ring.close()
+        self._recv_ring.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._send_ring.closed or self._recv_ring.closed
+
+
+class _ShmListener(Listener):
+    def __init__(self, transport: "ShmTransport", key: str,
+                 ring_capacity: int):
+        import queue as _queue
+
+        self._transport = transport
+        self._key = key
+        self._ring_capacity = ring_capacity
+        self._pending: "_queue.Queue" = _queue.Queue()
+        self._closed = False
+
+    def accept(self, timeout: Optional[float] = None) -> Channel:
+        import queue as _queue
+
+        if self._closed:
+            raise ChannelClosedError("accept on closed listener")
+        try:
+            item = self._pending.get(timeout=timeout)
+        except _queue.Empty:
+            raise TransportError("accept timed out") from None
+        if item is None:
+            raise ChannelClosedError("listener closed")
+        return item
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._transport._listeners.pop(self._key, None)
+            self._pending.put(None)
+
+    @property
+    def address(self) -> dict:
+        return {"transport": self._transport.name, "key": self._key}
+
+
+class ShmTransport(Transport):
+    """Shared-memory transport; channels are ring pairs."""
+
+    name = "shm"
+
+    def __init__(self, ring_capacity: int = 1 << 16):
+        self.ring_capacity = ring_capacity
+        self._listeners: dict[str, _ShmListener] = {}
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+
+    def listen(self, address: Optional[dict] = None) -> Listener:
+        with self._lock:
+            key = (address or {}).get("key") or f"seg-{next(self._counter)}"
+            if key in self._listeners:
+                raise TransportError(f"shm key {key!r} already bound")
+            listener = _ShmListener(self, key, self.ring_capacity)
+            self._listeners[key] = listener
+            return listener
+
+    def connect(self, address: dict) -> Channel:
+        key = address.get("key")
+        listener = self._listeners.get(key)
+        if listener is None or listener._closed:
+            raise TransportError(f"no shm listener at {key!r}")
+        c2s = ShmRing(self.ring_capacity)
+        s2c = ShmRing(self.ring_capacity)
+        client = ShmChannel(c2s, s2c)
+        server = ShmChannel(s2c, c2s)
+        listener._pending.put(server)
+        return client

@@ -1,0 +1,197 @@
+"""Transport over the network simulator.
+
+The simulated world is single-threaded and synchronous: virtual time only
+moves when a message or CPU charge says so.  A :class:`SimChannel`
+therefore works callback-style —
+
+* ``send(data)`` charges the simulator for the route between the two
+  machines and then *synchronously* hands the bytes to the peer: if the
+  peer installed an ``on_message`` callback (a served endpoint), it runs
+  inline; otherwise the bytes land in the peer's inbox for a later
+  ``recv()``.
+* ``recv()`` pops the inbox; it never blocks — in a synchronous virtual
+  world an empty inbox is a programming error, not a wait state.
+
+Connections are likewise synchronous: ``connect`` charges one small setup
+message and delivers the server-side channel to the listener's
+``on_connect`` callback (or its pending queue).
+
+Each :class:`SimTransport` instance is bound to one simulator and one
+*local machine*; the machine is what the simulator charges transfers
+against, and listeners share a simulator-wide key space so any machine's
+transport can reach any listener.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Callable, Optional
+
+from repro.exceptions import ChannelClosedError, TransportError
+from repro.simnet.simulator import NetworkSimulator
+from repro.simnet.topology import Machine
+from repro.transport.base import Channel, Listener, Transport
+
+__all__ = ["SimChannel", "SimTransport", "SimShmTransport"]
+
+#: Virtual size charged for connection setup (SYN-scale).
+_SETUP_BYTES = 64
+
+
+class SimChannel(Channel):
+    """One end of a simulated connection.
+
+    ``loopback_model`` (optional) overrides the link model used when both
+    ends share a machine — a network-protocol channel pays TCP-loopback
+    cost rather than raw shared-memory cost.
+    """
+
+    def __init__(self, sim: NetworkSimulator, machine: Machine,
+                 loopback_model=None):
+        self.sim = sim
+        self.machine = machine
+        self.loopback_model = loopback_model
+        self.peer: Optional["SimChannel"] = None
+        self.inbox: deque[bytes] = deque()
+        self.on_message: Optional[Callable[[bytes, "SimChannel"], None]] = \
+            None
+        self._closed = False
+
+    def _bind(self, peer: "SimChannel") -> None:
+        self.peer = peer
+        peer.peer = self
+
+    def send(self, data) -> None:
+        if self._closed:
+            raise ChannelClosedError("send on closed sim channel")
+        peer = self.peer
+        if peer is None or peer._closed:
+            raise ChannelClosedError("peer closed")
+        payload = bytes(data)
+        self.sim.transfer(self.machine, peer.machine, len(payload),
+                          loopback=self.loopback_model)
+        if peer.on_message is not None:
+            peer.on_message(payload, peer)
+        else:
+            peer.inbox.append(payload)
+
+    def recv(self, timeout: Optional[float] = None) -> bytes:
+        if self.inbox:
+            return self.inbox.popleft()
+        if self._closed or (self.peer is not None and self.peer._closed):
+            raise ChannelClosedError("sim channel closed")
+        raise TransportError(
+            "recv on empty inbox: the synchronous simulated world has no "
+            "pending message for this channel")
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class _SimListener(Listener):
+    def __init__(self, transport: "SimTransport", key: str):
+        self._transport = transport
+        self._key = key
+        self.machine = transport.machine
+        self.pending: deque[SimChannel] = deque()
+        self.on_connect: Optional[Callable[[SimChannel], None]] = None
+        self._closed = False
+
+    def accept(self, timeout: Optional[float] = None) -> Channel:
+        if self.pending:
+            return self.pending.popleft()
+        if self._closed:
+            raise ChannelClosedError("accept on closed listener")
+        raise TransportError("no pending simulated connection")
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._transport.sim_listeners.pop(self._key, None)
+
+    @property
+    def address(self) -> dict:
+        return {"transport": self._transport.name, "key": self._key,
+                "machine": self.machine.name}
+
+
+class SimTransport(Transport):
+    """Per-machine window onto the shared simulated network.
+
+    All instances created with the same ``NetworkSimulator`` share one
+    listener key space (stored on the simulator object itself), so a
+    client transport on machine A can connect to a listener opened by the
+    transport on machine B.
+    """
+
+    name = "sim"
+
+    #: Optional link-model override for same-machine traffic (see
+    #: :class:`SimChannel`).
+    loopback_model = None
+
+    def __init__(self, sim: NetworkSimulator, machine: Machine | str):
+        self.sim = sim
+        self.machine = (machine if isinstance(machine, Machine)
+                        else sim.topology.machine(machine))
+        if not hasattr(sim, "_sim_listeners"):
+            sim._sim_listeners = {}
+        if not hasattr(sim, "_sim_key_counter"):
+            sim._sim_key_counter = itertools.count()
+
+    @property
+    def sim_listeners(self) -> dict:
+        return self.sim._sim_listeners
+
+    def listen(self, address: Optional[dict] = None) -> Listener:
+        key = (address or {}).get("key") or \
+            f"simep-{next(self.sim._sim_key_counter)}"
+        if key in self.sim_listeners:
+            raise TransportError(f"sim key {key!r} already bound")
+        listener = _SimListener(self, key)
+        self.sim_listeners[key] = listener
+        return listener
+
+    def connect(self, address: dict) -> Channel:
+        key = address.get("key")
+        listener = self.sim_listeners.get(key)
+        if listener is None or listener._closed:
+            raise TransportError(f"no sim listener at {key!r}")
+        self._check_reachable(listener)
+        client = SimChannel(self.sim, self.machine, self.loopback_model)
+        server = SimChannel(self.sim, listener.machine, self.loopback_model)
+        client._bind(server)
+        # Charge a small handshake for the connection setup.
+        self.sim.transfer(self.machine, listener.machine, _SETUP_BYTES,
+                          loopback=self.loopback_model)
+        if listener.on_connect is not None:
+            listener.on_connect(server)
+        else:
+            listener.pending.append(server)
+        return client
+
+    def _check_reachable(self, listener) -> None:
+        """Hook for subclasses to restrict reachability."""
+
+
+class SimShmTransport(SimTransport):
+    """Shared-memory over the simulator: same machine only.
+
+    The paper's shared-memory protocol is "applicable only for clients
+    and servers running on the same machine" (§4.3); protocol selection
+    normally filters it out beforehand, but the transport enforces the
+    physical constraint too.
+    """
+
+    name = "sim-shm"
+
+    def _check_reachable(self, listener) -> None:
+        if listener.machine.name != self.machine.name:
+            raise TransportError(
+                f"shared memory cannot span machines "
+                f"({self.machine.name} -> {listener.machine.name})")

@@ -1,0 +1,139 @@
+"""Real TCP transport (loopback), with length-prefixed framing.
+
+This is the wall-clock analogue of the paper's "Nexus based protocol that
+uses TCP": genuine sockets, genuine kernel buffering, genuine framing.
+The benchmarks use it to demonstrate the protocol stack end to end on
+real I/O; the simulated variant supplies the deterministic Figure 5
+numbers.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional
+
+from repro.exceptions import ChannelClosedError, TransportError
+from repro.transport.base import Channel, Listener, Transport
+from repro.transport.framing import read_frame, sock_read_exact, write_frame
+
+__all__ = ["TcpTransport", "TcpChannel"]
+
+
+class TcpChannel(Channel):
+    """Framed messages over a connected socket."""
+
+    def __init__(self, sock: socket.socket):
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._read_exact = sock_read_exact(sock)
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._closed = False
+
+    def send(self, data) -> None:
+        if self._closed:
+            raise ChannelClosedError("send on closed channel")
+        with self._send_lock:
+            try:
+                write_frame(self._sock.sendall, data)
+            except OSError as exc:
+                self._closed = True
+                raise ChannelClosedError(f"send failed: {exc}") from exc
+
+    def recv(self, timeout: Optional[float] = None) -> bytes:
+        if self._closed:
+            raise ChannelClosedError("recv on closed channel")
+        with self._recv_lock:
+            try:
+                self._sock.settimeout(timeout)
+                return read_frame(self._read_exact)
+            except socket.timeout:
+                raise TransportError(f"recv timed out after {timeout}s") \
+                    from None
+            except ChannelClosedError:
+                self._closed = True
+                raise
+            except OSError as exc:
+                self._closed = True
+                raise ChannelClosedError(f"recv failed: {exc}") from exc
+            finally:
+                if not self._closed:
+                    self._sock.settimeout(None)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class _TcpListener(Listener):
+    def __init__(self, host: str, port: int):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(16)
+        self._host, self._port = self._sock.getsockname()
+        self._closed = False
+
+    def accept(self, timeout: Optional[float] = None) -> Channel:
+        if self._closed:
+            raise ChannelClosedError("accept on closed listener")
+        try:
+            self._sock.settimeout(timeout)
+            conn, _addr = self._sock.accept()
+            return TcpChannel(conn)
+        except socket.timeout:
+            raise TransportError("accept timed out") from None
+        except OSError as exc:
+            raise ChannelClosedError(f"accept failed: {exc}") from exc
+        finally:
+            if not self._closed:
+                try:
+                    self._sock.settimeout(None)
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._sock.close()
+
+    @property
+    def address(self) -> dict:
+        return {"transport": "tcp", "host": self._host, "port": self._port}
+
+
+class TcpTransport(Transport):
+    """TCP on loopback by default; address = {host, port}."""
+
+    name = "tcp"
+
+    def __init__(self, default_host: str = "127.0.0.1"):
+        self.default_host = default_host
+
+    def listen(self, address: Optional[dict] = None) -> Listener:
+        address = address or {}
+        return _TcpListener(address.get("host", self.default_host),
+                            address.get("port", 0))
+
+    def connect(self, address: dict) -> Channel:
+        host = address.get("host", self.default_host)
+        port = address.get("port")
+        if port is None:
+            raise TransportError("tcp address needs a port")
+        try:
+            sock = socket.create_connection((host, port), timeout=5.0)
+            sock.settimeout(None)
+        except OSError as exc:
+            raise TransportError(
+                f"connect to {host}:{port} failed: {exc}") from exc
+        return TcpChannel(sock)

@@ -1,0 +1,81 @@
+"""Time sources and a stopwatch.
+
+Two kinds of time flow through the system:
+
+* **wall time** — what real transports (TCP loopback, in-proc queues)
+  experience; provided by :class:`WallClock`.
+* **virtual time** — what the network simulator advances; provided by
+  :class:`repro.simnet.clock.VirtualClock`, which implements the same
+  :class:`TimeSource` protocol.
+
+Components that need "now" accept any :class:`TimeSource`, so the same
+lease-capability code works under both clocks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+__all__ = ["TimeSource", "WallClock", "Stopwatch"]
+
+
+@runtime_checkable
+class TimeSource(Protocol):
+    """Anything with a ``now() -> float`` in seconds."""
+
+    def now(self) -> float:  # pragma: no cover - protocol
+        ...
+
+
+class WallClock:
+    """Monotonic wall-clock time source."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "WallClock()"
+
+
+class Stopwatch:
+    """Accumulating stopwatch over an arbitrary :class:`TimeSource`.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self, source: TimeSource | None = None):
+        self._source = source or WallClock()
+        self._started_at: float | None = None
+        self.elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def start(self) -> "Stopwatch":
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = self._source.now()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch is not running")
+        self.elapsed += self._source.now() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self._started_at = None
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,36 @@
+"""Tests for the ``python -m repro.bench`` command-line runner."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "glue[auth]" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4", "--repetitions", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "glue[quota+encryption]" in out
+        assert "shm" in out
+
+    def test_fig5_ethernet(self, capsys):
+        assert main(["fig5", "--fabric", "ethernet",
+                     "--repetitions", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ethernet-10" in out
+        assert "shm speedup" in out
+
+    def test_bad_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_all(self, capsys):
+        assert main(["all", "--repetitions", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "atm-155" in out and "ethernet-10" in out
+        assert "Figure 4" in out and "Figure 3" in out

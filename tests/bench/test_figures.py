@@ -1,0 +1,135 @@
+"""Tests that the experiment drivers reproduce the paper's *shape*.
+
+These are the quantitative claims of §5, checked as assertions:
+
+1. over the network, all protocols (plain and capability-stacked)
+   perform "almost identically" — the relative spread is small;
+2. shared memory is "more than an order of magnitude faster";
+3. the capabilities approach "adds only a small amount of overhead";
+4. the Figure 4 tour selects the documented protocol at each stage;
+5. the Figure 3 migration flips which client authenticates.
+"""
+
+import pytest
+
+from repro.bench.figures import DEFAULT_SIZES, PROTOCOL_LABELS, run_fig5
+from repro.bench.reporting import format_series_table, format_table
+from repro.bench.scenario import run_fig3_scenario, run_fig4_scenario
+from repro.simnet.linktypes import ATM_155, ETHERNET_10
+
+
+@pytest.fixture(scope="module")
+def fig5_atm():
+    return run_fig5(fabric=ATM_155, repetitions=2)
+
+
+@pytest.fixture(scope="module")
+def fig5_eth():
+    return run_fig5(fabric=ETHERNET_10, repetitions=2)
+
+
+class TestFig5Shape:
+    def test_all_protocols_present(self, fig5_atm):
+        assert set(fig5_atm.bandwidth_mbps) == set(PROTOCOL_LABELS)
+        assert all(len(v) == len(DEFAULT_SIZES)
+                   for v in fig5_atm.bandwidth_mbps.values())
+
+    def test_bandwidth_monotone_in_size(self, fig5_atm):
+        for series in fig5_atm.bandwidth_mbps.values():
+            assert all(b > a * 0.99 for a, b in zip(series, series[1:]))
+
+    def test_network_protocols_nearly_identical(self, fig5_atm):
+        """§5: 'all protocols except for the shared memory protocol
+        perform almost identically'."""
+        for i in range(len(fig5_atm.sizes)):
+            values = [fig5_atm.bandwidth_mbps[label][i]
+                      for label in PROTOCOL_LABELS[:3]]
+            assert max(values) / min(values) < 1.30
+
+    def test_shm_order_of_magnitude_faster(self, fig5_atm):
+        """§5: 'more than an order of magnitude faster'."""
+        assert fig5_atm.shm_speedup_at(DEFAULT_SIZES[-1]) > 10
+        assert fig5_atm.shm_speedup_at(DEFAULT_SIZES[0]) > 10
+
+    def test_capability_overhead_small(self, fig5_atm):
+        """§5: 'the capabilities based approach adds only a small amount
+        of overhead' — under 15% of achieved bandwidth on ATM."""
+        overhead = fig5_atm.capability_overhead_at(DEFAULT_SIZES[-1])
+        assert 0 <= overhead < 0.15
+
+    def test_ethernet_virtually_identical_shape(self, fig5_eth):
+        """§5: 'those for Ethernet are virtually identical' — same
+        qualitative structure on the slow fabric."""
+        assert fig5_eth.shm_speedup_at(DEFAULT_SIZES[-1]) > 10
+        # On 10 Mbps Ethernet the wire dominates even harder, so the
+        # capability overhead is *smaller* than on ATM.
+        assert fig5_eth.capability_overhead_at(DEFAULT_SIZES[-1]) < 0.05
+
+    def test_ethernet_slower_than_atm(self, fig5_atm, fig5_eth):
+        last = -1
+        assert fig5_eth.bandwidth_mbps["Nexus"][last] < \
+            fig5_atm.bandwidth_mbps["Nexus"][last]
+
+    def test_atm_saturates_in_paper_range(self, fig5_atm):
+        """The big-message plateau sits in the tens of Mbps (the paper's
+        achieved band), far below the 155 Mbps line rate."""
+        nexus = fig5_atm.bandwidth_mbps["Nexus"][-1]
+        assert 15 < nexus < 80
+
+    def test_deterministic(self):
+        a = run_fig5(repetitions=1, sizes=[1024, 65536])
+        b = run_fig5(repetitions=1, sizes=[1024, 65536])
+        assert a.bandwidth_mbps == b.bandwidth_mbps
+
+
+class TestFig4Scenario:
+    @pytest.fixture(scope="class")
+    def stages(self):
+        return run_fig4_scenario(repetitions=2)
+
+    def test_four_stages(self, stages):
+        assert [s.machine for s in stages] == ["M1", "M2", "M3", "M0"]
+
+    def test_protocol_sequence(self, stages):
+        assert [s.selected for s in stages] == [
+            "glue[quota+encryption]",
+            "glue[quota]",
+            "nexus",
+            "shm",
+        ]
+
+    def test_bandwidth_improves_along_the_tour(self, stages):
+        bws = [s.bandwidth_mbps for s in stages]
+        assert bws[0] < bws[1] < bws[2] < bws[3]
+        assert bws[3] > 10 * bws[2] / 10  # shm >> network
+        assert bws[3] / bws[0] > 10
+
+
+class TestFig3Scenario:
+    def test_roles_flip(self):
+        result = run_fig3_scenario()
+        assert result.before == {"P1": "nexus", "P2": "glue[auth]"}
+        assert result.after == {"P1": "glue[auth]", "P2": "nexus"}
+
+
+class TestReporting:
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [300000, 0.00001]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "3e+05" in out or "300000" in out
+
+    def test_format_series_table(self):
+        out = format_series_table("size", [1, 2],
+                                  {"x": [0.5, 1.5], "y": [2, 4]})
+        assert "size" in out and "x" in out and "y" in out
+        assert len(out.splitlines()) == 4
+
+    def test_format_number_edge_cases(self):
+        from repro.bench.reporting import format_number
+
+        assert format_number(None) == "-"
+        assert format_number(0) == "0"
+        assert format_number("text") == "text"
+        assert format_number(True) == "True"

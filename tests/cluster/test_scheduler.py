@@ -1,0 +1,126 @@
+"""Tests for the admission-time placement scheduler."""
+
+import pytest
+
+from repro.cluster import PlacementScheduler, build_cluster
+from repro.core import ORB, HealthMonitor
+from repro.core.context import Placement
+from repro.exceptions import HpcError
+from repro.simnet import ETHERNET_10, NetworkSimulator, Topology
+
+from tests.core.conftest import Counter
+
+
+def make_world():
+    topo = Topology()
+    site_a = topo.add_site("a")
+    site_b = topo.add_site("b")
+    lan1 = topo.add_lan("lan1", site_a, ETHERNET_10)
+    lan2 = topo.add_lan("lan2", site_a, ETHERNET_10)
+    lan3 = topo.add_lan("lan3", site_b, ETHERNET_10)
+    topo.connect(lan1, lan2, ETHERNET_10)
+    topo.connect(lan2, lan3, ETHERNET_10)
+    for i, lan in enumerate((lan1, lan2, lan3)):
+        topo.add_machine(f"m{i}", lan)
+    sim = NetworkSimulator(topo)
+    orb = ORB(simulator=sim)
+    nodes = build_cluster(orb, ["m0", "m1", "m2"])
+    return orb, [n.context for n in nodes]
+
+
+class TestPolicies:
+    def test_round_robin_cycles(self):
+        _orb, contexts = make_world()
+        sched = PlacementScheduler(contexts, policy="round-robin")
+        chosen = [sched.place(Counter())[0].id for _ in range(6)]
+        assert chosen[:3] == [c.id for c in contexts]
+        assert chosen[3:] == chosen[:3]
+
+    def test_least_loaded(self):
+        _orb, contexts = make_world()
+        contexts[0].monitor.busy_fraction.value = 0.8
+        contexts[1].monitor.busy_fraction.value = 0.1
+        contexts[2].monitor.busy_fraction.value = 0.5
+        sched = PlacementScheduler(contexts, policy="least-loaded")
+        ctx, oref = sched.place(Counter())
+        assert ctx is contexts[1]
+        assert oref.object_id in ctx.servants
+        assert sched.placements == [(oref.object_id, ctx.id)]
+
+    def test_locality_prefers_nearest(self):
+        _orb, contexts = make_world()
+        sched = PlacementScheduler(contexts, policy="locality")
+        client_placement = Placement("m2", "lan3", "b")
+        ctx, _oref = sched.place(Counter(), near=client_placement)
+        assert ctx.placement.machine == "m2"
+
+    def test_locality_breaks_ties_by_load(self):
+        _orb, contexts = make_world()
+        # Client is on no machine we host: all contexts are "remote".
+        client_placement = Placement("elsewhere", "nowhere", "offsite")
+        contexts[0].monitor.busy_fraction.value = 0.9
+        contexts[1].monitor.busy_fraction.value = 0.1
+        contexts[2].monitor.busy_fraction.value = 0.5
+        sched = PlacementScheduler(contexts, policy="locality")
+        ctx = sched.choose(near=client_placement)
+        assert ctx is contexts[1]
+
+    def test_locality_needs_placement(self):
+        _orb, contexts = make_world()
+        sched = PlacementScheduler(contexts, policy="locality")
+        with pytest.raises(HpcError):
+            sched.choose()
+
+    def test_unknown_policy(self):
+        _orb, contexts = make_world()
+        with pytest.raises(HpcError):
+            PlacementScheduler(contexts, policy="astrology")
+
+    def test_empty_contexts(self):
+        with pytest.raises(HpcError):
+            PlacementScheduler([])
+
+
+class TestHealthVeto:
+    def test_dead_context_skipped(self):
+        orb = ORB()
+        home = orb.context("home")
+        home.call_timeout = 0.3
+        a = orb.context("a")
+        b = orb.context("b")
+        health = HealthMonitor(home)
+        health.watch_context(a)
+        health.watch_context(b)
+        a.stop()
+        health.sweep()
+        sched = PlacementScheduler([a, b], policy="round-robin",
+                                   health=health)
+        for _ in range(4):
+            ctx, _ = sched.place(Counter())
+            assert ctx is b
+        orb.shutdown()
+
+    def test_all_dead_raises(self):
+        orb = ORB()
+        home = orb.context("home2")
+        home.call_timeout = 0.3
+        a = orb.context("a2")
+        health = HealthMonitor(home)
+        health.watch_context(a)
+        a.stop()
+        health.sweep()
+        sched = PlacementScheduler([a], health=health)
+        with pytest.raises(HpcError):
+            sched.choose()
+        orb.shutdown()
+
+
+class TestEndToEnd:
+    def test_placed_objects_reachable(self):
+        orb, contexts = make_world()
+        client = orb.context("client", machine="m0")
+        sched = PlacementScheduler(contexts, policy="round-robin")
+        orefs = [sched.place(Counter())[1] for _ in range(3)]
+        for i, oref in enumerate(orefs):
+            gp = client.bind(oref)
+            assert gp.invoke("add", i + 1) == i + 1

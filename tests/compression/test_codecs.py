@@ -1,0 +1,155 @@
+"""Tests for RLE, LZSS, and zlib codecs and the registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import (
+    CODECS,
+    LzssCodec,
+    RleCodec,
+    ZlibCodec,
+    get_codec,
+    register_codec,
+)
+from repro.compression.codec import Codec
+from repro.exceptions import CompressionError
+
+ALL_CODECS = [RleCodec(), LzssCodec(), ZlibCodec()]
+
+
+@pytest.fixture(params=ALL_CODECS, ids=lambda c: c.name)
+def codec(request):
+    return request.param
+
+
+class TestRoundtrips:
+    def test_empty(self, codec):
+        assert codec.decompress(codec.compress(b"")) == b""
+
+    def test_simple(self, codec):
+        msg = b"hello hello hello world"
+        assert codec.decompress(codec.compress(msg)) == msg
+
+    def test_binary_payload(self, codec):
+        rng = np.random.default_rng(1)
+        msg = rng.integers(0, 256, size=10_000, dtype=np.uint8).tobytes()
+        assert codec.decompress(codec.compress(msg)) == msg
+
+    def test_long_runs(self, codec):
+        msg = b"\x00" * 100_000 + b"\x01" * 3 + b"\x00" * 500
+        assert codec.decompress(codec.compress(msg)) == msg
+
+    def test_single_byte(self, codec):
+        assert codec.decompress(codec.compress(b"x")) == b"x"
+
+    def test_accepts_memoryview(self, codec):
+        msg = b"abcabcabc" * 10
+        assert codec.decompress(codec.compress(memoryview(msg))) == msg
+
+    @given(st.binary(max_size=3000))
+    @settings(max_examples=40)
+    def test_roundtrip_property_rle(self, msg):
+        c = RleCodec()
+        assert c.decompress(c.compress(msg)) == msg
+
+    @given(st.binary(max_size=1500))
+    @settings(max_examples=30)
+    def test_roundtrip_property_lzss(self, msg):
+        c = LzssCodec()
+        assert c.decompress(c.compress(msg)) == msg
+
+    @given(st.binary(max_size=3000))
+    @settings(max_examples=30)
+    def test_roundtrip_property_zlib(self, msg):
+        c = ZlibCodec()
+        assert c.decompress(c.compress(msg)) == msg
+
+
+class TestCompressionQuality:
+    def test_rle_wins_on_zero_runs(self):
+        msg = b"\x00" * 50_000
+        assert RleCodec().ratio(msg) < 0.01
+
+    def test_lzss_compresses_repetitive_text(self):
+        msg = b"the quick brown fox " * 500
+        assert LzssCodec().ratio(msg) < 0.3
+
+    def test_zlib_compresses_text(self):
+        msg = b"some highly repetitive text. " * 200
+        assert ZlibCodec().ratio(msg) < 0.2
+
+    def test_ratio_of_empty_is_one(self):
+        assert RleCodec().ratio(b"") == 1.0
+
+    def test_incompressible_data_bounded_expansion(self):
+        rng = np.random.default_rng(0)
+        msg = rng.integers(0, 256, size=4096, dtype=np.uint8).tobytes()
+        # RLE worst case is 2x + header; LZSS worst case ~ 1.13x.
+        assert len(RleCodec().compress(msg)) <= 2 * len(msg) + 16
+        assert len(LzssCodec().compress(msg)) <= 1.2 * len(msg) + 16
+
+
+class TestErrorHandling:
+    def test_wrong_magic_rejected(self, codec):
+        with pytest.raises(CompressionError):
+            codec.decompress(b"XXX\x00\x00\x00\x00garbage")
+
+    def test_cross_codec_rejected(self):
+        wire = RleCodec().compress(b"data data data")
+        with pytest.raises(CompressionError):
+            LzssCodec().decompress(wire)
+        with pytest.raises(CompressionError):
+            ZlibCodec().decompress(wire)
+
+    def test_truncated_stream_rejected(self, codec):
+        wire = codec.compress(b"payload payload payload" * 20)
+        with pytest.raises(CompressionError):
+            codec.decompress(wire[: len(wire) // 2])
+
+    def test_rle_zero_count_rejected(self):
+        # Hand-craft an RL1 stream with an illegal zero-length run.
+        bad = b"RL1" + (1).to_bytes(4, "big") + b"\x00\x41"
+        with pytest.raises(CompressionError):
+            RleCodec().decompress(bad)
+
+    def test_zlib_level_validation(self):
+        with pytest.raises(ValueError):
+            ZlibCodec(level=10)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        for name in ("rle", "lzss", "zlib"):
+            assert name in CODECS
+            assert get_codec(name).name == name
+
+    def test_unknown_codec(self):
+        with pytest.raises(CompressionError):
+            get_codec("nope")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            register_codec(RleCodec())
+
+    def test_replace_allowed(self):
+        original = get_codec("rle")
+        try:
+            replacement = RleCodec()
+            register_codec(replacement, replace=True)
+            assert get_codec("rle") is replacement
+        finally:
+            register_codec(original, replace=True)
+
+    def test_unnamed_codec_rejected(self):
+        class Nameless(Codec):
+            name = ""
+
+            def compress(self, data):
+                return b""
+
+            def decompress(self, data):
+                return b""
+
+        with pytest.raises(ValueError):
+            register_codec(Nameless())

@@ -1,0 +1,77 @@
+"""Shared fixtures for core tests: servants, wall-clock and simulated
+ORB worlds."""
+
+import pytest
+
+from repro.core import ORB
+from repro.idl import remote_interface, remote_method
+from repro.simnet import NetworkSimulator, paper_testbed
+
+
+@remote_interface("Counter")
+class Counter:
+    """Simple stateful servant used across the core tests."""
+
+    def __init__(self, start: int = 0):
+        self.n = start
+
+    @remote_method
+    def add(self, k: int) -> int:
+        self.n += k
+        return self.n
+
+    @remote_method
+    def get(self) -> int:
+        return self.n
+
+    @remote_method
+    def fail(self, message: str):
+        raise RuntimeError(message)
+
+    @remote_method(oneway=True)
+    def bump(self):
+        self.n += 1
+
+    @remote_method
+    def echo(self, value):
+        return value
+
+    # state protocol for by-value migration
+    def hpc_get_state(self):
+        return {"n": self.n}
+
+    def hpc_set_state(self, state):
+        self.n = state["n"]
+
+
+@pytest.fixture
+def wall_orb():
+    orb = ORB()
+    yield orb
+    orb.shutdown()
+
+
+@pytest.fixture
+def wall_pair(wall_orb):
+    """(server ctx, client ctx) in one wall-clock 'machine'."""
+    server = wall_orb.context("server")
+    client = wall_orb.context("client")
+    return server, client
+
+
+@pytest.fixture
+def sim_world():
+    """The paper testbed: simulator + ORB + client on M0 and one server
+    context per machine."""
+    tb = paper_testbed()
+    sim = NetworkSimulator(tb.topology)
+    orb = ORB(simulator=sim)
+    contexts = {
+        "client": orb.context("client", machine=tb.m0),
+        "s1": orb.context("s1", machine=tb.m1),
+        "s2": orb.context("s2", machine=tb.m2),
+        "s3": orb.context("s3", machine=tb.m3),
+        "s4": orb.context("s4", machine=tb.m0),
+    }
+    yield orb, sim, tb, contexts
+    orb.shutdown()

@@ -1,0 +1,513 @@
+"""Unit tests for the capability objects (client/server halves paired
+directly, without the full ORB)."""
+
+import pytest
+
+from repro.core.capabilities import (
+    CAPABILITY_TYPES,
+    AuthenticationCapability,
+    CallQuotaCapability,
+    CompressionCapability,
+    EncryptionCapability,
+    IntegrityCapability,
+    TimeLeaseCapability,
+    TracingCapability,
+    make_capability,
+)
+from repro.core.capabilities.base import Capability, register_capability_type
+from repro.core.request import RequestMeta
+from repro.exceptions import (
+    AuthenticationError,
+    CapabilityError,
+    CompressionError,
+    DecryptionError,
+    IntegrityError,
+    LeaseExpiredError,
+    QuotaExceededError,
+)
+from repro.security.keys import KeyStore, Principal
+from repro.simnet.clock import VirtualClock
+
+
+class FakeContext:
+    """Minimal stand-in exposing what capabilities need."""
+
+    def __init__(self):
+        self.keystore = KeyStore(seed=7)
+        self.clock = VirtualClock()
+        self.sim = None
+        self.machine = None
+
+    def charge_cost(self, kind, nbytes):
+        pass
+
+
+@pytest.fixture
+def ctx():
+    return FakeContext()
+
+
+def pair(descriptor, client_ctx, server_ctx=None):
+    server_ctx = server_ctx or client_ctx
+    return (make_capability(descriptor, client_ctx, "client"),
+            make_capability(descriptor, server_ctx, "server"))
+
+
+def roundtrip_request(client_cap, server_cap, payload=b"payload bytes"):
+    meta = RequestMeta()
+    wire = client_cap.process(payload, meta)
+    return server_cap.unprocess(wire, meta), meta, wire
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        for name in ("encryption", "auth", "quota", "lease", "compression",
+                     "integrity", "tracing"):
+            assert name in CAPABILITY_TYPES
+
+    def test_unknown_type(self, ctx):
+        with pytest.raises(CapabilityError):
+            make_capability({"type": "nope"}, ctx, "client")
+
+    def test_bad_role(self, ctx):
+        with pytest.raises(CapabilityError):
+            make_capability(CallQuotaCapability.for_calls(1), ctx, "spy")
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(CapabilityError):
+            register_capability_type(CallQuotaCapability)
+
+    def test_custom_capability(self, ctx):
+        class Rot13(Capability):
+            type_name = "test-rot13"
+
+            def process(self, data, meta):
+                return bytes((b + 13) % 256 for b in data)
+
+            def unprocess(self, data, meta):
+                return bytes((b - 13) % 256 for b in data)
+
+        register_capability_type(Rot13, replace=True)
+        try:
+            c, s = pair({"type": "test-rot13"}, ctx)
+            out, _meta, wire = roundtrip_request(c, s, b"abc")
+            assert out == b"abc" and wire != b"abc"
+        finally:
+            CAPABILITY_TYPES.pop("test-rot13", None)
+
+    def test_applicability_override(self, ctx):
+        cap = make_capability(
+            CallQuotaCapability.for_calls(5, applicability="always"),
+            ctx, "client")
+        assert cap.applicability == "always"
+
+    def test_default_applicability(self, ctx):
+        cap = make_capability(CallQuotaCapability.for_calls(5), ctx,
+                              "client")
+        assert cap.applicability == "different-lan"
+
+
+class TestEncryption:
+    def test_roundtrip(self, ctx):
+        desc = EncryptionCapability.server_descriptor(key_seed=11)
+        c, s = pair(desc, ctx)
+        out, meta, wire = roundtrip_request(c, s, b"secret data")
+        assert out == b"secret data"
+        assert b"secret data" not in wire
+
+    def test_reply_roundtrip(self, ctx):
+        desc = EncryptionCapability.server_descriptor(key_seed=11)
+        c, s = pair(desc, ctx)
+        meta = RequestMeta()
+        s.unprocess(c.process(b"req", meta), meta)
+        reply_wire = s.process_reply(b"reply data", meta)
+        assert b"reply data" not in reply_wire
+        assert c.unprocess_reply(reply_wire, meta) == b"reply data"
+
+    def test_reply_without_request_fails(self, ctx):
+        desc = EncryptionCapability.server_descriptor(key_seed=11)
+        _c, s = pair(desc, ctx)
+        with pytest.raises(CapabilityError):
+            s.process_reply(b"reply", RequestMeta())
+
+    def test_xtea_cipher(self, ctx):
+        desc = EncryptionCapability.server_descriptor(key_seed=3,
+                                                      cipher="xtea")
+        c, s = pair(desc, ctx)
+        out, _meta, _wire = roundtrip_request(c, s, b"block data")
+        assert out == b"block data"
+
+    def test_unknown_cipher(self, ctx):
+        desc = EncryptionCapability.server_descriptor(key_seed=3)
+        desc["cipher"] = "rot26"
+        with pytest.raises(CapabilityError):
+            make_capability(desc, ctx, "client")
+
+    def test_two_clients_independent_keys(self, ctx):
+        desc = EncryptionCapability.server_descriptor(key_seed=5)
+        c1 = make_capability(desc, ctx, "client")
+        c2 = make_capability(desc, ctx, "client")
+        s = make_capability(desc, ctx, "server")
+        for c in (c1, c2):
+            out, _m, _w = roundtrip_request(c, s, b"hello")
+            assert out == b"hello"
+        assert c1._shared_key != c2._shared_key
+
+    def test_corrupt_ciphertext(self, ctx):
+        desc = EncryptionCapability.server_descriptor(key_seed=11)
+        c, s = pair(desc, ctx)
+        meta = RequestMeta()
+        wire = bytearray(c.process(b"data", meta))
+        wire[: 4] = b"\xff\xff\xff\xff"
+        with pytest.raises(DecryptionError):
+            s.unprocess(bytes(wire), meta)
+
+    def test_server_needs_seed(self, ctx):
+        desc = EncryptionCapability.server_descriptor(key_seed=1)
+        del desc["server_key_seed"]
+        with pytest.raises(CapabilityError):
+            make_capability(desc, ctx, "server")
+        # ... but the client half works from the public part alone,
+        # which is how a sanitized descriptor would travel.
+        assert make_capability(desc, ctx, "client") is not None
+
+    def test_seed_public_mismatch_detected(self, ctx):
+        desc = EncryptionCapability.server_descriptor(key_seed=1)
+        desc["server_public"] += 1
+        with pytest.raises(CapabilityError):
+            make_capability(desc, ctx, "server")
+
+    def test_default_applicability_is_different_site(self, ctx):
+        desc = EncryptionCapability.server_descriptor(key_seed=1)
+        cap = make_capability(desc, ctx, "client")
+        assert cap.applicability == "different-site"
+
+
+class TestAuthentication:
+    def setup_keys(self, client_ctx, server_ctx):
+        alice = Principal("alice", "lab")
+        key = server_ctx.keystore.generate(alice)
+        client_ctx.keystore.install(alice, key)
+        return alice
+
+    def test_roundtrip_sets_principal(self, ctx):
+        server_ctx = FakeContext()
+        alice = self.setup_keys(ctx, server_ctx)
+        desc = AuthenticationCapability.for_principal(alice)
+        c, s = pair(desc, ctx, server_ctx)
+        out, meta, _wire = roundtrip_request(c, s, b"hello")
+        assert out == b"hello"
+        assert meta.principal == alice
+
+    def test_wrong_key_rejected(self, ctx):
+        server_ctx = FakeContext()
+        alice = Principal("alice", "lab")
+        ctx.keystore.install(alice, b"client-key")
+        server_ctx.keystore.install(alice, b"different-key")
+        desc = AuthenticationCapability.for_principal(alice)
+        c, s = pair(desc, ctx, server_ctx)
+        meta = RequestMeta()
+        wire = c.process(b"hi", meta)
+        with pytest.raises(AuthenticationError):
+            s.unprocess(wire, meta)
+
+    def test_unknown_principal_rejected(self, ctx):
+        server_ctx = FakeContext()
+        ghost = Principal("ghost")
+        ctx.keystore.install(ghost, b"k")
+        desc = AuthenticationCapability.for_principal(ghost)
+        c, s = pair(desc, ctx, server_ctx)
+        with pytest.raises(AuthenticationError):
+            s.unprocess(c.process(b"x", RequestMeta()), RequestMeta())
+
+    def test_replay_rejected(self, ctx):
+        server_ctx = FakeContext()
+        alice = self.setup_keys(ctx, server_ctx)
+        desc = AuthenticationCapability.for_principal(alice)
+        c, s = pair(desc, ctx, server_ctx)
+        meta = RequestMeta()
+        wire = c.process(b"once", meta)
+        s.unprocess(wire, meta)
+        with pytest.raises(AuthenticationError):
+            s.unprocess(wire, RequestMeta())  # replay!
+
+    def test_tamper_rejected(self, ctx):
+        server_ctx = FakeContext()
+        alice = self.setup_keys(ctx, server_ctx)
+        desc = AuthenticationCapability.for_principal(alice)
+        c, s = pair(desc, ctx, server_ctx)
+        wire = bytearray(c.process(b"data", RequestMeta()))
+        wire[-1] ^= 0x01
+        with pytest.raises(AuthenticationError):
+            s.unprocess(bytes(wire), RequestMeta())
+
+    def test_reply_mac(self, ctx):
+        server_ctx = FakeContext()
+        alice = self.setup_keys(ctx, server_ctx)
+        desc = AuthenticationCapability.for_principal(alice)
+        c, s = pair(desc, ctx, server_ctx)
+        meta = RequestMeta()
+        s.unprocess(c.process(b"req", meta), meta)
+        reply = s.process_reply(b"reply", meta)
+        assert c.unprocess_reply(reply, meta) == b"reply"
+        # Tampered reply must fail (flip a MAC byte; the trailing bytes
+        # are XDR padding, which the MAC deliberately does not cover).
+        bad = bytearray(reply)
+        bad[0] ^= 1
+        with pytest.raises(AuthenticationError):
+            c.unprocess_reply(bytes(bad), meta)
+
+    def test_descriptor_needs_principal(self, ctx):
+        with pytest.raises(CapabilityError):
+            make_capability({"type": "auth"}, ctx, "client")
+
+    def test_counters_increase(self, ctx):
+        server_ctx = FakeContext()
+        alice = self.setup_keys(ctx, server_ctx)
+        desc = AuthenticationCapability.for_principal(alice)
+        c, s = pair(desc, ctx, server_ctx)
+        for i in range(3):
+            out, _m, _w = roundtrip_request(c, s, f"m{i}".encode())
+            assert out == f"m{i}".encode()
+        assert s._seen[(str(alice), c._session)] == 3
+
+    def test_two_sessions_same_principal(self, ctx):
+        """Two clients sharing one principal must not trip each other's
+        replay windows (separate session tokens)."""
+        server_ctx = FakeContext()
+        alice = self.setup_keys(ctx, server_ctx)
+        desc = AuthenticationCapability.for_principal(alice)
+        c1 = make_capability(desc, ctx, "client")
+        c2 = make_capability(desc, ctx, "client")
+        s = make_capability(desc, server_ctx, "server")
+        for c in (c1, c2):
+            out, _m, _w = roundtrip_request(c, s, b"hello")
+            assert out == b"hello"
+
+
+class TestQuota:
+    def test_client_enforces(self, ctx):
+        desc = CallQuotaCapability.for_calls(2)
+        c, s = pair(desc, ctx)
+        roundtrip_request(c, s)
+        roundtrip_request(c, s)
+        with pytest.raises(QuotaExceededError):
+            c.process(b"third", RequestMeta())
+
+    def test_server_enforces_independently(self, ctx):
+        desc = CallQuotaCapability.for_calls(2)
+        c = make_capability(desc, ctx, "client")
+        s = make_capability(desc, ctx, "server")
+        meta = RequestMeta()
+        w1 = c.process(b"1", meta)
+        w2 = c.process(b"2", meta)
+        s.unprocess(w1, meta)
+        s.unprocess(w2, meta)
+        # A hand-crafted third message bypassing a client would still die.
+        c2 = make_capability(desc, ctx, "client")
+        w3 = c2.process(b"3", meta)
+        with pytest.raises(QuotaExceededError):
+            s.unprocess(w3, meta)
+
+    def test_remaining(self, ctx):
+        c = make_capability(CallQuotaCapability.for_calls(3), ctx, "client")
+        assert c.remaining == 3
+        c.process(b"x", RequestMeta())
+        assert c.remaining == 2
+
+    def test_replies_not_metered(self, ctx):
+        c, s = pair(CallQuotaCapability.for_calls(1), ctx)
+        meta = RequestMeta()
+        s.unprocess(c.process(b"only", meta), meta)
+        # Replies flow freely even with the quota exhausted.
+        assert c.unprocess_reply(s.process_reply(b"r", meta), meta) == b"r"
+
+    def test_meta_gets_accounting(self, ctx):
+        c, s = pair(CallQuotaCapability.for_calls(5), ctx)
+        _out, meta, _wire = roundtrip_request(c, s)
+        assert meta.properties["quota.ordinal"] == 1
+        assert meta.properties["quota.remaining"] == 4
+
+    def test_invalid_max_calls(self, ctx):
+        with pytest.raises(CapabilityError):
+            make_capability(CallQuotaCapability.describe(max_calls=0),
+                            ctx, "client")
+
+
+class TestLease:
+    def test_live_lease_passes(self, ctx):
+        desc = TimeLeaseCapability.lasting(10.0)
+        c = TimeLeaseCapability(desc, ctx, "client")
+        assert c.process(b"x", RequestMeta()) == b"x"
+
+    def test_expired_lease_rejects(self, ctx):
+        c = TimeLeaseCapability(TimeLeaseCapability.lasting(5.0), ctx,
+                                "client")
+        ctx.clock.advance(6.0)
+        with pytest.raises(LeaseExpiredError):
+            c.process(b"x", RequestMeta())
+
+    def test_absolute_expiry(self, ctx):
+        c = TimeLeaseCapability(TimeLeaseCapability.until(2.0), ctx,
+                                "client")
+        ctx.clock.advance(1.0)
+        c.process(b"ok", RequestMeta())
+        ctx.clock.advance(1.5)
+        with pytest.raises(LeaseExpiredError):
+            c.process(b"late", RequestMeta())
+
+    def test_remaining_seconds(self, ctx):
+        c = TimeLeaseCapability(TimeLeaseCapability.until(4.0), ctx,
+                                "client")
+        ctx.clock.advance(1.0)
+        assert c.remaining_seconds == pytest.approx(3.0)
+        ctx.clock.advance(10.0)
+        assert c.remaining_seconds == 0.0
+
+    def test_server_enforces_too(self, ctx):
+        s = TimeLeaseCapability(TimeLeaseCapability.until(1.0), ctx,
+                                "server")
+        ctx.clock.advance(2.0)
+        with pytest.raises(LeaseExpiredError):
+            s.unprocess(b"x", RequestMeta())
+
+    def test_replies_always_pass(self, ctx):
+        s = TimeLeaseCapability(TimeLeaseCapability.until(1.0), ctx,
+                                "server")
+        ctx.clock.advance(2.0)
+        assert s.process_reply(b"r", RequestMeta()) == b"r"
+
+    def test_needs_expiry(self, ctx):
+        with pytest.raises(CapabilityError):
+            TimeLeaseCapability({"type": "lease"}, ctx, "client")
+
+    def test_negative_duration(self, ctx):
+        with pytest.raises(CapabilityError):
+            TimeLeaseCapability(TimeLeaseCapability.describe(duration=-1),
+                                ctx, "client")
+
+
+class TestCompression:
+    def test_roundtrip_compresses(self, ctx):
+        desc = CompressionCapability.with_codec("zlib")
+        c, s = pair(desc, ctx)
+        payload = b"repetitive " * 500
+        out, _meta, wire = roundtrip_request(c, s, payload)
+        assert out == payload
+        assert len(wire) < len(payload) / 2
+
+    def test_small_payload_passes_raw(self, ctx):
+        c, s = pair(CompressionCapability.with_codec("zlib", min_size=64),
+                    ctx)
+        out, _meta, wire = roundtrip_request(c, s, b"tiny")
+        assert out == b"tiny"
+        assert wire == b"\x00tiny"
+
+    def test_incompressible_rides_raw(self, ctx):
+        import numpy as np
+
+        payload = np.random.default_rng(0).integers(
+            0, 256, 4096, dtype=np.uint8).tobytes()
+        c, s = pair(CompressionCapability.with_codec("zlib"), ctx)
+        out, _meta, wire = roundtrip_request(c, s, payload)
+        assert out == payload
+        assert len(wire) <= len(payload) + 1
+
+    @pytest.mark.parametrize("codec", ["rle", "lzss", "zlib"])
+    def test_all_codecs(self, ctx, codec):
+        c, s = pair(CompressionCapability.with_codec(codec), ctx)
+        payload = b"\x00" * 1000 + b"data" * 100
+        out, _meta, _wire = roundtrip_request(c, s, payload)
+        assert out == payload
+
+    def test_unknown_codec(self, ctx):
+        with pytest.raises(CompressionError):
+            make_capability(CompressionCapability.with_codec("gzip9000"),
+                            ctx, "client")
+
+    def test_garbage_flag_rejected(self, ctx):
+        _c, s = pair(CompressionCapability.with_codec("zlib"), ctx)
+        with pytest.raises(CompressionError):
+            s.unprocess(b"\x07junk", RequestMeta())
+
+    def test_ratio_tracking(self, ctx):
+        c, _s = pair(CompressionCapability.with_codec("zlib"), ctx)
+        c.process(b"abc" * 1000, RequestMeta())
+        assert c.overall_ratio < 0.5
+
+
+class TestIntegrity:
+    def test_checksum_roundtrip(self, ctx):
+        c, s = pair(IntegrityCapability.checksum(), ctx)
+        out, _meta, _wire = roundtrip_request(c, s, b"fragile")
+        assert out == b"fragile"
+        assert s.verified == 1
+
+    def test_checksum_detects_corruption(self, ctx):
+        c, s = pair(IntegrityCapability.checksum(), ctx)
+        wire = bytearray(c.process(b"fragile", RequestMeta()))
+        wire[-1] ^= 0x40
+        with pytest.raises(IntegrityError):
+            s.unprocess(bytes(wire), RequestMeta())
+        assert s.failures == 1
+
+    def test_mac_mode(self, ctx):
+        key_id = Principal("link-key")
+        ctx.keystore.install(key_id, b"shared")
+        c, s = pair(IntegrityCapability.mac("link-key"), ctx)
+        out, _meta, _wire = roundtrip_request(c, s, b"payload")
+        assert out == b"payload"
+
+    def test_mac_detects_tamper(self, ctx):
+        ctx.keystore.install(Principal("link-key"), b"shared")
+        c, s = pair(IntegrityCapability.mac("link-key"), ctx)
+        wire = bytearray(c.process(b"payload", RequestMeta()))
+        wire[-2] ^= 0xFF
+        with pytest.raises(IntegrityError):
+            s.unprocess(bytes(wire), RequestMeta())
+
+    def test_mac_needs_key_id(self, ctx):
+        with pytest.raises(CapabilityError):
+            make_capability({"type": "integrity", "mode": "mac"}, ctx,
+                            "client")
+
+    def test_unknown_mode(self, ctx):
+        with pytest.raises(CapabilityError):
+            make_capability({"type": "integrity", "mode": "???"}, ctx,
+                            "client")
+
+    def test_short_payload_rejected(self, ctx):
+        _c, s = pair(IntegrityCapability.checksum(), ctx)
+        with pytest.raises(IntegrityError):
+            s.unprocess(b"\x01", RequestMeta())
+
+
+class TestTracing:
+    def test_records_both_directions(self, ctx):
+        c, s = pair({"type": "tracing"}, ctx)
+        meta = RequestMeta()
+        s.unprocess(c.process(b"req", meta), meta)
+        c.unprocess_reply(s.process_reply(b"reply!", meta), meta)
+        assert [(e.stage, e.role, e.direction) for e in c.events] == \
+            [("process", "client", "request"),
+             ("unprocess", "client", "reply")]
+        assert [(e.stage, e.direction) for e in s.events] == \
+            [("unprocess", "request"), ("process", "reply")]
+        assert c.events[0].nbytes == 3
+
+    def test_passthrough(self, ctx):
+        c, _s = pair({"type": "tracing"}, ctx)
+        assert c.process(b"data", RequestMeta()) == b"data"
+
+    def test_bounded(self, ctx):
+        c = make_capability({"type": "tracing", "max_events": 2}, ctx,
+                            "client")
+        for _ in range(5):
+            c.process(b"x", RequestMeta())
+        assert len(c.events) == 2
+
+    def test_clear(self, ctx):
+        c, _s = pair({"type": "tracing"}, ctx)
+        c.process(b"x", RequestMeta())
+        c.clear()
+        assert c.events == []

@@ -1,0 +1,123 @@
+"""Tests for the cost-aware selection policy extension."""
+
+import pytest
+
+from repro.core import ORB
+from repro.core.capabilities import CallQuotaCapability, EncryptionCapability
+from repro.core.cost_policy import CostAwarePolicy
+from repro.exceptions import NoApplicableProtocolError
+from repro.simnet import NetworkSimulator, paper_testbed
+
+from tests.core.conftest import Counter
+
+
+@pytest.fixture
+def world():
+    tb = paper_testbed()
+    sim = NetworkSimulator(tb.topology)
+    orb = ORB(simulator=sim)
+    client = orb.context("client", machine=tb.m0)
+    remote = orb.context("remote", machine=tb.m1)
+    local = orb.context("local", machine=tb.m0)
+    yield orb, sim, client, remote, local
+    orb.shutdown()
+
+
+class TestPrediction:
+    def test_shm_cheapest_on_same_machine(self, world):
+        _orb, _sim, client, _remote, local = world
+        oref = local.export(Counter())
+        gp = client.bind(oref, policy=CostAwarePolicy(client))
+        assert gp.selected_proto_id == "shm"
+
+    def test_predicts_higher_cost_for_capability_stack(self, world):
+        _orb, _sim, client, remote, _local = world
+        oref = remote.export(Counter(), glue_stacks=[
+            [CallQuotaCapability.for_calls(100, applicability="always"),
+             EncryptionCapability.server_descriptor(
+                 key_seed=1, applicability="always")]])
+        policy = CostAwarePolicy(client)
+        glue_entry = oref.entry("glue")
+        nexus_entry = oref.entry("nexus")
+        assert policy.predict_cost(glue_entry) > \
+            policy.predict_cost(nexus_entry)
+
+    def test_recovers_from_adversarial_or_order(self, world):
+        """First-match would pick the expensive glue entry listed first;
+        the cost-aware policy picks plain nexus instead."""
+        _orb, _sim, client, remote, _local = world
+        oref = remote.export(Counter(), glue_stacks=[
+            [EncryptionCapability.server_descriptor(
+                key_seed=1, applicability="always")]])
+        gp_first = client.bind(oref)
+        gp_cost = client.bind(oref, policy=CostAwarePolicy(client))
+        assert gp_first.selected_proto_id == "glue"
+        assert gp_cost.selected_proto_id == "nexus"
+        assert gp_cost.invoke("add", 1) == 1
+
+    def test_matches_first_match_when_or_is_well_ordered(self, world):
+        """For the paper's own table the two policies agree about the
+        cheap same-machine case."""
+        _orb, _sim, client, _remote, local = world
+        oref = local.export(Counter())
+        gp_first = client.bind(oref)
+        gp_cost = client.bind(oref, policy=CostAwarePolicy(client))
+        assert gp_first.selected_proto_id == gp_cost.selected_proto_id
+
+    def test_respects_pool_and_applicability(self, world):
+        _orb, _sim, client, remote, _local = world
+        oref = remote.export(Counter())
+        gp = client.bind(oref, policy=CostAwarePolicy(client))
+        # shm inapplicable (different machines); ban nexus via the pool.
+        gp.pool.disallow("nexus")
+        with pytest.raises(NoApplicableProtocolError):
+            gp.invoke("get")
+
+    def test_reference_bytes_validation(self, world):
+        _orb, _sim, client, _remote, _local = world
+        with pytest.raises(ValueError):
+            CostAwarePolicy(client, reference_bytes=0)
+
+    def test_degrades_to_first_match_without_simulator(self, wall_pair):
+        server, client = wall_pair
+        oref = server.export(Counter())
+        gp = client.bind(oref, policy=CostAwarePolicy(client))
+        assert gp.selected_proto_id == "shm"  # first applicable entry
+        assert gp.invoke("add", 1) == 1
+
+    def test_unknown_target_machine_degrades(self, world):
+        _orb, _sim, client, remote, _local = world
+        oref = remote.export(Counter())
+        for entry in oref.protocols:
+            entry.proto_data["machine"] = "not-a-machine"
+            entry.proto_data["lan"] = "x"
+            entry.proto_data["site"] = "y"
+        gp = client.bind(oref, policy=CostAwarePolicy(client))
+        # Prediction impossible -> first applicable candidate (nexus,
+        # since shm is inapplicable for the unknown remote machine).
+        assert gp.selected_proto_id == "nexus"
+
+
+class TestEndToEndSavings:
+    def test_cost_policy_saves_virtual_time(self, world):
+        """Against the adversarial OR, the cost-aware client finishes the
+        same request program in less virtual time."""
+        import numpy as np
+
+        _orb, sim, client, remote, _local = world
+        payload = np.arange(1 << 16, dtype=np.uint8)
+
+        def run(policy=None):
+            oref = remote.export(Counter(), glue_stacks=[
+                [EncryptionCapability.server_descriptor(
+                    key_seed=2, applicability="always")]])
+            gp = client.bind(oref, policy=policy)
+            gp.invoke("echo", payload[:1])
+            t0 = sim.clock.now()
+            for _ in range(3):
+                gp.invoke("echo", payload)
+            return sim.clock.now() - t0
+
+        slow = run()  # first-match picks the encrypting glue
+        fast = run(CostAwarePolicy(client))
+        assert fast < slow

@@ -1,0 +1,156 @@
+"""Custom proto-classes: the Open Implementation extension point.
+
+§3.2: "custom protocols are supported by having users write their own
+proto-classes that satisfy a standard interface."  These tests write one
+and drive the ORB through it end to end.
+"""
+
+import pytest
+
+from repro.core import ORB
+from repro.core.objref import ProtocolEntry
+from repro.core.protocol import (
+    PROTO_CLASSES,
+    NexusProtocol,
+    ProtocolClass,
+    ProtocolClient,
+    get_proto_class,
+    register_proto_class,
+)
+from repro.exceptions import ProtocolError, UnknownProtocolError
+
+from tests.core.conftest import Counter
+
+
+class CountingClient(ProtocolClient):
+    """A proto-object that counts its invocations (otherwise nexus)."""
+
+    invocations = 0
+
+    def invoke(self, invocation):
+        type(self).invocations += 1
+        return super().invoke(invocation)
+
+
+class TestRegistry:
+    def test_builtin_protocols_registered(self):
+        for pid in ("nexus", "shm", "glue"):
+            assert pid in PROTO_CLASSES
+
+    def test_unknown_proto_class(self):
+        with pytest.raises(UnknownProtocolError):
+            get_proto_class("carrier-pigeon")
+
+    def test_missing_proto_id_rejected(self):
+        class Nameless(ProtocolClass):
+            pass
+
+        with pytest.raises(ProtocolError):
+            register_proto_class(Nameless)
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ProtocolError):
+            register_proto_class(NexusProtocol)
+
+
+@pytest.fixture
+def custom_proto():
+    """Register (and afterwards unregister) a custom protocol."""
+
+    class AuditedProtocol(ProtocolClass):
+        proto_id = "test-audited"
+        default_applicability = "always"
+        client_cls = CountingClient
+
+    register_proto_class(AuditedProtocol, replace=True)
+    CountingClient.invocations = 0
+    yield AuditedProtocol
+    PROTO_CLASSES.pop("test-audited", None)
+
+
+class TestCustomProtocolEndToEnd:
+    def test_custom_protocol_carries_requests(self, wall_pair,
+                                              custom_proto):
+        server, client = wall_pair
+        oref = server.export(Counter())
+        # Hand-install an entry for the custom protocol: same endpoint
+        # addresses as nexus (it reuses the standard invoke handler).
+        nexus_entry = oref.entry("nexus")
+        oref.protocols.insert(0, ProtocolEntry(
+            "test-audited", dict(nexus_entry.proto_data)))
+        gp = client.bind(oref)
+        gp.pool.allow("test-audited", prefer=True)
+        assert gp.selected_proto_id == "test-audited"
+        assert gp.invoke("add", 2) == 2
+        assert gp.invoke("add", 3) == 5
+        assert CountingClient.invocations == 2
+
+    def test_custom_protocol_respects_pool(self, wall_pair, custom_proto):
+        server, client = wall_pair
+        oref = server.export(Counter())
+        oref.protocols.insert(0, ProtocolEntry(
+            "test-audited", dict(oref.entry("nexus").proto_data)))
+        gp = client.bind(oref)
+        # Not in the pool -> never chosen.
+        assert gp.selected_proto_id != "test-audited"
+
+    def test_custom_applicability(self, wall_pair, custom_proto):
+        custom_proto.default_applicability = "different-machine"
+        server, client = wall_pair  # same placement => same machine
+        oref = server.export(Counter())
+        oref.protocols.insert(0, ProtocolEntry(
+            "test-audited", dict(oref.entry("nexus").proto_data)))
+        gp = client.bind(oref)
+        gp.pool.allow("test-audited", prefer=True)
+        assert gp.selected_proto_id != "test-audited"
+
+    def test_entry_level_applicability_override(self, wall_pair,
+                                                custom_proto):
+        server, client = wall_pair
+        oref = server.export(Counter())
+        data = dict(oref.entry("nexus").proto_data)
+        data["applicability"] = "never"
+        oref.protocols.insert(0, ProtocolEntry("test-audited", data))
+        gp = client.bind(oref)
+        gp.pool.allow("test-audited", prefer=True)
+        assert gp.selected_proto_id != "test-audited"
+
+
+class TestClientConnectionHandling:
+    def test_no_reachable_address(self, wall_pair):
+        server, client = wall_pair
+        oref = server.export(Counter())
+        entry = oref.entry("nexus")
+        entry.proto_data["addresses"] = [
+            {"transport": "carrier-pigeon", "key": "x"}]
+        gp = client.bind(oref)
+        gp.pool.disallow("shm")
+        with pytest.raises(ProtocolError):
+            gp.invoke("get")
+
+    def test_multimethod_fallback(self, wall_pair):
+        """First address unreachable -> the client falls through to the
+        next one (Nexus multimethod)."""
+        server, client = wall_pair
+        oref = server.export(Counter())
+        entry = oref.entry("nexus")
+        entry.proto_data["addresses"] = [
+            {"transport": "inproc", "key": "no-such-endpoint"},
+            *entry.proto_data["addresses"],
+        ]
+        gp = client.bind(oref)
+        gp.pool.disallow("shm")
+        assert gp.invoke("add", 1) == 1
+
+    def test_reconnect_after_peer_restart(self, wall_orb):
+        """A cached connection that dies is re-established on the next
+        call (the call_raw retry path)."""
+        server = wall_orb.context("s-restart")
+        client = wall_orb.context("c-restart")
+        oref = server.export(Counter(5))
+        gp = client.bind(oref)
+        assert gp.invoke("get") == 5
+        # Kill every live server-side channel behind the GP's back.
+        for ch in list(server.server.endpoint._channels):
+            ch.close()
+        assert gp.invoke("get") == 5

@@ -1,0 +1,87 @@
+"""Tests for the describe() diagnostic snapshots."""
+
+import pytest
+
+from repro.core import ORB
+from repro.core.capabilities import CallQuotaCapability
+from repro.core.migration import migrate
+from repro.idl.interface import InterfaceView
+
+from tests.core.conftest import Counter
+
+
+class TestContextDescribe:
+    def test_basic_shape(self, wall_pair):
+        server, _client = wall_pair
+        oref = server.export(Counter(), glue_stacks=[
+            [CallQuotaCapability.for_calls(5)]])
+        info = server.describe()
+        assert info["context_id"] == server.id
+        assert info["simulated"] is False
+        assert "shm" in info["transports"]
+        assert info["pool"] == ["glue", "shm", "nexus"]
+        servant = info["servants"][oref.object_id]
+        assert servant["interface"] == "Counter"
+        assert "add" in servant["methods"]
+        assert len(servant["glue_stacks"]) == 1
+        glue_id = servant["glue_stacks"][0]
+        assert info["glue_stacks"][glue_id] == ["quota"]
+
+    def test_view_reflected(self, wall_pair):
+        server, _client = wall_pair
+        oref = server.export(Counter(),
+                             view=InterfaceView("RO", ["get"]))
+        info = server.describe()
+        assert info["servants"][oref.object_id]["methods"] == ["get"]
+        assert info["servants"][oref.object_id]["interface"] == "RO"
+
+    def test_forwards_reported(self, wall_orb):
+        from repro.core.context import Placement
+
+        a = wall_orb.context("da", placement=Placement("ma", "la", "sa"))
+        b = wall_orb.context("db", placement=Placement("mb", "lb", "sb"))
+        oref = a.export(Counter())
+        migrate(a, oref.object_id, b)
+        assert a.describe()["forwards"] == {oref.object_id: "db"}
+        assert oref.object_id in b.describe()["servants"]
+
+    def test_load_counters(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        for _ in range(3):
+            gp.invoke("add", 1)
+        info = server.describe()
+        assert info["load"]["total_requests"] == 3
+
+    def test_marshallable(self, wall_pair):
+        """Snapshots must survive the wire (remote ops tooling)."""
+        from repro.serialization.marshal import dumps, loads
+
+        server, _client = wall_pair
+        server.export(Counter())
+        assert loads(dumps(server.describe())) == server.describe()
+
+
+class TestOrbDescribe:
+    def test_wall_clock_orb(self, wall_pair):
+        server, client = wall_pair
+        orb = server.orb
+        info = orb.describe()
+        assert info["mode"] == "wall-clock"
+        assert server.id in info["contexts"]
+        assert "virtual_time" not in info
+
+    def test_sim_orb(self, sim_world):
+        orb, sim, _tb, contexts = sim_world
+        gp = contexts["client"].bind(contexts["s1"].export(Counter()))
+        gp.invoke("add", 1)
+        info = orb.describe()
+        assert info["mode"] == "sim"
+        assert info["virtual_time"] == sim.clock.now()
+        assert info["messages"] >= 2
+
+    def test_names_listed(self, wall_pair):
+        server, _client = wall_pair
+        orb = server.orb
+        orb.bind_name("thing", server.export(Counter()))
+        assert orb.describe()["names"] == ["thing"]

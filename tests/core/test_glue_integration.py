@@ -1,0 +1,237 @@
+"""Integration tests for the glue protocol and capability stacks over a
+running ORB (wall-clock world)."""
+
+import pytest
+
+from repro.core.capabilities import (
+    AuthenticationCapability,
+    CallQuotaCapability,
+    CompressionCapability,
+    EncryptionCapability,
+    IntegrityCapability,
+    TimeLeaseCapability,
+)
+from repro.core.context import Placement
+from repro.exceptions import RemoteException
+from repro.security.acl import AccessControlList
+from repro.security.keys import Principal
+
+from tests.core.conftest import Counter
+
+
+@pytest.fixture
+def remote_pair(wall_orb):
+    """Client and server on different declared sites, so different-site
+    and different-lan capabilities are applicable."""
+    server = wall_orb.context("server", placement=Placement(
+        machine="srv", lan="srv-lan", site="lab"))
+    client = wall_orb.context("client", placement=Placement(
+        machine="cli", lan="cli-lan", site="campus"))
+    return server, client
+
+
+class TestGlueSelectionAndPath:
+    def test_glue_preferred_when_applicable(self, remote_pair):
+        server, client = remote_pair
+        oref = server.export(Counter(), glue_stacks=[
+            [CallQuotaCapability.for_calls(100)]])
+        gp = client.bind(oref)
+        assert gp.describe_selection() == "glue[quota]"
+        assert gp.invoke("add", 2) == 2
+
+    def test_glue_skipped_when_inapplicable(self, wall_pair):
+        """Same machine: the quota capability (different-lan) doesn't
+        apply, so the glue entry is passed over for shm."""
+        server, client = wall_pair
+        oref = server.export(Counter(), glue_stacks=[
+            [CallQuotaCapability.for_calls(100)]])
+        gp = client.bind(oref)
+        assert gp.selected_proto_id == "shm"
+
+    def test_stacked_capabilities(self, remote_pair):
+        server, client = remote_pair
+        oref = server.export(Counter(), glue_stacks=[[
+            CallQuotaCapability.for_calls(10),
+            EncryptionCapability.server_descriptor(key_seed=5),
+            IntegrityCapability.checksum(),
+        ]])
+        gp = client.bind(oref)
+        assert gp.describe_selection() == "glue[quota+encryption+integrity]"
+        for i in range(3):
+            assert gp.invoke("add", 1) == i + 1
+
+    def test_quota_exhaustion_via_rpc(self, remote_pair):
+        server, client = remote_pair
+        oref = server.export(Counter(), glue_stacks=[
+            [CallQuotaCapability.for_calls(2, applicability="always")]])
+        gp = client.bind(oref)
+        gp.pool.disallow("shm")
+        gp.invoke("add", 1)
+        gp.invoke("add", 1)
+        from repro.exceptions import QuotaExceededError
+
+        with pytest.raises(QuotaExceededError):
+            gp.invoke("add", 1)
+
+    def test_compression_stack(self, remote_pair):
+        server, client = remote_pair
+        oref = server.export(Counter(), glue_stacks=[
+            [CompressionCapability.with_codec("zlib",
+                                              applicability="always")]])
+        gp = client.bind(oref)
+        big = "x" * 100_000
+        assert gp.invoke("echo", big) == big
+
+    def test_lease_expiry_via_rpc(self, remote_pair):
+        server, client = remote_pair
+        oref = server.export(Counter(), glue_stacks=[
+            [TimeLeaseCapability.lasting(3600.0)]])
+        gp = client.bind(oref)
+        assert gp.invoke("add", 1) == 1
+
+    def test_multiple_stacks_order(self, remote_pair):
+        """Figure 4-B: multiple glue entries, most demanding first."""
+        server, client = remote_pair
+        oref = server.export(Counter(), glue_stacks=[
+            [CallQuotaCapability.for_calls(5),
+             EncryptionCapability.server_descriptor(key_seed=9)],
+            [CallQuotaCapability.for_calls(5)],
+        ])
+        gp = client.bind(oref)
+        assert gp.oref.proto_ids() == ["glue", "glue", "shm", "nexus"]
+        assert gp.describe_selection() == "glue[quota+encryption]"
+
+    def test_glue_reply_errors_propagate(self, remote_pair):
+        server, client = remote_pair
+        oref = server.export(Counter(), glue_stacks=[
+            [CallQuotaCapability.for_calls(100)]])
+        gp = client.bind(oref)
+        with pytest.raises(RemoteException) as err:
+            gp.invoke("fail", "inside glue")
+        assert err.value.remote_type == "RuntimeError"
+
+    def test_unknown_glue_stack_is_loud(self, remote_pair):
+        server, client = remote_pair
+        oref = server.export(Counter(), glue_stacks=[
+            [CallQuotaCapability.for_calls(100)]])
+        # Corrupt the glue id in the client's OR copy.
+        oref.protocols[0].proto_data["glue_id"] = "ghost"
+        gp = client.bind(oref)
+        with pytest.raises(RemoteException) as err:
+            gp.invoke("get")
+        assert err.value.remote_type == "CapabilityError"
+
+
+class TestAuthenticatedAccess:
+    def setup_auth(self, server, client, principal="alice@lab"):
+        alice = Principal.parse(principal)
+        key = server.keystore.generate(alice)
+        client.keystore.install(alice, key)
+        return alice
+
+    def test_authenticated_call(self, remote_pair):
+        server, client = remote_pair
+        alice = self.setup_auth(server, client)
+        oref = server.export(Counter(), glue_stacks=[
+            [AuthenticationCapability.for_principal(alice)]])
+        gp = client.bind(oref)
+        assert gp.describe_selection() == "glue[auth]"
+        assert gp.invoke("add", 1) == 1
+
+    def test_wrong_key_fails(self, remote_pair):
+        server, client = remote_pair
+        alice = Principal("alice", "lab")
+        server.keystore.generate(alice)
+        client.keystore.install(alice, b"wrong key entirely")
+        oref = server.export(Counter(), glue_stacks=[
+            [AuthenticationCapability.for_principal(alice)]])
+        gp = client.bind(oref)
+        from repro.exceptions import AuthenticationError, HpcError
+
+        with pytest.raises((AuthenticationError, RemoteException,
+                            HpcError)):
+            gp.invoke("add", 1)
+
+    def test_acl_restricts_authenticated_principal(self, remote_pair):
+        server, client = remote_pair
+        alice = self.setup_auth(server, client)
+        acl = AccessControlList()
+        acl.grant(alice, ["get"])
+        oref = server.export(Counter(), acl=acl, glue_stacks=[
+            [AuthenticationCapability.for_principal(alice)]])
+        gp = client.bind(oref)
+        assert gp.invoke("get") == 0
+        with pytest.raises(RemoteException) as err:
+            gp.invoke("add", 1)
+        assert err.value.remote_type == "AuthenticationError"
+
+    def test_acl_blocks_anonymous_path(self, remote_pair):
+        """With an ACL and no auth capability, anonymous requests are
+        refused (deny-by-default)."""
+        server, client = remote_pair
+        acl = AccessControlList()
+        acl.grant(Principal("alice", "lab"), ["*"])
+        oref = server.export(Counter(), acl=acl)
+        gp = client.bind(oref)
+        with pytest.raises(RemoteException) as err:
+            gp.invoke("get")
+        assert err.value.remote_type == "AuthenticationError"
+
+    def test_auth_plus_encryption(self, remote_pair):
+        server, client = remote_pair
+        alice = self.setup_auth(server, client)
+        oref = server.export(Counter(), glue_stacks=[[
+            AuthenticationCapability.for_principal(alice),
+            EncryptionCapability.server_descriptor(key_seed=13),
+        ]])
+        gp = client.bind(oref)
+        for i in range(5):
+            assert gp.invoke("add", 1) == i + 1
+
+
+class TestDynamicCapabilities:
+    def test_add_capability_stack_at_runtime(self, remote_pair):
+        """§4: capabilities 'can be changed dynamically' — a client
+        negotiates a new stack and prefers it."""
+        server, client = remote_pair
+        oref = server.export(Counter())
+        gp = client.bind(oref)
+        assert gp.selected_proto_id == "nexus"
+        gp.add_capability_stack(
+            [CallQuotaCapability.for_calls(10, applicability="always")])
+        assert gp.describe_selection() == "glue[quota]"
+        assert gp.invoke("add", 1) == 1
+
+    def test_dynamic_stack_only_affects_this_gp(self, remote_pair):
+        server, client = remote_pair
+        oref = server.export(Counter())
+        gp1 = client.bind(oref)
+        gp2 = client.bind(oref)
+        gp1.add_capability_stack(
+            [CallQuotaCapability.for_calls(10, applicability="always")])
+        assert gp1.selected_proto_id == "glue"
+        assert gp2.selected_proto_id == "nexus"
+
+    def test_capability_exchange_between_processes(self, remote_pair):
+        """Passing a capability-carrying OR to a third party: the new
+        holder gets the same glue stack (quota shared server-side)."""
+        server, client = remote_pair
+        oref = server.export(Counter(), glue_stacks=[
+            [CallQuotaCapability.for_calls(4, applicability="always")]])
+        gp = client.bind(oref)
+        gp.pool.disallow("shm")
+        # Simulate handing the OR to another process via the wire.
+        from repro.core.objref import ObjectReference
+
+        transferred = ObjectReference.from_bytes(gp.dup().to_bytes())
+        gp2 = client.bind(transferred)
+        gp2.pool.disallow("shm")
+        gp.invoke("add", 1)
+        gp.invoke("add", 1)
+        gp2.invoke("add", 1)
+        gp2.invoke("add", 1)
+        # Server-side quota counted all four; the fifth dies remotely.
+        from repro.exceptions import QuotaExceededError
+
+        with pytest.raises((QuotaExceededError, RemoteException)):
+            gp2.invoke("add", 1)

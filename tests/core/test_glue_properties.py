@@ -1,0 +1,147 @@
+"""Property-based tests of the glue protocol's core invariant.
+
+For ANY stack drawn from the capability registry and ANY payload, the
+Figure 2 pipeline must be the identity:
+
+    unprocess_reversed(process_in_order(payload)) == payload     (request)
+    unprocess_reply_reversed(process_reply_in_order(reply)) == reply
+
+with the correct meta threading (auth before encryption and vice versa,
+etc.).  Hypothesis drives stacks of one to four capabilities in random
+order with random payloads.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.capabilities import make_capability
+from repro.core.capabilities.authentication import AuthenticationCapability
+from repro.core.capabilities.encryption import EncryptionCapability
+from repro.core.request import RequestMeta
+from repro.security.keys import KeyStore, Principal
+from repro.simnet.clock import VirtualClock
+
+
+class FakeContext:
+    def __init__(self):
+        self.keystore = KeyStore(seed=99)
+        self.clock = VirtualClock()
+        self.sim = None
+        self.machine = None
+
+    def charge_cost(self, kind, nbytes):
+        pass
+
+
+def make_ctx_pair():
+    client_ctx = FakeContext()
+    server_ctx = FakeContext()
+    principal = Principal("prop", "test")
+    key = server_ctx.keystore.generate(principal)
+    client_ctx.keystore.install(principal, key)
+    client_ctx.keystore.install(Principal.parse("mac-key"), b"mackey")
+    server_ctx.keystore.install(Principal.parse("mac-key"), b"mackey")
+    return client_ctx, server_ctx
+
+
+# Descriptor builders; each call yields a fresh, valid descriptor.
+DESCRIPTOR_BUILDERS = {
+    "quota": lambda: {"type": "quota", "max_calls": 10 ** 6},
+    "lease": lambda: {"type": "lease", "expires_at": 10 ** 9},
+    "tracing": lambda: {"type": "tracing"},
+    "integrity": lambda: {"type": "integrity", "mode": "checksum"},
+    "integrity-mac": lambda: {"type": "integrity", "mode": "mac",
+                              "key_id": "mac-key"},
+    "compression-rle": lambda: {"type": "compression", "codec": "rle",
+                                "min_size": 16},
+    "compression-zlib": lambda: {"type": "compression", "codec": "zlib",
+                                 "min_size": 16},
+    "padding": lambda: {"type": "padding", "quantum": 128},
+    "auth": lambda: AuthenticationCapability.for_principal(
+        Principal("prop", "test")),
+    "encryption": lambda: EncryptionCapability.server_descriptor(
+        key_seed=1234),
+    "encryption-xtea": lambda: EncryptionCapability.server_descriptor(
+        key_seed=99, cipher="xtea"),
+}
+
+stack_strategy = st.lists(
+    st.sampled_from(sorted(DESCRIPTOR_BUILDERS)),
+    min_size=1, max_size=4, unique=True)
+
+
+def run_pipeline(stack_names, payload, reply_payload):
+    client_ctx, server_ctx = make_ctx_pair()
+    descriptors = [DESCRIPTOR_BUILDERS[name]() for name in stack_names]
+    client_caps = [make_capability(d, client_ctx, "client")
+                   for d in descriptors]
+    server_caps = [make_capability(d, server_ctx, "server")
+                   for d in descriptors]
+
+    meta_c = RequestMeta()
+    data = payload
+    for cap in client_caps:
+        data = cap.process(data, meta_c)
+
+    meta_s = RequestMeta()
+    for cap in reversed(server_caps):
+        data = cap.unprocess(data, meta_s)
+    received = data
+
+    reply = reply_payload
+    for cap in server_caps:
+        reply = cap.process_reply(reply, meta_s)
+    for cap in reversed(client_caps):
+        reply = cap.unprocess_reply(reply, meta_c)
+    return received, reply
+
+
+class TestGluePipelineIdentity:
+    @given(stack=stack_strategy, payload=st.binary(min_size=0, max_size=2000),
+           reply=st.binary(min_size=0, max_size=2000))
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_request_and_reply_identity(self, stack, payload, reply):
+        received, reply_out = run_pipeline(stack, payload, reply)
+        assert received == payload
+        assert reply_out == reply
+
+    @given(stack=stack_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_repeated_requests_through_one_stack(self, stack):
+        """Stateful capabilities (counters, nonces) must keep the
+        invariant across many messages through the same stack."""
+        client_ctx, server_ctx = make_ctx_pair()
+        descriptors = [DESCRIPTOR_BUILDERS[name]() for name in stack]
+        client_caps = [make_capability(d, client_ctx, "client")
+                       for d in descriptors]
+        server_caps = [make_capability(d, server_ctx, "server")
+                       for d in descriptors]
+        for i in range(5):
+            payload = bytes([i]) * (i * 100 + 1)
+            meta_c, meta_s = RequestMeta(), RequestMeta()
+            data = payload
+            for cap in client_caps:
+                data = cap.process(data, meta_c)
+            for cap in reversed(server_caps):
+                data = cap.unprocess(data, meta_s)
+            assert data == payload
+
+    @given(stack=st.lists(st.sampled_from(
+        ["encryption", "integrity", "compression-zlib", "quota"]),
+        min_size=2, max_size=4, unique=True),
+        payload=st.binary(min_size=50, max_size=500))
+    @settings(max_examples=30, deadline=None)
+    def test_wire_differs_from_payload_when_transforming(self, stack,
+                                                         payload):
+        """Any stack containing encryption must hide the plaintext."""
+        if "encryption" not in stack:
+            stack = ["encryption", *stack]
+        client_ctx, _ = make_ctx_pair()
+        descriptors = [DESCRIPTOR_BUILDERS[name]() for name in stack]
+        caps = [make_capability(d, client_ctx, "client")
+                for d in descriptors]
+        data = payload
+        for cap in caps:
+            data = cap.process(data, RequestMeta())
+        assert payload not in data

@@ -1,0 +1,129 @@
+"""Tests for the liveness monitor and its load-balancer integration."""
+
+import pytest
+
+from repro.core import ORB, LoadBalancer
+from repro.core.health import HealthMonitor
+from repro.exceptions import HpcError
+
+from tests.core.conftest import Counter
+
+
+@pytest.fixture
+def trio(wall_orb):
+    home = wall_orb.context("home")
+    a = wall_orb.context("alpha")
+    b = wall_orb.context("beta")
+    return home, a, b
+
+
+class TestProbing:
+    def test_live_context_probes_alive(self, trio):
+        home, a, _b = trio
+        monitor = HealthMonitor(home)
+        monitor.watch_context(a)
+        result = monitor.probe("alpha")
+        assert result.alive
+        assert result.error is None
+        assert result.rtt >= 0
+        assert monitor.is_alive("alpha")
+
+    def test_dead_context_probes_dead(self, trio):
+        home, a, _b = trio
+        home.call_timeout = 0.3
+        monitor = HealthMonitor(home)
+        monitor.watch_context(a)
+        a.stop()
+        result = monitor.probe("alpha")
+        assert not result.alive
+        assert result.error
+        assert not monitor.is_alive("alpha")
+
+    def test_sweep(self, trio):
+        home, a, b = trio
+        home.call_timeout = 0.3
+        monitor = HealthMonitor(home)
+        monitor.watch_context(a)
+        monitor.watch_context(b)
+        b.stop()
+        verdicts = monitor.sweep()
+        assert verdicts["alpha"].alive
+        assert not verdicts["beta"].alive
+
+    def test_unwatched_probe_rejected(self, trio):
+        home, _a, _b = trio
+        with pytest.raises(HpcError):
+            HealthMonitor(home).probe("ghost")
+
+    def test_unknown_defaults_alive(self, trio):
+        home, _a, _b = trio
+        assert HealthMonitor(home).is_alive("never-probed")
+
+    def test_unwatch(self, trio):
+        home, a, _b = trio
+        monitor = HealthMonitor(home)
+        monitor.watch_context(a)
+        monitor.probe("alpha")
+        monitor.unwatch("alpha")
+        assert monitor.watched == []
+        assert "alpha" not in monitor.last
+
+    def test_mismatched_identity_is_dead(self, trio):
+        """A ping answered by the *wrong* context (stale address reuse)
+        counts as dead."""
+        home, a, b = trio
+        monitor = HealthMonitor(home)
+        monitor.watch_context(a)
+        # Point alpha's probe entry at beta's addresses.
+        monitor._targets["alpha"] = monitor._targets["alpha"].clone()
+        _shm, net = b._address_entries()
+        monitor._targets["alpha"].proto_data["addresses"] = net
+        result = monitor.probe("alpha")
+        assert not result.alive
+        assert "unexpected ping reply" in result.error
+
+
+class TestBalancerIntegration:
+    def test_dead_receiver_skipped(self, wall_orb):
+        home = wall_orb.context("h2")
+        hot = wall_orb.context("hot2")
+        dead = wall_orb.context("dead2")
+        home.call_timeout = 0.3
+        oref = hot.export(Counter())
+        hot.monitor.record_request(oref.object_id, 1.0)
+        hot.monitor.busy_fraction.value = 0.95
+        dead.monitor.busy_fraction.value = 0.05
+
+        monitor = HealthMonitor(home)
+        monitor.watch_context(dead)
+        dead.stop()
+        monitor.sweep()
+
+        balancer = LoadBalancer([hot, dead], health=monitor)
+        assert balancer.rebalance_once() == []
+        assert oref.object_id in hot.servants
+
+    def test_live_receiver_still_used(self, wall_orb):
+        home = wall_orb.context("h3")
+        hot = wall_orb.context("hot3")
+        cold = wall_orb.context("cold3")
+        oref = hot.export(Counter())
+        hot.monitor.record_request(oref.object_id, 1.0)
+        hot.monitor.busy_fraction.value = 0.95
+        cold.monitor.busy_fraction.value = 0.05
+        monitor = HealthMonitor(home)
+        monitor.watch_context(cold)
+        monitor.sweep()
+        balancer = LoadBalancer([hot, cold], health=monitor)
+        events = balancer.rebalance_once()
+        assert len(events) == 1
+        assert events[0].target_id == "cold3"
+
+    def test_sim_world_probe(self, sim_world):
+        _orb, sim, _tb, contexts = sim_world
+        monitor = HealthMonitor(contexts["client"])
+        monitor.watch_context(contexts["s1"])
+        t0 = sim.clock.now()
+        result = monitor.probe("s1")
+        assert result.alive
+        assert sim.clock.now() > t0  # the probe cost virtual time

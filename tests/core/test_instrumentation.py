@@ -1,0 +1,142 @@
+"""Tests for the observability hook bus and its GP/migration wiring."""
+
+import pytest
+
+from repro.core.instrumentation import GLOBAL_HOOKS, HookBus, HookEvent
+from repro.core.migration import migrate
+
+from tests.core.conftest import Counter
+
+
+@pytest.fixture(autouse=True)
+def clean_global_hooks():
+    yield
+    GLOBAL_HOOKS.clear()
+
+
+class TestHookBus:
+    def test_emit_to_handler(self):
+        bus = HookBus()
+        seen = []
+        bus.on("x", seen.append)
+        bus.emit("x", a=1)
+        assert seen == [HookEvent("x", {"a": 1})]
+
+    def test_emit_without_handlers_is_noop(self):
+        HookBus().emit("nothing", a=1)
+
+    def test_off(self):
+        bus = HookBus()
+        seen = []
+        bus.on("x", seen.append)
+        bus.off("x", seen.append)
+        bus.off("x", seen.append)  # idempotent
+        bus.emit("x")
+        assert seen == []
+
+    def test_raising_handler_detached(self):
+        bus = HookBus()
+        calls = []
+
+        def bad(event):
+            calls.append("bad")
+            raise RuntimeError("observer bug")
+
+        bus.on("x", bad)
+        bus.on("x", lambda e: calls.append("good"))
+        bus.emit("x")
+        bus.emit("x")
+        # The bad handler ran once, got detached; the good one survived.
+        assert calls == ["bad", "good", "good"]
+        assert len(bus.errors) == 1
+
+    def test_handler_count(self):
+        bus = HookBus()
+        bus.on("a", lambda e: None)
+        bus.on("a", lambda e: None)
+        bus.on("b", lambda e: None)
+        assert bus.handler_count("a") == 2
+        assert bus.handler_count() == 3
+
+    def test_clear(self):
+        bus = HookBus()
+        bus.on("a", lambda e: None)
+        bus.clear()
+        assert bus.handler_count() == 0
+
+
+class TestGpWiring:
+    def test_selection_and_request_events(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        events = []
+        gp.hooks.on("selection", events.append)
+        gp.hooks.on("request", events.append)
+        gp.invoke("add", 1)
+        kinds = [e.kind for e in events]
+        assert kinds == ["selection", "request"]
+        assert events[0].data["proto_id"] == "shm"
+        assert events[1].data["outcome"] == "ok"
+        assert events[1].data["duration"] >= 0
+        assert events[1].data["method"] == "add"
+
+    def test_error_outcome(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        events = []
+        gp.hooks.on("request", events.append)
+        from repro.exceptions import RemoteException
+
+        with pytest.raises(RemoteException):
+            gp.invoke("fail", "x")
+        assert events[-1].data["outcome"] == "error"
+
+    def test_global_hooks_fire_too(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        seen = []
+        GLOBAL_HOOKS.on("request", seen.append)
+        gp.invoke("get")
+        assert len(seen) == 1
+        assert seen[0].data["object_id"] == gp.oref.object_id
+
+    def test_moved_event(self, wall_orb):
+        from repro.core.context import Placement
+
+        a = wall_orb.context("ia", placement=Placement("ma", "la", "sa"))
+        b = wall_orb.context("ib", placement=Placement("mb", "lb", "sb"))
+        client = wall_orb.context("ic",
+                                  placement=Placement("mc", "lc", "sc"))
+        oref = a.export(Counter())
+        gp = client.bind(oref)
+        gp.invoke("add", 1)
+        moves = []
+        migrations = []
+        gp.hooks.on("moved", moves.append)
+        GLOBAL_HOOKS.on("migration", migrations.append)
+        migrate(a, oref.object_id, b)
+        gp.invoke("get")
+        assert len(migrations) == 1
+        assert migrations[0].data["source"] == "ia"
+        assert migrations[0].data["target"] == "ib"
+        assert len(moves) == 1
+        assert moves[0].data["to_context"] == "ib"
+
+    def test_watching_adaptivity(self, sim_world):
+        """The observability use case: log every protocol the GP uses
+        across a migration tour."""
+        orb, _sim, tb, contexts = sim_world
+        from repro.core.capabilities import CallQuotaCapability
+
+        oref = contexts["s1"].export(Counter(), glue_stacks=[
+            [CallQuotaCapability.for_calls(100)]])
+        gp = contexts["client"].bind(oref)
+        protocols = []
+        gp.hooks.on("selection",
+                    lambda e: protocols.append(e.data["proto_id"]))
+        gp.invoke("add", 1)
+        migrate(contexts["s1"], oref.object_id, contexts["s4"])
+        gp.invoke("add", 1)
+        # glue (first call), glue (stale, ends MOVED), then shm (retry).
+        assert protocols[0] == "glue"
+        assert protocols[-1] == "shm"

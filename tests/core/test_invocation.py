@@ -1,0 +1,228 @@
+"""End-to-end invocation tests over the wall-clock ORB."""
+
+import numpy as np
+import pytest
+
+from repro.core import ORB
+from repro.core.context import Placement
+from repro.core.selection import PoolOrderPolicy
+from repro.exceptions import (
+    InterfaceError,
+    MethodNotExposedError,
+    NoApplicableProtocolError,
+    ObjectNotFoundError,
+    RemoteException,
+)
+from repro.idl.interface import InterfaceView
+
+from tests.core.conftest import Counter
+
+
+class TestBasicInvocation:
+    def test_invoke(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        assert gp.invoke("add", 5) == 5
+        assert gp.invoke("add", 2) == 7
+        assert gp.invoke("get") == 7
+
+    def test_stub(self, wall_pair):
+        server, client = wall_pair
+        stub = client.bind(server.export(Counter(10))).narrow()
+        assert stub.add(1) == 11
+        assert stub.get() == 11
+
+    def test_remote_exception(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        with pytest.raises(RemoteException) as err:
+            gp.invoke("fail", "kaboom")
+        assert err.value.remote_type == "RuntimeError"
+        assert "kaboom" in str(err.value)
+
+    def test_unknown_object(self, wall_pair):
+        server, client = wall_pair
+        oref = server.export(Counter())
+        oref.object_id = "ghost"
+        gp = client.bind(oref)
+        with pytest.raises(RemoteException) as err:
+            gp.invoke("get")
+        assert err.value.remote_type == "ObjectNotFoundError"
+
+    def test_interface_checked_client_side(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        with pytest.raises(InterfaceError):
+            gp.invoke("no_such_method")
+
+    def test_oneway(self, wall_pair):
+        server, client = wall_pair
+        counter = Counter()
+        gp = client.bind(server.export(counter))
+        gp.invoke_oneway("bump")
+        # Oneway is fire-and-forget: poll until the server thread ran it.
+        import time
+
+        deadline = time.time() + 5
+        while counter.n == 0 and time.time() < deadline:
+            time.sleep(0.005)
+        assert counter.n == 1
+
+    def test_async(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        futures = [gp.invoke_async("add", 1) for _ in range(10)]
+        results = sorted(f.result(timeout=10) for f in futures)
+        assert results == list(range(1, 11))
+
+    def test_async_exception(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        fut = gp.invoke_async("fail", "async boom")
+        with pytest.raises(RemoteException):
+            fut.result(timeout=10)
+
+    def test_array_payload_roundtrip(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        arr = np.arange(10_000, dtype=np.float64)
+        out = gp.invoke("echo", arr)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_objref_as_argument(self, wall_pair):
+        """Passing a GP's OR as an argument — capability exchange (§4)."""
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        echoed = gp.invoke("echo", gp.dup())
+        assert echoed.object_id == gp.oref.object_id
+        # The echoed OR is fully functional.
+        gp2 = client.bind(echoed)
+        assert gp2.invoke("add", 3) == 3
+
+    def test_two_gps_share_state(self, wall_pair):
+        server, client = wall_pair
+        oref = server.export(Counter())
+        gp1 = client.bind(oref)
+        gp2 = client.bind(oref)
+        gp1.invoke("add", 4)
+        assert gp2.invoke("get") == 4
+
+    def test_ping_control_surface(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        info = gp.ping()
+        assert info["ok"] and info["context_id"] == server.id
+
+
+class TestInterfaceViews:
+    def test_view_blocks_methods_server_side(self, wall_pair):
+        server, client = wall_pair
+        oref = server.export(Counter(),
+                             view=InterfaceView("ReadOnly", ["get"]))
+        gp = client.bind(oref)
+        assert gp.invoke("get") == 0
+        # The stub/interface doesn't even expose add...
+        with pytest.raises(InterfaceError):
+            gp.invoke("add", 1)
+
+    def test_view_enforced_even_with_forged_interface(self, wall_pair):
+        """A client widening its local interface copy still can't call
+        hidden methods: enforcement is server-side."""
+        server, client = wall_pair
+        from repro.idl.interface import interface_of
+
+        oref = server.export(Counter(),
+                             view=InterfaceView("ReadOnly", ["get"]))
+        oref.interface = interface_of(Counter)  # forge the full interface
+        gp = client.bind(oref)
+        with pytest.raises(RemoteException) as err:
+            gp.invoke("add", 1)
+        assert err.value.remote_type == "MethodNotExposedError"
+
+    def test_same_servant_two_views(self, wall_pair):
+        """The intro's scenario: one server object, full access for one
+        client, subset access for another."""
+        server, client = wall_pair
+        counter = Counter()
+        full = server.export(counter)
+        restricted = server.export(counter,
+                                   view=InterfaceView("RO", ["get"]))
+        gp_full = client.bind(full)
+        gp_ro = client.bind(restricted)
+        gp_full.invoke("add", 9)
+        assert gp_ro.invoke("get") == 9
+
+
+class TestSelectionBehaviour:
+    def test_same_machine_prefers_shm(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        assert gp.selected_proto_id == "shm"
+
+    def test_remote_placement_falls_back_to_nexus(self, wall_orb):
+        server = wall_orb.context("s", placement=Placement(
+            machine="mars", lan="mars-lan", site="mars-site"))
+        client = wall_orb.context("c")
+        gp = client.bind(server.export(Counter()))
+        # Different (declared) machines: shm inapplicable.
+        assert gp.selected_proto_id == "nexus"
+        assert gp.invoke("add", 1) == 1
+
+    def test_pool_can_forbid_protocols(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        gp.pool.disallow("shm")
+        assert gp.selected_proto_id == "nexus"
+        assert gp.invoke("add", 1) == 1
+
+    def test_empty_pool_fails(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        for pid in list(gp.pool):
+            gp.pool.disallow(pid)
+        with pytest.raises(NoApplicableProtocolError):
+            gp.invoke("get")
+
+    def test_or_table_edit_changes_choice(self, wall_pair):
+        """Open Implementation: editing the GP's OR steers selection."""
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        gp.drop_protocol("shm")
+        assert gp.selected_proto_id == "nexus"
+
+    def test_pool_order_policy(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()),
+                         policy=PoolOrderPolicy())
+        gp.pool.reorder(["nexus", "shm", "glue"])
+        assert gp.selected_proto_id == "nexus"
+        gp.pool.reorder(["shm", "nexus", "glue"])
+        assert gp.selected_proto_id == "shm"
+
+    def test_per_request_selection(self, wall_pair):
+        """Selection is re-run per request: pool edits between calls
+        take effect without rebinding."""
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        assert gp.invoke("add", 1) == 1
+        first = gp.selected_proto_id
+        gp.pool.disallow(first)
+        assert gp.invoke("add", 1) == 2
+        assert gp.selected_proto_id != first
+
+
+class TestEncodings:
+    def test_cdr_context(self, wall_orb):
+        server = wall_orb.context("s-cdr", encoding="cdr")
+        client = wall_orb.context("c-cdr")
+        gp = client.bind(server.export(Counter()))
+        assert gp.invoke("add", 7) == 7
+
+    def test_mixed_encodings_coexist(self, wall_orb):
+        xdr_server = wall_orb.context("sx")
+        cdr_server = wall_orb.context("sc", encoding="cdr")
+        client = wall_orb.context("cc")
+        gp_x = client.bind(xdr_server.export(Counter()))
+        gp_c = client.bind(cdr_server.export(Counter()))
+        assert gp_x.invoke("add", 1) == 1
+        assert gp_c.invoke("add", 2) == 2

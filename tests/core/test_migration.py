@@ -1,0 +1,137 @@
+"""Tests for object migration, forwarding, and GP adaptivity."""
+
+import pytest
+
+from repro.core.context import Placement
+from repro.core.migration import migrate
+from repro.exceptions import MigrationError, RemoteException
+
+from tests.core.conftest import Counter
+
+
+@pytest.fixture
+def three_contexts(wall_orb):
+    a = wall_orb.context("A", placement=Placement("mA", "lanA", "siteA"))
+    b = wall_orb.context("B", placement=Placement("mB", "lanB", "siteB"))
+    c = wall_orb.context("C", placement=Placement("mC", "lanC", "siteC"))
+    return a, b, c
+
+
+class TestMigrate:
+    def test_state_preserved_by_reference(self, three_contexts):
+        a, b, _c = three_contexts
+        oref = a.export(Counter())
+        client = a  # invoke locally through a GP anyway
+        gp = client.bind(oref)
+        gp.invoke("add", 5)
+        migrate(a, oref.object_id, b)
+        assert gp.invoke("get") == 5  # transparent to the caller
+
+    def test_state_preserved_by_value(self, three_contexts):
+        a, b, _c = three_contexts
+        counter = Counter()
+        oref = a.export(counter)
+        gp = a.bind(oref)
+        gp.invoke("add", 7)
+        migrate(a, oref.object_id, b, by_value=True)
+        assert gp.invoke("get") == 7
+        # By-value migration made a *copy*: the original instance is
+        # detached from the living object.
+        gp.invoke("add", 1)
+        assert counter.n == 7
+
+    def test_by_value_requires_state_protocol(self, three_contexts):
+        a, b, _c = three_contexts
+        from repro.idl import remote_interface, remote_method
+
+        @remote_interface("Plain")
+        class Plain:
+            @remote_method
+            def m(self):
+                return 1
+
+        oref = a.export(Plain())
+        with pytest.raises(MigrationError):
+            migrate(a, oref.object_id, b, by_value=True)
+
+    def test_version_bumps(self, three_contexts):
+        a, b, c = three_contexts
+        oref = a.export(Counter())
+        o2 = migrate(a, oref.object_id, b)
+        assert o2.version == 1
+        o3 = migrate(b, oref.object_id, c)
+        assert o3.version == 1  # b had no prior forward for it
+
+    def test_forwarding_chain_followed(self, three_contexts):
+        a, b, c = three_contexts
+        oref = a.export(Counter())
+        gp = a.bind(oref)
+        gp.invoke("add", 1)
+        migrate(a, oref.object_id, b)
+        migrate(b, oref.object_id, c)
+        # The GP still points at A; it must follow A -> B -> C.
+        assert gp.invoke("get") == 1
+        assert gp.oref.context_id == "C"
+
+    def test_unknown_object(self, three_contexts):
+        a, b, _c = three_contexts
+        with pytest.raises(MigrationError):
+            migrate(a, "ghost", b)
+
+    def test_same_context_rejected(self, three_contexts):
+        a, _b, _c = three_contexts
+        oref = a.export(Counter())
+        with pytest.raises(MigrationError):
+            migrate(a, oref.object_id, a)
+
+    def test_pinned_object_rejected(self, three_contexts):
+        a, b, _c = three_contexts
+        oref = a.export(Counter(), migratable=False)
+        with pytest.raises(MigrationError):
+            migrate(a, oref.object_id, b)
+
+    def test_source_forwards_new_clients_too(self, three_contexts):
+        a, b, _c = three_contexts
+        oref = a.export(Counter())
+        migrate(a, oref.object_id, b)
+        # A client binding the *old* OR after migration still works.
+        gp = a.bind(oref)
+        assert gp.invoke("add", 2) == 2
+        assert gp.oref.context_id == "B"
+
+    def test_glue_stacks_move(self, three_contexts):
+        from repro.core.capabilities import CallQuotaCapability
+
+        a, b, _c = three_contexts
+        oref = a.export(Counter(), glue_stacks=[
+            [CallQuotaCapability.for_calls(50, applicability="always")]])
+        gp = a.bind(oref)
+        gp.pool.disallow("shm")
+        gp.invoke("add", 1)
+        migrate(a, oref.object_id, b)
+        assert gp.invoke("add", 1) == 2
+        # After following the MOVED reply the GP's glue entry targets B.
+        assert gp.oref.context_id == "B"
+        glue = gp.oref.entry("glue")
+        assert glue is not None
+        assert glue.proto_data["machine"] == "mB"
+
+    def test_migrated_object_gone_from_source(self, three_contexts):
+        a, b, _c = three_contexts
+        oref = a.export(Counter())
+        migrate(a, oref.object_id, b)
+        assert oref.object_id not in a.servants
+        assert oref.object_id in b.servants
+        assert oref.object_id in a.forwards
+
+
+class TestMonitorIntegration:
+    def test_dispatch_records_load(self, wall_pair):
+        server, client = wall_pair
+        oref = server.export(Counter())
+        gp = client.bind(oref)
+        for _ in range(5):
+            gp.invoke("add", 1)
+        assert server.monitor.total_requests == 5
+        assert server.monitor.per_object[oref.object_id].requests == 5
+        assert server.monitor.busiest_object() == oref.object_id

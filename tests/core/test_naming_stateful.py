@@ -1,0 +1,80 @@
+"""Model-based test of the name service against a plain dict."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.naming import NameService
+from repro.core.objref import ObjectReference
+from repro.exceptions import NameAlreadyBoundError, NameNotFoundError
+from repro.idl.types import InterfaceSpec, MethodSpec
+
+NAMES = st.sampled_from(["a", "b", "c", "svc/x", "svc/y"])
+
+_seq = [0]
+
+
+def fresh_oref() -> ObjectReference:
+    _seq[0] += 1
+    return ObjectReference(
+        object_id=f"obj-{_seq[0]}", context_id="ctx",
+        interface=InterfaceSpec("I", {"m": MethodSpec("m")}))
+
+
+class NamingMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.service = NameService()
+        self.model = {}
+
+    @rule(name=NAMES)
+    def bind(self, name):
+        oref = fresh_oref()
+        if name in self.model:
+            with pytest.raises(NameAlreadyBoundError):
+                self.service.bind(name, oref)
+        else:
+            self.service.bind(name, oref)
+            self.model[name] = oref.object_id
+
+    @rule(name=NAMES)
+    def rebind(self, name):
+        oref = fresh_oref()
+        self.service.rebind(name, oref)
+        self.model[name] = oref.object_id
+
+    @rule(name=NAMES)
+    def resolve(self, name):
+        if name in self.model:
+            assert self.service.resolve(name).object_id == \
+                self.model[name]
+        else:
+            with pytest.raises(NameNotFoundError):
+                self.service.resolve(name)
+
+    @rule(name=NAMES)
+    def unbind(self, name):
+        if name in self.model:
+            self.service.unbind(name)
+            del self.model[name]
+        else:
+            with pytest.raises(NameNotFoundError):
+                self.service.unbind(name)
+
+    @invariant()
+    def listings_agree(self):
+        assert self.service.names() == sorted(self.model)
+        assert len(self.service) == len(self.model)
+
+
+TestNamingModel = NamingMachine.TestCase
+TestNamingModel.settings = settings(max_examples=40,
+                                    stateful_step_count=50,
+                                    deadline=None)

@@ -1,0 +1,171 @@
+"""Edge coverage for ORB and GlobalPointer lifecycles."""
+
+import pytest
+
+from repro.core import ORB
+from repro.core.context import Placement
+from repro.exceptions import HpcError, TransportError
+from repro.simnet import NetworkSimulator, two_machine_lan
+
+from tests.core.conftest import Counter
+
+
+class TestOrbEdges:
+    def test_find_context(self, wall_orb):
+        ctx = wall_orb.context("findme")
+        assert wall_orb.find_context("findme") is ctx
+        with pytest.raises(HpcError):
+            wall_orb.find_context("ghost")
+
+    def test_duplicate_context_name(self, wall_orb):
+        wall_orb.context("dup")
+        with pytest.raises(HpcError):
+            wall_orb.context("dup")
+
+    def test_context_manager_shuts_down(self):
+        with ORB() as orb:
+            ctx = orb.context("cm")
+            ctx.export(Counter())
+        assert orb.contexts == {}
+
+    def test_machine_without_simulator(self):
+        with pytest.raises(HpcError):
+            ORB().context("x", machine="M0")
+
+    def test_repr(self, wall_orb):
+        wall_orb.context("r1")
+        assert "wall-clock" in repr(wall_orb)
+        sim_orb = ORB(simulator=NetworkSimulator(two_machine_lan()))
+        assert "sim" in repr(sim_orb)
+
+
+class TestGpEdges:
+    def test_update_reference_wrong_object(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        other = server.export(Counter())
+        with pytest.raises(HpcError):
+            gp.update_reference(other)
+
+    def test_dup_is_deep(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        copy = gp.dup()
+        copy.protocols.clear()
+        assert gp.oref.protocols
+
+    def test_close_releases_clients(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        gp.invoke("add", 1)
+        assert gp._clients
+        gp.close()
+        assert not gp._clients
+        # A closed GP can reconnect lazily on the next call.
+        assert gp.invoke("get") == 1
+
+    def test_gp_pool_is_private_copy(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        gp.pool.disallow("shm")
+        assert "shm" in client.proto_pool  # context pool untouched
+
+    def test_binding_empty_table_fails_at_selection(self, wall_pair):
+        server, client = wall_pair
+        oref = server.export(Counter())
+        oref.protocols.clear()
+        gp = client.bind(oref)
+        from repro.exceptions import RemoteInvocationError
+
+        with pytest.raises(RemoteInvocationError):
+            gp.invoke("get")
+
+    def test_describe_selection_plain(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        assert gp.describe_selection() == "shm"
+
+    def test_repr_mentions_table(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        assert "shm" in repr(gp)
+
+
+class TestSimShmIsolation:
+    def test_sim_shm_refuses_cross_machine(self):
+        from repro.transport.simtransport import SimShmTransport
+
+        sim = NetworkSimulator(two_machine_lan())
+        ta = SimShmTransport(sim, "A")
+        tb = SimShmTransport(sim, "B")
+        listener = tb.listen()
+        with pytest.raises(TransportError):
+            ta.connect(listener.address)
+
+    def test_sim_shm_same_machine_ok(self):
+        from repro.transport.simtransport import SimShmTransport
+
+        sim = NetworkSimulator(two_machine_lan())
+        t1 = SimShmTransport(sim, "A")
+        t2 = SimShmTransport(sim, "A")
+        listener = t1.listen()
+        channel = t2.connect(listener.address)
+        server = listener.accept()
+        channel.send(b"local")
+        assert server.recv() == b"local"
+
+    def test_network_sim_transport_pays_loopback_tcp(self):
+        """Same-machine traffic through the *network* sim transport is
+        charged TCP-loopback cost, far above raw shared memory."""
+        from repro.simnet.linktypes import SHARED_MEMORY, TCP_LOOPBACK
+        from repro.transport.simtransport import (
+            SimShmTransport,
+            SimTransport,
+        )
+
+        sim = NetworkSimulator(two_machine_lan())
+        server_t = SimTransport(sim, "A")
+        server_t.loopback_model = TCP_LOOPBACK
+        listener = server_t.listen()
+        # The sending channel's loopback model is what gets charged, so
+        # the client transport carries it too (as Context does).
+        client_t = SimTransport(sim, "A")
+        client_t.loopback_model = TCP_LOOPBACK
+        channel = client_t.connect(listener.address)
+        listener.accept()
+        t0 = sim.clock.now()
+        channel.send(b"x" * 100_000)
+        tcp_cost = sim.clock.now() - t0
+        assert tcp_cost == pytest.approx(
+            TCP_LOOPBACK.transfer_time(100_000))
+        assert tcp_cost > SHARED_MEMORY.transfer_time(100_000)
+
+
+class TestContextEdges:
+    def test_unexport_then_reexport_same_id(self, wall_pair):
+        server, client = wall_pair
+        oref = server.export(Counter(5), object_id="slot")
+        gp = client.bind(oref)
+        assert gp.invoke("get") == 5
+        server.unexport("slot")
+        oref2 = server.export(Counter(9), object_id="slot")
+        assert client.bind(oref2).invoke("get") == 9
+
+    def test_unexport_removes_glue_stacks(self, wall_pair):
+        from repro.core.capabilities import CallQuotaCapability
+
+        server, _client = wall_pair
+        oref = server.export(Counter(), glue_stacks=[
+            [CallQuotaCapability.for_calls(5)]])
+        assert server.glue_stacks
+        server.unexport(oref.object_id)
+        assert not server.glue_stacks
+
+    def test_unknown_cost_kind_rejected(self, sim_world):
+        _orb, _sim, _tb, contexts = sim_world
+        with pytest.raises(HpcError):
+            contexts["s1"].charge_cost("teleport", 100)
+
+    def test_charge_cost_noop_without_sim(self, wall_pair):
+        server, _client = wall_pair
+        server.charge_cost("cipher", 10_000)  # silently free

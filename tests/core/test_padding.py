@@ -1,0 +1,100 @@
+"""Tests for the padding capability."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.capabilities import PaddingCapability, make_capability
+from repro.core.request import RequestMeta
+from repro.exceptions import CapabilityError
+
+from tests.core.test_capabilities import FakeContext, pair, roundtrip_request
+
+
+@pytest.fixture
+def ctx():
+    return FakeContext()
+
+
+class TestPadding:
+    def test_roundtrip(self, ctx):
+        c, s = pair(PaddingCapability.quantized(64), ctx)
+        out, _meta, wire = roundtrip_request(c, s, b"short")
+        assert out == b"short"
+        assert len(wire) == 8 + 64  # header + one quantum
+
+    def test_sizes_collapse_to_classes(self, ctx):
+        c = make_capability(PaddingCapability.quantized(256), ctx,
+                            "client")
+        sizes = {len(c.process(b"x" * n, RequestMeta()))
+                 for n in (1, 10, 100, 200, 255)}
+        assert sizes == {8 + 256}
+
+    def test_quantum_boundaries(self, ctx):
+        c = make_capability(PaddingCapability.quantized(16), ctx, "client")
+        assert len(c.process(b"x" * 16, RequestMeta())) == 8 + 16
+        assert len(c.process(b"x" * 17, RequestMeta())) == 8 + 32
+
+    def test_empty_payload_still_one_quantum(self, ctx):
+        c, s = pair(PaddingCapability.quantized(32), ctx)
+        out, _meta, wire = roundtrip_request(c, s, b"")
+        assert out == b""
+        assert len(wire) == 8 + 32
+
+    def test_power2_mode(self, ctx):
+        c = make_capability(PaddingCapability.power_of_two(), ctx,
+                            "client")
+        assert len(c.process(b"x" * 100, RequestMeta())) == 8 + 128
+        assert len(c.process(b"x" * 128, RequestMeta())) == 8 + 128
+        assert len(c.process(b"x" * 129, RequestMeta())) == 8 + 256
+
+    def test_reply_direction(self, ctx):
+        c, s = pair(PaddingCapability.quantized(64), ctx)
+        meta = RequestMeta()
+        s.unprocess(c.process(b"req", meta), meta)
+        assert c.unprocess_reply(s.process_reply(b"reply", meta),
+                                 meta) == b"reply"
+
+    def test_corrupt_header_rejected(self, ctx):
+        _c, s = pair(PaddingCapability.quantized(64), ctx)
+        with pytest.raises(CapabilityError):
+            s.unprocess(b"\xff" * 72, RequestMeta())
+        with pytest.raises(CapabilityError):
+            s.unprocess(b"\x00", RequestMeta())
+
+    def test_bad_descriptor(self, ctx):
+        with pytest.raises(CapabilityError):
+            make_capability({"type": "padding", "mode": "origami"},
+                            ctx, "client")
+        with pytest.raises(CapabilityError):
+            make_capability({"type": "padding", "quantum": 0},
+                            ctx, "client")
+
+    def test_default_applicability(self, ctx):
+        c = make_capability(PaddingCapability.quantized(), ctx, "client")
+        assert c.applicability == "different-site"
+
+    @given(payload=st.binary(max_size=3000),
+           quantum=st.sampled_from([1, 16, 256, 1000]))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, payload, quantum):
+        ctx = FakeContext()
+        c, s = pair(PaddingCapability.quantized(quantum), ctx)
+        out, _meta, wire = roundtrip_request(c, s, payload)
+        assert out == payload
+        assert (len(wire) - 8) % quantum == 0
+
+    def test_stacks_with_encryption(self, ctx):
+        """compress-class ordering: pad before encrypt means the
+        ciphertext length leaks only the size class."""
+        from repro.core.capabilities import EncryptionCapability
+
+        enc_desc = EncryptionCapability.server_descriptor(key_seed=6)
+        pad_desc = PaddingCapability.quantized(256)
+        c_pad = make_capability(pad_desc, ctx, "client")
+        c_enc = make_capability(enc_desc, ctx, "client")
+        meta = RequestMeta()
+        lengths = set()
+        for n in (1, 50, 200):
+            wire = c_enc.process(c_pad.process(b"x" * n, meta), meta)
+            lengths.add(len(wire))
+        assert len(lengths) == 1

@@ -1,0 +1,72 @@
+"""Model-based test of the protocol pool against an ordered-set model."""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.proto_pool import ProtocolPool
+from repro.exceptions import ProtocolError
+
+IDS = st.sampled_from(["glue", "shm", "nexus", "custom-a", "custom-b"])
+
+
+class PoolMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.pool = ProtocolPool()
+        self.model = []  # ordered, unique
+
+    @rule(pid=IDS, prefer=st.booleans())
+    def allow(self, pid, prefer):
+        self.pool.allow(pid, prefer=prefer)
+        if pid in self.model:
+            if prefer:
+                self.model.remove(pid)
+                self.model.insert(0, pid)
+        elif prefer:
+            self.model.insert(0, pid)
+        else:
+            self.model.append(pid)
+
+    @rule(pid=IDS)
+    def disallow(self, pid):
+        self.pool.disallow(pid)
+        if pid in self.model:
+            self.model.remove(pid)
+
+    @rule(data=st.data())
+    def reorder(self, data):
+        if not self.model:
+            return
+        permutation = data.draw(st.permutations(self.model))
+        self.pool.reorder(permutation)
+        self.model = list(permutation)
+
+    @rule(pid=IDS)
+    def bad_reorder_rejected(self, pid):
+        broken = self.model + [pid] if pid not in self.model \
+            else [x for x in self.model if x != pid]
+        if sorted(broken) == sorted(self.model):
+            return
+        with pytest.raises(ProtocolError):
+            self.pool.reorder(broken)
+
+    @invariant()
+    def order_and_membership_agree(self):
+        assert self.pool.ids() == self.model
+        assert len(self.pool) == len(self.model)
+        for pid in self.model:
+            assert pid in self.pool
+
+    @invariant()
+    def no_duplicates(self):
+        ids = self.pool.ids()
+        assert len(set(ids)) == len(ids)
+
+
+TestPoolModel = PoolMachine.TestCase
+TestPoolModel.settings = settings(max_examples=40,
+                                  stateful_step_count=50,
+                                  deadline=None)

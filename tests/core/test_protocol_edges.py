@@ -1,0 +1,156 @@
+"""Edge coverage for protocol clients, glue entry validation, and the
+startpoint's reply filtering."""
+
+import pytest
+
+from repro.core.glue import GlueClient, GlueProtocol
+from repro.core.objref import ProtocolEntry
+from repro.core.protocol import ProtocolClient, marshaller_for
+from repro.core.selection import Locality
+from repro.exceptions import ProtocolError
+from repro.nexus.endpoint import Startpoint
+from repro.nexus.rsr import RsrMessage
+
+from tests.core.conftest import Counter
+
+
+class TestMarshallerFor:
+    def test_known_encodings(self):
+        assert marshaller_for("xdr") is marshaller_for("xdr")
+        assert marshaller_for("cdr") is not marshaller_for("xdr")
+
+    def test_unknown_encoding(self):
+        with pytest.raises(ProtocolError):
+            marshaller_for("asn1")
+
+
+class TestGlueEntryValidation:
+    def make_context(self, wall_orb):
+        return wall_orb.context()
+
+    def test_missing_capabilities(self, wall_orb):
+        ctx = self.make_context(wall_orb)
+        entry = ProtocolEntry("glue", {
+            "glue_id": "g", "inner": {"proto_id": "nexus",
+                                      "proto_data": {}}})
+        with pytest.raises(ProtocolError):
+            GlueClient(entry, ctx)
+
+    def test_missing_inner(self, wall_orb):
+        ctx = self.make_context(wall_orb)
+        entry = ProtocolEntry("glue", {
+            "glue_id": "g",
+            "capabilities": [{"type": "quota", "max_calls": 1}]})
+        with pytest.raises(ProtocolError):
+            GlueClient(entry, ctx)
+
+    def test_missing_glue_id(self, wall_orb):
+        ctx = self.make_context(wall_orb)
+        entry = ProtocolEntry("glue", {
+            "capabilities": [{"type": "quota", "max_calls": 1}],
+            "inner": {"proto_id": "nexus", "proto_data": {}}})
+        with pytest.raises(ProtocolError):
+            GlueClient(entry, ctx)
+
+    def test_unknown_capability_type_never_applicable(self):
+        entry = ProtocolEntry("glue", {
+            "glue_id": "g",
+            "capabilities": [{"type": "wormhole"}],
+            "inner": {"proto_id": "nexus", "proto_data": {}}})
+        assert not GlueProtocol.applicable(
+            entry, Locality(False, False, False), None)
+
+    def test_glue_inherits_inner_applicability(self):
+        """A glue whose carrying protocol is shm-only is itself
+        inapplicable across machines."""
+        entry = ProtocolEntry("glue", {
+            "glue_id": "g",
+            "capabilities": [{"type": "tracing"}],
+            "inner": {"proto_id": "shm", "proto_data": {}}})
+        remote = Locality(False, False, False)
+        local = Locality(True, True, True)
+        assert not GlueProtocol.applicable(entry, remote, None)
+        assert GlueProtocol.applicable(entry, local, None)
+
+
+class ScriptedChannel:
+    """Channel whose recv() plays back a queue of messages."""
+
+    def __init__(self, replies):
+        self.replies = list(replies)
+        self.sent = []
+        self.closed = False
+
+    def send(self, data):
+        self.sent.append(bytes(data))
+
+    def recv(self, timeout=None):
+        return self.replies.pop(0)
+
+    def close(self):
+        self.closed = True
+
+
+class TestStartpointReplyFiltering:
+    def test_stale_replies_skipped(self):
+        """Replies with a foreign request id are skipped until ours
+        arrives (the startpoint's resilience to stale traffic)."""
+        from repro.util.ids import IdGenerator
+
+        stale = RsrMessage.reply(10 ** 9, b"stale").encode()
+        request_marker = []
+
+        class Chan(ScriptedChannel):
+            def send(self, data):
+                super().send(data)
+                message = RsrMessage.decode(data)
+                request_marker.append(message.request_id)
+                # Script: one stale reply, then the real one.
+                self.replies = [
+                    stale,
+                    RsrMessage.reply(message.request_id,
+                                     b"real").encode(),
+                ]
+
+        sp = Startpoint(Chan([]), timeout=1.0)
+        assert sp.call("h", b"payload") == b"real"
+        assert len(request_marker) == 1
+
+    def test_request_messages_skipped_at_client(self):
+        """A stray *request* arriving at a startpoint is not mistaken
+        for a reply."""
+
+        class Chan(ScriptedChannel):
+            def send(self, data):
+                super().send(data)
+                message = RsrMessage.decode(data)
+                self.replies = [
+                    RsrMessage.request(1, "bogus", b"").encode(),
+                    RsrMessage.reply(message.request_id, b"ok").encode(),
+                ]
+
+        sp = Startpoint(Chan([]), timeout=1.0)
+        assert sp.call("h", b"") == b"ok"
+
+
+class TestProtocolClientConnection:
+    def test_empty_address_list(self, wall_pair):
+        server, client = wall_pair
+        oref = server.export(Counter())
+        entry = oref.entry("nexus")
+        entry.proto_data["addresses"] = []
+        gp = client.bind(oref)
+        gp.pool.disallow("shm")
+        with pytest.raises(ProtocolError) as err:
+            gp.invoke("get")
+        assert "empty address list" in str(err.value)
+
+    def test_connection_cached_across_calls(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(Counter()))
+        gp.invoke("add", 1)
+        entry = gp.select_protocol()
+        proto_client = gp._client_for(entry)
+        sp_before = proto_client._startpoint
+        gp.invoke("add", 1)
+        assert proto_client._startpoint is sp_before

@@ -1,0 +1,193 @@
+"""Tests for protocol pools, applicability rules, and selection policies."""
+
+import pytest
+
+from repro.core.objref import ProtocolEntry
+from repro.core.proto_pool import ProtocolPool
+from repro.core.selection import (
+    APPLICABILITY_RULES,
+    FirstMatchPolicy,
+    Locality,
+    PoolOrderPolicy,
+    register_applicability_rule,
+    rule_applies,
+)
+from repro.exceptions import (
+    NoApplicableProtocolError,
+    ProtocolError,
+)
+
+SAME_MACHINE = Locality(True, True, True)
+SAME_LAN = Locality(False, True, True)
+SAME_SITE = Locality(False, False, True)
+REMOTE = Locality(False, False, False)
+
+
+class TestLocality:
+    def test_nesting_enforced(self):
+        with pytest.raises(ValueError):
+            Locality(True, False, True)
+        with pytest.raises(ValueError):
+            Locality(False, True, False)
+
+    @pytest.mark.parametrize("text,expected", [
+        ("same-machine", SAME_MACHINE),
+        ("same-lan", SAME_LAN),
+        ("same-site", SAME_SITE),
+        ("remote", REMOTE),
+    ])
+    def test_from_string(self, text, expected):
+        assert Locality.from_string(text) == expected
+
+    def test_from_string_unknown(self):
+        with pytest.raises(ValueError):
+            Locality.from_string("nearby")
+
+
+class TestRules:
+    def test_builtin_rules_cover_figure4(self):
+        """The rule outcomes that drive the Figure 4 stage sequence."""
+        # Stage 1: remote — both capabilities applicable.
+        assert rule_applies("different-site", REMOTE)
+        assert rule_applies("different-lan", REMOTE)
+        # Stage 2: same site, different LAN — only the quota applies.
+        assert not rule_applies("different-site", SAME_SITE)
+        assert rule_applies("different-lan", SAME_SITE)
+        # Stage 3: same LAN — neither capability, nor shared memory.
+        assert not rule_applies("different-lan", SAME_LAN)
+        assert not rule_applies("same-machine", SAME_LAN)
+        # Stage 4: same machine — shared memory wins.
+        assert rule_applies("same-machine", SAME_MACHINE)
+
+    def test_always_never(self):
+        for loc in (SAME_MACHINE, REMOTE):
+            assert rule_applies("always", loc)
+            assert not rule_applies("never", loc)
+
+    def test_unknown_rule(self):
+        with pytest.raises(ProtocolError):
+            rule_applies("bogus", REMOTE)
+
+    def test_register_custom_rule(self):
+        register_applicability_rule(
+            "test-lan-only", lambda loc: loc.same_lan and not
+            loc.same_machine, replace=True)
+        try:
+            assert rule_applies("test-lan-only", SAME_LAN)
+            assert not rule_applies("test-lan-only", SAME_MACHINE)
+        finally:
+            APPLICABILITY_RULES.pop("test-lan-only", None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_applicability_rule("always", lambda loc: True)
+
+
+class TestProtocolPool:
+    def test_order_preserved(self):
+        pool = ProtocolPool(["glue", "shm", "nexus"])
+        assert pool.ids() == ["glue", "shm", "nexus"]
+
+    def test_allow_idempotent(self):
+        pool = ProtocolPool(["a"])
+        pool.allow("a")
+        assert pool.ids() == ["a"]
+
+    def test_allow_prefer(self):
+        pool = ProtocolPool(["a", "b"])
+        pool.allow("c", prefer=True)
+        assert pool.ids() == ["c", "a", "b"]
+        pool.allow("b", prefer=True)
+        assert pool.ids() == ["b", "c", "a"]
+
+    def test_disallow(self):
+        pool = ProtocolPool(["a", "b"])
+        pool.disallow("a")
+        pool.disallow("missing")  # no error
+        assert pool.ids() == ["b"]
+        assert "a" not in pool
+
+    def test_reorder(self):
+        pool = ProtocolPool(["a", "b", "c"])
+        pool.reorder(["c", "a", "b"])
+        assert pool.ids() == ["c", "a", "b"]
+
+    def test_reorder_must_be_permutation(self):
+        pool = ProtocolPool(["a", "b"])
+        with pytest.raises(ProtocolError):
+            pool.reorder(["a"])
+        with pytest.raises(ProtocolError):
+            pool.reorder(["a", "b", "c"])
+
+    def test_clone_independent(self):
+        pool = ProtocolPool(["a"])
+        copy = pool.clone()
+        copy.allow("b")
+        assert pool.ids() == ["a"]
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ProtocolError):
+            ProtocolPool([""])
+
+    def test_iteration_and_len(self):
+        pool = ProtocolPool(["a", "b"])
+        assert list(pool) == ["a", "b"]
+        assert len(pool) == 2
+
+
+def entries(*pids):
+    return [ProtocolEntry(p, {}) for p in pids]
+
+
+class TestFirstMatchPolicy:
+    def test_or_order_wins(self):
+        policy = FirstMatchPolicy()
+        chosen = policy.select(entries("glue", "shm", "nexus"),
+                               ["nexus", "shm", "glue"], REMOTE,
+                               lambda e: True)
+        assert chosen.proto_id == "glue"
+
+    def test_pool_membership_filters(self):
+        policy = FirstMatchPolicy()
+        chosen = policy.select(entries("glue", "nexus"),
+                               ["nexus"], REMOTE, lambda e: True)
+        assert chosen.proto_id == "nexus"
+
+    def test_applicability_filters(self):
+        policy = FirstMatchPolicy()
+        chosen = policy.select(entries("shm", "nexus"),
+                               ["shm", "nexus"], REMOTE,
+                               lambda e: e.proto_id != "shm")
+        assert chosen.proto_id == "nexus"
+
+    def test_no_match_raises_with_detail(self):
+        policy = FirstMatchPolicy()
+        with pytest.raises(NoApplicableProtocolError) as err:
+            policy.select(entries("shm"), ["nexus"], REMOTE,
+                          lambda e: True)
+        assert "not in pool" in str(err.value)
+
+    def test_empty_table(self):
+        with pytest.raises(NoApplicableProtocolError):
+            FirstMatchPolicy().select([], ["nexus"], REMOTE,
+                                      lambda e: True)
+
+
+class TestPoolOrderPolicy:
+    def test_pool_order_wins(self):
+        policy = PoolOrderPolicy()
+        chosen = policy.select(entries("glue", "shm", "nexus"),
+                               ["nexus", "glue"], REMOTE, lambda e: True)
+        assert chosen.proto_id == "nexus"
+
+    def test_applicability_respected(self):
+        policy = PoolOrderPolicy()
+        chosen = policy.select(entries("shm", "nexus"),
+                               ["shm", "nexus"], REMOTE,
+                               lambda e: e.proto_id != "shm")
+        assert chosen.proto_id == "nexus"
+
+    def test_no_match(self):
+        with pytest.raises(NoApplicableProtocolError):
+            PoolOrderPolicy().select(entries("glue"), ["nexus"], REMOTE,
+                                     lambda e: True)

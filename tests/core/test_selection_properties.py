@@ -1,0 +1,138 @@
+"""Property-based tests of protocol selection and locality.
+
+Invariants, over random tables/pools/localities:
+
+* anything selected is in the pool AND applicable;
+* first-match returns the *earliest* such entry;
+* selection is deterministic;
+* locality relations nest (machine ⊂ LAN ⊂ site) and are symmetric.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.context import Placement
+from repro.core.objref import ProtocolEntry
+from repro.core.selection import (
+    FirstMatchPolicy,
+    Locality,
+    PoolOrderPolicy,
+    rule_applies,
+)
+from repro.exceptions import NoApplicableProtocolError
+
+PROTO_IDS = ["glue", "shm", "nexus", "custom-a", "custom-b"]
+RULES = ["always", "never", "same-machine", "same-lan", "same-site",
+         "different-machine", "different-lan", "different-site"]
+
+locality_strategy = st.sampled_from([
+    Locality(True, True, True),
+    Locality(False, True, True),
+    Locality(False, False, True),
+    Locality(False, False, False),
+])
+
+entry_strategy = st.builds(
+    lambda pid, rule: ProtocolEntry(pid, {"applicability": rule}),
+    st.sampled_from(PROTO_IDS), st.sampled_from(RULES))
+
+table_strategy = st.lists(entry_strategy, min_size=0, max_size=8)
+pool_strategy = st.lists(st.sampled_from(PROTO_IDS), min_size=0,
+                         max_size=5, unique=True)
+
+
+def applicable(entry, locality):
+    return rule_applies(entry.proto_data["applicability"], locality)
+
+
+class TestSelectionProperties:
+    @given(table=table_strategy, pool=pool_strategy,
+           locality=locality_strategy)
+    def test_first_match_soundness(self, table, pool, locality):
+        policy = FirstMatchPolicy()
+        pred = lambda e: applicable(e, locality)
+        try:
+            chosen = policy.select(table, pool, locality, pred)
+        except NoApplicableProtocolError:
+            # Completeness: no entry was eligible.
+            assert not any(e.proto_id in pool and pred(e) for e in table)
+            return
+        # Soundness: eligible...
+        assert chosen.proto_id in pool and pred(chosen)
+        # ...and earliest.
+        index = table.index(chosen)
+        for earlier in table[:index]:
+            assert not (earlier.proto_id in pool and pred(earlier))
+
+    @given(table=table_strategy, pool=pool_strategy,
+           locality=locality_strategy)
+    def test_pool_order_soundness(self, table, pool, locality):
+        policy = PoolOrderPolicy()
+        pred = lambda e: applicable(e, locality)
+        try:
+            chosen = policy.select(table, pool, locality, pred)
+        except NoApplicableProtocolError:
+            assert not any(e.proto_id in pool and pred(e) for e in table)
+            return
+        assert chosen.proto_id in pool and pred(chosen)
+        # No entry of an earlier pool id may be eligible.
+        pool_rank = pool.index(chosen.proto_id)
+        for pid in pool[:pool_rank]:
+            assert not any(e.proto_id == pid and pred(e) for e in table)
+
+    @given(table=table_strategy, pool=pool_strategy,
+           locality=locality_strategy)
+    def test_determinism(self, table, pool, locality):
+        policy = FirstMatchPolicy()
+        pred = lambda e: applicable(e, locality)
+
+        def run():
+            try:
+                return policy.select(table, pool, locality, pred).proto_id
+            except NoApplicableProtocolError:
+                return None
+
+        assert run() == run()
+
+    @given(locality=locality_strategy)
+    def test_rule_complements(self, locality):
+        assert rule_applies("same-machine", locality) != \
+            rule_applies("different-machine", locality)
+        assert rule_applies("same-lan", locality) != \
+            rule_applies("different-lan", locality)
+        assert rule_applies("same-site", locality) != \
+            rule_applies("different-site", locality)
+
+    @given(locality=locality_strategy)
+    def test_rule_nesting(self, locality):
+        if rule_applies("same-machine", locality):
+            assert rule_applies("same-lan", locality)
+        if rule_applies("same-lan", locality):
+            assert rule_applies("same-site", locality)
+
+
+class TestPlacementProperties:
+    placements = st.builds(
+        Placement,
+        machine=st.sampled_from(["m1", "m2", "m3"]),
+        lan=st.sampled_from(["lan1", "lan2"]),
+        site=st.sampled_from(["site1", "site2"]))
+
+    @given(p=placements)
+    def test_reflexive(self, p):
+        loc = p.locality_to(p)
+        assert loc.same_machine and loc.same_lan and loc.same_site
+
+    @given(a=placements, b=placements)
+    def test_same_machine_dominates(self, a, b):
+        """Machine equality short-circuits to full locality, whatever the
+        (possibly inconsistent) LAN/site tags claim."""
+        if a.machine == b.machine:
+            assert a.locality_to(b).same_machine
+
+    @given(a=placements, b=placements)
+    def test_wire_roundtrip(self, a, b):
+        assert Placement.from_wire(a.to_wire()) == a
+        # locality computed from wire forms matches the originals
+        assert Placement.from_wire(a.to_wire()).locality_to(
+            Placement.from_wire(b.to_wire())) == a.locality_to(b)

@@ -1,0 +1,243 @@
+"""Tests for interface specs, decorators, views, parser, and stubs."""
+
+import pytest
+
+from repro.exceptions import (
+    IdlError,
+    IdlSyntaxError,
+    InterfaceError,
+    MethodNotExposedError,
+)
+from repro.idl import (
+    InterfaceSpec,
+    InterfaceView,
+    MethodSpec,
+    ParamSpec,
+    interface_of,
+    make_stub_class,
+    parse_idl,
+    remote_interface,
+    remote_method,
+)
+
+
+@remote_interface("Weather")
+class WeatherService:
+    @remote_method(returns="array")
+    def get_map(self, region: str, resolution: int):
+        """Return the weather map for a region."""
+        return [region, resolution]
+
+    @remote_method(oneway=True)
+    def feed(self, data):
+        pass
+
+    @remote_method
+    def remaining_credits(self) -> int:
+        return 3
+
+    def not_remote(self):
+        return "hidden"
+
+
+class TestSpecs:
+    def test_param_validation(self):
+        with pytest.raises(IdlError):
+            ParamSpec("not an ident!")
+        with pytest.raises(IdlError):
+            ParamSpec("x", "nonsense-type")
+
+    def test_method_validation(self):
+        with pytest.raises(IdlError):
+            MethodSpec("bad name")
+        with pytest.raises(IdlError):
+            MethodSpec("m", returns="weird")
+        with pytest.raises(IdlError):
+            MethodSpec("m", params=(ParamSpec("a"), ParamSpec("a")))
+
+    def test_oneway_needs_void(self):
+        with pytest.raises(IdlError):
+            MethodSpec("m", returns="int", oneway=True)
+
+    def test_interface_key_consistency(self):
+        with pytest.raises(IdlError):
+            InterfaceSpec("I", methods={"x": MethodSpec("y")})
+
+    def test_subset(self):
+        spec = interface_of(WeatherService)
+        sub = spec.subset(["get_map"])
+        assert sub.method_names() == ("get_map",)
+        assert sub.name == "WeatherView"
+
+    def test_subset_unknown_method(self):
+        spec = interface_of(WeatherService)
+        with pytest.raises(IdlError):
+            spec.subset(["nope"])
+
+    def test_method_lookup_missing(self):
+        spec = interface_of(WeatherService)
+        with pytest.raises(MethodNotExposedError):
+            spec.method("nope")
+
+    def test_wire_roundtrip(self):
+        spec = interface_of(WeatherService)
+        again = InterfaceSpec.from_wire(spec.to_wire())
+        assert again.method_names() == spec.method_names()
+        assert again.methods["feed"].oneway
+        assert again.methods["get_map"].params == \
+            spec.methods["get_map"].params
+
+
+class TestDecorators:
+    def test_collects_marked_methods(self):
+        spec = interface_of(WeatherService)
+        assert set(spec.method_names()) == \
+            {"get_map", "feed", "remaining_credits"}
+
+    def test_instance_lookup(self):
+        assert interface_of(WeatherService()) is \
+            interface_of(WeatherService)
+
+    def test_annotations_become_types(self):
+        spec = interface_of(WeatherService)
+        params = spec.methods["get_map"].params
+        assert params[0].type == "string"
+        assert params[1].type == "int"
+
+    def test_return_annotation(self):
+        assert interface_of(WeatherService).methods[
+            "remaining_credits"].returns == "int"
+
+    def test_oneway_flag(self):
+        assert interface_of(WeatherService).methods["feed"].oneway
+
+    def test_undecorated_class_rejected(self):
+        class Plain:
+            pass
+
+        with pytest.raises(IdlError):
+            interface_of(Plain)
+
+    def test_empty_interface_rejected(self):
+        with pytest.raises(IdlError):
+            @remote_interface()
+            class Empty:
+                pass
+
+    def test_varargs_rejected(self):
+        with pytest.raises(IdlError):
+            @remote_interface()
+            class Bad:
+                @remote_method
+                def m(self, *args):
+                    pass
+
+
+class TestViews:
+    def test_apply(self):
+        view = InterfaceView("ReadOnly", ["get_map"])
+        spec = view.apply(interface_of(WeatherService))
+        assert spec.name == "ReadOnly"
+        assert spec.method_names() == ("get_map",)
+
+    def test_union(self):
+        a = InterfaceView("A", ["get_map"])
+        b = InterfaceView("B", ["feed"])
+        u = (a | b).apply(interface_of(WeatherService))
+        assert set(u.method_names()) == {"feed", "get_map"}
+
+    def test_empty_view_rejected(self):
+        with pytest.raises(IdlError):
+            InterfaceView("E", [])
+
+
+IDL_TEXT = """
+// weather station interfaces
+interface Weather {
+    array get_map(string region, int resolution);
+    oneway void feed(any data);
+    int remaining_credits();
+};
+
+/* a second one */
+interface Admin {
+    void shutdown(grace);
+};
+"""
+
+
+class TestParser:
+    def test_parse_interfaces(self):
+        specs = parse_idl(IDL_TEXT)
+        assert set(specs) == {"Weather", "Admin"}
+        weather = specs["Weather"]
+        assert weather.methods["get_map"].params[0] == \
+            ParamSpec("region", "string")
+        assert weather.methods["feed"].oneway
+        assert weather.methods["remaining_credits"].arity == 0
+
+    def test_untyped_param_defaults_any(self):
+        specs = parse_idl(IDL_TEXT)
+        assert specs["Admin"].methods["shutdown"].params[0].type == "any"
+
+    def test_empty_input(self):
+        assert parse_idl("") == {}
+
+    @pytest.mark.parametrize("bad", [
+        "interface X { }",                        # no methods
+        "interface X { int m() }",                # missing semicolon
+        "interface X { bogus m(); };",            # unknown return type
+        "interface X { oneway int m(); };",       # oneway non-void
+        "interface X { int m(); int m(); };",     # duplicate method
+        "interface X { int m(); }; interface X { int n(); };",
+        "interface X { int m(%); };",             # bad character
+        "interface X { int m(",                   # truncated
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(IdlSyntaxError):
+            parse_idl(bad)
+
+    def test_parsed_matches_decorated(self):
+        """The textual and decorator definitions of the same interface
+        produce interchangeable specs."""
+        parsed = parse_idl(IDL_TEXT)["Weather"]
+        decorated = interface_of(WeatherService)
+        assert parsed.method_names() == decorated.method_names()
+
+
+class TestStubs:
+    def make(self, calls):
+        spec = interface_of(WeatherService)
+        cls = make_stub_class(spec)
+        return cls(lambda m, a, ow: calls.append((m, a, ow)) or "R", spec)
+
+    def test_methods_forward(self):
+        calls = []
+        stub = self.make(calls)
+        assert stub.get_map("midwest", 4) == "R"
+        assert calls == [("get_map", ("midwest", 4), False)]
+
+    def test_oneway_forward(self):
+        calls = []
+        stub = self.make(calls)
+        stub.feed({"x": 1})
+        assert calls[0][2] is True
+
+    def test_arity_checked(self):
+        stub = self.make([])
+        with pytest.raises(InterfaceError):
+            stub.get_map("only-one")
+
+    def test_stub_class_cached(self):
+        spec = interface_of(WeatherService)
+        assert make_stub_class(spec) is make_stub_class(spec)
+
+    def test_docstring_propagates(self):
+        spec = interface_of(WeatherService)
+        cls = make_stub_class(spec)
+        assert "weather map" in cls.get_map.__doc__
+
+    def test_stub_exposes_interface(self):
+        calls = []
+        stub = self.make(calls)
+        assert stub.interface.name == "Weather"

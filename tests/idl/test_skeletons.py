@@ -1,0 +1,170 @@
+"""Tests for servant skeletons and export-time validation."""
+
+import pytest
+
+from repro.core import ORB
+from repro.exceptions import IdlError
+from repro.idl import (
+    interface_of,
+    make_servant_base,
+    parse_idl,
+    validate_servant,
+)
+from repro.idl.types import InterfaceSpec, MethodSpec, ParamSpec
+
+WEATHER_IDL = """
+interface Weather {
+    array get_map(string region, int resolution);
+    int remaining_credits();
+};
+"""
+
+SPEC = parse_idl(WEATHER_IDL)["Weather"]
+
+
+class GoodServant:
+    def get_map(self, region, resolution):
+        return [region, resolution]
+
+    def remaining_credits(self):
+        return 7
+
+
+class TestValidateServant:
+    def test_accepts_conforming(self):
+        validate_servant(GoodServant(), SPEC)
+
+    def test_missing_method(self):
+        class Missing:
+            def get_map(self, region, resolution):
+                return []
+
+        with pytest.raises(IdlError) as err:
+            validate_servant(Missing(), SPEC)
+        assert "remaining_credits" in str(err.value)
+
+    def test_not_callable(self):
+        class NotCallable(GoodServant):
+            remaining_credits = 42
+
+        with pytest.raises(IdlError):
+            validate_servant(NotCallable(), SPEC)
+
+    def test_arity_mismatch(self):
+        class WrongArity(GoodServant):
+            def get_map(self):
+                return []
+
+        with pytest.raises(IdlError) as err:
+            validate_servant(WrongArity(), SPEC)
+        assert "get_map" in str(err.value)
+
+    def test_defaults_and_varargs_ok(self):
+        class Flexible:
+            def get_map(self, region, resolution=1, extra=None):
+                return []
+
+            def remaining_credits(self, *args):
+                return 0
+
+        validate_servant(Flexible(), SPEC)
+
+    def test_multiple_problems_reported(self):
+        class Bad:
+            pass
+
+        with pytest.raises(IdlError) as err:
+            validate_servant(Bad(), SPEC)
+        message = str(err.value)
+        assert "get_map" in message and "remaining_credits" in message
+
+
+class TestMakeServantBase:
+    def test_base_is_abstract(self):
+        Base = make_servant_base(SPEC)
+        with pytest.raises(TypeError):
+            Base()
+
+    def test_subclass_must_implement_all(self):
+        Base = make_servant_base(SPEC)
+
+        class Partial(Base):
+            def get_map(self, region, resolution):
+                return []
+
+        with pytest.raises(TypeError):
+            Partial()
+
+    def test_complete_subclass_instantiates(self):
+        Base = make_servant_base(SPEC)
+
+        class Complete(Base):
+            def get_map(self, region, resolution):
+                return [1]
+
+            def remaining_credits(self):
+                return 3
+
+        servant = Complete()
+        assert servant.remaining_credits() == 3
+
+    def test_carries_interface(self):
+        Base = make_servant_base(SPEC)
+        assert interface_of(Base).name == "Weather"
+
+    def test_cached(self):
+        assert make_servant_base(SPEC) is make_servant_base(SPEC)
+
+
+class TestIdlToExportPipeline:
+    def test_parse_implement_export_invoke(self):
+        """The full textual-IDL loop: parse -> skeleton -> implement ->
+        export -> invoke through a narrow()ed stub."""
+        Base = make_servant_base(SPEC)
+
+        class Impl(Base):
+            def get_map(self, region, resolution):
+                return [[region] * resolution]
+
+            def remaining_credits(self):
+                return 11
+
+        orb = ORB()
+        server = orb.context("idl-server")
+        client = orb.context("idl-client")
+        gp = client.bind(server.export(Impl()))
+        stub = gp.narrow()
+        assert stub.remaining_credits() == 11
+        assert stub.get_map("mw", 2) == [["mw", "mw"]]
+        orb.shutdown()
+
+    def test_export_rejects_nonconforming_servant(self):
+        orb = ORB()
+        server = orb.context("strict-server")
+
+        class Liar:
+            pass
+
+        with pytest.raises(IdlError):
+            server.export(Liar(), interface=SPEC)
+        orb.shutdown()
+
+    def test_export_validates_against_view_only(self):
+        """A servant only needs the methods the *view* exposes."""
+        spec = InterfaceSpec("Wide", methods={
+            "a": MethodSpec("a"),
+            "b": MethodSpec("b", params=(ParamSpec("x"),)),
+        })
+
+        class OnlyA:
+            def a(self):
+                return "a"
+
+        orb = ORB()
+        server = orb.context("view-server")
+        client = orb.context("view-client")
+        oref = server.export(OnlyA(), interface=spec, view=["a"])
+        assert client.bind(oref).invoke("a") == "a"
+        with pytest.raises(IdlError):
+            server.export(OnlyA(), interface=spec)  # full spec: missing b
+        orb.shutdown()

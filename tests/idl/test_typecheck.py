@@ -1,0 +1,132 @@
+"""Tests for IDL run-time type enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.core import ORB
+from repro.core.objref import ObjectReference
+from repro.exceptions import InterfaceError, RemoteException
+from repro.idl import remote_interface, remote_method
+from repro.idl.typecheck import check_args, value_fits
+from repro.idl.types import MethodSpec, ParamSpec
+
+
+class TestValueFits:
+    @pytest.mark.parametrize("value,wire_type,expected", [
+        (None, "any", True),
+        (object(), "any", True),
+        (None, "void", True),
+        (0, "void", False),
+        (True, "bool", True),
+        (np.bool_(True), "bool", True),
+        (1, "bool", False),
+        (5, "int", True),
+        (np.int32(5), "int", True),
+        (True, "int", False),          # bools are not ints on the wire
+        (5.0, "int", False),
+        (5.0, "float", True),
+        (5, "float", True),            # numeric courtesy
+        (np.float64(1.5), "float", True),
+        (True, "float", False),
+        ("x", "string", True),
+        (b"x", "string", False),
+        (b"x", "bytes", True),
+        (bytearray(b"x"), "bytes", True),
+        ("x", "bytes", False),
+        (np.zeros(3), "array", True),
+        ([1, 2], "array", True),
+        ((1, 2), "array", True),
+        ({"a": 1}, "array", False),
+        ([1], "list", True),
+        ({"a": 1}, "dict", True),
+        ([1], "dict", False),
+    ])
+    def test_scalar_matrix(self, value, wire_type, expected):
+        assert value_fits(value, wire_type) is expected
+
+    def test_objref(self):
+        from repro.idl.types import InterfaceSpec
+
+        oref = ObjectReference(
+            object_id="o", context_id="c",
+            interface=InterfaceSpec("I", {"m": MethodSpec("m")}))
+        assert value_fits(oref, "objref")
+        assert not value_fits("not a ref", "objref")
+
+    def test_unknown_type_permissive(self):
+        assert value_fits(object(), "hologram")
+
+
+class TestCheckArgs:
+    SPEC = MethodSpec("m", params=(
+        ParamSpec("a", "int"), ParamSpec("b", "string"),
+        ParamSpec("c", "any")))
+
+    def test_good(self):
+        check_args(self.SPEC, (1, "x", object()))
+
+    def test_wrong_arity(self):
+        with pytest.raises(InterfaceError):
+            check_args(self.SPEC, (1, "x"))
+
+    def test_wrong_type_named_in_error(self):
+        with pytest.raises(InterfaceError) as err:
+            check_args(self.SPEC, (1, 2, 3))
+        assert "'b'" in str(err.value)
+        assert "string" in str(err.value)
+
+
+@remote_interface("Typed")
+class TypedService:
+    @remote_method
+    def scale(self, values: list, factor: float):
+        return [v * factor for v in values]
+
+    @remote_method
+    def label(self, name: str) -> str:
+        return f"[{name}]"
+
+
+class TestDispatchEnforcement:
+    @pytest.fixture
+    def gp(self):
+        orb = ORB()
+        server = orb.context()
+        client = orb.context()
+        yield client.bind(server.export(TypedService()))
+        orb.shutdown()
+
+    def test_conforming_call(self, gp):
+        assert gp.invoke("scale", [1.0, 2.0], 2.0) == [2.0, 4.0]
+        assert gp.invoke("label", "x") == "[x]"
+
+    def test_int_accepted_for_float(self, gp):
+        assert gp.invoke("scale", [1.0], 3) == [3.0]
+
+    def test_wrong_type_rejected_remotely(self, gp):
+        with pytest.raises(RemoteException) as err:
+            gp.invoke("label", 42)
+        assert err.value.remote_type == "InterfaceError"
+
+    def test_wrong_aggregate_rejected(self, gp):
+        with pytest.raises(RemoteException) as err:
+            gp.invoke("scale", "not-a-list", 1.0)
+        assert err.value.remote_type == "InterfaceError"
+
+    def test_servant_never_ran(self, gp):
+        """The type error fires before the servant method."""
+        calls = []
+
+        class Spy(TypedService):
+            def label(self, name):
+                calls.append(name)
+                return name
+
+        orb = ORB()
+        server = orb.context()
+        client = orb.context()
+        g = client.bind(server.export(Spy()))
+        with pytest.raises(RemoteException):
+            g.invoke("label", 3.5)
+        assert calls == []
+        orb.shutdown()

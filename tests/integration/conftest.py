@@ -1,0 +1,7 @@
+"""Integration-test fixtures: reuse the core suite's ORB worlds."""
+
+from tests.core.conftest import (  # noqa: F401 - fixture re-export
+    sim_world,
+    wall_orb,
+    wall_pair,
+)

@@ -1,0 +1,115 @@
+"""Genuine isolation tests: separate ORBs and separate OS processes.
+
+Everything else in the suite runs contexts inside one ORB.  Here we show
+the wire formats and the TCP transport genuinely decouple the two sides:
+
+* two independent ORB instances in one process, sharing nothing but a
+  marshalled OR and a TCP port;
+* a *separate Python process* serving an object, reached from the test
+  process — the full cross-process RPC path the 1999 system ran.
+"""
+
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.core import ORB
+from repro.core.context import Placement
+from repro.core.objref import ObjectReference
+
+from tests.core.conftest import Counter
+
+
+class TestCrossOrb:
+    def test_two_orbs_over_tcp(self):
+        """Client ORB and server ORB share no registries: only the OR
+        bytes and the socket connect them."""
+        server_orb = ORB()
+        client_orb = ORB()
+        try:
+            server_ctx = server_orb.context(
+                "srv", enable_tcp=True,
+                placement=Placement("srv-host", "srv-lan", "srv-site"))
+            client_ctx = client_orb.context(
+                "cli", enable_tcp=True,
+                placement=Placement("cli-host", "cli-lan", "cli-site"))
+
+            oref_bytes = server_ctx.export(Counter()).to_bytes()
+            # Strip non-TCP addresses: the other ORB's inproc/shm
+            # registries are unreachable from this ORB.
+            oref = ObjectReference.from_bytes(oref_bytes)
+            for entry in oref.protocols:
+                entry.proto_data["addresses"] = [
+                    a for a in entry.proto_data.get("addresses", [])
+                    if a.get("transport") == "tcp"]
+
+            gp = client_ctx.bind(oref)
+            assert gp.selected_proto_id == "nexus"
+            assert gp.invoke("add", 7) == 7
+            assert gp.invoke("get") == 7
+        finally:
+            server_orb.shutdown()
+            client_orb.shutdown()
+
+
+SERVER_SCRIPT = textwrap.dedent("""
+    import sys
+    from repro.core import ORB
+    from repro.core.context import Placement
+    from repro.idl import remote_interface, remote_method
+
+    @remote_interface("Counter")
+    class Counter:
+        def __init__(self):
+            self.n = 0
+
+        @remote_method
+        def add(self, k: int) -> int:
+            self.n += k
+            return self.n
+
+        @remote_method
+        def shutdown_probe(self) -> str:
+            return "alive"
+
+    orb = ORB()
+    ctx = orb.context("remote-process", enable_tcp=True,
+                      placement=Placement("other-host", "other-lan",
+                                          "other-site"))
+    oref = ctx.export(Counter())
+    # Hand the OR to the parent over stdout (hex to stay line-clean).
+    sys.stdout.write(oref.to_bytes().hex() + "\\n")
+    sys.stdout.flush()
+    # Serve until the parent closes stdin.
+    sys.stdin.read()
+""")
+
+
+class TestCrossProcess:
+    def test_rpc_into_another_process(self):
+        proc = subprocess.Popen(
+            [sys.executable, "-c", SERVER_SCRIPT],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True)
+        try:
+            line = proc.stdout.readline().strip()
+            assert line, "server process produced no OR"
+            oref = ObjectReference.from_bytes(bytes.fromhex(line))
+            # Only the TCP address can cross the process boundary.
+            for entry in oref.protocols:
+                entry.proto_data["addresses"] = [
+                    a for a in entry.proto_data.get("addresses", [])
+                    if a.get("transport") == "tcp"]
+
+            orb = ORB()
+            client = orb.context("parent", enable_tcp=True)
+            gp = client.bind(oref)
+            assert gp.selected_proto_id == "nexus"
+            assert gp.invoke("add", 5) == 5
+            assert gp.invoke("add", 5) == 10
+            assert gp.invoke("shutdown_probe") == "alive"
+            orb.shutdown()
+        finally:
+            proc.stdin.close()
+            proc.wait(timeout=10)

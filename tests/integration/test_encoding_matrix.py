@@ -1,0 +1,96 @@
+"""Encoding matrix: every protocol shape over both wire encodings.
+
+The OR advertises the server's encoding per entry; clients must follow
+it.  This drives plain, glue, and shm protocols over XDR- and
+CDR-encoding servers, including capability stacks (whose sub-headers are
+always XDR by specification, independent of the payload encoding).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ORB
+from repro.core.capabilities import (
+    CallQuotaCapability,
+    EncryptionCapability,
+    IntegrityCapability,
+)
+from repro.core.context import Placement
+
+from tests.core.conftest import Counter
+
+
+@pytest.fixture(params=["xdr", "cdr"])
+def encoding(request):
+    return request.param
+
+
+@pytest.fixture
+def worlds(wall_orb, encoding):
+    server = wall_orb.context(f"enc-s-{encoding}", encoding=encoding,
+                              placement=Placement("sm", "sl", "ss"))
+    client = wall_orb.context(f"enc-c-{encoding}",
+                              placement=Placement("cm", "cl", "cs"))
+    local_client = wall_orb.context(f"enc-l-{encoding}",
+                                    placement=Placement("sm", "sl", "ss"))
+    return server, client, local_client
+
+
+class TestEncodingMatrix:
+    def test_plain_nexus(self, worlds, encoding):
+        server, client, _ = worlds
+        gp = client.bind(server.export(Counter()))
+        assert gp.oref.entry("nexus").proto_data["encoding"] == encoding
+        assert gp.invoke("add", 3) == 3
+
+    def test_shm(self, worlds):
+        server, _, local_client = worlds
+        gp = local_client.bind(server.export(Counter()))
+        assert gp.selected_proto_id == "shm"
+        assert gp.invoke("add", 2) == 2
+
+    def test_glue_stack(self, worlds):
+        server, client, _ = worlds
+        oref = server.export(Counter(), glue_stacks=[[
+            CallQuotaCapability.for_calls(10, applicability="always"),
+            EncryptionCapability.server_descriptor(
+                key_seed=4, applicability="always"),
+            IntegrityCapability.checksum(applicability="always"),
+        ]])
+        gp = client.bind(oref)
+        assert gp.selected_proto_id == "glue"
+        for i in range(3):
+            assert gp.invoke("add", 1) == i + 1
+
+    def test_array_payloads(self, worlds):
+        server, client, _ = worlds
+        gp = client.bind(server.export(Counter()))
+        arr = np.arange(4096, dtype=np.float64)
+        np.testing.assert_array_equal(gp.invoke("echo", arr), arr)
+
+    def test_exceptions_cross_encodings(self, worlds):
+        from repro.exceptions import RemoteException
+
+        server, client, _ = worlds
+        gp = client.bind(server.export(Counter()))
+        with pytest.raises(RemoteException) as err:
+            gp.invoke("fail", "boom")
+        assert err.value.remote_type == "RuntimeError"
+
+    def test_migration_between_encodings(self, wall_orb):
+        """An object migrating from an XDR context to a CDR context:
+        clients re-select and re-marshal with the new encoding."""
+        from repro.core.migration import migrate
+
+        xdr_ctx = wall_orb.context("mx", encoding="xdr",
+                                   placement=Placement("a", "al", "as"))
+        cdr_ctx = wall_orb.context("mc", encoding="cdr",
+                                   placement=Placement("b", "bl", "bs"))
+        client = wall_orb.context("mcl",
+                                  placement=Placement("c", "cl", "cs"))
+        oref = xdr_ctx.export(Counter())
+        gp = client.bind(oref)
+        gp.invoke("add", 1)
+        migrate(xdr_ctx, oref.object_id, cdr_ctx)
+        assert gp.invoke("add", 1) == 2
+        assert gp.oref.entry("nexus").proto_data["encoding"] == "cdr"

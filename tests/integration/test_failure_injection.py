@@ -1,0 +1,222 @@
+"""Failure injection across the stack.
+
+Distributed systems are defined by how they fail.  These tests corrupt
+wires, kill peers, exhaust budgets, and desynchronize state, asserting
+that every failure surfaces as the *right* exception at the *right*
+place — never a hang, never silent corruption.
+"""
+
+import pytest
+
+from repro.core import ORB
+from repro.core.capabilities import (
+    CallQuotaCapability,
+    EncryptionCapability,
+    IntegrityCapability,
+)
+from repro.core.context import Placement
+from repro.core.glue import (
+    decode_glue_envelope,
+    encode_glue_envelope,
+)
+from repro.exceptions import (
+    CapabilityError,
+    HpcError,
+    NoApplicableProtocolError,
+    ProtocolError,
+    RemoteException,
+)
+
+from tests.core.conftest import Counter
+
+
+@pytest.fixture
+def remote_pair(wall_orb):
+    server = wall_orb.context("srv", placement=Placement(
+        "s-box", "s-lan", "site-a"))
+    client = wall_orb.context("cli", placement=Placement(
+        "c-box", "c-lan", "site-b"))
+    return server, client
+
+
+class TestWireCorruption:
+    def test_integrity_capability_catches_payload_corruption(
+            self, remote_pair):
+        """A corrupting 'network' is caught by the integrity capability
+        server-side and surfaced as a remote IntegrityError."""
+        server, client = remote_pair
+        oref = server.export(Counter(), glue_stacks=[
+            [IntegrityCapability.checksum(applicability="always")]])
+        gp = client.bind(oref)
+        gp.invoke("add", 1)  # settle the connection
+
+        # Wrap the live glue client so every outgoing envelope has one
+        # payload byte flipped after capability processing.
+        glue_client = gp._client_for(gp.select_protocol())
+        original = glue_client.inner.call_raw
+
+        def corrupting_call(handler, payload, oneway=False):
+            glue_id, cap_types, body = decode_glue_envelope(payload)
+            body = bytearray(body)
+            body[len(body) // 2] ^= 0xFF
+            return original(handler,
+                            encode_glue_envelope(glue_id, cap_types,
+                                                 bytes(body)), oneway)
+
+        glue_client.inner.call_raw = corrupting_call
+        with pytest.raises(RemoteException) as err:
+            gp.invoke("add", 1)
+        assert err.value.remote_type == "IntegrityError"
+
+    def test_encryption_rejects_corrupt_wire(self, remote_pair):
+        server, client = remote_pair
+        oref = server.export(Counter(), glue_stacks=[
+            [IntegrityCapability.checksum(applicability="always"),
+             EncryptionCapability.server_descriptor(
+                 key_seed=3, applicability="always")]])
+        gp = client.bind(oref)
+        gp.invoke("add", 1)
+        glue_client = gp._client_for(gp.select_protocol())
+        original = glue_client.inner.call_raw
+
+        def truncating_call(handler, payload, oneway=False):
+            glue_id, cap_types, body = decode_glue_envelope(payload)
+            return original(handler,
+                            encode_glue_envelope(glue_id, cap_types,
+                                                 body[:-8]), oneway)
+
+        glue_client.inner.call_raw = truncating_call
+        with pytest.raises(RemoteException) as err:
+            gp.invoke("add", 1)
+        # Whatever layer notices first, it is a loud capability error.
+        assert err.value.remote_type in ("DecryptionError",
+                                         "IntegrityError",
+                                         "MarshalError",
+                                         "BufferUnderflowError")
+
+    def test_mismatched_stack_announcement(self, remote_pair):
+        """A client lying about its capability list is refused."""
+        server, client = remote_pair
+        oref = server.export(Counter(), glue_stacks=[
+            [CallQuotaCapability.for_calls(10, applicability="always")]])
+        gp = client.bind(oref)
+        glue_client = gp._client_for(gp.select_protocol())
+        original = glue_client.inner.call_raw
+
+        def lying_call(handler, payload, oneway=False):
+            glue_id, _cap_types, body = decode_glue_envelope(payload)
+            return original(handler,
+                            encode_glue_envelope(glue_id,
+                                                 ["quota", "encryption"],
+                                                 body), oneway)
+
+        glue_client.inner.call_raw = lying_call
+        with pytest.raises(RemoteException) as err:
+            gp.invoke("get")
+        assert err.value.remote_type == "CapabilityError"
+
+
+class TestLifecycleFailures:
+    def test_unexported_object(self, remote_pair):
+        server, client = remote_pair
+        oref = server.export(Counter())
+        gp = client.bind(oref)
+        assert gp.invoke("add", 1) == 1
+        server.unexport(oref.object_id)
+        with pytest.raises(RemoteException) as err:
+            gp.invoke("get")
+        assert err.value.remote_type == "ObjectNotFoundError"
+
+    def test_stopped_context_times_out_cleanly(self, wall_orb):
+        server = wall_orb.context("dying")
+        client = wall_orb.context("watcher")
+        client.call_timeout = 0.3
+        oref = server.export(Counter())
+        gp = client.bind(oref)
+        assert gp.invoke("add", 1) == 1
+        server.stop()
+        with pytest.raises(HpcError):
+            gp.invoke("get")
+
+    def test_double_export_same_id_rejected(self, remote_pair):
+        server, _ = remote_pair
+        server.export(Counter(), object_id="fixed")
+        with pytest.raises(HpcError):
+            server.export(Counter(), object_id="fixed")
+
+    def test_empty_protocol_table_rejected(self, remote_pair):
+        server, _ = remote_pair
+        with pytest.raises(HpcError):
+            server.export(Counter(), include_shm=False,
+                          include_plain=False)
+
+    def test_forward_hop_limit(self, remote_pair):
+        """A forwarding cycle must terminate with an error, not spin."""
+        server, client = remote_pair
+        oref = server.export(Counter())
+        gp = client.bind(oref)
+        # Install a forwarding record that points back at itself.
+        server.servants.pop(oref.object_id)
+        server.forwards[oref.object_id] = oref.clone()
+        from repro.exceptions import RemoteInvocationError
+
+        with pytest.raises(RemoteInvocationError):
+            gp.invoke("get")
+
+
+class TestBudgetExhaustion:
+    def test_quota_error_is_precise(self, remote_pair):
+        server, client = remote_pair
+        oref = server.export(Counter(), glue_stacks=[
+            [CallQuotaCapability.for_calls(3, applicability="always")]])
+        gp = client.bind(oref)
+        for i in range(3):
+            gp.invoke("add", 1)
+        from repro.exceptions import QuotaExceededError
+
+        with pytest.raises(QuotaExceededError):
+            gp.invoke("add", 1)
+        # The failed attempt must not have reached the servant.
+        oref2 = server.export(Counter(), object_id="probe")
+        assert server.servants[oref.object_id].instance.n == 3
+
+    def test_selection_failure_lists_reasons(self, remote_pair):
+        server, client = remote_pair
+        oref = server.export(Counter())
+        gp = client.bind(oref)
+        gp.pool.disallow("nexus")
+        # shm inapplicable (different machines), nexus banned by pool.
+        with pytest.raises(NoApplicableProtocolError) as err:
+            gp.invoke("get")
+        message = str(err.value)
+        assert "not applicable" in message or "not in pool" in message
+
+
+class TestControlSurfaceFailures:
+    def test_bad_control_op(self, remote_pair):
+        server, client = remote_pair
+        oref = server.export(Counter())
+        gp = client.bind(oref)
+        entry = gp.oref.entry("nexus")
+        proto_client = gp._client_for(entry)
+        m = proto_client.marshaller
+        reply = m.loads(proto_client.call_raw(
+            "hpc.control", m.dumps({"op": "self-destruct"})))
+        assert reply["ok"] is False
+        assert "unknown op" in reply["error"]
+
+    def test_make_glue_with_bad_capability(self, remote_pair):
+        server, client = remote_pair
+        oref = server.export(Counter())
+        gp = client.bind(oref)
+        with pytest.raises(HpcError):
+            gp.add_capability_stack([{"type": "no-such-capability"}])
+
+    def test_dynamic_stack_without_nexus_entry(self, remote_pair):
+        server, client = remote_pair
+        oref = server.export(Counter())
+        gp = client.bind(oref)
+        gp.drop_protocol("nexus")
+        with pytest.raises(HpcError):
+            gp.add_capability_stack(
+                [CallQuotaCapability.for_calls(1)])

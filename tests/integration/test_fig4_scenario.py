@@ -1,0 +1,134 @@
+"""Integration test of the paper's §5 / Figure 4 experiment.
+
+The client on M0 holds one GP while its server object migrates
+M1 -> M2 -> M3 -> M0.  At each stop the protocol actually chosen must
+follow the paper's sequence:
+
+1. M1 (remote site):   glue with timeout + security capabilities
+2. M2 (same campus):   glue with timeout capability
+3. M3 (same LAN):      plain Nexus/TCP (no capability applies,
+                       shared memory inapplicable across machines)
+4. M0 (same machine):  shared memory
+"""
+
+import pytest
+
+from repro.core import ORB
+from repro.core.capabilities import (
+    CallQuotaCapability,
+    EncryptionCapability,
+)
+from repro.core.migration import migrate
+from repro.simnet import NetworkSimulator, paper_testbed
+
+from tests.core.conftest import Counter
+
+
+@pytest.fixture
+def world():
+    tb = paper_testbed()
+    sim = NetworkSimulator(tb.topology)
+    orb = ORB(simulator=sim)
+    client = orb.context("client", machine=tb.m0)
+    servers = {
+        "s1": orb.context("s1", machine=tb.m1),
+        "s2": orb.context("s2", machine=tb.m2),
+        "s3": orb.context("s3", machine=tb.m3),
+        "s4": orb.context("s4", machine=tb.m0),
+    }
+    yield orb, sim, client, servers
+    orb.shutdown()
+
+
+def export_figure4(server):
+    """Figure 4-B's protocol table: glue(timeout+security), glue(timeout),
+    shm, nexus."""
+    return server.export(Counter(), glue_stacks=[
+        [CallQuotaCapability.for_calls(1_000_000),
+         EncryptionCapability.server_descriptor(key_seed=42)],
+        [CallQuotaCapability.for_calls(1_000_000)],
+    ])
+
+
+class TestFigure4:
+    def test_protocol_table_layout(self, world):
+        _orb, _sim, client, servers = world
+        oref = export_figure4(servers["s1"])
+        assert oref.proto_ids() == ["glue", "glue", "shm", "nexus"]
+
+    def test_stage_sequence(self, world):
+        _orb, sim, client, servers = world
+        oref = export_figure4(servers["s1"])
+        gp = client.bind(oref)
+
+        # Stage 1: server on M1, remote site.
+        assert gp.describe_selection() == "glue[quota+encryption]"
+        assert gp.invoke("add", 1) == 1
+
+        # Stage 2: migrate to M2 (same campus, different LAN).
+        migrate(servers["s1"], oref.object_id, servers["s2"])
+        assert gp.invoke("add", 1) == 2
+        assert gp.describe_selection() == "glue[quota]"
+
+        # Stage 3: migrate to M3 (client's own LAN).
+        migrate(servers["s2"], oref.object_id, servers["s3"])
+        assert gp.invoke("add", 1) == 3
+        assert gp.describe_selection() == "nexus"
+
+        # Stage 4: migrate to M0 (client's machine).
+        migrate(servers["s3"], oref.object_id, servers["s4"])
+        assert gp.invoke("add", 1) == 4
+        assert gp.describe_selection() == "shm"
+
+    def test_state_survives_the_whole_tour(self, world):
+        _orb, _sim, client, servers = world
+        oref = export_figure4(servers["s1"])
+        gp = client.bind(oref)
+        total = 0
+        for i, (src, dst) in enumerate(
+                [("s1", "s2"), ("s2", "s3"), ("s3", "s4")]):
+            total += gp.invoke("add", 10)
+            migrate(servers[src], oref.object_id, servers[dst])
+        assert gp.invoke("get") == 30
+
+    def test_virtual_time_reflects_placement(self, world):
+        """Requests get *cheaper* as the object migrates closer — the
+        performance story behind protocol adaptivity."""
+        _orb, sim, client, servers = world
+        oref = export_figure4(servers["s1"])
+        gp = client.bind(oref)
+        payload = "x" * 100_000
+
+        def cost_of_call():
+            t0 = sim.clock.now()
+            gp.invoke("echo", payload)
+            return sim.clock.now() - t0
+
+        gp.invoke("get")  # settle connections
+        remote_cost = cost_of_call()
+        migrate(servers["s1"], oref.object_id, servers["s3"])
+        gp.invoke("get")
+        lan_cost = cost_of_call()
+        migrate(servers["s3"], oref.object_id, servers["s4"])
+        gp.invoke("get")
+        shm_cost = cost_of_call()
+        assert remote_cost > lan_cost > shm_cost
+        assert shm_cost < lan_cost / 5
+
+    def test_quota_travels_with_migration(self, world):
+        """Each migration re-creates the server-side stacks; the client
+        half keeps its own count (per-GP metering)."""
+        _orb, _sim, client, servers = world
+        oref = servers["s1"].export(Counter(), glue_stacks=[
+            [CallQuotaCapability.for_calls(3, applicability="always")]])
+        gp = client.bind(oref)
+        gp.pool.disallow("shm")
+        gp.pool.disallow("nexus")
+        gp.invoke("add", 1)
+        migrate(servers["s1"], oref.object_id, servers["s2"])
+        gp.invoke("add", 1)
+        gp.invoke("add", 1)
+        from repro.exceptions import QuotaExceededError, RemoteException
+
+        with pytest.raises((QuotaExceededError, RemoteException)):
+            gp.invoke("add", 1)

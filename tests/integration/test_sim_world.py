@@ -1,0 +1,139 @@
+"""Deeper coverage of the simulated deployment mode.
+
+Everything the wall-clock tests cover must also hold in the virtual
+world — plus the virtual-time semantics that only exist there.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ORB
+from repro.core.capabilities import (
+    AuthenticationCapability,
+    CallQuotaCapability,
+    TimeLeaseCapability,
+)
+from repro.exceptions import HpcError, RemoteException
+from repro.security.keys import Principal
+from repro.simnet import NetworkSimulator, paper_testbed
+
+from tests.core.conftest import Counter
+
+
+class TestSimDeployment:
+    def test_context_needs_simulator_for_machine(self):
+        orb = ORB()  # no simulator
+        with pytest.raises(HpcError):
+            orb.context("bad", machine="M0")
+
+    def test_machine_by_name(self, sim_world):
+        orb, sim, tb, contexts = sim_world
+        ctx = orb.context("by-name", machine="M2")
+        assert ctx.placement.machine == "M2"
+
+    def test_cdr_encoding_in_sim(self, sim_world):
+        orb, _sim, tb, contexts = sim_world
+        server = orb.context("cdr-server", machine=tb.m1, encoding="cdr")
+        gp = contexts["client"].bind(server.export(Counter()))
+        assert gp.invoke("add", 3) == 3
+
+    def test_oneway_in_sim_is_synchronous(self, sim_world):
+        _orb, sim, _tb, contexts = sim_world
+        counter = Counter()
+        oref = contexts["s1"].export(counter)
+        gp = contexts["client"].bind(oref)
+        gp.invoke_oneway("bump")
+        # The virtual world dispatches inline: the effect is immediate.
+        assert counter.n == 1
+
+    def test_async_in_sim_returns_completed_future(self, sim_world):
+        _orb, _sim, _tb, contexts = sim_world
+        gp = contexts["client"].bind(contexts["s1"].export(Counter()))
+        future = gp.invoke_async("add", 5)
+        assert future.done()
+        assert future.result() == 5
+
+    def test_async_exception_in_sim(self, sim_world):
+        _orb, _sim, _tb, contexts = sim_world
+        gp = contexts["client"].bind(contexts["s1"].export(Counter()))
+        future = gp.invoke_async("fail", "virtual boom")
+        with pytest.raises(RemoteException):
+            future.result()
+
+    def test_authenticated_traffic_in_sim(self, sim_world):
+        _orb, _sim, _tb, contexts = sim_world
+        server, client = contexts["s1"], contexts["client"]
+        alice = Principal("alice", "lab")
+        key = server.keystore.generate(alice)
+        client.keystore.install(alice, key)
+        oref = server.export(Counter(), glue_stacks=[
+            [AuthenticationCapability.for_principal(alice)]])
+        gp = client.bind(oref)
+        assert gp.describe_selection() == "glue[auth]"
+        for i in range(5):
+            assert gp.invoke("add", 1) == i + 1
+
+    def test_lease_against_virtual_clock(self, sim_world):
+        _orb, sim, _tb, contexts = sim_world
+        server, client = contexts["s1"], contexts["client"]
+        oref = server.export(Counter(), glue_stacks=[
+            [TimeLeaseCapability.until(sim.clock.now() + 1.0,
+                                       applicability="always")]])
+        gp = client.bind(oref)
+        gp.pool.disallow("nexus")
+        gp.pool.disallow("shm")
+        gp.invoke("add", 1)
+        sim.clock.advance(2.0)
+        from repro.exceptions import LeaseExpiredError
+
+        with pytest.raises(LeaseExpiredError):
+            gp.invoke("add", 1)
+
+    def test_large_array_over_sim(self, sim_world):
+        _orb, sim, _tb, contexts = sim_world
+        gp = contexts["client"].bind(contexts["s1"].export(Counter()))
+        arr = np.arange(1 << 18, dtype=np.float64)
+        t0 = sim.clock.now()
+        out = gp.invoke("echo", arr)
+        np.testing.assert_array_equal(out, arr)
+        # 2 MiB each way over simulated ATM: hundreds of milliseconds.
+        assert sim.clock.now() - t0 > 0.1
+
+    def test_cpu_charges_accumulate(self, sim_world):
+        _orb, sim, _tb, contexts = sim_world
+        server, client = contexts["s1"], contexts["client"]
+        oref = server.export(Counter(), glue_stacks=[
+            [CallQuotaCapability.for_calls(100)]])
+        gp = client.bind(oref)
+        before = sim.cpu_seconds
+        gp.invoke("echo", b"x" * 10_000)
+        assert sim.cpu_seconds > before
+
+    def test_transfer_log_sees_rpc_traffic(self, sim_world):
+        _orb, sim, _tb, contexts = sim_world
+        gp = contexts["client"].bind(contexts["s1"].export(Counter()))
+        before = sim.log.total_messages
+        gp.invoke("add", 1)
+        # At least request + reply (plus connection setup on first use).
+        assert sim.log.total_messages >= before + 2
+
+    def test_two_clients_different_machines_different_costs(
+            self, sim_world):
+        _orb, sim, tb, contexts = sim_world
+        oref = contexts["s1"].export(Counter())
+        near = contexts["s2"].bind(oref)    # same site as M1? no—M2
+        far_ctx = contexts["client"]        # M0, remote site from M1
+        far = far_ctx.bind(oref)
+        payload = b"z" * 50_000
+        near.invoke("echo", b"")
+        far.invoke("echo", b"")
+        t0 = sim.clock.now()
+        near.invoke("echo", payload)
+        near_cost = sim.clock.now() - t0
+        t0 = sim.clock.now()
+        far.invoke("echo", payload)
+        far_cost = sim.clock.now() - t0
+        # M2 and M0 are both one fabric hop from M1 in the paper
+        # topology, so the difference comes from capability-free paths
+        # being equal — assert both sane and positive instead.
+        assert near_cost > 0 and far_cost > 0

@@ -1,0 +1,159 @@
+"""Concurrency stress tests over the real (threaded) transports."""
+
+import threading
+
+import pytest
+
+from repro.core import ORB
+from repro.core.capabilities import CallQuotaCapability, IntegrityCapability
+from repro.core.context import Placement
+from repro.idl import remote_interface, remote_method
+
+
+@remote_interface("SafeCounter")
+class SafeCounter:
+    """Servant with its own lock: the ORB allows concurrent dispatch."""
+
+    def __init__(self):
+        self.n = 0
+        self._lock = threading.Lock()
+
+    @remote_method
+    def add(self, k: int) -> int:
+        with self._lock:
+            self.n += k
+            return self.n
+
+    @remote_method
+    def get(self) -> int:
+        with self._lock:
+            return self.n
+
+
+class TestConcurrentClients:
+    @pytest.mark.parametrize("enable_tcp", [False, True],
+                             ids=["inproc", "tcp"])
+    def test_many_threads_one_servant(self, enable_tcp):
+        orb = ORB()
+        server = orb.context("stress-server", enable_tcp=enable_tcp)
+        clients = [orb.context(f"stress-client-{i}",
+                               enable_tcp=enable_tcp)
+                   for i in range(4)]
+        if enable_tcp:
+            # Force traffic over real sockets.
+            for ctx in clients:
+                ctx.proto_pool.reorder(
+                    [p for p in ctx.proto_pool.ids()])
+        oref = server.export(SafeCounter())
+        errors = []
+
+        def hammer(ctx):
+            try:
+                gp = ctx.bind(oref)
+                if enable_tcp:
+                    gp.pool.disallow("shm")
+                for _ in range(50):
+                    gp.invoke("add", 1)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(ctx,))
+                   for ctx in clients]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+        final = clients[0].bind(oref).invoke("get")
+        assert final == 4 * 50
+        orb.shutdown()
+
+    def test_one_gp_shared_across_threads(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(SafeCounter()))
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(50):
+                    gp.invoke("add", 1)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+        assert gp.invoke("get") == 200
+
+    def test_concurrent_glue_traffic(self, wall_orb):
+        """Capability-processed requests from several threads through
+        one server glue stack must not corrupt each other."""
+        server = wall_orb.context("glue-server", placement=Placement(
+            "s", "s-lan", "site"))
+        client = wall_orb.context("glue-client", placement=Placement(
+            "c", "c-lan", "site"))
+        oref = server.export(SafeCounter(), glue_stacks=[[
+            CallQuotaCapability.for_calls(10_000,
+                                          applicability="always"),
+            IntegrityCapability.checksum(applicability="always"),
+        ]])
+        errors = []
+
+        def hammer():
+            try:
+                gp = client.bind(oref)  # one GP (and quota) per thread
+                for _ in range(30):
+                    gp.invoke("add", 1)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+        assert client.bind(oref).invoke("get") == 120
+
+    def test_async_fanout(self, wall_pair):
+        server, client = wall_pair
+        gp = client.bind(server.export(SafeCounter()))
+        futures = [gp.invoke_async("add", 1) for _ in range(100)]
+        results = {f.result(timeout=30) for f in futures}
+        assert max(results) == 100
+        assert gp.invoke("get") == 100
+
+    def test_migration_under_load(self, wall_orb):
+        """Requests keep succeeding while the object migrates away."""
+        from repro.core.migration import migrate
+
+        a = wall_orb.context("m-a", placement=Placement("ma", "la", "sa"))
+        b = wall_orb.context("m-b", placement=Placement("mb", "lb", "sb"))
+        client = wall_orb.context("m-c",
+                                  placement=Placement("mc", "lc", "sc"))
+        oref = a.export(SafeCounter())
+        gp = client.bind(oref)
+        errors = []
+        done = threading.Event()
+
+        def hammer():
+            try:
+                for _ in range(200):
+                    gp.invoke("add", 1)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                done.set()
+
+        t = threading.Thread(target=hammer)
+        t.start()
+        # Migrate mid-traffic.
+        migrate(a, oref.object_id, b)
+        t.join(timeout=60)
+        assert done.is_set() and errors == []
+        assert gp.invoke("get") == 200
+        orb_check = gp.oref.context_id
+        assert orb_check == "m-b"

@@ -1,0 +1,201 @@
+"""Tests for endpoints, startpoints, and multi-method serving."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import RemoteException, RemoteInvocationError
+from repro.nexus.endpoint import Endpoint, Startpoint
+from repro.nexus.multimethod import MultiMethodServer
+from repro.simnet.presets import two_machine_lan
+from repro.simnet.simulator import NetworkSimulator
+from repro.transport.inproc import InProcTransport
+from repro.transport.simtransport import SimTransport
+from repro.transport.tcp import TcpTransport
+
+
+def make_echo_endpoint(name="echo"):
+    ep = Endpoint(name)
+    ep.register("echo", lambda payload: bytes(payload))
+    ep.register("upper", lambda payload: bytes(payload).upper())
+
+    def boom(payload):
+        raise ValueError("intentional failure")
+
+    ep.register("boom", boom)
+    return ep
+
+
+@pytest.fixture(params=["inproc", "tcp"])
+def threaded_world(request):
+    """(startpoint, server) over a real threaded transport."""
+    transport = {"inproc": InProcTransport, "tcp": TcpTransport}[
+        request.param]()
+    ep = make_echo_endpoint()
+    listener = transport.listen()
+    ep.serve_listener(listener)
+    channel = transport.connect(listener.address)
+    sp = Startpoint(channel, timeout=10.0)
+    yield sp, ep
+    sp.close()
+    ep.stop()
+
+
+@pytest.fixture
+def sim_world():
+    sim = NetworkSimulator(two_machine_lan())
+    ta = SimTransport(sim, "A")
+    tb = SimTransport(sim, "B")
+    ep = make_echo_endpoint()
+    listener = tb.listen()
+    ep.serve_sim_listener(listener)
+    channel = ta.connect(listener.address)
+    return Startpoint(channel), ep, sim
+
+
+class TestThreadedService:
+    def test_call_roundtrip(self, threaded_world):
+        sp, _ = threaded_world
+        assert sp.call("echo", b"hello") == b"hello"
+
+    def test_multiple_calls(self, threaded_world):
+        sp, _ = threaded_world
+        for i in range(20):
+            assert sp.call("upper", f"msg{i}".encode()) == \
+                f"MSG{i}".upper().encode()
+
+    def test_remote_exception_propagates(self, threaded_world):
+        sp, _ = threaded_world
+        with pytest.raises(RemoteException) as err:
+            sp.call("boom", b"")
+        assert err.value.remote_type == "ValueError"
+        assert "intentional failure" in str(err.value)
+
+    def test_unknown_handler_is_remote_error(self, threaded_world):
+        sp, _ = threaded_world
+        with pytest.raises(RemoteException) as err:
+            sp.call("nope", b"")
+        assert err.value.remote_type == "RemoteInvocationError"
+
+    def test_channel_survives_remote_error(self, threaded_world):
+        sp, _ = threaded_world
+        with pytest.raises(RemoteException):
+            sp.call("boom", b"")
+        assert sp.call("echo", b"still alive") == b"still alive"
+
+    def test_oneway_returns_none(self, threaded_world):
+        sp, ep = threaded_world
+        got = []
+        done = threading.Event()
+
+        def record(payload):
+            got.append(bytes(payload))
+            done.set()
+            return b""
+
+        ep.register("record", record)
+        assert sp.call("record", b"fire-and-forget", oneway=True) is None
+        assert done.wait(timeout=5.0)
+        assert got == [b"fire-and-forget"]
+
+    def test_oneway_error_is_silent(self, threaded_world):
+        sp, _ = threaded_world
+        assert sp.call("boom", b"", oneway=True) is None
+        # Channel must remain usable afterwards.
+        assert sp.call("echo", b"ok") == b"ok"
+
+    def test_concurrent_clients(self, threaded_world):
+        sp, ep = threaded_world
+        results = []
+
+        def hammer():
+            for i in range(10):
+                results.append(sp.call("echo", f"{i}".encode()))
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert len(results) == 40
+
+
+class TestInlineService:
+    def test_call_roundtrip(self, sim_world):
+        sp, _, sim = sim_world
+        assert sp.call("echo", b"virtual hello") == b"virtual hello"
+        assert sim.clock.now() > 0
+
+    def test_remote_exception(self, sim_world):
+        sp, _, _ = sim_world
+        with pytest.raises(RemoteException):
+            sp.call("boom", b"")
+
+    def test_virtual_time_scales_with_payload(self, sim_world):
+        sp, _, sim = sim_world
+        t0 = sim.clock.now()
+        sp.call("echo", b"x" * 1000)
+        small = sim.clock.now() - t0
+        t0 = sim.clock.now()
+        sp.call("echo", b"x" * 1_000_000)
+        large = sim.clock.now() - t0
+        assert large > 10 * small
+
+    def test_late_serve_adopts_pending_connections(self):
+        sim = NetworkSimulator(two_machine_lan())
+        ta = SimTransport(sim, "A")
+        tb = SimTransport(sim, "B")
+        listener = tb.listen()
+        channel = ta.connect(listener.address)  # connect BEFORE serving
+        ep = make_echo_endpoint()
+        ep.serve_sim_listener(listener)
+        sp = Startpoint(channel)
+        assert sp.call("echo", b"adopted") == b"adopted"
+
+
+class TestEndpointTable:
+    def test_register_requires_name(self):
+        with pytest.raises(ValueError):
+            Endpoint().register("", lambda p: b"")
+
+    def test_unregister(self):
+        ep = make_echo_endpoint()
+        ep.unregister("echo")
+        assert "echo" not in ep.handlers()
+
+    def test_handlers_sorted(self):
+        ep = make_echo_endpoint()
+        assert ep.handlers() == ["boom", "echo", "upper"]
+
+    def test_none_result_becomes_empty(self, sim_world):
+        sp, ep, _ = sim_world
+        ep.register("void", lambda p: None)
+        assert sp.call("void", b"") == b""
+
+
+class TestMultiMethod:
+    def test_bind_several_transports(self):
+        server = MultiMethodServer("svc")
+        server.register("echo", lambda p: bytes(p))
+        t1 = InProcTransport()
+        t2 = TcpTransport()
+        addr1 = server.bind(t1)
+        addr2 = server.bind(t2)
+        assert server.addresses == [addr1, addr2]
+        try:
+            for transport, addr in ((t1, addr1), (t2, addr2)):
+                sp = Startpoint(transport.connect(addr), timeout=10.0)
+                assert sp.call("echo", b"multi") == b"multi"
+                sp.close()
+        finally:
+            server.stop()
+
+    def test_bind_sim_transport_inline(self):
+        sim = NetworkSimulator(two_machine_lan())
+        server = MultiMethodServer("svc")
+        server.register("echo", lambda p: bytes(p))
+        tb = SimTransport(sim, "B")
+        addr = server.bind(tb)
+        ta = SimTransport(sim, "A")
+        sp = Startpoint(ta.connect(addr))
+        assert sp.call("echo", b"sim multi") == b"sim multi"

@@ -1,0 +1,151 @@
+"""Edge-case coverage for the Nexus layer: stray messages, lifecycle,
+handler churn, and oneway-through-glue behaviour."""
+
+import threading
+
+import pytest
+
+from repro.core import ORB
+from repro.core.capabilities import CallQuotaCapability, TracingCapability
+from repro.core.context import Placement
+from repro.nexus.endpoint import Endpoint, Startpoint
+from repro.nexus.rsr import RsrMessage
+from repro.transport.inproc import InProcTransport
+
+from tests.core.conftest import Counter
+
+
+class FakeChannel:
+    """Records sends; scripted receives."""
+
+    def __init__(self):
+        self.sent = []
+        self.closed = False
+
+    def send(self, data):
+        self.sent.append(bytes(data))
+
+    def recv(self, timeout=None):  # pragma: no cover - unused
+        raise AssertionError
+
+    def close(self):
+        self.closed = True
+
+
+class TestEndpointDispatch:
+    def test_stray_reply_dropped(self):
+        ep = Endpoint("e")
+        channel = FakeChannel()
+        stray = RsrMessage.reply(99, b"unsolicited").encode()
+        ep.handle_message(stray, channel)  # must not raise or respond
+        assert channel.sent == []
+
+    def test_error_reply_for_unknown_handler(self):
+        ep = Endpoint("e")
+        channel = FakeChannel()
+        req = RsrMessage.request(1, "missing", b"").encode()
+        ep.handle_message(req, channel)
+        reply = RsrMessage.decode(channel.sent[0])
+        assert reply.is_error()
+
+    def test_oneway_never_replies_even_on_error(self):
+        ep = Endpoint("e")
+        channel = FakeChannel()
+        req = RsrMessage.request(1, "missing", b"", oneway=True).encode()
+        ep.handle_message(req, channel)
+        assert channel.sent == []
+
+    def test_handler_replacement(self):
+        ep = Endpoint("e")
+        ep.register("h", lambda p: b"v1")
+        ep.register("h", lambda p: b"v2")
+        channel = FakeChannel()
+        ep.handle_message(RsrMessage.request(1, "h", b"").encode(),
+                          channel)
+        assert RsrMessage.decode(channel.sent[0]).payload == b"v2"
+
+    def test_unregister_then_call(self):
+        ep = Endpoint("e")
+        ep.register("h", lambda p: b"x")
+        ep.unregister("h")
+        channel = FakeChannel()
+        ep.handle_message(RsrMessage.request(1, "h", b"").encode(),
+                          channel)
+        assert RsrMessage.decode(channel.sent[0]).is_error()
+
+
+class TestEndpointLifecycle:
+    def test_stop_unblocks_everything(self):
+        transport = InProcTransport()
+        ep = Endpoint("stopper")
+        ep.register("echo", lambda p: bytes(p))
+        listener = transport.listen()
+        ep.serve_listener(listener)
+        channel = transport.connect(listener.address)
+        sp = Startpoint(channel, timeout=5.0)
+        assert sp.call("echo", b"alive") == b"alive"
+        ep.stop()
+        # The server threads must have exited (stop joins them).
+        import time
+
+        deadline = time.time() + 5
+        while time.time() < deadline:
+            alive = [t for t in ep._threads if t.is_alive()]
+            if not alive:
+                break
+            time.sleep(0.01)
+        assert not [t for t in ep._threads if t.is_alive()]
+
+    def test_stop_idempotent(self):
+        ep = Endpoint("e")
+        ep.stop()
+        ep.stop()
+
+
+class TestOnewayThroughGlue:
+    @pytest.fixture
+    def remote_pair(self):
+        orb = ORB()
+        server = orb.context("ow-s", placement=Placement("a", "al", "as"))
+        client = orb.context("ow-c", placement=Placement("b", "bl", "bs"))
+        yield server, client
+        orb.shutdown()
+
+    def test_oneway_glue_invocation(self, remote_pair):
+        server, client = remote_pair
+        counter = Counter()
+        oref = server.export(counter, glue_stacks=[
+            [CallQuotaCapability.for_calls(10, applicability="always")]])
+        gp = client.bind(oref)
+        assert gp.describe_selection() == "glue[quota]"
+        gp.invoke_oneway("bump")
+        import time
+
+        deadline = time.time() + 5
+        while counter.n == 0 and time.time() < deadline:
+            time.sleep(0.005)
+        assert counter.n == 1
+
+    def test_oneway_glue_still_metered(self, remote_pair):
+        server, client = remote_pair
+        counter = Counter()
+        oref = server.export(counter, glue_stacks=[
+            [CallQuotaCapability.for_calls(2, applicability="always")]])
+        gp = client.bind(oref)
+        gp.invoke_oneway("bump")
+        gp.invoke_oneway("bump")
+        from repro.exceptions import QuotaExceededError
+
+        with pytest.raises(QuotaExceededError):
+            gp.invoke_oneway("bump")
+
+    def test_oneway_glue_traced(self, remote_pair):
+        server, client = remote_pair
+        counter = Counter()
+        oref = server.export(counter, glue_stacks=[
+            [TracingCapability.describe()]])
+        gp = client.bind(oref)
+        gp.invoke_oneway("bump")
+        glue_client = gp._client_for(gp.select_protocol())
+        tracer = glue_client.capabilities[0]
+        assert [e.direction for e in tracer.events] == ["request"]

@@ -1,0 +1,188 @@
+"""Tests for HMAC, Diffie-Hellman, key store, principals, and ACLs."""
+
+import hashlib
+import hmac as std_hmac
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import AuthenticationError
+from repro.security.acl import AccessControlList, Permission
+from repro.security.dh import DEFAULT_DH_PARAMS, DhParams, DhPrivateKey
+from repro.security.hmac_md import (
+    constant_time_eq,
+    hmac_sign,
+    hmac_verify,
+)
+from repro.security.keys import KeyStore, Principal
+
+
+class TestHmac:
+    def test_matches_stdlib(self):
+        for key in (b"k", b"a longer key", b"x" * 100):
+            for msg in (b"", b"msg", b"payload" * 50):
+                assert hmac_sign(key, msg) == std_hmac.new(
+                    key, msg, hashlib.sha256).digest()
+
+    @given(st.binary(min_size=1, max_size=200), st.binary(max_size=500))
+    @settings(max_examples=50)
+    def test_matches_stdlib_property(self, key, msg):
+        assert hmac_sign(key, msg) == std_hmac.new(
+            key, msg, hashlib.sha256).digest()
+
+    def test_verify_accepts(self):
+        tag = hmac_sign(b"k", b"msg")
+        assert hmac_verify(b"k", b"msg", tag)
+
+    def test_verify_rejects_tamper(self):
+        tag = bytearray(hmac_sign(b"k", b"msg"))
+        tag[0] ^= 1
+        assert not hmac_verify(b"k", b"msg", bytes(tag))
+
+    def test_verify_rejects_wrong_key(self):
+        tag = hmac_sign(b"k1", b"msg")
+        assert not hmac_verify(b"k2", b"msg", tag)
+
+    def test_constant_time_eq(self):
+        assert constant_time_eq(b"abc", b"abc")
+        assert not constant_time_eq(b"abc", b"abd")
+        assert not constant_time_eq(b"abc", b"ab")
+
+
+class TestDh:
+    def test_shared_secret_agreement(self):
+        a = DhPrivateKey(seed=1)
+        b = DhPrivateKey(seed=2)
+        assert a.shared_secret(b.public) == b.shared_secret(a.public)
+
+    def test_derive_key_agreement_and_length(self):
+        a = DhPrivateKey(seed=10)
+        b = DhPrivateKey(seed=20)
+        ka = a.derive_key(b.public, nbytes=16)
+        kb = b.derive_key(a.public, nbytes=16)
+        assert ka == kb and len(ka) == 16
+
+    def test_derive_long_key(self):
+        a = DhPrivateKey(seed=1)
+        b = DhPrivateKey(seed=2)
+        assert len(a.derive_key(b.public, nbytes=100)) == 100
+
+    def test_different_pairs_different_secrets(self):
+        a = DhPrivateKey(seed=1)
+        b = DhPrivateKey(seed=2)
+        c = DhPrivateKey(seed=3)
+        assert a.shared_secret(b.public) != a.shared_secret(c.public)
+
+    def test_public_value_in_range(self):
+        a = DhPrivateKey(seed=5)
+        assert 2 <= a.public <= DEFAULT_DH_PARAMS.p - 2
+
+    def test_rejects_degenerate_peer(self):
+        a = DhPrivateKey(seed=1)
+        with pytest.raises(ValueError):
+            a.shared_secret(0)
+        with pytest.raises(ValueError):
+            a.shared_secret(DEFAULT_DH_PARAMS.p - 1)
+
+    def test_small_custom_group(self):
+        params = DhParams(p=23, g=5)
+        a = DhPrivateKey(params, seed=1)
+        b = DhPrivateKey(params, seed=2)
+        assert a.shared_secret(b.public) == b.shared_secret(a.public)
+
+    def test_degenerate_params_rejected(self):
+        with pytest.raises(ValueError):
+            DhParams(p=4, g=2)
+
+
+class TestPrincipal:
+    def test_str(self):
+        assert str(Principal("alice", "lab.gov")) == "alice@lab.gov"
+
+    def test_parse(self):
+        assert Principal.parse("alice@lab.gov") == Principal("alice",
+                                                             "lab.gov")
+        assert Principal.parse("bob") == Principal("bob", "default")
+
+    def test_hashable(self):
+        assert {Principal("a"), Principal("a")} == {Principal("a")}
+
+
+class TestKeyStore:
+    def test_install_lookup(self):
+        ks = KeyStore()
+        ks.install(Principal("alice"), b"secret")
+        assert ks.lookup(Principal("alice")) == b"secret"
+
+    def test_missing_principal_raises(self):
+        with pytest.raises(AuthenticationError):
+            KeyStore().lookup(Principal("ghost"))
+
+    def test_generate_returns_installed_key(self):
+        ks = KeyStore()
+        key = ks.generate(Principal("bob"), nbytes=24)
+        assert len(key) == 24
+        assert ks.lookup(Principal("bob")) == key
+
+    def test_generate_is_seeded(self):
+        k1 = KeyStore(seed=1).generate(Principal("a"))
+        k2 = KeyStore(seed=1).generate(Principal("a"))
+        assert k1 == k2
+
+    def test_revoke(self):
+        ks = KeyStore()
+        ks.install(Principal("a"), b"k")
+        ks.revoke(Principal("a"))
+        assert Principal("a") not in ks
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            KeyStore().install(Principal("a"), b"")
+
+    def test_contains_and_listing(self):
+        ks = KeyStore()
+        ks.install(Principal("a"), b"k")
+        assert Principal("a") in ks
+        assert ks.known_principals() == [Principal("a")]
+
+
+class TestAcl:
+    def test_deny_by_default(self):
+        acl = AccessControlList()
+        assert not acl.allows(Principal("x"), "anything")
+
+    def test_grant_specific(self):
+        acl = AccessControlList()
+        acl.grant(Principal("alice"), ["get_map"])
+        assert acl.allows(Principal("alice"), "get_map")
+        assert not acl.allows(Principal("alice"), "set_map")
+
+    def test_wildcard_patterns(self):
+        acl = AccessControlList()
+        acl.grant(Principal("alice"), ["get_*"])
+        assert acl.allows(Principal("alice"), "get_weather")
+        assert not acl.allows(Principal("alice"), "put_weather")
+
+    def test_anonymous_default_rule(self):
+        acl = AccessControlList()
+        acl.grant(None, ["ping"])
+        assert acl.allows(Principal("anyone"), "ping")
+        assert acl.allows(None, "ping")
+
+    def test_revoke(self):
+        acl = AccessControlList()
+        acl.grant(Principal("a"), ["*"])
+        acl.revoke(Principal("a"))
+        assert not acl.allows(Principal("a"), "m")
+
+    def test_permissions(self):
+        acl = AccessControlList()
+        acl.grant(Principal("admin"), ["*"],
+                  [Permission.INVOKE, Permission.MIGRATE])
+        assert acl.has_permission(Principal("admin"), Permission.MIGRATE)
+        assert not acl.has_permission(Principal("admin"), Permission.ADMIN)
+
+    def test_permission_default_rule(self):
+        acl = AccessControlList()
+        acl.grant(None, [], [Permission.INVOKE])
+        assert acl.has_permission(Principal("x"), Permission.INVOKE)

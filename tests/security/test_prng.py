@@ -1,0 +1,110 @@
+"""Tests for the deterministic PRNGs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.security.prng import Pcg32, XorShift128
+
+
+class TestXorShift128:
+    def test_deterministic(self):
+        a = XorShift128(42)
+        b = XorShift128(42)
+        assert [a.next_u64() for _ in range(10)] == \
+            [b.next_u64() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = XorShift128(1)
+        b = XorShift128(2)
+        assert [a.next_u64() for _ in range(5)] != \
+            [b.next_u64() for _ in range(5)]
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            XorShift128(-1)
+
+    def test_zero_seed_ok(self):
+        gen = XorShift128(0)
+        assert gen.next_u64() != gen.next_u64()
+
+    def test_output_range(self):
+        gen = XorShift128(7)
+        for _ in range(100):
+            v = gen.next_u64()
+            assert 0 <= v < 2 ** 64
+
+    def test_fill_block_length(self):
+        gen = XorShift128(1)
+        for n in (0, 1, 7, 8, 9, 100):
+            assert len(XorShift128(1).fill_block(n)) == n
+        assert gen.fill_block(16).dtype == np.uint8
+
+    def test_fill_block_matches_words(self):
+        words = XorShift128(5)
+        blocks = XorShift128(5)
+        expected = np.array([words.next_u64() for _ in range(2)],
+                            dtype=np.uint64).view(np.uint8)
+        np.testing.assert_array_equal(blocks.fill_block(16), expected)
+
+    def test_reasonable_bit_balance(self):
+        gen = XorShift128(9)
+        block = gen.fill_block(100_000)
+        ones = np.unpackbits(block).mean()
+        assert 0.49 < ones < 0.51
+
+
+class TestPcg32:
+    def test_deterministic(self):
+        assert [Pcg32(3).next_u32() for _ in range(1)] == \
+            [Pcg32(3).next_u32() for _ in range(1)]
+        a, b = Pcg32(3), Pcg32(3)
+        assert [a.next_u32() for _ in range(20)] == \
+            [b.next_u32() for _ in range(20)]
+
+    def test_streams_independent(self):
+        a = Pcg32(3, stream=0)
+        b = Pcg32(3, stream=1)
+        assert [a.next_u32() for _ in range(5)] != \
+            [b.next_u32() for _ in range(5)]
+
+    def test_uniform_range(self):
+        rng = Pcg32(11)
+        xs = [rng.uniform() for _ in range(1000)]
+        assert all(0.0 <= x < 1.0 for x in xs)
+        assert 0.4 < sum(xs) / len(xs) < 0.6
+
+    @given(st.integers(-50, 50), st.integers(0, 100))
+    def test_randint_bounds(self, lo, width):
+        rng = Pcg32(1)
+        hi = lo + width
+        for _ in range(20):
+            assert lo <= rng.randint(lo, hi) <= hi
+
+    def test_randint_invalid(self):
+        with pytest.raises(ValueError):
+            Pcg32(1).randint(5, 4)
+
+    def test_expovariate_positive(self):
+        rng = Pcg32(2)
+        xs = [rng.expovariate(2.0) for _ in range(2000)]
+        assert all(x > 0 for x in xs)
+        # Mean of Exp(2) is 0.5.
+        assert 0.4 < sum(xs) / len(xs) < 0.6
+
+    def test_expovariate_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Pcg32(1).expovariate(0.0)
+
+    def test_choice(self):
+        rng = Pcg32(4)
+        seq = ["a", "b", "c"]
+        assert all(rng.choice(seq) in seq for _ in range(20))
+
+    def test_choice_empty(self):
+        with pytest.raises(ValueError):
+            Pcg32(1).choice([])
+
+    def test_bytes_length_and_determinism(self):
+        assert Pcg32(9).bytes(10) == Pcg32(9).bytes(10)
+        assert len(Pcg32(9).bytes(13)) == 13

@@ -1,0 +1,125 @@
+"""Tests for the little-endian CDR codec and its alignment rules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import MarshalError
+from repro.serialization.cdr import CdrDecoder, CdrEncoder
+
+
+class TestWireFormat:
+    def test_int_little_endian(self):
+        assert CdrEncoder().pack_int(1).getvalue() == b"\x01\x00\x00\x00"
+
+    def test_bool_single_octet(self):
+        assert CdrEncoder().pack_bool(True).getvalue() == b"\x01"
+
+    def test_natural_alignment_for_double(self):
+        enc = CdrEncoder()
+        enc.pack_bool(True)       # offset 1
+        enc.pack_double(1.0)      # must pad to offset 8
+        data = enc.getvalue()
+        assert len(data) == 16
+        assert data[1:8] == b"\x00" * 7
+
+    def test_natural_alignment_for_uint(self):
+        enc = CdrEncoder()
+        enc.pack_bool(False)      # offset 1
+        enc.pack_uint(7)          # pads to 4
+        data = enc.getvalue()
+        assert len(data) == 8
+        assert data[4:] == b"\x07\x00\x00\x00"
+
+    def test_hyper_aligned_to_eight(self):
+        enc = CdrEncoder()
+        enc.pack_uint(1)          # offset 4
+        enc.pack_hyper(2)         # pads to 8
+        assert len(enc.getvalue()) == 16
+
+    def test_opaque_no_padding(self):
+        # Unlike XDR, CDR octet sequences carry no trailing pad.
+        assert (CdrEncoder().pack_opaque(b"abc").getvalue()
+                == b"\x03\x00\x00\x00abc")
+
+
+class TestDecodeAlignment:
+    def test_decoder_mirrors_encoder_alignment(self):
+        enc = CdrEncoder()
+        enc.pack_bool(True)
+        enc.pack_double(2.5)
+        enc.pack_bool(False)
+        enc.pack_uint(9)
+        dec = CdrDecoder(enc.getvalue())
+        assert dec.unpack_bool() is True
+        assert dec.unpack_double() == 2.5
+        assert dec.unpack_bool() is False
+        assert dec.unpack_uint() == 9
+        assert dec.done()
+
+    def test_bad_bool(self):
+        with pytest.raises(MarshalError):
+            CdrDecoder(b"\x05").unpack_bool()
+
+
+class TestRoundtrips:
+    @given(st.integers(-(2 ** 31), 2 ** 31 - 1))
+    def test_int(self, v):
+        enc = CdrEncoder().pack_int(v)
+        assert CdrDecoder(enc.getvalue()).unpack_int() == v
+
+    @given(st.integers(0, 2 ** 64 - 1))
+    def test_uhyper(self, v):
+        enc = CdrEncoder().pack_uhyper(v)
+        assert CdrDecoder(enc.getvalue()).unpack_uhyper() == v
+
+    @given(st.floats(allow_nan=False))
+    def test_double(self, v):
+        enc = CdrEncoder().pack_double(v)
+        assert CdrDecoder(enc.getvalue()).unpack_double() == v
+
+    @given(st.text(max_size=200))
+    def test_string(self, v):
+        enc = CdrEncoder().pack_string(v)
+        assert CdrDecoder(enc.getvalue()).unpack_string() == v
+
+    @given(st.binary(max_size=500))
+    def test_opaque(self, v):
+        enc = CdrEncoder().pack_opaque(v)
+        assert bytes(CdrDecoder(enc.getvalue()).unpack_opaque()) == v
+
+    @given(st.lists(st.floats(allow_nan=False), max_size=30))
+    def test_array_of_doubles(self, xs):
+        enc = CdrEncoder()
+        enc.pack_array(xs, enc.pack_double)
+        dec = CdrDecoder(enc.getvalue())
+        assert dec.unpack_array(dec.unpack_double) == xs
+
+    @given(st.lists(
+        st.one_of(
+            st.tuples(st.just("i"), st.integers(-(2 ** 31), 2 ** 31 - 1)),
+            st.tuples(st.just("d"), st.floats(allow_nan=False)),
+            st.tuples(st.just("b"), st.booleans()),
+            st.tuples(st.just("s"), st.text(max_size=20)),
+        ),
+        max_size=30,
+    ))
+    def test_mixed_stream_alignment_never_desyncs(self, items):
+        """Alignment bookkeeping must agree between encoder and decoder
+        for arbitrary interleavings of differently-aligned types."""
+        enc = CdrEncoder()
+        for kind, v in items:
+            {"i": enc.pack_int, "d": enc.pack_double,
+             "b": enc.pack_bool, "s": enc.pack_string}[kind](v)
+        dec = CdrDecoder(enc.getvalue())
+        for kind, v in items:
+            out = {"i": dec.unpack_int, "d": dec.unpack_double,
+                   "b": dec.unpack_bool, "s": dec.unpack_string}[kind]()
+            assert out == v
+
+
+class TestXdrCdrDiffer:
+    def test_wire_formats_actually_differ(self):
+        from repro.serialization.xdr import XdrEncoder
+        x = XdrEncoder().pack_int(258).getvalue()
+        c = CdrEncoder().pack_int(258).getvalue()
+        assert x != c  # big- vs little-endian

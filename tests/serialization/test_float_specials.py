@@ -1,0 +1,86 @@
+"""IEEE-754 special values through the codecs and marshaller.
+
+Scientific payloads carry infinities and NaNs routinely; the wire must
+preserve them bit-faithfully (NaN compares unequal to itself, so these
+cases need explicit tests outside the hypothesis roundtrips).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.serialization.cdr import CdrDecoder, CdrEncoder
+from repro.serialization.marshal import Marshaller, dumps, loads
+from repro.serialization.xdr import XdrDecoder, XdrEncoder
+
+
+class TestScalarSpecials:
+    @pytest.mark.parametrize("value", [
+        float("inf"), float("-inf"), 0.0, -0.0,
+        5e-324,                     # smallest subnormal
+        1.7976931348623157e308,     # largest finite
+    ])
+    def test_non_nan_specials(self, value):
+        assert loads(dumps(value)) == value
+        # -0.0 must keep its sign bit.
+        if value == 0.0:
+            assert math.copysign(1.0, loads(dumps(value))) == \
+                math.copysign(1.0, value)
+
+    def test_nan_roundtrip(self):
+        out = loads(dumps(float("nan")))
+        assert math.isnan(out)
+
+    @pytest.mark.parametrize("enc_cls,dec_cls", [
+        (XdrEncoder, XdrDecoder), (CdrEncoder, CdrDecoder)])
+    def test_nan_through_both_codecs(self, enc_cls, dec_cls):
+        enc = enc_cls()
+        enc.pack_double(float("nan"))
+        assert math.isnan(dec_cls(enc.getvalue()).unpack_double())
+
+    def test_complex_with_specials(self):
+        value = complex(float("inf"), -0.0)
+        out = loads(dumps(value))
+        assert out.real == float("inf")
+        assert math.copysign(1.0, out.imag) == -1.0
+
+
+class TestArraySpecials:
+    def test_array_with_nan_and_inf(self):
+        arr = np.array([1.0, float("nan"), float("inf"),
+                        float("-inf"), -0.0])
+        out = loads(dumps(arr))
+        np.testing.assert_array_equal(np.isnan(out), np.isnan(arr))
+        assert out[2] == np.inf and out[3] == -np.inf
+        assert np.signbit(out[4])
+
+    def test_nan_payload_bitfaithful(self):
+        # A quiet NaN with payload bits must survive verbatim.
+        raw = np.array([0x7FF8DEADBEEF0001], dtype=np.uint64)
+        arr = raw.view(np.float64)
+        out = loads(dumps(arr))
+        assert out.view(np.uint64)[0] == raw[0]
+
+    def test_float32_array(self):
+        arr = np.array([np.float32("nan"), np.float32("inf")],
+                       dtype=np.float32)
+        out = loads(dumps(arr))
+        assert np.isnan(out[0]) and np.isinf(out[1])
+
+
+class TestRpcWithSpecials:
+    def test_specials_cross_the_orb(self, ):
+        from repro.core import ORB
+
+        from tests.core.conftest import Counter
+
+        orb = ORB()
+        server = orb.context()
+        client = orb.context()
+        gp = client.bind(server.export(Counter()))
+        arr = np.array([float("nan"), float("inf"), -0.0])
+        out = gp.invoke("echo", arr)
+        assert math.isnan(out[0]) and out[1] == np.inf
+        assert np.signbit(out[2])
+        orb.shutdown()

@@ -1,0 +1,94 @@
+"""Golden-bytes wire-compatibility pins.
+
+These tests freeze the exact wire encoding of canonical values.  If any
+of them fails, the change breaks interoperability with every previously
+deployed peer — renumbering typecodes, reordering fields, or changing
+padding is a protocol break, not a refactor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.request import Invocation, encode_invocation
+from repro.nexus.rsr import RsrMessage
+from repro.serialization.marshal import Marshaller, dumps
+from repro.transport.framing import write_frame
+
+
+def hexdump(data: bytes) -> str:
+    return data.hex()
+
+
+class TestMarshalGoldenBytes:
+    @pytest.mark.parametrize("value,expected_hex", [
+        (None, "00000000"),
+        (True, "0000000100000001"),
+        (False, "0000000100000000"),
+        (0, "0000000200000000"),
+        (-1, "00000002ffffffff"),
+        (2 ** 40, "000000030000010000000000"),
+        (1.5, "000000053ff8000000000000"),
+        ("hi", "000000060000000268690000"),
+        (b"\x01\x02", "000000070000000201020000"),
+        ([], "0000000800000000"),
+        ((), "0000000900000000"),
+        ({}, "0000000a00000000"),
+    ])
+    def test_scalar_pins(self, value, expected_hex):
+        assert hexdump(dumps(value)) == expected_hex
+
+    def test_list_pin(self):
+        # LIST(8), count 2, then INT32 1 and INT32 2
+        assert hexdump(dumps([1, 2])) == (
+            "00000008" "00000002"
+            "00000002" "00000001"
+            "00000002" "00000002")
+
+    def test_ndarray_pin(self):
+        arr = np.array([1, 2, 3], dtype="<i4")
+        # NDARRAY(11), dtype code 2 (<i4), ndim 1, dim 3, opaque 12 bytes
+        assert hexdump(dumps(arr)) == (
+            "0000000b"            # NDARRAY
+            "00000002"            # dtype code
+            "00000001"            # ndim
+            "0000000000000003"    # dim[0]
+            "0000000c"            # payload length
+            "010000000200000003000000")
+
+    def test_dict_pin(self):
+        assert hexdump(dumps({"a": 1})) == (
+            "0000000a"            # DICT
+            "00000001"            # count
+            "00000006" "00000001" "61000000"   # STRING "a"
+            "00000002" "00000001")             # INT32 1
+
+
+class TestEnvelopeGoldenBytes:
+    def test_invocation_pin(self):
+        m = Marshaller()
+        wire = encode_invocation(
+            m, Invocation("obj-1", "add", (5,), oneway=False))
+        assert hexdump(wire) == (
+            "00000006" "00000005" "6f626a2d31000000"  # "obj-1"
+            "00000006" "00000003" "61646400"          # "add"
+            "00000008" "00000001" "00000002" "00000005"  # [5]
+            "00000001" "00000000")                    # oneway False
+
+    def test_rsr_pin(self):
+        wire = RsrMessage.request(7, "hpc.invoke", b"AB").encode()
+        assert hexdump(wire) == (
+            "00000001"                       # flags REQUEST
+            "0000000000000007"               # request id
+            "0000000a" "6870632e696e766f6b65" "0000"  # handler + pad
+            "00000002" "41420000")           # payload + pad
+
+    def test_frame_pin(self):
+        chunks = []
+        write_frame(chunks.append, b"XYZ")
+        wire = b"".join(chunks)
+        # 'HF' ver=1 flags=0 len=3, fletcher16 of header, payload
+        assert wire[:8].hex() == "4846010000000003"
+        assert wire[10:] == b"XYZ"
+        from repro.util.checksums import fletcher16
+
+        assert int.from_bytes(wire[8:10], "big") == fletcher16(wire[:8])

@@ -1,0 +1,149 @@
+"""Tests for the XDR codec, including RFC 1832 wire-format checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import BufferUnderflowError, MarshalError
+from repro.serialization.xdr import XdrDecoder, XdrEncoder
+
+
+def roundtrip(pack, unpack, value):
+    enc = XdrEncoder()
+    pack(enc, value)
+    dec = XdrDecoder(enc.getvalue())
+    out = unpack(dec)
+    assert dec.done()
+    return out
+
+
+class TestWireFormat:
+    """Exact byte-level checks against the RFC's layout."""
+
+    def test_int_big_endian(self):
+        assert XdrEncoder().pack_int(1).getvalue() == b"\x00\x00\x00\x01"
+
+    def test_negative_int_twos_complement(self):
+        assert XdrEncoder().pack_int(-1).getvalue() == b"\xff\xff\xff\xff"
+
+    def test_uint(self):
+        assert (XdrEncoder().pack_uint(0xDEADBEEF).getvalue()
+                == b"\xde\xad\xbe\xef")
+
+    def test_hyper(self):
+        assert (XdrEncoder().pack_hyper(1).getvalue()
+                == b"\x00" * 7 + b"\x01")
+
+    def test_bool_is_uint(self):
+        assert XdrEncoder().pack_bool(True).getvalue() == b"\x00\x00\x00\x01"
+        assert XdrEncoder().pack_bool(False).getvalue() == b"\x00\x00\x00\x00"
+
+    def test_string_length_prefix_and_pad(self):
+        # "hi" -> len 2, bytes, 2 pad bytes to reach the 4-byte boundary.
+        assert (XdrEncoder().pack_string("hi").getvalue()
+                == b"\x00\x00\x00\x02hi\x00\x00")
+
+    def test_opaque_multiple_of_four_no_pad(self):
+        assert (XdrEncoder().pack_opaque(b"abcd").getvalue()
+                == b"\x00\x00\x00\x04abcd")
+
+    def test_fixed_opaque_pads_without_length(self):
+        assert XdrEncoder().pack_fixed_opaque(b"abc").getvalue() == b"abc\x00"
+
+    def test_double(self):
+        assert (XdrEncoder().pack_double(1.0).getvalue()
+                == b"\x3f\xf0\x00\x00\x00\x00\x00\x00")
+
+    def test_everything_four_byte_aligned(self):
+        enc = XdrEncoder()
+        enc.pack_string("a")       # 4 + 1 + 3 pad = 8
+        enc.pack_int(7)            # 12
+        enc.pack_opaque(b"xyz")    # 12 + 4 + 3 + 1 pad = 20
+        assert len(enc.getvalue()) % 4 == 0
+
+
+class TestRangeChecks:
+    def test_int_overflow(self):
+        with pytest.raises(MarshalError):
+            XdrEncoder().pack_int(2 ** 31)
+
+    def test_uint_negative(self):
+        with pytest.raises(MarshalError):
+            XdrEncoder().pack_uint(-1)
+
+    def test_hyper_overflow(self):
+        with pytest.raises(MarshalError):
+            XdrEncoder().pack_hyper(2 ** 63)
+
+    def test_uhyper_overflow(self):
+        with pytest.raises(MarshalError):
+            XdrEncoder().pack_uhyper(2 ** 64)
+
+    def test_bad_bool_on_wire(self):
+        dec = XdrDecoder(b"\x00\x00\x00\x02")
+        with pytest.raises(MarshalError):
+            dec.unpack_bool()
+
+    def test_truncated_input(self):
+        with pytest.raises(BufferUnderflowError):
+            XdrDecoder(b"\x00\x00").unpack_int()
+
+
+class TestRoundtrips:
+    @given(st.integers(-(2 ** 31), 2 ** 31 - 1))
+    def test_int(self, v):
+        assert roundtrip(XdrEncoder.pack_int, XdrDecoder.unpack_int, v) == v
+
+    @given(st.integers(0, 2 ** 32 - 1))
+    def test_uint(self, v):
+        assert roundtrip(XdrEncoder.pack_uint, XdrDecoder.unpack_uint, v) == v
+
+    @given(st.integers(-(2 ** 63), 2 ** 63 - 1))
+    def test_hyper(self, v):
+        assert roundtrip(XdrEncoder.pack_hyper, XdrDecoder.unpack_hyper,
+                         v) == v
+
+    @given(st.integers(0, 2 ** 64 - 1))
+    def test_uhyper(self, v):
+        assert roundtrip(XdrEncoder.pack_uhyper, XdrDecoder.unpack_uhyper,
+                         v) == v
+
+    @given(st.floats(allow_nan=False))
+    def test_double(self, v):
+        assert roundtrip(XdrEncoder.pack_double, XdrDecoder.unpack_double,
+                         v) == v
+
+    @given(st.booleans())
+    def test_bool(self, v):
+        assert roundtrip(XdrEncoder.pack_bool, XdrDecoder.unpack_bool, v) is v
+
+    @given(st.binary(max_size=1000))
+    def test_opaque(self, v):
+        out = roundtrip(XdrEncoder.pack_opaque,
+                        lambda d: bytes(d.unpack_opaque()), v)
+        assert out == v
+
+    @given(st.text(max_size=300))
+    def test_string(self, v):
+        assert roundtrip(XdrEncoder.pack_string, XdrDecoder.unpack_string,
+                         v) == v
+
+    @given(st.lists(st.integers(-100, 100), max_size=50))
+    def test_array(self, xs):
+        enc = XdrEncoder()
+        enc.pack_array(xs, enc.pack_int)
+        dec = XdrDecoder(enc.getvalue())
+        assert dec.unpack_array(dec.unpack_int) == xs
+
+    def test_heterogeneous_stream(self):
+        enc = XdrEncoder()
+        enc.pack_uint(3).pack_string("add").pack_double(2.5).pack_bool(True)
+        dec = XdrDecoder(enc.getvalue())
+        assert dec.unpack_uint() == 3
+        assert dec.unpack_string() == "add"
+        assert dec.unpack_double() == 2.5
+        assert dec.unpack_bool() is True
+        assert dec.done()
+
+    def test_float_roundtrip_single_precision(self):
+        enc = XdrEncoder().pack_float(0.5)
+        assert XdrDecoder(enc.getvalue()).unpack_float() == 0.5

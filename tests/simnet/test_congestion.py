@@ -1,0 +1,100 @@
+"""Tests for the opt-in link-congestion model."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simnet.presets import two_machine_lan
+from repro.simnet.simulator import NetworkSimulator
+
+
+def make(congestion=True, window=1.0):
+    sim = NetworkSimulator(two_machine_lan(), congestion=congestion,
+                           congestion_window=window)
+    return sim, sim.topology.machine("A"), sim.topology.machine("B")
+
+
+class TestCongestion:
+    def test_disabled_by_default(self):
+        sim, a, b = make(congestion=False)
+        base = sim.transfer_duration(a, b, 10_000)
+        for _ in range(50):
+            sim.transfer(a, b, 100_000)
+        assert sim.transfer_duration(a, b, 10_000) == pytest.approx(base)
+        assert sim.link_utilization("ethernet-10") == 0.0
+
+    def test_idle_link_costs_base_time(self):
+        sim, a, b = make()
+        no_cong = NetworkSimulator(two_machine_lan())
+        assert sim.transfer_duration(a, b, 10_000) == pytest.approx(
+            no_cong.transfer_duration(
+                no_cong.topology.machine("A"),
+                no_cong.topology.machine("B"), 10_000))
+
+    def test_load_raises_cost(self):
+        sim, a, b = make()
+        first = sim.transfer(a, b, 100_000)
+        # Hammer the link inside the congestion window.
+        for _ in range(10):
+            sim.transfer(a, b, 100_000)
+        loaded = sim.transfer(a, b, 100_000)
+        assert loaded > first * 1.5
+
+    def test_utilization_bounded(self):
+        sim, a, b = make()
+        for _ in range(100):
+            sim.transfer(a, b, 1_000_000)
+        assert 0.0 <= sim.link_utilization("ethernet-10") <= 1.0
+
+    def test_congestion_decays_when_idle(self):
+        sim, a, b = make(window=0.5)
+        for _ in range(10):
+            sim.transfer(a, b, 100_000)
+        hot = sim.link_utilization("ethernet-10")
+        sim.clock.advance(10.0)  # many half-lives of idleness
+        cooled = sim.link_utilization("ethernet-10")
+        assert cooled < hot / 100
+
+    def test_deterministic(self):
+        def run():
+            sim, a, b = make()
+            for n in (100, 50_000, 100_000, 10, 100_000):
+                sim.transfer(a, b, n)
+            return sim.clock.now()
+
+        assert run() == run()
+
+    def test_delay_factor_capped(self):
+        """Even a saturated link delays by at most 10x (rho cap 0.9)."""
+        sim, a, b = make()
+        base = sim.transfer_duration(a, b, 100_000)
+        for _ in range(500):
+            sim.transfer(a, b, 1_000_000)
+        assert sim.transfer_duration(a, b, 100_000) <= base * 10.01
+
+    def test_invalid_window(self):
+        with pytest.raises(SimulationError):
+            NetworkSimulator(two_machine_lan(), congestion_window=0)
+
+    def test_rpc_under_congestion(self):
+        """The full ORB stack works with congestion on, and repeated
+        traffic gets progressively slower on the shared segment."""
+        from repro.core import ORB
+
+        from tests.core.conftest import Counter
+
+        sim, _a, _b = make()
+        orb = ORB(simulator=sim)
+        server = orb.context("s", machine="B")
+        client = orb.context("c", machine="A")
+        gp = client.bind(server.export(Counter()))
+        gp.invoke("echo", b"x" * 50_000)
+        t0 = sim.clock.now()
+        gp.invoke("echo", b"x" * 50_000)
+        early = sim.clock.now() - t0
+        for _ in range(10):
+            gp.invoke("echo", b"x" * 50_000)
+        t0 = sim.clock.now()
+        gp.invoke("echo", b"x" * 50_000)
+        late = sim.clock.now() - t0
+        assert late > early
+        orb.shutdown()

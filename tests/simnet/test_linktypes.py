@@ -1,0 +1,96 @@
+"""Tests for link and CPU cost models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simnet.linktypes import (
+    ATM_155,
+    ETHERNET_10,
+    LinkModel,
+    SHARED_MEMORY,
+    ULTRA10_CPU,
+    CpuModel,
+)
+
+
+class TestLinkModel:
+    def test_transfer_time_components(self):
+        link = LinkModel("l", bandwidth_bps=8e6, latency_s=0.001,
+                         per_message_s=0.002)
+        # 1000 bytes at 8 Mbps = 1 ms wire + 1 ms latency + 2 ms overhead.
+        assert link.transfer_time(1000) == pytest.approx(0.004)
+
+    def test_zero_bytes_costs_latency_only(self):
+        link = LinkModel("l", bandwidth_bps=1e6, latency_s=0.5)
+        assert link.transfer_time(0) == pytest.approx(0.5)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            ETHERNET_10.transfer_time(-1)
+
+    def test_invalid_models_rejected(self):
+        with pytest.raises(ValueError):
+            LinkModel("x", bandwidth_bps=0, latency_s=0)
+        with pytest.raises(ValueError):
+            LinkModel("x", bandwidth_bps=1, latency_s=-1)
+
+    def test_effective_bandwidth_saturates(self):
+        small = ATM_155.effective_bandwidth_mbps(100)
+        large = ATM_155.effective_bandwidth_mbps(4_000_000)
+        assert small < large
+        # Large transfers approach (but never exceed) the payload rate.
+        assert large <= 80.0
+        assert large > 70.0
+
+    @given(st.integers(0, 10 ** 8))
+    def test_monotone_in_size(self, n):
+        assert (ETHERNET_10.transfer_time(n + 1)
+                > ETHERNET_10.transfer_time(n) - 1e-15)
+
+    def test_shared_memory_order_of_magnitude_faster(self):
+        """The Figure 5 headline: shared memory is >10x every network
+        protocol at large sizes."""
+        n = 4_000_000
+        shm = SHARED_MEMORY.effective_bandwidth_mbps(n)
+        atm = ATM_155.effective_bandwidth_mbps(n)
+        eth = ETHERNET_10.effective_bandwidth_mbps(n)
+        assert shm > 10 * atm
+        assert shm > 10 * eth
+
+
+class TestCpuModel:
+    def test_costs_scale_linearly(self):
+        base = ULTRA10_CPU.digest_cost(0)
+        c1 = ULTRA10_CPU.digest_cost(1000) - base
+        c2 = ULTRA10_CPU.digest_cost(2000) - base
+        assert c2 == pytest.approx(2 * c1)
+
+    def test_per_op_floor(self):
+        assert ULTRA10_CPU.memcpy_cost(0) == ULTRA10_CPU.per_op_s
+
+    def test_speed_factor_scales(self):
+        fast = ULTRA10_CPU.scaled(2.0)
+        assert fast.cipher_cost(10_000) == \
+            pytest.approx(ULTRA10_CPU.cipher_cost(10_000) / 2)
+
+    def test_bad_speed_factor(self):
+        with pytest.raises(ValueError):
+            ULTRA10_CPU.scaled(0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            ULTRA10_CPU.memcpy_cost(-5)
+
+    def test_crypto_slower_than_memcpy(self):
+        n = 1_000_000
+        assert ULTRA10_CPU.cipher_cost(n) > ULTRA10_CPU.memcpy_cost(n)
+        assert ULTRA10_CPU.block_cipher_cost(n) > ULTRA10_CPU.cipher_cost(n)
+
+    def test_capability_overhead_below_network_time(self):
+        """The paper's §5 inference must hold in the model: for messages
+        going over the network, wire time dominates capability CPU."""
+        for n in (1_000, 100_000, 4_000_000):
+            wire = ETHERNET_10.transfer_time(n)
+            cap_cpu = (ULTRA10_CPU.cipher_cost(n)
+                       + ULTRA10_CPU.digest_cost(n))
+            assert cap_cpu < wire

@@ -1,0 +1,82 @@
+"""Differential test: our BFS routing vs networkx shortest paths.
+
+Random LAN graphs are generated; for every machine pair, the number of
+inter-LAN hops our router takes must equal the networkx shortest-path
+length (both sides measure unweighted hops).  networkx is a test-only
+dependency — the runtime router stays dependency-free.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import TopologyError
+from repro.simnet.linktypes import ETHERNET_10
+from repro.simnet.topology import Topology
+
+
+def build_world(n_lans: int, edges: list):
+    """Topology with one machine per LAN plus the matching nx graph."""
+    topo = Topology()
+    site = topo.add_site("site")
+    lans = [topo.add_lan(f"lan{i}", site, ETHERNET_10)
+            for i in range(n_lans)]
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n_lans))
+    for a, b in edges:
+        if a != b and not graph.has_edge(a, b):
+            topo.connect(lans[a], lans[b], ETHERNET_10)
+            graph.add_edge(a, b)
+    machines = [topo.add_machine(f"m{i}", lans[i])
+                for i in range(n_lans)]
+    return topo, graph, machines
+
+
+@st.composite
+def lan_graphs(draw):
+    n = draw(st.integers(2, 7))
+    max_edges = n * (n - 1) // 2
+    edges = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=max_edges * 2))
+    return n, edges
+
+
+class TestRoutingDifferential:
+    @given(world=lan_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_hop_count_matches_networkx(self, world):
+        n, edges = world
+        topo, graph, machines = build_world(n, edges)
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                try:
+                    nx_hops = nx.shortest_path_length(graph, i, j)
+                    reachable = True
+                except nx.NetworkXNoPath:
+                    reachable = False
+                if not reachable:
+                    with pytest.raises(TopologyError):
+                        topo.route(machines[i], machines[j])
+                    continue
+                route = topo.route(machines[i], machines[j])
+                # Our route = src segment + inter-LAN links + dst
+                # segment, so inter-LAN hops = len(route) - 2.
+                assert len(route) - 2 == nx_hops
+
+    @given(world=lan_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_route_cost_symmetric(self, world):
+        n, edges = world
+        topo, graph, machines = build_world(n, edges)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if not nx.has_path(graph, i, j):
+                    continue
+                fwd = topo.route(machines[i], machines[j])
+                rev = topo.route(machines[j], machines[i])
+                assert len(fwd) == len(rev)
+                assert sum(l.transfer_time(1000) for l in fwd) == \
+                    pytest.approx(sum(l.transfer_time(1000) for l in rev))

@@ -1,0 +1,175 @@
+"""Tests for the virtual clock and the network simulator."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simnet.clock import VirtualClock
+from repro.simnet.linktypes import ETHERNET_10, ULTRA10_CPU
+from repro.simnet.presets import paper_testbed, two_machine_lan
+from repro.simnet.simulator import NetworkSimulator
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.now() == 1.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock().advance(-0.1)
+
+    def test_advance_to_never_goes_back(self):
+        clock = VirtualClock()
+        clock.advance_to(2.0)
+        clock.advance_to(1.0)
+        assert clock.now() == 2.0
+
+
+@pytest.fixture
+def sim():
+    return NetworkSimulator(two_machine_lan())
+
+
+class TestSynchronousTransfer:
+    def test_transfer_advances_clock(self, sim):
+        a = sim.topology.machine("A")
+        b = sim.topology.machine("B")
+        duration = sim.transfer(a, b, 10_000)
+        assert duration == pytest.approx(
+            ETHERNET_10.transfer_time(10_000))
+        assert sim.clock.now() == pytest.approx(duration)
+
+    def test_transfer_duration_is_pure(self, sim):
+        a = sim.topology.machine("A")
+        b = sim.topology.machine("B")
+        d = sim.transfer_duration(a, b, 500)
+        assert sim.clock.now() == 0.0
+        assert d > 0
+
+    def test_loopback_transfer_fast(self, sim):
+        a = sim.topology.machine("A")
+        same = sim.transfer_duration(a, a, 1_000_000)
+        b = sim.topology.machine("B")
+        lan = sim.transfer_duration(a, b, 1_000_000)
+        assert same < lan / 10
+
+    def test_log_records(self, sim):
+        a = sim.topology.machine("A")
+        b = sim.topology.machine("B")
+        sim.transfer(a, b, 100)
+        sim.transfer(b, a, 200)
+        assert sim.log.total_messages == 2
+        assert sim.log.total_bytes == 300
+        assert sim.log.records[0].src == "A"
+        assert sim.log.per_link["ethernet-10"].messages == 2
+
+    def test_record_bandwidth(self, sim):
+        a = sim.topology.machine("A")
+        b = sim.topology.machine("B")
+        sim.transfer(a, b, 1_000_000)
+        rec = sim.log.records[0]
+        assert 0 < rec.bandwidth_mbps < 10.0  # can't beat the wire
+
+    def test_charge_cpu(self, sim):
+        a = sim.topology.machine("A")
+        cost = a.cpu.digest_cost(1_000)
+        sim.charge_cpu(a, cost)
+        assert sim.clock.now() == pytest.approx(cost)
+        assert sim.cpu_seconds == pytest.approx(cost)
+
+    def test_negative_cpu_charge_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.charge_cpu(sim.topology.machine("A"), -1.0)
+
+    def test_multihop_charges_each_link(self):
+        tb = paper_testbed()
+        sim = NetworkSimulator(tb.topology)
+        direct = sim.transfer_duration(tb.m0, tb.m3, 1000)   # same LAN
+        remote = sim.transfer_duration(tb.m0, tb.m1, 1000)   # 3 links
+        assert remote > 2.5 * direct
+
+
+class TestEventQueue:
+    def test_schedule_and_run(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(sim.clock.now()))
+        sim.schedule(0.5, lambda: fired.append(sim.clock.now()))
+        n = sim.run()
+        assert n == 2
+        assert fired == [0.5, 1.0]
+
+    def test_schedule_in_past_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_run_until(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.clock.now() == 2.0
+        assert sim.pending_events == 1
+
+    def test_run_until_advances_time_when_idle(self, sim):
+        sim.run(until=5.0)
+        assert sim.clock.now() == 5.0
+
+    def test_event_ordering_stable_for_ties(self, sim):
+        fired = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: fired.append(i))
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_events_can_schedule_events(self, sim):
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(1.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.clock.now() == pytest.approx(2.0)
+
+    def test_max_events_guard(self, sim):
+        def rearm():
+            sim.schedule(0.001, rearm)
+
+        sim.schedule(0.001, rearm)
+        n = sim.run(max_events=50)
+        assert n == 50
+
+    def test_post_message_delivers_later(self, sim):
+        a = sim.topology.machine("A")
+        b = sim.topology.machine("B")
+        got = []
+        sim.post_message(a, b, 1000, got.append)
+        assert got == []  # not delivered synchronously
+        sim.run()
+        assert len(got) == 1
+        assert got[0].nbytes == 1000
+        assert sim.clock.now() == pytest.approx(got[0].duration)
+
+    def test_concurrent_messages_interleave(self, sim):
+        a = sim.topology.machine("A")
+        b = sim.topology.machine("B")
+        order = []
+        sim.post_message(a, b, 1_000_000, lambda r: order.append("big"))
+        sim.post_message(a, b, 10, lambda r: order.append("small"))
+        sim.run()
+        # The small message finishes first despite being posted second.
+        assert order == ["small", "big"]

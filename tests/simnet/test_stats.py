@@ -1,0 +1,113 @@
+"""Tests for transfer statistics and simulator determinism."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simnet.linktypes import ETHERNET_10
+from repro.simnet.presets import paper_testbed, two_machine_lan
+from repro.simnet.simulator import NetworkSimulator
+from repro.simnet.stats import LinkStats, TransferLog, TransferRecord
+
+
+def record(nbytes=100, duration=0.5):
+    return TransferRecord(src="A", dst="B", nbytes=nbytes,
+                          start_time=1.0, duration=duration,
+                          links=(ETHERNET_10,))
+
+
+class TestTransferRecord:
+    def test_end_time(self):
+        assert record(duration=0.5).end_time == 1.5
+
+    def test_bandwidth(self):
+        r = record(nbytes=125_000, duration=1.0)  # 1 Mbit in 1 s
+        assert r.bandwidth_mbps == pytest.approx(1.0)
+
+    def test_zero_duration(self):
+        assert record(duration=0.0).bandwidth_mbps == float("inf")
+
+
+class TestTransferLog:
+    def test_aggregates(self):
+        log = TransferLog()
+        log.add(record(nbytes=100))
+        log.add(record(nbytes=200))
+        assert log.total_messages == 2
+        assert log.total_bytes == 300
+        assert log.durations.count == 2
+        assert log.per_link["ethernet-10"].messages == 2
+        assert log.per_link["ethernet-10"].bytes == 300
+
+    def test_bounded_records(self):
+        log = TransferLog(keep_records=3)
+        for _ in range(10):
+            log.add(record())
+        assert len(log.records) == 3
+        assert log.total_messages == 10  # aggregates keep counting
+
+    def test_disabled_records(self):
+        log = TransferLog(keep_records=0)
+        log.add(record())
+        assert log.records == []
+        assert log.total_messages == 1
+
+    def test_clear(self):
+        log = TransferLog()
+        log.add(record())
+        log.clear()
+        assert log.total_messages == 0 and not log.per_link
+
+    def test_multi_link_attribution(self):
+        tb = paper_testbed()
+        sim = NetworkSimulator(tb.topology)
+        sim.transfer(tb.m0, tb.m1, 1000)   # 3 links on the route
+        assert len(sim.log.records[0].links) == 3
+        assert sim.log.per_link  # every link got credited
+        total_msgs = sum(s.messages for s in sim.log.per_link.values())
+        assert total_msgs == 3
+
+
+class TestLinkStats:
+    def test_record(self):
+        stats = LinkStats("l")
+        stats.record(10, 0.1)
+        stats.record(20, 0.2)
+        assert stats.messages == 2
+        assert stats.bytes == 30
+        assert stats.busy_seconds == pytest.approx(0.3)
+
+
+class TestDeterminism:
+    @given(st.lists(st.integers(0, 100_000), min_size=1, max_size=20))
+    @settings(max_examples=20, deadline=None)
+    def test_transfer_sequence_deterministic(self, sizes):
+        def run():
+            sim = NetworkSimulator(two_machine_lan())
+            a = sim.topology.machine("A")
+            b = sim.topology.machine("B")
+            for n in sizes:
+                sim.transfer(a, b, n)
+            return sim.clock.now()
+
+        assert run() == run()
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=10))
+    @settings(max_examples=20, deadline=None)
+    def test_transfer_additive(self, sizes):
+        """Synchronous transfers accumulate: total time equals the sum
+        of individual durations."""
+        sim = NetworkSimulator(two_machine_lan())
+        a = sim.topology.machine("A")
+        b = sim.topology.machine("B")
+        expected = sum(sim.transfer_duration(a, b, n) for n in sizes)
+        for n in sizes:
+            sim.transfer(a, b, n)
+        assert sim.clock.now() == pytest.approx(expected)
+
+    def test_route_symmetry(self):
+        tb = paper_testbed()
+        sim = NetworkSimulator(tb.topology)
+        for src in tb.machines:
+            for dst in tb.machines:
+                assert sim.transfer_duration(src, dst, 5000) == \
+                    pytest.approx(sim.transfer_duration(dst, src, 5000))

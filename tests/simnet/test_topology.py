@@ -1,0 +1,143 @@
+"""Tests for the simulated topology and routing."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.simnet.linktypes import ATM_155, ETHERNET_10, WAN_T3
+from repro.simnet.presets import paper_testbed, two_machine_lan
+from repro.simnet.topology import Topology
+
+
+@pytest.fixture
+def campus():
+    """Two-site topology: site X (lan1: A, B; lan2: C), site Y (lan3: D)."""
+    topo = Topology()
+    x = topo.add_site("X")
+    y = topo.add_site("Y")
+    lan1 = topo.add_lan("lan1", x, ETHERNET_10)
+    lan2 = topo.add_lan("lan2", x, ETHERNET_10)
+    lan3 = topo.add_lan("lan3", y, ETHERNET_10)
+    topo.connect(lan1, lan2, ATM_155)
+    topo.connect(lan2, lan3, WAN_T3)
+    topo.add_machine("A", lan1)
+    topo.add_machine("B", lan1)
+    topo.add_machine("C", lan2)
+    topo.add_machine("D", lan3)
+    return topo
+
+
+class TestConstruction:
+    def test_duplicate_site_rejected(self, campus):
+        with pytest.raises(TopologyError):
+            campus.add_site("X")
+
+    def test_duplicate_lan_rejected(self, campus):
+        with pytest.raises(TopologyError):
+            campus.add_lan("lan1", campus.sites["X"], ETHERNET_10)
+
+    def test_duplicate_machine_rejected(self, campus):
+        with pytest.raises(TopologyError):
+            campus.add_machine("A", campus.lans["lan1"])
+
+    def test_self_connect_rejected(self, campus):
+        lan = campus.lans["lan1"]
+        with pytest.raises(TopologyError):
+            campus.connect(lan, lan, ATM_155)
+
+    def test_unknown_machine_lookup(self, campus):
+        with pytest.raises(TopologyError):
+            campus.machine("nope")
+
+
+class TestLocality:
+    def test_same_machine(self, campus):
+        a = campus.machine("A")
+        assert a.locality_to(a) == "same-machine"
+
+    def test_same_lan(self, campus):
+        assert campus.locality("A", "B") == "same-lan"
+
+    def test_same_site(self, campus):
+        assert campus.locality("A", "C") == "same-site"
+
+    def test_remote(self, campus):
+        assert campus.locality("A", "D") == "remote"
+
+    def test_symmetry(self, campus):
+        for pair in (("A", "B"), ("A", "C"), ("A", "D")):
+            assert campus.locality(*pair) == campus.locality(*pair[::-1])
+
+
+class TestRouting:
+    def test_loopback_route(self, campus):
+        a = campus.machine("A")
+        route = campus.route(a, a)
+        assert len(route) == 1
+        assert route[0].name == "shared-memory"
+
+    def test_same_lan_route(self, campus):
+        route = campus.route(campus.machine("A"), campus.machine("B"))
+        assert [l.name for l in route] == ["ethernet-10"]
+
+    def test_one_hop_route(self, campus):
+        route = campus.route(campus.machine("A"), campus.machine("C"))
+        # src LAN segment + inter-LAN link + dst LAN segment
+        assert [l.name for l in route] == \
+            ["ethernet-10", "atm-155", "ethernet-10"]
+
+    def test_two_hop_route(self, campus):
+        route = campus.route(campus.machine("A"), campus.machine("D"))
+        assert [l.name for l in route] == \
+            ["ethernet-10", "atm-155", "wan-t3", "ethernet-10"]
+
+    def test_no_route_raises(self):
+        topo = Topology()
+        s = topo.add_site("s")
+        lan_a = topo.add_lan("a", s, ETHERNET_10)
+        lan_b = topo.add_lan("b", s, ETHERNET_10)  # never connected
+        topo.add_machine("A", lan_a)
+        topo.add_machine("B", lan_b)
+        with pytest.raises(TopologyError):
+            topo.route(topo.machine("A"), topo.machine("B"))
+
+    def test_shortest_path_chosen(self):
+        # Triangle: direct lan1-lan3 link must beat lan1-lan2-lan3.
+        topo = Topology()
+        s = topo.add_site("s")
+        l1 = topo.add_lan("l1", s, ETHERNET_10)
+        l2 = topo.add_lan("l2", s, ETHERNET_10)
+        l3 = topo.add_lan("l3", s, ETHERNET_10)
+        topo.connect(l1, l2, ATM_155)
+        topo.connect(l2, l3, ATM_155)
+        topo.connect(l1, l3, WAN_T3)
+        topo.add_machine("A", l1)
+        topo.add_machine("B", l3)
+        route = topo.route(topo.machine("A"), topo.machine("B"))
+        assert [l.name for l in route] == \
+            ["ethernet-10", "wan-t3", "ethernet-10"]
+
+
+class TestPresets:
+    def test_two_machine_lan(self):
+        topo = two_machine_lan()
+        assert topo.locality("A", "B") == "same-lan"
+
+    def test_paper_testbed_localities(self):
+        tb = paper_testbed()
+        # The Figure 4 applicability structure:
+        assert tb.m0.locality_to(tb.m1) == "remote"       # S1: security+timeout
+        assert tb.m0.locality_to(tb.m2) == "same-site"    # S2: timeout only
+        assert tb.m0.locality_to(tb.m3) == "same-lan"     # S3: Nexus TCP
+        assert tb.m0.locality_to(tb.m0) == "same-machine"  # S4: shared memory
+
+    def test_paper_testbed_fully_routable(self):
+        tb = paper_testbed()
+        for src in tb.machines:
+            for dst in tb.machines:
+                assert tb.topology.route(src, dst)
+
+    def test_fabric_selection(self):
+        from repro.simnet.linktypes import ETHERNET_10 as eth
+        tb = paper_testbed(fabric=eth)
+        route = tb.topology.route(tb.m0, tb.m1)
+        assert all(l.name == "ethernet-10" for l in route)

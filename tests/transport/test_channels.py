@@ -1,0 +1,182 @@
+"""Behavioural tests shared by the real (wall-clock) transports.
+
+The in-process, shared-memory, and TCP transports must be
+interchangeable: one parameterized suite drives all three through the
+same scenarios.
+"""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ChannelClosedError, TransportError
+from repro.transport.inproc import InProcTransport
+from repro.transport.shm import ShmTransport
+from repro.transport.tcp import TcpTransport
+
+
+@pytest.fixture(params=["inproc", "shm", "tcp"])
+def transport(request):
+    return {
+        "inproc": InProcTransport,
+        "shm": ShmTransport,
+        "tcp": TcpTransport,
+    }[request.param]()
+
+
+@pytest.fixture
+def pair(transport):
+    """(client, server) connected channel pair; cleaned up afterwards."""
+    listener = transport.listen()
+    client = transport.connect(listener.address)
+    server = listener.accept(timeout=5.0)
+    yield client, server
+    client.close()
+    server.close()
+    listener.close()
+
+
+class TestBasicExchange:
+    def test_client_to_server(self, pair):
+        client, server = pair
+        client.send(b"ping")
+        assert server.recv(timeout=5.0) == b"ping"
+
+    def test_server_to_client(self, pair):
+        client, server = pair
+        server.send(b"pong")
+        assert client.recv(timeout=5.0) == b"pong"
+
+    def test_request_reply(self, pair):
+        client, server = pair
+        client.send(b"2+2")
+        assert server.recv(timeout=5.0) == b"2+2"
+        server.send(b"4")
+        assert client.recv(timeout=5.0) == b"4"
+
+    def test_message_boundaries_preserved(self, pair):
+        client, server = pair
+        client.send(b"one")
+        client.send(b"two")
+        client.send(b"three")
+        assert server.recv(timeout=5.0) == b"one"
+        assert server.recv(timeout=5.0) == b"two"
+        assert server.recv(timeout=5.0) == b"three"
+
+    def test_empty_message(self, pair):
+        client, server = pair
+        client.send(b"")
+        assert server.recv(timeout=5.0) == b""
+
+    def test_large_message(self, pair):
+        client, server = pair
+        big = bytes(range(256)) * 4096  # 1 MiB, larger than shm ring
+
+        def pump():
+            client.send(big)
+
+        t = threading.Thread(target=pump)
+        t.start()
+        assert server.recv(timeout=10.0) == big
+        t.join(timeout=10.0)
+
+    def test_bytearray_and_memoryview_accepted(self, pair):
+        client, server = pair
+        client.send(bytearray(b"ba"))
+        client.send(memoryview(b"mv"))
+        assert server.recv(timeout=5.0) == b"ba"
+        assert server.recv(timeout=5.0) == b"mv"
+
+
+class TestLifecycle:
+    def test_send_after_close_raises(self, pair):
+        client, _server = pair
+        client.close()
+        with pytest.raises(ChannelClosedError):
+            client.send(b"x")
+
+    def test_recv_timeout(self, pair):
+        client, _server = pair
+        with pytest.raises(TransportError):
+            client.recv(timeout=0.05)
+
+    def test_peer_close_detected(self, pair):
+        client, server = pair
+        server.close()
+        with pytest.raises(ChannelClosedError):
+            client.recv(timeout=5.0)
+
+    def test_close_idempotent(self, pair):
+        client, _ = pair
+        client.close()
+        client.close()
+        assert client.closed
+
+    def test_connect_to_closed_listener_fails(self, transport):
+        listener = transport.listen()
+        address = listener.address
+        listener.close()
+        with pytest.raises(TransportError):
+            transport.connect(address)
+
+    def test_connect_to_unknown_address_fails(self, transport):
+        bad = dict(transport.listen().address)
+        if "port" in bad:
+            pytest.skip("tcp: picking a guaranteed-dead port is racy")
+        bad["key"] = "no-such-key"
+        with pytest.raises(TransportError):
+            transport.connect(bad)
+
+
+class TestConcurrency:
+    def test_multiple_clients(self, transport):
+        listener = transport.listen()
+        clients = [transport.connect(listener.address) for _ in range(4)]
+        servers = [listener.accept(timeout=5.0) for _ in range(4)]
+        for i, c in enumerate(clients):
+            c.send(f"hello-{i}".encode())
+        got = sorted(s.recv(timeout=5.0) for s in servers)
+        assert got == sorted(f"hello-{i}".encode() for i in range(4))
+        for ch in clients + servers:
+            ch.close()
+        listener.close()
+
+    def test_bidirectional_threads(self, pair):
+        client, server = pair
+        n = 50
+        received = []
+
+        def echo():
+            for _ in range(n):
+                received.append(server.recv(timeout=5.0))
+                server.send(received[-1])
+
+        t = threading.Thread(target=echo)
+        t.start()
+        for i in range(n):
+            msg = f"m{i}".encode()
+            client.send(msg)
+            assert client.recv(timeout=5.0) == msg
+        t.join(timeout=5.0)
+        assert len(received) == n
+
+
+class TestAddressing:
+    def test_listener_address_is_marshallable(self, transport):
+        from repro.serialization.marshal import dumps, loads
+
+        listener = transport.listen()
+        address = listener.address
+        assert loads(dumps(address)) == address
+        listener.close()
+
+    def test_explicit_key_or_port(self, transport):
+        if transport.name == "tcp":
+            listener = transport.listen({"port": 0})
+            assert listener.address["port"] > 0
+        else:
+            listener = transport.listen({"key": "my-endpoint"})
+            assert listener.address["key"] == "my-endpoint"
+            with pytest.raises(TransportError):
+                transport.listen({"key": "my-endpoint"})
+        listener.close()

@@ -1,0 +1,142 @@
+"""Focused tests for the SPSC byte ring underlying the shm transport."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ChannelClosedError, TransportError
+from repro.transport.shm import ShmRing
+
+
+class TestBasics:
+    def test_write_then_read(self):
+        ring = ShmRing(64)
+        ring.write(b"hello")
+        assert ring.read(5) == b"hello"
+        assert ring.size == 0
+
+    def test_partial_reads(self):
+        ring = ShmRing(64)
+        ring.write(b"abcdef")
+        assert ring.read(2) == b"ab"
+        assert ring.read(4) == b"cdef"
+
+    def test_interleaved(self):
+        ring = ShmRing(64)
+        ring.write(b"abc")
+        assert ring.read(1) == b"a"
+        ring.write(b"def")
+        assert ring.read(5) == b"bcdef"
+
+    def test_wraparound(self):
+        ring = ShmRing(8)
+        ring.write(b"abcdef")
+        assert ring.read(6) == b"abcdef"
+        # Head is now at offset 6 of 8: this write wraps.
+        ring.write(b"123456")
+        assert ring.read(6) == b"123456"
+
+    def test_tiny_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ShmRing(4)
+
+    def test_negative_read_rejected(self):
+        with pytest.raises(ValueError):
+            ShmRing(16).read(-1)
+
+    def test_zero_read(self):
+        assert ShmRing(16).read(0) == b""
+
+
+class TestBlocking:
+    def test_write_larger_than_capacity_streams(self):
+        ring = ShmRing(16)
+        data = bytes(range(256))
+        out = []
+
+        def consumer():
+            out.append(ring.read(256, timeout=5.0))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        ring.write(data, timeout=5.0)
+        t.join(timeout=5.0)
+        assert out == [data]
+
+    def test_read_blocks_until_write(self):
+        ring = ShmRing(16)
+        out = []
+
+        def consumer():
+            out.append(ring.read(3, timeout=5.0))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        ring.write(b"xyz")
+        t.join(timeout=5.0)
+        assert out == [b"xyz"]
+
+    def test_write_timeout_when_full(self):
+        ring = ShmRing(8)
+        ring.write(b"12345678")
+        with pytest.raises(TransportError):
+            ring.write(b"x", timeout=0.05)
+
+    def test_read_timeout_when_empty(self):
+        with pytest.raises(TransportError):
+            ShmRing(8).read(1, timeout=0.05)
+
+    def test_close_releases_blocked_reader(self):
+        ring = ShmRing(8)
+        errors = []
+
+        def consumer():
+            try:
+                ring.read(1, timeout=5.0)
+            except ChannelClosedError:
+                errors.append("closed")
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        ring.close()
+        t.join(timeout=5.0)
+        assert errors == ["closed"]
+
+    def test_close_releases_blocked_writer(self):
+        ring = ShmRing(8)
+        ring.write(b"12345678")
+        errors = []
+
+        def producer():
+            try:
+                ring.write(b"more", timeout=5.0)
+            except ChannelClosedError:
+                errors.append("closed")
+
+        t = threading.Thread(target=producer)
+        t.start()
+        ring.close()
+        t.join(timeout=5.0)
+        assert errors == ["closed"]
+
+
+class TestStress:
+    @given(st.lists(st.binary(min_size=1, max_size=200), min_size=1,
+                    max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_producer_consumer_byte_stream(self, messages):
+        """Any message sequence through a small ring arrives intact."""
+        ring = ShmRing(64)
+        total = b"".join(messages)
+        result = []
+
+        def consumer():
+            result.append(ring.read(len(total), timeout=10.0))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        for msg in messages:
+            ring.write(msg, timeout=10.0)
+        t.join(timeout=10.0)
+        assert result == [total]

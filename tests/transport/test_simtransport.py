@@ -1,0 +1,157 @@
+"""Tests for the simulator-backed transport."""
+
+import pytest
+
+from repro.exceptions import ChannelClosedError, TransportError
+from repro.simnet.presets import paper_testbed, two_machine_lan
+from repro.simnet.simulator import NetworkSimulator
+from repro.transport.simtransport import SimTransport
+
+
+@pytest.fixture
+def world():
+    sim = NetworkSimulator(two_machine_lan())
+    ta = SimTransport(sim, "A")
+    tb = SimTransport(sim, "B")
+    return sim, ta, tb
+
+
+class TestConnect:
+    def test_connect_and_accept(self, world):
+        sim, ta, tb = world
+        listener = tb.listen()
+        client = ta.connect(listener.address)
+        server = listener.accept()
+        assert not client.closed and not server.closed
+
+    def test_connect_charges_handshake(self, world):
+        sim, ta, tb = world
+        listener = tb.listen()
+        assert sim.clock.now() == 0.0
+        ta.connect(listener.address)
+        assert sim.clock.now() > 0.0
+
+    def test_unknown_listener(self, world):
+        _, ta, _ = world
+        with pytest.raises(TransportError):
+            ta.connect({"key": "ghost"})
+
+    def test_accept_without_connection(self, world):
+        _, _, tb = world
+        listener = tb.listen()
+        with pytest.raises(TransportError):
+            listener.accept()
+
+    def test_listeners_shared_across_transports(self, world):
+        """A listener opened on B is reachable from A's transport — the
+        key space lives on the simulator."""
+        sim, ta, tb = world
+        listener = tb.listen({"key": "svc"})
+        assert ta.connect({"key": "svc"}) is not None
+        listener.close()
+
+    def test_duplicate_key_rejected(self, world):
+        _, _, tb = world
+        tb.listen({"key": "dup"})
+        with pytest.raises(TransportError):
+            tb.listen({"key": "dup"})
+
+    def test_machine_by_name(self):
+        sim = NetworkSimulator(two_machine_lan())
+        t = SimTransport(sim, "A")
+        assert t.machine.name == "A"
+
+
+class TestExchange:
+    def test_send_lands_in_inbox(self, world):
+        sim, ta, tb = world
+        listener = tb.listen()
+        client = ta.connect(listener.address)
+        server = listener.accept()
+        client.send(b"hello")
+        assert server.recv() == b"hello"
+
+    def test_send_charges_route_time(self, world):
+        sim, ta, tb = world
+        listener = tb.listen()
+        client = ta.connect(listener.address)
+        listener.accept()
+        before = sim.clock.now()
+        client.send(b"x" * 100_000)
+        elapsed = sim.clock.now() - before
+        a = sim.topology.machine("A")
+        b = sim.topology.machine("B")
+        assert elapsed == pytest.approx(
+            sim.transfer_duration(a, b, 100_000))
+
+    def test_on_message_dispatches_inline(self, world):
+        sim, ta, tb = world
+        listener = tb.listen()
+        client = ta.connect(listener.address)
+        server = listener.accept()
+        server.on_message = lambda data, ch: ch.send(data.upper())
+        client.send(b"ping")
+        assert client.recv() == b"PING"
+
+    def test_reply_charges_return_path(self, world):
+        sim, ta, tb = world
+        listener = tb.listen()
+        client = ta.connect(listener.address)
+        server = listener.accept()
+        server.on_message = lambda data, ch: ch.send(data)
+        t0 = sim.clock.now()
+        client.send(b"y" * 50_000)
+        client.recv()
+        a = sim.topology.machine("A")
+        b = sim.topology.machine("B")
+        expected = 2 * sim.transfer_duration(a, b, 50_000)
+        assert sim.clock.now() - t0 == pytest.approx(expected)
+
+    def test_recv_empty_raises(self, world):
+        _, ta, tb = world
+        listener = tb.listen()
+        client = ta.connect(listener.address)
+        with pytest.raises(TransportError):
+            client.recv()
+
+    def test_send_to_closed_peer(self, world):
+        _, ta, tb = world
+        listener = tb.listen()
+        client = ta.connect(listener.address)
+        server = listener.accept()
+        server.close()
+        with pytest.raises(ChannelClosedError):
+            client.send(b"x")
+
+    def test_on_connect_callback(self, world):
+        sim, ta, tb = world
+        listener = tb.listen()
+        got = []
+        listener.on_connect = got.append
+        ta.connect(listener.address)
+        assert len(got) == 1
+        assert got[0].machine.name == "B"
+
+
+class TestPaperTopology:
+    def test_remote_costs_more_than_local(self):
+        tb = paper_testbed()
+        sim = NetworkSimulator(tb.topology)
+        t_m0 = SimTransport(sim, tb.m0)
+        t_m1 = SimTransport(sim, tb.m1)
+        t_m3 = SimTransport(sim, tb.m3)
+
+        lst_remote = t_m1.listen()
+        lst_near = t_m3.listen()
+        c_remote = t_m0.connect(lst_remote.address)
+        c_near = t_m0.connect(lst_near.address)
+        lst_remote.accept()
+        lst_near.accept()
+
+        t0 = sim.clock.now()
+        c_remote.send(b"z" * 10_000)
+        remote_cost = sim.clock.now() - t0
+        t0 = sim.clock.now()
+        c_near.send(b"z" * 10_000)
+        near_cost = sim.clock.now() - t0
+        assert remote_cost > near_cost

@@ -1,0 +1,174 @@
+"""Tests for the zero-copy byte buffer and reader."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import BufferUnderflowError
+from repro.util.bytesbuf import ZERO_COPY_THRESHOLD, ByteBuffer, ByteReader
+
+
+class TestByteBuffer:
+    def test_empty(self):
+        buf = ByteBuffer()
+        assert len(buf) == 0
+        assert buf.getvalue() == b""
+        assert buf.chunks() == []
+
+    def test_initial_data(self):
+        buf = ByteBuffer(b"abc")
+        assert buf.getvalue() == b"abc"
+
+    def test_write_returns_self(self):
+        buf = ByteBuffer()
+        assert buf.write(b"a") is buf
+
+    def test_small_writes_coalesce(self):
+        buf = ByteBuffer()
+        for _ in range(10):
+            buf.write(b"ab")
+        chunks = buf.chunks()
+        assert chunks == [b"ab" * 10]
+        assert len(buf) == 20
+
+    def test_large_chunk_kept_by_reference(self):
+        big = b"x" * (ZERO_COPY_THRESHOLD + 1)
+        buf = ByteBuffer()
+        buf.write(b"hdr")
+        buf.write(big)
+        chunks = buf.chunks()
+        assert chunks[0] == b"hdr"
+        assert chunks[1] is big  # identity: no copy was made
+
+    def test_large_bytearray_is_frozen(self):
+        # A mutable input must be snapshotted, otherwise later mutation
+        # by the caller would corrupt the already-queued message.
+        big = bytearray(b"y" * (ZERO_COPY_THRESHOLD + 5))
+        buf = ByteBuffer()
+        buf.write(big)
+        big[0] = ord(b"z")
+        assert buf.getvalue()[0] == ord(b"y")
+
+    def test_large_writable_memoryview_made_readonly(self):
+        backing = bytearray(b"m" * (ZERO_COPY_THRESHOLD + 2))
+        buf = ByteBuffer()
+        buf.write(memoryview(backing))
+        chunk = buf.chunks()[0]
+        assert isinstance(chunk, memoryview) and chunk.readonly
+
+    def test_zero_length_write_is_noop(self):
+        buf = ByteBuffer()
+        buf.write(b"")
+        assert len(buf) == 0 and buf.chunks() == []
+
+    def test_write_many(self):
+        buf = ByteBuffer()
+        buf.write_many([b"a", b"b", b"c"])
+        assert buf.getvalue() == b"abc"
+
+    def test_interleaved_small_and_large(self):
+        big = b"L" * ZERO_COPY_THRESHOLD
+        buf = ByteBuffer()
+        buf.write(b"s1").write(big).write(b"s2")
+        assert buf.getvalue() == b"s1" + big + b"s2"
+        assert len(buf) == 4 + len(big)
+
+    def test_clear(self):
+        buf = ByteBuffer(b"abc")
+        buf.clear()
+        assert len(buf) == 0
+        assert buf.getvalue() == b""
+
+    def test_getvalue_idempotent(self):
+        buf = ByteBuffer()
+        buf.write(b"abc").write(b"def")
+        assert buf.getvalue() == buf.getvalue() == b"abcdef"
+
+    @given(st.lists(st.binary(max_size=2000), max_size=20))
+    def test_roundtrip_matches_join(self, parts):
+        buf = ByteBuffer()
+        for p in parts:
+            buf.write(p)
+        assert buf.getvalue() == b"".join(parts)
+        assert len(buf) == sum(len(p) for p in parts)
+
+
+class TestByteReader:
+    def test_sequential_reads(self):
+        r = ByteReader(b"hello world")
+        assert bytes(r.read(5)) == b"hello"
+        assert bytes(r.read(1)) == b" "
+        assert bytes(r.rest()) == b"world"
+        assert r.remaining == 0
+
+    def test_read_returns_memoryview(self):
+        r = ByteReader(b"abcdef")
+        view = r.read(3)
+        assert isinstance(view, memoryview)
+        assert bytes(view) == b"abc"
+
+    def test_read_is_zero_copy(self):
+        data = bytearray(b"abcdef")
+        r = ByteReader(data)
+        view = r.read(3)
+        data[0] = ord(b"z")
+        assert bytes(view) == b"zbc"  # aliases the source
+
+    def test_underflow_raises(self):
+        r = ByteReader(b"ab")
+        with pytest.raises(BufferUnderflowError):
+            r.read(3)
+
+    def test_underflow_does_not_advance(self):
+        r = ByteReader(b"ab")
+        with pytest.raises(BufferUnderflowError):
+            r.read(5)
+        assert bytes(r.read(2)) == b"ab"
+
+    def test_negative_read_rejected(self):
+        r = ByteReader(b"ab")
+        with pytest.raises(ValueError):
+            r.read(-1)
+
+    def test_peek_does_not_advance(self):
+        r = ByteReader(b"abcd")
+        assert bytes(r.peek(2)) == b"ab"
+        assert bytes(r.read(2)) == b"ab"
+
+    def test_peek_underflow(self):
+        r = ByteReader(b"a")
+        with pytest.raises(BufferUnderflowError):
+            r.peek(2)
+
+    def test_skip(self):
+        r = ByteReader(b"abcd")
+        r.skip(2)
+        assert bytes(r.rest()) == b"cd"
+
+    def test_seek(self):
+        r = ByteReader(b"abcd")
+        r.read(3)
+        r.seek(1)
+        assert bytes(r.rest()) == b"bcd"
+
+    def test_seek_out_of_range(self):
+        r = ByteReader(b"abcd")
+        with pytest.raises(BufferUnderflowError):
+            r.seek(5)
+
+    def test_read_bytes_owns_copy(self):
+        data = bytearray(b"abc")
+        r = ByteReader(data)
+        owned = r.read_bytes(3)
+        data[0] = ord(b"z")
+        assert owned == b"abc"
+
+    @given(st.binary(max_size=500), st.integers(0, 500))
+    def test_read_then_rest_partition(self, data, n):
+        r = ByteReader(data)
+        if n > len(data):
+            with pytest.raises(BufferUnderflowError):
+                r.read(n)
+        else:
+            head = bytes(r.read(n))
+            tail = bytes(r.rest())
+            assert head + tail == data

@@ -1,0 +1,100 @@
+"""Tests for the from-scratch checksum implementations.
+
+CRC-32 and Adler-32 are checked against the zlib reference implementations
+— our versions must match those bit-for-bit since they implement the same
+published algorithms.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.checksums import adler32, crc32, fletcher16
+
+
+class TestCrc32:
+    def test_empty(self):
+        assert crc32(b"") == zlib.crc32(b"")
+
+    def test_known_vector(self):
+        # The classic check value for CRC-32/ISO-HDLC.
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_matches_zlib(self):
+        for data in (b"a", b"abc", b"hello world", bytes(range(256))):
+            assert crc32(data) == zlib.crc32(data)
+
+    def test_incremental(self):
+        whole = crc32(b"foobar")
+        part = crc32(b"bar", crc32(b"foo"))
+        assert part == whole
+
+    @given(st.binary(max_size=300))
+    def test_matches_zlib_property(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+    @given(st.binary(max_size=100), st.binary(max_size=100))
+    def test_incremental_property(self, a, b):
+        assert crc32(b, crc32(a)) == crc32(a + b)
+
+
+class TestAdler32:
+    def test_empty(self):
+        assert adler32(b"") == zlib.adler32(b"")
+
+    def test_known(self):
+        assert adler32(b"Wikipedia") == 0x11E60398
+
+    def test_matches_zlib_large(self):
+        rng = np.random.default_rng(7)
+        data = rng.integers(0, 256, size=200_000, dtype=np.uint8).tobytes()
+        assert adler32(data) == zlib.adler32(data)
+
+    def test_incremental(self):
+        assert adler32(b"bar", adler32(b"foo")) == adler32(b"foobar")
+
+    @given(st.binary(max_size=20_000))
+    def test_matches_zlib_property(self, data):
+        assert adler32(data) == zlib.adler32(data)
+
+    @given(st.binary(max_size=6000), st.binary(max_size=6000))
+    def test_incremental_property(self, a, b):
+        # Crossing the NMAX block boundary must not change the result.
+        assert adler32(b, adler32(a)) == adler32(a + b)
+
+
+class TestFletcher16:
+    def test_empty(self):
+        assert fletcher16(b"") == 0
+
+    def test_known_vectors(self):
+        # Standard test vectors for Fletcher-16.
+        assert fletcher16(b"abcde") == 0xC8F0
+        assert fletcher16(b"abcdef") == 0x2057
+        assert fletcher16(b"abcdefgh") == 0x0627
+
+    def test_detects_single_bit_flip(self):
+        data = bytearray(b"the quick brown fox")
+        before = fletcher16(data)
+        data[3] ^= 0x01
+        assert fletcher16(data) != before
+
+    def test_blockwise_equals_serial(self):
+        # Reference serial implementation.
+        def serial(data):
+            a = b = 0
+            for byte in data:
+                a = (a + byte) % 255
+                b = (b + a) % 255
+            return (b << 8) | a
+
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 256, size=10_000, dtype=np.uint8).tobytes()
+        assert fletcher16(data) == serial(data)
+
+    @given(st.binary(max_size=5000))
+    def test_range(self, data):
+        value = fletcher16(data)
+        assert 0 <= value <= 0xFFFF
