@@ -51,6 +51,13 @@ from repro.core.loadbalance import LoadBalancer
 from repro.core.health import HealthMonitor
 from repro.core.cost_policy import CostAwarePolicy
 from repro.core.instrumentation import GLOBAL_HOOKS, HookBus
+from repro.core.resilience import (
+    AttemptRecord,
+    BreakerRegistry,
+    BreakerState,
+    CircuitBreaker,
+    RetryPolicy,
+)
 
 __all__ = [
     "ObjectReference",
@@ -81,4 +88,9 @@ __all__ = [
     "CostAwarePolicy",
     "HookBus",
     "GLOBAL_HOOKS",
+    "AttemptRecord",
+    "RetryPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "BreakerRegistry",
 ]

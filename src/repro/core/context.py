@@ -39,6 +39,7 @@ from repro.core.protocol import (
     INVOKE_HANDLER,
     marshaller_for,
 )
+from repro.core.resilience import BreakerRegistry
 from repro.core.request import (
     RequestMeta,
     decode_invocation,
@@ -164,6 +165,9 @@ class Context:
         self.forwards: Dict[str, ObjectReference] = {}
         self.proto_pool = pool or ProtocolPool(["glue", "shm", "nexus"])
         self.monitor = LoadMonitor(self.clock)
+        #: Per-(remote context, proto) circuit breakers shared by every
+        #: GP bound in this context; selection sheds open entries.
+        self.breakers = BreakerRegistry(self.clock)
 
     # ------------------------------------------------------------------
     # cost accounting
@@ -445,6 +449,7 @@ class Context:
             "servants": servants,
             "forwards": forwards,
             "glue_stacks": stacks,
+            "breakers_open": self.breakers.open_keys(),
             "load": {
                 "total_requests": self.monitor.total_requests,
                 "busy_fraction": self.monitor.load,

@@ -18,7 +18,16 @@ A :class:`GlobalPointer` is the client proxy:
   glue stack with the server's control surface and prepends the entry to
   this GP's table (capabilities "can also be changed dynamically", §1);
 * **openness** — ``pool``, ``policy``, and the OR's ``protocols`` list
-  are public and mutable; ``select_protocol`` exposes the decision.
+  are public and mutable; ``select_protocol`` exposes the decision;
+* **resilience** — transport failures are retried under a
+  :class:`~repro.core.resilience.RetryPolicy` with *protocol failover*:
+  the failed entry is demoted for the rest of the call and selection
+  re-runs, so the next applicable table entry carries the retry — the
+  ordered protocol table *is* the redundancy the paper promises.
+  Per-``(context, proto)`` circuit breakers shed flapping peers before
+  they burn retry budget, and an idempotence guard refuses to re-issue a
+  request that may have reached dispatch unless the method is marked
+  ``retry_safe``.
 """
 
 from __future__ import annotations
@@ -33,12 +42,20 @@ from repro.core.objref import ObjectReference, ProtocolEntry
 from repro.core.protocol import ProtocolClient, get_proto_class
 from repro.core.proto_pool import ProtocolPool
 from repro.core.request import Invocation
+from repro.core.resilience import AttemptRecord, RetryPolicy, sleep_on
 from repro.core.selection import FirstMatchPolicy, Locality, SelectionPolicy
 from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
     HpcError,
     InterfaceError,
+    NoApplicableProtocolError,
     ObjectMovedError,
+    ProtocolError,
     RemoteInvocationError,
+    RetryExhaustedError,
+    TransportError,
+    UnknownProtocolError,
 )
 from repro.idl.stubs import make_stub_class
 
@@ -54,11 +71,19 @@ class GlobalPointer:
 
     def __init__(self, oref: ObjectReference, context: Context,
                  pool: Optional[ProtocolPool] = None,
-                 policy: Optional[SelectionPolicy] = None):
+                 policy: Optional[SelectionPolicy] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 breakers=None):
         self.oref = oref.clone()
         self.context = context
         self.pool = pool if pool is not None else context.proto_pool.clone()
         self.policy = policy or FirstMatchPolicy()
+        #: Retry/backoff/deadline policy for this GP's invocations.
+        self.retry_policy = retry_policy or RetryPolicy()
+        #: Circuit breakers; defaults to the context-wide registry so
+        #: every GP talking to the same peer shares failure history.
+        self.breakers = breakers if breakers is not None \
+            else context.breakers
         self._clients: Dict[int, ProtocolClient] = {}
         self._lock = threading.RLock()
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -87,12 +112,37 @@ class GlobalPointer:
         proto_cls = get_proto_class(entry.proto_id)
         return proto_cls.applicable(entry, locality, self.context)
 
-    def select_protocol(self) -> ProtocolEntry:
-        """Run protocol selection for the current placement/pool state."""
+    def select_protocol(self, _demoted=frozenset()) -> ProtocolEntry:
+        """Run protocol selection for the current placement/pool state.
+
+        Entries whose ``(context, proto)`` circuit breaker is open are
+        shed; ``_demoted`` (internal) holds ``id()``\\ s of entries that
+        already failed during the current invocation, so a retry falls
+        through to the next table row.  If selection fails *because* of
+        open breakers, the error is a :class:`CircuitOpenError` rather
+        than a plain no-applicable-protocol failure.
+        """
         locality = self.locality()
-        return self.policy.select(
-            self.oref.protocols, self.pool.ids(), locality,
-            lambda entry: self._entry_applicable(entry, locality))
+        shed = []
+
+        def usable(entry: ProtocolEntry) -> bool:
+            if id(entry) in _demoted:
+                return False
+            if not self.breakers.allow(self.oref.context_id,
+                                       entry.proto_id):
+                shed.append(entry.proto_id)
+                return False
+            return self._entry_applicable(entry, locality)
+
+        try:
+            return self.policy.select(self.oref.protocols, self.pool.ids(),
+                                      locality, usable)
+        except NoApplicableProtocolError as exc:
+            if shed and not _demoted:
+                raise CircuitOpenError(
+                    "all applicable protocols shed by open breakers: "
+                    f"{sorted(set(shed))}") from exc
+            raise
 
     @property
     def selected_proto_id(self) -> str:
@@ -119,9 +169,51 @@ class GlobalPointer:
                 self._clients[key] = client
             return client
 
+    def _evict_client(self, entry: ProtocolEntry) -> None:
+        """Drop the cached client for an entry whose channel died, so
+        the next use of that entry redials instead of reusing a broken
+        connection."""
+        with self._lock:
+            client = self._clients.pop(id(entry), None)
+        if client is not None:
+            try:
+                client.close()
+            except Exception:  # noqa: BLE001 - already broken
+                pass
+
     # ------------------------------------------------------------------
     # invocation
     # ------------------------------------------------------------------
+
+    def _may_retry(self, method: str, dispatched: bool) -> bool:
+        """The idempotence guard: a request that provably never left
+        this host is always retryable; one that may have reached
+        dispatch is retried only for ``retry_safe`` methods (or under a
+        ``retry_unsafe`` policy)."""
+        if not dispatched or self.retry_policy.retry_unsafe:
+            return True
+        spec = self.oref.interface.methods.get(method)
+        return bool(spec is not None and spec.retry_safe)
+
+    def _select_for_attempt(self, demoted: set, attempts) -> ProtocolEntry:
+        """Selection for one attempt; when every entry has been demoted
+        during this call, the demotion slate is wiped and the whole
+        table becomes eligible again (the retry budget, not the table
+        length, bounds the loop)."""
+        try:
+            return self.select_protocol(_demoted=demoted)
+        except CircuitOpenError as exc:
+            exc.attempts = list(attempts)
+            raise
+        except NoApplicableProtocolError:
+            if not demoted:
+                raise
+            demoted.clear()
+            try:
+                return self.select_protocol()
+            except CircuitOpenError as exc:
+                exc.attempts = list(attempts)
+                raise
 
     def _invoke(self, method: str, args: tuple,
                 oneway: bool = False) -> Any:
@@ -133,35 +225,104 @@ class GlobalPointer:
         invocation = Invocation(object_id=self.oref.object_id,
                                 method=method, args=tuple(args),
                                 oneway=oneway)
-        for _hop in range(MAX_FORWARD_HOPS):
-            entry = self.select_protocol()
+        policy = self.retry_policy
+        clock = self.context.clock
+        deadline = None if policy.deadline is None \
+            else clock.now() + policy.deadline
+        attempts: list = []
+        demoted: set = set()          # id(entry) failed during this call
+        failed_entry: Optional[ProtocolEntry] = None
+        failures = 0
+        hops = 0
+        while True:
+            entry = self._select_for_attempt(demoted, attempts)
+            if failed_entry is not None and entry is not failed_entry:
+                self._emit("failover", method=method,
+                           from_proto=failed_entry.proto_id,
+                           to_proto=entry.proto_id, attempt=failures + 1)
             client = self._client_for(entry)
             self._emit("selection", proto_id=entry.proto_id, entry=entry,
                        method=method)
-            started = self.context.clock.now()
+            started = clock.now()
             try:
                 result = client.invoke(invocation)
             except ObjectMovedError as moved:
                 if moved.forward is None:
                     raise
+                hops += 1
+                if hops >= MAX_FORWARD_HOPS:
+                    raise RemoteInvocationError(
+                        f"object {self.oref.object_id} still moving after "
+                        f"{MAX_FORWARD_HOPS} forwarding hops")
                 self._emit("moved", forward=moved.forward,
                            from_context=self.oref.context_id,
                            to_context=moved.forward.context_id)
                 self.update_reference(moved.forward)
+                # New OR, new table: demotions no longer apply.
+                demoted.clear()
+                failed_entry = None
+                continue
+            except (TransportError, ProtocolError) as exc:
+                if isinstance(exc, (UnknownProtocolError,
+                                    NoApplicableProtocolError)):
+                    raise  # configuration errors, not link failures
+                self._emit("request", method=method,
+                           proto_id=entry.proto_id, outcome="error",
+                           error=exc, duration=clock.now() - started)
+                self.breakers.record_failure(self.oref.context_id,
+                                             entry.proto_id)
+                self._evict_client(entry)
+                failures += 1
+                dispatched = bool(
+                    getattr(exc, "request_sent", False)
+                    or getattr(exc, "request_dispatched", False))
+                attempts.append(AttemptRecord(
+                    attempt=failures, proto_id=entry.proto_id,
+                    error=f"{type(exc).__name__}: {exc}",
+                    at=clock.now(), dispatched=dispatched))
+                if not isinstance(exc, TransportError):
+                    # Deterministic protocol-level failure (bad address
+                    # list, unusable entry): retrying the same entry
+                    # cannot help, and neither can waiting.  Fail over
+                    # to the next table entry if one exists; otherwise
+                    # surface the original error, not RetryExhausted.
+                    demoted.add(id(entry))
+                    failed_entry = entry
+                    try:
+                        self.select_protocol(_demoted=demoted)
+                    except (NoApplicableProtocolError, CircuitOpenError):
+                        raise exc from None
+                    continue
+                if not self._may_retry(method, dispatched):
+                    raise
+                if failures >= policy.max_attempts:
+                    raise RetryExhaustedError(
+                        f"invocation of {method!r} on "
+                        f"{self.oref.object_id} failed after {failures} "
+                        f"attempts", attempts) from exc
+                pause = policy.backoff(failures)
+                if deadline is not None and clock.now() + pause > deadline:
+                    raise DeadlineExceededError(
+                        f"deadline of {policy.deadline}s exceeded after "
+                        f"{failures} attempts on {method!r}",
+                        attempts) from exc
+                demoted.add(id(entry))
+                failed_entry = entry
+                self._emit("retry", method=method,
+                           proto_id=entry.proto_id, attempt=failures,
+                           backoff=pause, error=exc)
+                sleep_on(clock, pause)
                 continue
             except Exception as exc:
                 self._emit("request", method=method,
                            proto_id=entry.proto_id, outcome="error",
-                           error=exc,
-                           duration=self.context.clock.now() - started)
+                           error=exc, duration=clock.now() - started)
                 raise
+            self.breakers.record_success(self.oref.context_id,
+                                         entry.proto_id)
             self._emit("request", method=method, proto_id=entry.proto_id,
-                       outcome="ok",
-                       duration=self.context.clock.now() - started)
+                       outcome="ok", duration=clock.now() - started)
             return result
-        raise RemoteInvocationError(
-            f"object {self.oref.object_id} still moving after "
-            f"{MAX_FORWARD_HOPS} forwarding hops")
 
     def invoke(self, method: str, *args) -> Any:
         """Synchronous remote invocation."""

@@ -43,9 +43,16 @@ class HealthMonitor:
     runtimes discovered via ORs).
     """
 
-    def __init__(self, home: Context, probe_timeout: float = 2.0):
+    def __init__(self, home: Context, probe_timeout: float = 2.0,
+                 breakers=None):
         self.home = home
         self.probe_timeout = probe_timeout
+        #: Optional :class:`repro.core.resilience.BreakerRegistry`; probe
+        #: verdicts are fed into it so a dead peer's breakers open (and a
+        #: recovered peer's breakers close) without burning request
+        #: retries.  Defaults to the home context's registry.
+        self.breakers = breakers if breakers is not None \
+            else getattr(home, "breakers", None)
         self.last: Dict[str, ProbeResult] = {}
         self._targets: Dict[str, ProtocolEntry] = {}
 
@@ -77,6 +84,9 @@ class HealthMonitor:
             raise HpcError(f"not watching context {context_id!r}")
         proto_cls = get_proto_class(entry.proto_id)
         client = proto_cls.make_client(entry, self.home)
+        # Probes answer "is it alive *now*" — they must not hang for the
+        # full request timeout on a wedged peer.
+        client.timeout = self.probe_timeout
         started = self.home.clock.now()
         try:
             m = client.marshaller
@@ -95,6 +105,8 @@ class HealthMonitor:
                              rtt=self.home.clock.now() - started,
                              error=error)
         self.last[context_id] = result
+        if self.breakers is not None:
+            self.breakers.record_probe(context_id, alive)
         return result
 
     def sweep(self) -> Dict[str, ProbeResult]:

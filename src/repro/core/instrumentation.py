@@ -13,7 +13,20 @@ machinery publish events to:
 ``moved``
     fired when a GP follows a MOVED forward;
 ``migration``
-    fired by :func:`repro.core.migration.migrate` on the source context.
+    fired by :func:`repro.core.migration.migrate` on the source context;
+``retry``
+    fired per retryable transport failure with the attempt number and
+    the backoff about to be paid;
+``failover``
+    fired when a retry moves to a *different* protocol-table entry than
+    the one that failed (``from_proto`` / ``to_proto``);
+``breaker_open`` / ``breaker_close``
+    fired by the :class:`repro.core.resilience.BreakerRegistry` when a
+    ``(context, proto)`` circuit breaker trips or recovers;
+``fault_injected``
+    fired by :class:`repro.faults.plan.FaultPlan` for every injected
+    drop/delay/corrupt/disconnect/partition, so a test can line the
+    recovery trail up against the faults that caused it.
 
 Hooks attach globally (:data:`GLOBAL_HOOKS`) or per GP (``gp.hooks``).
 Handlers must be cheap and must not raise; a raising handler is

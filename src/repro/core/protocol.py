@@ -77,6 +77,9 @@ class ProtocolClient(abc.ABC):
         self.context = context
         self.marshaller = marshaller_for(
             entry.proto_data.get("encoding", "xdr"))
+        #: Per-client call timeout; defaults to the context-wide value.
+        #: The health monitor tightens this for probes.
+        self.timeout = context.call_timeout
         self._startpoint: Optional[Startpoint] = None
 
     # -- connection management -------------------------------------------------
@@ -99,8 +102,7 @@ class ProtocolClient(abc.ABC):
             except TransportError as exc:
                 errors.append(f"{address.get('transport')}: {exc}")
                 continue
-            self._startpoint = Startpoint(channel,
-                                          timeout=self.context.call_timeout)
+            self._startpoint = Startpoint(channel, timeout=self.timeout)
             return self._startpoint
         raise ProtocolError(
             "no reachable address for protocol "
@@ -113,9 +115,15 @@ class ProtocolClient(abc.ABC):
         sp = self._connect()
         try:
             return sp.call(handler, payload, oneway=oneway)
-        except TransportError:
-            # Cached connection went stale (peer restarted): retry fresh.
+        except TransportError as exc:
+            # Cached connection went stale (peer restarted): retry fresh
+            # — but only when the request provably never left this host;
+            # anything that may have reached dispatch belongs to the
+            # idempotence-aware retry layer in the GP.
             self.close()
+            if getattr(exc, "request_sent", False) \
+                    or getattr(exc, "request_dispatched", False):
+                raise
             sp = self._connect()
             return sp.call(handler, payload, oneway=oneway)
 

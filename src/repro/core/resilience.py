@@ -1,0 +1,272 @@
+"""Resilient invocation policy objects: retries and circuit breakers.
+
+The paper's ordered protocol table is an *adaptation* mechanism: when a
+protocol stops working the ORB can fall through to the next applicable
+entry (§3.2).  This module supplies the policy half of that story:
+
+* :class:`RetryPolicy` — how many attempts a GP may spend on one logical
+  invocation, how long to back off between them (exponential with seeded
+  jitter, so simulated runs are bit-for-bit reproducible), and an
+  optional per-call deadline measured on the calling context's clock.
+* :class:`CircuitBreaker` — the classic closed / open / half-open state
+  machine over an arbitrary :class:`~repro.util.timing.TimeSource`; a
+  peer that keeps failing is shed *before* it burns retry budget.
+* :class:`BreakerRegistry` — one breaker per ``(context_id, proto_id)``
+  pair, shared by every GP bound in a context, publishing
+  ``breaker_open`` / ``breaker_close`` events to the hook bus.
+
+All randomness comes from :class:`repro.security.prng.Pcg32`; nothing
+here reads the wall clock directly, so under a
+:class:`~repro.simnet.clock.VirtualClock` the whole recovery path is
+deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.security.prng import Pcg32
+from repro.util.timing import TimeSource
+
+__all__ = [
+    "AttemptRecord",
+    "RetryPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "BreakerRegistry",
+    "sleep_on",
+]
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One failed invocation attempt, kept in the trail of a
+    :class:`~repro.exceptions.ResilienceError`."""
+
+    attempt: int
+    proto_id: str
+    error: str
+    at: float                  # clock time when the attempt failed
+    dispatched: bool = False   # did the request (possibly) reach dispatch?
+
+
+def sleep_on(clock: TimeSource, seconds: float) -> None:
+    """Pause for ``seconds`` on the given time source.
+
+    A virtual clock is advanced in place (deterministic, instant); a wall
+    clock really sleeps.  Used for retry backoff so the same policy code
+    drives both worlds.
+    """
+    if seconds <= 0:
+        return
+    advance = getattr(clock, "advance", None)
+    if advance is not None:
+        advance(seconds)
+    else:
+        time.sleep(seconds)
+
+
+class RetryPolicy:
+    """Retry budget and backoff schedule for one GP.
+
+    ``backoff(attempt)`` for attempt ``n`` (1-based) is
+    ``min(base * multiplier**(n-1), max_backoff)`` scaled by a seeded
+    jitter factor in ``[1, 1 + jitter]``.  ``deadline`` (seconds, by the
+    calling context's clock) bounds the whole logical call including
+    backoff pauses.
+
+    ``retry_unsafe=True`` drops the idempotence guard and retries even
+    when a request may have reached dispatch — only sensible when every
+    method of the interface is idempotent by construction.
+    """
+
+    def __init__(self, max_attempts: int = 3, base_backoff: float = 0.05,
+                 multiplier: float = 2.0, max_backoff: float = 2.0,
+                 jitter: float = 0.25, deadline: Optional[float] = None,
+                 seed: int = 0, retry_unsafe: bool = False):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_backoff < 0 or max_backoff < 0:
+            raise ValueError("backoff times must be non-negative")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self.max_attempts = max_attempts
+        self.base_backoff = base_backoff
+        self.multiplier = multiplier
+        self.max_backoff = max_backoff
+        self.jitter = jitter
+        self.deadline = deadline
+        self.retry_unsafe = retry_unsafe
+        self.seed = seed
+        self._rng = Pcg32(seed, stream=0x5E11)
+
+    def backoff(self, attempt: int) -> float:
+        """Pause before retry number ``attempt`` (1-based count of
+        failures so far)."""
+        base = min(self.base_backoff * self.multiplier ** (attempt - 1),
+                   self.max_backoff)
+        if self.jitter == 0:
+            return base
+        return base * (1.0 + self.jitter * self._rng.uniform())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"RetryPolicy(max_attempts={self.max_attempts}, "
+                f"base={self.base_backoff}, deadline={self.deadline})")
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Closed / open / half-open failure shedding over one time source.
+
+    ``failure_threshold`` consecutive failures open the breaker; while
+    open, ``allow()`` is False until ``cooldown`` seconds elapse on the
+    clock, at which point the breaker turns half-open and admits probe
+    traffic.  A success in half-open closes it; a failure re-opens it
+    (and restarts the cooldown).
+    """
+
+    def __init__(self, clock: TimeSource, failure_threshold: int = 5,
+                 cooldown: float = 30.0):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.state = BreakerState.CLOSED
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+
+    def allow(self) -> bool:
+        """May a request pass right now?  (Transitions open→half-open
+        when the cooldown has elapsed.)"""
+        if self.state is BreakerState.OPEN:
+            if self.clock.now() - self.opened_at >= self.cooldown:
+                self.state = BreakerState.HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self) -> bool:
+        """Note a success; returns True if this closed an open breaker."""
+        reopened = self.state is not BreakerState.CLOSED
+        self.state = BreakerState.CLOSED
+        self.failures = 0
+        self.opened_at = None
+        return reopened
+
+    def record_failure(self) -> bool:
+        """Note a failure; returns True if this opened the breaker."""
+        if self.state is BreakerState.HALF_OPEN:
+            self.state = BreakerState.OPEN
+            self.opened_at = self.clock.now()
+            return True
+        self.failures += 1
+        if self.state is BreakerState.CLOSED \
+                and self.failures >= self.failure_threshold:
+            self.state = BreakerState.OPEN
+            self.opened_at = self.clock.now()
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"CircuitBreaker({self.state.value}, "
+                f"failures={self.failures})")
+
+
+class BreakerRegistry:
+    """Per-``(context_id, proto_id)`` breakers for one calling context.
+
+    GPs consult :meth:`allow` during protocol selection and report
+    outcomes through :meth:`record_success` / :meth:`record_failure`;
+    the :class:`~repro.core.health.HealthMonitor` feeds probe verdicts in
+    through :meth:`record_probe`.  State transitions are published as
+    ``breaker_open`` / ``breaker_close`` events on ``hooks`` (and the
+    global bus via the caller's emit path when routed through a GP).
+    """
+
+    def __init__(self, clock: TimeSource, failure_threshold: int = 5,
+                 cooldown: float = 30.0, hooks=None):
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        if hooks is None:
+            from repro.core.instrumentation import GLOBAL_HOOKS
+            hooks = GLOBAL_HOOKS
+        self.hooks = hooks
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    def get(self, context_id: str, proto_id: str) -> CircuitBreaker:
+        key = (context_id, proto_id)
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    self.clock, failure_threshold=self.failure_threshold,
+                    cooldown=self.cooldown)
+                self._breakers[key] = breaker
+            return breaker
+
+    def allow(self, context_id: str, proto_id: str) -> bool:
+        with self._lock:
+            breaker = self._breakers.get((context_id, proto_id))
+        return True if breaker is None else breaker.allow()
+
+    def record_success(self, context_id: str, proto_id: str) -> None:
+        if self.get(context_id, proto_id).record_success():
+            self.hooks.emit("breaker_close", context_id=context_id,
+                            proto_id=proto_id)
+
+    def record_failure(self, context_id: str, proto_id: str) -> None:
+        breaker = self.get(context_id, proto_id)
+        if breaker.record_failure():
+            self.hooks.emit("breaker_open", context_id=context_id,
+                            proto_id=proto_id,
+                            failures=breaker.failures,
+                            cooldown=breaker.cooldown)
+
+    def record_probe(self, context_id: str, alive: bool) -> None:
+        """Feed a health-probe verdict into every breaker of a context.
+
+        Only breakers that already exist are touched — a probe says
+        nothing about protocols nobody has tried yet.
+        """
+        with self._lock:
+            keys = [k for k in self._breakers if k[0] == context_id]
+        for cid, pid in keys:
+            if alive:
+                self.record_success(cid, pid)
+            else:
+                self.record_failure(cid, pid)
+
+    def state(self, context_id: str, proto_id: str) -> BreakerState:
+        with self._lock:
+            breaker = self._breakers.get((context_id, proto_id))
+        return BreakerState.CLOSED if breaker is None else breaker.state
+
+    def open_protos(self, context_id: str) -> list:
+        """Proto ids currently shed for a context (diagnostics)."""
+        with self._lock:
+            return sorted(pid for (cid, pid), b in self._breakers.items()
+                          if cid == context_id
+                          and b.state is BreakerState.OPEN)
+
+    def open_keys(self) -> list:
+        """All currently-open breakers as ``"context:proto"`` strings."""
+        with self._lock:
+            return sorted(f"{cid}:{pid}"
+                          for (cid, pid), b in self._breakers.items()
+                          if b.state is BreakerState.OPEN)

@@ -16,6 +16,10 @@ The hierarchy is split along the paper's architectural seams:
   server side, and so on.
 * remote invocation errors (:class:`RemoteInvocationError`,
   :class:`ObjectNotFoundError`, :class:`ObjectMovedError`)
+* resilience errors (:class:`ResilienceError` subtree) — raised by the
+  retry/failover layer in :mod:`repro.core.gp` when recovery itself gives
+  up; they carry the attempt trail so operators can see every protocol
+  the runtime tried before surrendering.
 """
 
 from __future__ import annotations
@@ -46,6 +50,10 @@ __all__ = [
     "ObjectMovedError",
     "InterfaceError",
     "MethodNotExposedError",
+    "ResilienceError",
+    "RetryExhaustedError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
     "MigrationError",
     "NamingError",
     "NameNotFoundError",
@@ -199,6 +207,35 @@ class MethodNotExposedError(InterfaceError):
     "access only to a subset of the server interface") calls a method the
     view does not expose.
     """
+
+
+# ---------------------------------------------------------------------------
+# Resilience (retries, failover, circuit breaking)
+# ---------------------------------------------------------------------------
+
+class ResilienceError(RemoteInvocationError):
+    """Recovery gave up; ``attempts`` is the trail of failed tries.
+
+    Each element of ``attempts`` is an
+    :class:`repro.core.resilience.AttemptRecord` describing one failed
+    invocation attempt (protocol, error, clock time).
+    """
+
+    def __init__(self, message: str, attempts=None):
+        super().__init__(message)
+        self.attempts = list(attempts or [])
+
+
+class RetryExhaustedError(ResilienceError):
+    """Every permitted attempt failed (see the carried attempt trail)."""
+
+
+class DeadlineExceededError(ResilienceError):
+    """The per-call deadline elapsed before an attempt succeeded."""
+
+
+class CircuitOpenError(ResilienceError):
+    """Every applicable protocol is shed by an open circuit breaker."""
 
 
 # ---------------------------------------------------------------------------

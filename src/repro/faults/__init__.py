@@ -1,0 +1,20 @@
+"""Deterministic fault injection (see :mod:`repro.faults.plan`).
+
+The runtime's resilience claims are only as good as the failures they
+are tested against.  This package supplies seeded, reproducible fault
+scripts that attach at the simulated-link level
+(``NetworkSimulator(fault_plan=...)``) and at the real-channel level
+(:class:`FaultyTransport` / :class:`FaultyChannel`), covering both the
+virtual-time and wall-clock halves of the library with one vocabulary.
+"""
+
+from repro.faults.channel import FaultyChannel, FaultyTransport
+from repro.faults.plan import FaultDecision, FaultPlan, FaultRule
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "FaultDecision",
+    "FaultyChannel",
+    "FaultyTransport",
+]

@@ -1,0 +1,134 @@
+"""Fault-injecting wrappers for real transports.
+
+:class:`FaultyChannel` decorates any :class:`~repro.transport.base.Channel`
+and consults a :class:`~repro.faults.plan.FaultPlan` around every
+``send``/``recv``; :class:`FaultyTransport` decorates a transport so
+every outbound ``connect`` (and the channels it yields) is injectable.
+This is the wall-clock twin of the simulator's link attachment: the same
+plan vocabulary drives tcp, inproc, and shm paths.
+
+Injected failures surface as the *library's own* transport exceptions
+(``DeliveryError`` for drops, ``ChannelClosedError`` for disconnects),
+so the resilient invocation layer cannot tell injected faults from real
+ones — which is the point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.resilience import sleep_on
+from repro.exceptions import ChannelClosedError, DeliveryError, TransportError
+from repro.faults.plan import FaultPlan
+from repro.transport.base import Channel, Listener, Transport
+from repro.util.timing import TimeSource, WallClock
+
+__all__ = ["FaultyChannel", "FaultyTransport"]
+
+
+class FaultyChannel(Channel):
+    """A channel with a fault plan wired across both directions."""
+
+    def __init__(self, inner: Channel, plan: FaultPlan, label: str = "chan",
+                 clock: Optional[TimeSource] = None):
+        self.inner = inner
+        self.plan = plan
+        self.label = label
+        self.clock = clock or WallClock()
+
+    def _apply(self, decision, direction: str):
+        if decision is None:
+            return
+        if decision.kind == "delay":
+            sleep_on(self.clock, decision.delay)
+        elif decision.kind == "drop":
+            raise DeliveryError(
+                f"injected drop on {self.label} ({direction})")
+        elif decision.kind == "disconnect":
+            self.inner.close()
+            raise ChannelClosedError(
+                f"injected disconnect on {self.label} ({direction})")
+
+    def send(self, data) -> None:
+        decision = self.plan.decide_channel("send", self.label, len(data))
+        self._apply(decision, "send")
+        if decision is not None and decision.kind == "corrupt":
+            data = self.plan.corrupt_bytes(bytes(data))
+        self.inner.send(data)
+
+    def recv(self, timeout: Optional[float] = None) -> bytes:
+        data = self.inner.recv(timeout)
+        decision = self.plan.decide_channel("recv", self.label, len(data))
+        self._apply(decision, "recv")
+        if decision is not None and decision.kind == "corrupt":
+            data = self.plan.corrupt_bytes(data)
+        return data
+
+    def close(self) -> None:
+        self.inner.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.inner.closed
+
+
+class _FaultyListener(Listener):
+    """Accepted channels get the plan too (server-side injection)."""
+
+    def __init__(self, inner: Listener, plan: FaultPlan, label: str,
+                 clock: TimeSource):
+        self.inner = inner
+        self.plan = plan
+        self.label = label
+        self.clock = clock
+
+    def accept(self, timeout: Optional[float] = None) -> Channel:
+        return FaultyChannel(self.inner.accept(timeout), self.plan,
+                             label=self.label, clock=self.clock)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    @property
+    def address(self) -> dict:
+        return self.inner.address
+
+
+class FaultyTransport(Transport):
+    """Transport decorator: injectable connects and channels.
+
+    ``label`` defaults to the wrapped transport's name, so channel rules
+    written as ``FaultRule(..., label="tcp")`` target exactly this
+    transport's traffic.  Listeners are wrapped only when
+    ``wrap_listeners=True`` — normally the *client* side is the
+    interesting place to break.
+    """
+
+    def __init__(self, inner: Transport, plan: FaultPlan,
+                 label: Optional[str] = None,
+                 clock: Optional[TimeSource] = None,
+                 wrap_listeners: bool = False):
+        self.inner = inner
+        self.plan = plan
+        self.name = inner.name
+        self.label = label if label is not None else inner.name
+        self.clock = clock or WallClock()
+        self.wrap_listeners = wrap_listeners
+
+    def listen(self, address: Optional[dict] = None) -> Listener:
+        listener = self.inner.listen(address)
+        if self.wrap_listeners:
+            return _FaultyListener(listener, self.plan, self.label,
+                                   self.clock)
+        return listener
+
+    def connect(self, address: dict) -> Channel:
+        decision = self.plan.decide_channel("connect", self.label)
+        if decision is not None:
+            if decision.kind == "delay":
+                sleep_on(self.clock, decision.delay)
+            elif decision.kind in ("drop", "disconnect"):
+                raise TransportError(
+                    f"injected connect failure on {self.label}")
+        return FaultyChannel(self.inner.connect(address), self.plan,
+                             label=self.label, clock=self.clock)

@@ -1,0 +1,254 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a seeded script of network misbehaviour: drop,
+delay, corrupt, and disconnect rules plus machine-level partitions.  Two
+attachment points consume it:
+
+* **per link** — :class:`repro.simnet.simulator.NetworkSimulator` calls
+  :meth:`FaultPlan.decide_link` for every simulated transfer (and
+  :meth:`maybe_corrupt` from the simulated channel, which is the layer
+  that actually holds payload bytes);
+* **per channel** — :class:`repro.faults.channel.FaultyChannel` calls
+  :meth:`FaultPlan.decide_channel` around ``send``/``recv``/``connect``
+  on any real transport (tcp, inproc, shm), so wall-clock paths are
+  injectable too.
+
+Determinism: all probability draws come from one
+:class:`~repro.security.prng.Pcg32` seeded at construction, and rules
+fire on per-rule match counters — the same plan over the same message
+sequence always injects the same faults.  No wall-clock randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.security.prng import Pcg32
+
+__all__ = ["FaultRule", "FaultDecision", "FaultPlan"]
+
+#: Recognized fault kinds.
+FAULT_KINDS = frozenset({"drop", "delay", "corrupt", "disconnect"})
+
+
+@dataclass
+class FaultRule:
+    """One injection rule.
+
+    ``src``/``dst`` filter by simulated machine name (link attachment);
+    ``label`` filters by channel label (channel attachment); ``point``
+    restricts a channel rule to ``send``, ``recv``, or ``connect``.
+    ``after`` skips the first N matching events, ``count`` caps how many
+    times the rule fires, ``probability`` gates each firing through the
+    plan's seeded PRNG.
+    """
+
+    kind: str
+    probability: float = 1.0
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    label: Optional[str] = None
+    point: Optional[str] = None        # "send" | "recv" | "connect"
+    delay: float = 0.0                 # extra seconds for kind="delay"
+    after: int = 0
+    count: Optional[int] = None
+    # internal counters (not part of the rule's identity)
+    seen: int = field(default=0, compare=False)
+    fired: int = field(default=0, compare=False)
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+
+    def matches_link(self, src: str, dst: str) -> bool:
+        return (self.label is None
+                and (self.src is None or self.src == src)
+                and (self.dst is None or self.dst == dst))
+
+    def matches_channel(self, point: str, label: str) -> bool:
+        return (self.src is None and self.dst is None
+                and (self.point is None or self.point == point)
+                and (self.label is None or self.label == label))
+
+    def exhausted(self) -> bool:
+        return self.count is not None and self.fired >= self.count
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """The outcome of consulting a plan: what to inject."""
+
+    kind: str
+    delay: float = 0.0
+    rule: Optional[FaultRule] = None
+
+
+class FaultPlan:
+    """Seeded, deterministic fault script.
+
+    >>> plan = FaultPlan(seed=7)
+    >>> plan.drop(probability=0.2, src="m1")          # doctest: +ELLIPSIS
+    FaultRule(...)
+    >>> plan.partition({"m1"}, {"m2", "m3"})
+    """
+
+    def __init__(self, seed: int = 0, hooks=None):
+        self.seed = seed
+        self._rng = Pcg32(seed, stream=0xFA17)
+        self.rules: List[FaultRule] = []
+        self.partitions: List[Tuple[Set[str], Set[str]]] = []
+        #: Every injected fault, in order (kind, detail) — the audit log
+        #: tests assert determinism against.
+        self.injected: List[Tuple[str, str]] = []
+        if hooks is None:
+            from repro.core.instrumentation import GLOBAL_HOOKS
+            hooks = GLOBAL_HOOKS
+        self.hooks = hooks
+
+    # ------------------------------------------------------------------
+    # authoring
+    # ------------------------------------------------------------------
+
+    def add(self, rule: FaultRule) -> FaultRule:
+        self.rules.append(rule)
+        return rule
+
+    def drop(self, **kw) -> FaultRule:
+        return self.add(FaultRule("drop", **kw))
+
+    def delay(self, seconds: float, **kw) -> FaultRule:
+        return self.add(FaultRule("delay", delay=seconds, **kw))
+
+    def corrupt(self, **kw) -> FaultRule:
+        return self.add(FaultRule("corrupt", **kw))
+
+    def disconnect(self, **kw) -> FaultRule:
+        return self.add(FaultRule("disconnect", **kw))
+
+    def partition(self, group_a, group_b) -> None:
+        """Sever all traffic between two machine groups until healed."""
+        a, b = set(group_a), set(group_b)
+        if a & b:
+            raise ValueError("partition groups must be disjoint")
+        self.partitions.append((a, b))
+
+    def heal(self) -> None:
+        """Remove every partition (link rules keep applying)."""
+        self.partitions.clear()
+
+    # ------------------------------------------------------------------
+    # decision points
+    # ------------------------------------------------------------------
+
+    def _fire(self, rule: FaultRule) -> bool:
+        """Per-rule match bookkeeping + probability draw."""
+        if rule.exhausted():
+            return False
+        rule.seen += 1
+        if rule.seen <= rule.after:
+            return False
+        if rule.probability < 1.0 and self._rng.uniform() >= rule.probability:
+            return False
+        rule.fired += 1
+        return True
+
+    def _record(self, kind: str, detail: str) -> FaultDecision:
+        self.injected.append((kind, detail))
+        self.hooks.emit("fault_injected", fault=kind, detail=detail)
+        return FaultDecision(kind=kind)
+
+    def _partitioned(self, src: str, dst: str) -> bool:
+        for a, b in self.partitions:
+            if (src in a and dst in b) or (src in b and dst in a):
+                return True
+        return False
+
+    def decide_link(self, src: str, dst: str,
+                    nbytes: int) -> Optional[FaultDecision]:
+        """Consult drop/delay/disconnect rules for one simulated
+        transfer ``src -> dst`` (machine names).  Corruption is decided
+        separately by :meth:`maybe_corrupt`, the layer that holds bytes.
+        """
+        if self._partitioned(src, dst):
+            self.injected.append(("partition", f"{src}->{dst}"))
+            self.hooks.emit("fault_injected", fault="partition",
+                            detail=f"{src}->{dst}", src=src, dst=dst)
+            return FaultDecision(kind="drop")
+        total_delay = 0.0
+        for rule in self.rules:
+            if rule.kind == "corrupt" or not rule.matches_link(src, dst):
+                continue
+            if not self._fire(rule):
+                continue
+            if rule.kind == "delay":
+                total_delay += rule.delay
+                self.injected.append(("delay", f"{src}->{dst}"))
+                self.hooks.emit("fault_injected", fault="delay",
+                                detail=f"{src}->{dst}", seconds=rule.delay)
+                continue
+            detail = f"{src}->{dst}"
+            self.injected.append((rule.kind, detail))
+            self.hooks.emit("fault_injected", fault=rule.kind,
+                            detail=detail, src=src, dst=dst, nbytes=nbytes)
+            return FaultDecision(kind=rule.kind, rule=rule)
+        if total_delay > 0:
+            return FaultDecision(kind="delay", delay=total_delay)
+        return None
+
+    def decide_channel(self, point: str, label: str,
+                       nbytes: int = 0) -> Optional[FaultDecision]:
+        """Consult channel rules at ``point`` (\"send\"/\"recv\"/
+        \"connect\") for a channel tagged ``label``."""
+        total_delay = 0.0
+        for rule in self.rules:
+            if not rule.matches_channel(point, label):
+                continue
+            if not self._fire(rule):
+                continue
+            if rule.kind == "delay":
+                total_delay += rule.delay
+                self.injected.append(("delay", f"{label}:{point}"))
+                self.hooks.emit("fault_injected", fault="delay",
+                                detail=f"{label}:{point}",
+                                seconds=rule.delay)
+                continue
+            detail = f"{label}:{point}"
+            self.injected.append((rule.kind, detail))
+            self.hooks.emit("fault_injected", fault=rule.kind,
+                            detail=detail, label=label, point=point,
+                            nbytes=nbytes)
+            return FaultDecision(kind=rule.kind, rule=rule)
+        if total_delay > 0:
+            return FaultDecision(kind="delay", delay=total_delay)
+        return None
+
+    # ------------------------------------------------------------------
+    # payload corruption
+    # ------------------------------------------------------------------
+
+    def maybe_corrupt(self, src: str, dst: str, payload: bytes) -> bytes:
+        """Apply link-level corrupt rules to ``payload`` (simnet path)."""
+        for rule in self.rules:
+            if rule.kind != "corrupt" or not rule.matches_link(src, dst):
+                continue
+            if self._fire(rule):
+                detail = f"{src}->{dst}"
+                self.injected.append(("corrupt", detail))
+                self.hooks.emit("fault_injected", fault="corrupt",
+                                detail=detail, nbytes=len(payload))
+                return self.corrupt_bytes(payload)
+        return payload
+
+    def corrupt_bytes(self, payload: bytes) -> bytes:
+        """Flip one deterministic byte of the payload."""
+        if not payload:
+            return payload
+        data = bytearray(payload)
+        index = self._rng.randint(0, len(data) - 1)
+        data[index] ^= 0xFF
+        return bytes(data)

@@ -47,11 +47,18 @@ _ANNOTATION_TYPES = {
 }
 
 
-def remote_method(fn=None, *, returns: str = "any", oneway: bool = False):
-    """Mark a method for inclusion in the class's remote interface."""
+def remote_method(fn=None, *, returns: str = "any", oneway: bool = False,
+                  retry_safe: bool = False):
+    """Mark a method for inclusion in the class's remote interface.
+
+    ``retry_safe=True`` declares the method idempotent: the GP's retry
+    layer may re-issue it even when a failed attempt might already have
+    reached the servant (reads, pure functions, set-to-value writes).
+    """
 
     def mark(func):
-        setattr(func, _MARK, {"returns": returns, "oneway": oneway})
+        setattr(func, _MARK, {"returns": returns, "oneway": oneway,
+                              "retry_safe": retry_safe})
         return func
 
     if fn is not None:  # bare @remote_method
@@ -83,7 +90,8 @@ def _spec_for(func, name: str, meta: dict) -> MethodSpec:
     if meta["oneway"]:
         returns = "void"
     return MethodSpec(name=name, params=tuple(params), returns=returns,
-                      oneway=meta["oneway"], doc=(func.__doc__ or ""))
+                      oneway=meta["oneway"], doc=(func.__doc__ or ""),
+                      retry_safe=meta.get("retry_safe", False))
 
 
 def remote_interface(name: Optional[str] = None):

@@ -85,9 +85,13 @@ def _parse_param(cur: _Cursor) -> ParamSpec:
 
 def _parse_method(cur: _Cursor) -> MethodSpec:
     oneway = False
+    retry_safe = False
     tok = cur.next()
-    if tok == "oneway":
-        oneway = True
+    while tok in ("oneway", "idempotent"):
+        if tok == "oneway":
+            oneway = True
+        else:
+            retry_safe = True
         tok = cur.next()
     if tok not in WIRE_TYPES:
         raise IdlSyntaxError(f"unknown return type {tok!r}")
@@ -106,7 +110,7 @@ def _parse_method(cur: _Cursor) -> MethodSpec:
         raise IdlSyntaxError(
             f"oneway method {name!r} must return void, not {returns!r}")
     return MethodSpec(name=name, params=tuple(params), returns=returns,
-                      oneway=oneway)
+                      oneway=oneway, retry_safe=retry_safe)
 
 
 def parse_idl(text: str) -> Dict[str, InterfaceSpec]:

@@ -45,6 +45,9 @@ class MethodSpec:
     returns: str = "any"
     oneway: bool = False
     doc: str = ""
+    #: Declared idempotent: the retry layer may re-issue this method even
+    #: when a failed attempt might have reached the servant.
+    retry_safe: bool = False
 
     def __post_init__(self):
         if not self.name.isidentifier():
@@ -113,6 +116,7 @@ class InterfaceSpec:
                     "params": [(p.name, p.type) for p in m.params],
                     "returns": m.returns,
                     "oneway": m.oneway,
+                    "retry_safe": m.retry_safe,
                 }
                 for m in self.methods.values()
             ],
@@ -127,6 +131,7 @@ class InterfaceSpec:
                 params=tuple(ParamSpec(n, t) for n, t in m["params"]),
                 returns=m["returns"],
                 oneway=bool(m["oneway"]),
+                retry_safe=bool(m.get("retry_safe", False)),
             )
             methods[spec.name] = spec
         return cls(name=data["name"], methods=methods,

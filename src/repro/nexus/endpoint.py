@@ -88,12 +88,23 @@ class Endpoint:
         except Exception as exc:  # noqa: BLE001 - marshalled to the peer
             if not message.is_oneway():
                 err = dumps((type(exc).__name__, str(exc)))
-                channel.send(RsrMessage.error(message.request_id,
-                                              err).encode())
+                self._send_reply(channel,
+                                 RsrMessage.error(message.request_id, err))
             return
         if not message.is_oneway():
-            channel.send(RsrMessage.reply(message.request_id,
-                                          result).encode())
+            self._send_reply(channel,
+                             RsrMessage.reply(message.request_id, result))
+
+    @staticmethod
+    def _send_reply(channel: Channel, reply: RsrMessage) -> None:
+        """Send a reply, annotating transport failures with the fact the
+        request already ran — the client-side retry layer must not treat
+        a lost *reply* as an undispatched request."""
+        try:
+            channel.send(reply.encode())
+        except HpcError as exc:
+            exc.request_dispatched = True
+            raise
 
     # -- threaded service (real transports) -----------------------------------
 
@@ -194,7 +205,16 @@ class Startpoint:
             if oneway:
                 return None
             while True:
-                reply = RsrMessage.decode(self.channel.recv(self.timeout))
+                try:
+                    reply = RsrMessage.decode(
+                        self.channel.recv(self.timeout))
+                except HpcError as exc:
+                    # The request left this host; whether it reached
+                    # dispatch is unknown.  The retry layer uses this
+                    # flag to refuse non-idempotent auto-retries.
+                    if not getattr(exc, "request_dispatched", False):
+                        exc.request_sent = True
+                    raise
                 if not reply.is_reply() or reply.request_id != request_id:
                     continue  # stale or foreign message: skip
                 if reply.is_error():

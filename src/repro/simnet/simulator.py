@@ -23,7 +23,7 @@ import heapq
 import itertools
 from typing import Callable, Optional
 
-from repro.exceptions import SimulationError
+from repro.exceptions import DeliveryError, SimulationError
 from repro.simnet.clock import VirtualClock
 from repro.simnet.stats import TransferLog, TransferRecord
 from repro.simnet.topology import Machine, Topology
@@ -43,10 +43,13 @@ class NetworkSimulator:
 
     def __init__(self, topology: Topology, clock: VirtualClock | None = None,
                  keep_records: int = 10_000, congestion: bool = False,
-                 congestion_window: float = 1.0):
+                 congestion_window: float = 1.0, fault_plan=None):
         self.topology = topology
         self.clock = clock if clock is not None else VirtualClock()
         self.log = TransferLog(keep_records=keep_records)
+        #: Optional :class:`repro.faults.plan.FaultPlan` consulted on
+        #: every transfer; settable at any time (including mid-run).
+        self.fault_plan = fault_plan
         self._queue: list = []
         self._seq = itertools.count()
         self.cpu_seconds = 0.0
@@ -104,11 +107,32 @@ class NetworkSimulator:
         return sum(link.transfer_time(nbytes)
                    * self._congestion_factor(link) for link in links)
 
+    def _consult_faults(self, src: Machine, dst: Machine,
+                        nbytes: int) -> float:
+        """Ask the fault plan about one transfer.
+
+        Returns extra delay seconds; raises :class:`DeliveryError` for a
+        dropped (or partitioned, or disconnected) message.  The clock is
+        *not* advanced here — callers fold the delay into the message
+        duration so the loss shows up in the transfer accounting.
+        """
+        if self.fault_plan is None:
+            return 0.0
+        decision = self.fault_plan.decide_link(src.name, dst.name, nbytes)
+        if decision is None:
+            return 0.0
+        if decision.kind == "delay":
+            return decision.delay
+        # drop / disconnect / partition: the bytes never arrive.
+        raise DeliveryError(
+            f"injected {decision.kind}: {src.name} -> {dst.name} "
+            f"({nbytes} bytes lost)")
+
     def transfer(self, src: Machine, dst: Machine, nbytes: int,
                  loopback=None) -> float:
         """Charge the clock for one message now; returns its duration."""
         links = tuple(self._route(src, dst, loopback))
-        duration = 0.0
+        duration = self._consult_faults(src, dst, nbytes)
         for link in links:
             base = link.transfer_time(nbytes)
             if self.congestion:
@@ -149,9 +173,14 @@ class NetworkSimulator:
     def post_message(self, src: Machine, dst: Machine, nbytes: int,
                      on_delivered: Callable[[TransferRecord], None]) -> None:
         """Deliver a message as an event: ``on_delivered(record)`` fires
-        after the route's transfer time elapses."""
+        after the route's transfer time elapses.
+
+        A fault-plan drop raises :class:`DeliveryError` immediately (the
+        poster finds out synchronously, like a failed enqueue); injected
+        delay stretches the delivery time.
+        """
         links = tuple(self.topology.route(src, dst))
-        duration = 0.0
+        duration = self._consult_faults(src, dst, nbytes)
         for link in links:
             base = link.transfer_time(nbytes)
             if self.congestion:

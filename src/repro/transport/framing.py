@@ -70,8 +70,14 @@ def read_frame(read_exact: Callable[[int], bytes]) -> bytes:
     return read_exact(length) if length else b""
 
 
-def sock_read_exact(sock) -> Callable[[int], bytes]:
-    """Build a ``read_exact`` over a socket object."""
+def sock_read_exact(sock, on_bytes=None) -> Callable[[int], bytes]:
+    """Build a ``read_exact`` over a socket object.
+
+    ``on_bytes(n)`` (optional) is called for every chunk actually
+    consumed, *before* any timeout can strike — callers use it to learn
+    whether a timed-out read left the stream mid-frame (bytes consumed,
+    position unknown) or at a clean frame boundary (nothing consumed).
+    """
 
     def read_exact(n: int) -> bytes:
         parts = []
@@ -82,6 +88,8 @@ def sock_read_exact(sock) -> Callable[[int], bytes]:
                 raise ChannelClosedError("peer closed mid-frame"
                                          if parts or remaining != n
                                          else "peer closed")
+            if on_bytes is not None:
+                on_bytes(len(chunk))
             parts.append(chunk)
             remaining -= len(chunk)
         return b"".join(parts)

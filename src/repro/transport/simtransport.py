@@ -71,6 +71,11 @@ class SimChannel(Channel):
         payload = bytes(data)
         self.sim.transfer(self.machine, peer.machine, len(payload),
                           loopback=self.loopback_model)
+        if self.sim.fault_plan is not None:
+            # Link-level corruption happens here — transfer() only moves
+            # accounting; the channel is the layer that holds the bytes.
+            payload = self.sim.fault_plan.maybe_corrupt(
+                self.machine.name, peer.machine.name, payload)
         if peer.on_message is not None:
             peer.on_message(payload, peer)
         else:

@@ -26,10 +26,14 @@ class TcpChannel(Channel):
     def __init__(self, sock: socket.socket):
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock = sock
-        self._read_exact = sock_read_exact(sock)
+        self._consumed = 0      # bytes of the in-progress frame read
+        self._read_exact = sock_read_exact(sock, on_bytes=self._on_bytes)
         self._send_lock = threading.Lock()
         self._recv_lock = threading.Lock()
         self._closed = False
+
+    def _on_bytes(self, n: int) -> None:
+        self._consumed += n
 
     def send(self, data) -> None:
         if self._closed:
@@ -45,12 +49,27 @@ class TcpChannel(Channel):
         if self._closed:
             raise ChannelClosedError("recv on closed channel")
         with self._recv_lock:
+            self._consumed = 0
             try:
                 self._sock.settimeout(timeout)
                 return read_frame(self._read_exact)
             except socket.timeout:
-                raise TransportError(f"recv timed out after {timeout}s") \
-                    from None
+                if self._consumed:
+                    # The timeout struck mid-frame: part of a frame was
+                    # consumed and the stream position is unknown, so a
+                    # later recv would splice this frame's tail onto the
+                    # next header.  The channel is unusable — close it so
+                    # callers redial.
+                    self.close()
+                    raise TransportError(
+                        f"recv timed out after {timeout}s mid-frame "
+                        f"({self._consumed} bytes consumed); channel "
+                        "closed") from None
+                # Nothing consumed: the stream is still at a clean frame
+                # boundary and the channel stays usable (endpoints poll
+                # idle channels with short timeouts).
+                raise TransportError(
+                    f"recv timed out after {timeout}s") from None
             except ChannelClosedError:
                 self._closed = True
                 raise

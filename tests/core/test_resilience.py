@@ -1,0 +1,351 @@
+"""Resilient invocation: retry policy, circuit breakers, and the GP's
+recovery loop under deterministic fault injection."""
+
+import pytest
+
+from repro.core.instrumentation import HookBus
+from repro.core.resilience import (
+    BreakerRegistry,
+    BreakerState,
+    CircuitBreaker,
+    RetryPolicy,
+    sleep_on,
+)
+from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    DeliveryError,
+    RetryExhaustedError,
+)
+from repro.faults import FaultPlan, FaultyTransport
+from repro.idl import remote_interface, remote_method
+from repro.simnet.clock import VirtualClock
+
+from tests.core.conftest import Counter
+
+
+@remote_interface("Register")
+class Register:
+    """Idempotent store: ``put`` is safe to auto-retry even after the
+    request may have reached dispatch."""
+
+    def __init__(self):
+        self.value = 0
+        self.calls = 0
+
+    @remote_method(retry_safe=True)
+    def put(self, v: int) -> int:
+        self.calls += 1
+        self.value = v
+        return self.value
+
+    @remote_method
+    def get(self) -> int:
+        return self.value
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base_backoff=0.1, multiplier=2.0,
+                             max_backoff=0.5, jitter=0.0)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.4)
+        assert policy.backoff(4) == pytest.approx(0.5)  # capped
+        assert policy.backoff(9) == pytest.approx(0.5)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        a = [RetryPolicy(seed=7).backoff(n) for n in range(1, 6)]
+        b = [RetryPolicy(seed=7).backoff(n) for n in range(1, 6)]
+        c = [RetryPolicy(seed=8).backoff(n) for n in range(1, 6)]
+        assert a == b                 # same seed, same schedule
+        assert a != c                 # different seed diverges
+        plain = RetryPolicy(jitter=0.0)
+        for n, jittered in enumerate(a, start=1):
+            base = plain.backoff(n)
+            assert base <= jittered <= base * 1.25
+
+
+class TestSleepOn:
+    def test_virtual_clock_advances_instantly(self):
+        clock = VirtualClock()
+        sleep_on(clock, 123.0)
+        assert clock.now() == pytest.approx(123.0)
+
+    def test_non_positive_is_noop(self):
+        clock = VirtualClock()
+        sleep_on(clock, 0.0)
+        sleep_on(clock, -1.0)
+        assert clock.now() == 0.0
+
+
+class TestCircuitBreaker:
+    def test_threshold_opens(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(clock, failure_threshold=3, cooldown=10.0)
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is True
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_cooldown_half_opens(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(clock, failure_threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(4.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_failure_reopens(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(clock, failure_threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        assert breaker.record_failure() is True   # re-opened
+        assert not breaker.allow()                # cooldown restarted
+
+    def test_half_open_success_closes(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(clock, failure_threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        breaker.allow()
+        assert breaker.record_success() is True
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_failure_count(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(clock, failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestBreakerRegistry:
+    def test_unknown_pair_allows(self):
+        registry = BreakerRegistry(VirtualClock(), hooks=HookBus())
+        assert registry.allow("ctx", "nexus")
+        assert registry.state("ctx", "nexus") is BreakerState.CLOSED
+
+    def test_open_event_emitted(self):
+        bus = HookBus()
+        events = []
+        bus.on("breaker_open", lambda e: events.append(e.data))
+        registry = BreakerRegistry(VirtualClock(), failure_threshold=2,
+                                   hooks=bus)
+        registry.record_failure("ctx", "nexus")
+        registry.record_failure("ctx", "nexus")
+        assert not registry.allow("ctx", "nexus")
+        assert events[0]["context_id"] == "ctx"
+        assert events[0]["proto_id"] == "nexus"
+        assert registry.open_protos("ctx") == ["nexus"]
+        assert registry.open_keys() == ["ctx:nexus"]
+
+    def test_close_event_emitted(self):
+        bus = HookBus()
+        events = []
+        bus.on("breaker_close", lambda e: events.append(e.data))
+        clock = VirtualClock()
+        registry = BreakerRegistry(clock, failure_threshold=1,
+                                   cooldown=1.0, hooks=bus)
+        registry.record_failure("ctx", "shm")
+        clock.advance(1.0)
+        assert registry.allow("ctx", "shm")       # half-open probe
+        registry.record_success("ctx", "shm")
+        assert events == [{"context_id": "ctx", "proto_id": "shm"}]
+
+    def test_probe_feeds_only_existing_breakers(self):
+        registry = BreakerRegistry(VirtualClock(), failure_threshold=1,
+                                   hooks=HookBus())
+        registry.record_probe("ctx", alive=False)   # no breakers yet
+        assert registry.open_keys() == []
+        registry.get("ctx", "nexus")
+        registry.record_probe("ctx", alive=False)
+        assert registry.open_keys() == ["ctx:nexus"]
+        registry.record_probe("other", alive=False)  # different context
+        assert registry.open_keys() == ["ctx:nexus"]
+
+
+class TestResilientInvocation:
+    """GP recovery behaviour in the simulated world (client on M0,
+    servant on M1, so only the ``nexus`` entry applies)."""
+
+    def _bind(self, sim_world, servant, **gp_kwargs):
+        _orb, sim, _tb, contexts = sim_world
+        oref = contexts["s1"].export(servant)
+        gp = contexts["client"].bind(oref, **gp_kwargs)
+        kinds = []
+        for kind in ("retry", "failover"):
+            gp.hooks.on(kind, lambda e, k=kind: kinds.append(k))
+        gp.hooks.on("request",
+                    lambda e: kinds.append(f"request:{e.data['outcome']}"))
+        return sim, contexts, gp, kinds
+
+    def test_transient_request_drop_is_retried(self, sim_world):
+        """A request that provably never left this host is retried even
+        for a non-retry-safe method — and executes exactly once."""
+        servant = Counter()
+        _orb, _sim, _tb, contexts = sim_world
+        client = contexts["client"]
+        plan = FaultPlan(seed=1, hooks=HookBus())
+        # Two send-drops: the first is absorbed by the client's
+        # transparent reconnect, the second escalates to the GP retry
+        # loop.  The third send goes through.
+        plan.drop(label="sim", point="send", count=2)
+        client.transports["sim"] = FaultyTransport(
+            client.transports["sim"], plan, clock=client.clock)
+        oref = contexts["s1"].export(servant)
+        gp = client.bind(oref)
+        kinds = []
+        gp.hooks.on("retry", lambda e: kinds.append("retry"))
+        gp.hooks.on("request",
+                    lambda e: kinds.append(f"request:{e.data['outcome']}"))
+        assert gp.invoke("add", 1) == 1
+        assert servant.n == 1               # the drops never reached it
+        assert kinds == ["request:error", "retry", "request:ok"]
+        assert plan.injected == [("drop", "sim:send")] * 2
+
+    def test_reply_loss_blocks_unsafe_retry(self, sim_world):
+        """A lost *reply* means the method already ran; a non-idempotent
+        method must not be silently re-executed."""
+        servant = Counter()
+        sim, contexts, gp, _kinds = self._bind(sim_world, servant)
+        plan = FaultPlan(hooks=HookBus())
+        plan.drop(src="M1", dst="M0", count=1)
+        sim.fault_plan = plan
+        with pytest.raises(DeliveryError) as err:
+            gp.invoke("add", 1)
+        assert getattr(err.value, "request_dispatched", False)
+        assert servant.n == 1               # ran exactly once
+
+    def test_reply_loss_retried_when_marked_safe(self, sim_world):
+        servant = Register()
+        sim, _contexts, gp, kinds = self._bind(sim_world, servant)
+        plan = FaultPlan(hooks=HookBus())
+        plan.drop(src="M1", dst="M0", count=1)
+        sim.fault_plan = plan
+        assert gp.invoke("put", 9) == 9
+        assert servant.calls == 2           # re-executed: marked safe
+        assert servant.value == 9
+        assert kinds == ["request:error", "retry", "request:ok"]
+
+    def test_retry_unsafe_policy_overrides_guard(self, sim_world):
+        servant = Counter()
+        sim, _contexts, gp, _kinds = self._bind(
+            sim_world, servant,
+            retry_policy=RetryPolicy(retry_unsafe=True))
+        plan = FaultPlan(hooks=HookBus())
+        plan.drop(src="M1", dst="M0", count=1)
+        sim.fault_plan = plan
+        assert gp.invoke("add", 1) == 2     # ran twice, caller opted in
+        assert servant.n == 2
+
+    def test_retry_exhausted_carries_attempt_trail(self, sim_world):
+        servant = Register()
+        sim, _contexts, gp, _kinds = self._bind(sim_world, servant)
+        plan = FaultPlan(hooks=HookBus())
+        plan.drop(src="M1", dst="M0")       # every reply, forever
+        sim.fault_plan = plan
+        with pytest.raises(RetryExhaustedError) as err:
+            gp.invoke("put", 1)
+        attempts = err.value.attempts
+        assert [a.attempt for a in attempts] == [1, 2, 3]
+        assert {a.proto_id for a in attempts} == {"nexus"}
+        assert all(a.dispatched for a in attempts)
+        assert servant.calls == 3
+
+    def test_deadline_bounds_the_whole_call(self, sim_world):
+        servant = Register()
+        sim, contexts, gp, _kinds = self._bind(
+            sim_world, servant,
+            retry_policy=RetryPolicy(max_attempts=10, base_backoff=1.0,
+                                     jitter=0.0, deadline=2.5))
+        plan = FaultPlan(hooks=HookBus())
+        plan.drop(src="M1", dst="M0")
+        sim.fault_plan = plan
+        t0 = contexts["client"].clock.now()
+        with pytest.raises(DeadlineExceededError) as err:
+            gp.invoke("put", 1)
+        assert len(err.value.attempts) < 10   # budget did not run out
+        # The refusal happens *before* sleeping past the deadline.
+        assert contexts["client"].clock.now() - t0 <= 2.5
+
+    def test_failed_client_is_evicted(self, sim_world):
+        """Satellite bugfix: a TransportError must drop the cached
+        client so the next attempt redials instead of reusing a dead
+        channel."""
+        servant = Register()
+        sim, _contexts, gp, _kinds = self._bind(sim_world, servant)
+        plan = FaultPlan(hooks=HookBus())
+        rule = plan.drop(src="M1", dst="M0")
+        sim.fault_plan = plan
+        with pytest.raises(RetryExhaustedError):
+            gp.invoke("put", 1)
+        assert gp._clients == {}            # nothing stale cached
+        rule.count = rule.fired             # heal: rule is exhausted
+        assert gp.invoke("put", 4) == 4     # fresh dial succeeds
+
+    def test_breaker_trips_then_recovers(self, sim_world):
+        servant = Register()
+        sim, contexts, gp, _kinds = self._bind(sim_world, servant)
+        bus = HookBus()
+        transitions = []
+        bus.on("breaker_open", lambda e: transitions.append("open"))
+        bus.on("breaker_close", lambda e: transitions.append("close"))
+        clock = contexts["client"].clock
+        gp.breakers = BreakerRegistry(clock, failure_threshold=1,
+                                      cooldown=60.0, hooks=bus)
+        plan = FaultPlan(hooks=HookBus())
+        plan.drop(src="M1", dst="M0")
+        sim.fault_plan = plan
+        with pytest.raises(CircuitOpenError) as err:
+            gp.invoke("put", 1)
+        assert "nexus" in str(err.value)
+        assert err.value.attempts           # trail survived the trip
+        assert gp.breakers.state("s1", "nexus") is BreakerState.OPEN
+
+        # While open, selection refuses without touching the network.
+        calls_before = servant.calls
+        with pytest.raises(CircuitOpenError):
+            gp.invoke("put", 2)
+        assert servant.calls == calls_before
+
+        # Cooldown elapses, the fault heals: half-open probe succeeds.
+        sim.fault_plan = None
+        clock.advance(60.0)
+        assert gp.invoke("put", 3) == 3
+        assert gp.breakers.state("s1", "nexus") is BreakerState.CLOSED
+        assert transitions == ["open", "close"]
+
+    def test_open_breakers_visible_in_describe(self, sim_world):
+        servant = Register()
+        _orb, sim, _tb, contexts = sim_world
+        client = contexts["client"]
+        client.breakers = BreakerRegistry(client.clock,
+                                          failure_threshold=1,
+                                          cooldown=60.0, hooks=HookBus())
+        oref = contexts["s1"].export(servant)
+        gp = client.bind(oref)
+        plan = FaultPlan(hooks=HookBus())
+        plan.drop(src="M1", dst="M0")
+        sim.fault_plan = plan
+        with pytest.raises(CircuitOpenError):
+            gp.invoke("put", 1)
+        assert client.describe()["breakers_open"] == ["s1:nexus"]

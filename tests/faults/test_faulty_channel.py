@@ -1,0 +1,123 @@
+"""FaultyChannel / FaultyTransport over a real (inproc) transport."""
+
+import pytest
+
+from repro.core.instrumentation import HookBus
+from repro.exceptions import (
+    ChannelClosedError,
+    DeliveryError,
+    TransportError,
+)
+from repro.faults import FaultPlan, FaultyChannel, FaultyTransport
+from repro.simnet.clock import VirtualClock
+from repro.transport.inproc import InProcTransport
+
+
+def plan_with(**_ignored):
+    return FaultPlan(hooks=HookBus())
+
+
+@pytest.fixture
+def pair():
+    """(client channel, server channel) over a fresh inproc transport."""
+    transport = InProcTransport()
+    listener = transport.listen({"key": "ft"})
+    client = transport.connect({"transport": "inproc", "key": "ft"})
+    server = listener.accept(timeout=1.0)
+    yield client, server
+    client.close()
+    server.close()
+    listener.close()
+
+
+class TestFaultyChannel:
+    def test_clean_passthrough(self, pair):
+        client, server = pair
+        faulty = FaultyChannel(client, plan_with(), label="c")
+        faulty.send(b"ping")
+        assert server.recv(timeout=1.0) == b"ping"
+        server.send(b"pong")
+        assert faulty.recv(timeout=1.0) == b"pong"
+
+    def test_send_drop(self, pair):
+        client, server = pair
+        plan = plan_with()
+        plan.drop(label="c", point="send")
+        faulty = FaultyChannel(client, plan, label="c")
+        with pytest.raises(DeliveryError):
+            faulty.send(b"ping")
+        with pytest.raises(TransportError):
+            server.recv(timeout=0.05)  # nothing arrived
+
+    def test_disconnect_closes_inner(self, pair):
+        client, _server = pair
+        plan = plan_with()
+        plan.disconnect(label="c", point="send")
+        faulty = FaultyChannel(client, plan, label="c")
+        with pytest.raises(ChannelClosedError):
+            faulty.send(b"ping")
+        assert faulty.closed
+
+    def test_recv_corrupt_flips_byte(self, pair):
+        client, server = pair
+        plan = plan_with()
+        plan.corrupt(label="c", point="recv")
+        faulty = FaultyChannel(client, plan, label="c")
+        server.send(b"\x00" * 16)
+        data = faulty.recv(timeout=1.0)
+        assert len(data) == 16 and data != b"\x00" * 16
+
+    def test_delay_advances_virtual_clock(self, pair):
+        client, server = pair
+        clock = VirtualClock()
+        plan = plan_with()
+        plan.delay(2.5, label="c", point="send")
+        faulty = FaultyChannel(client, plan, label="c", clock=clock)
+        faulty.send(b"ping")
+        assert clock.now() == pytest.approx(2.5)
+        assert server.recv(timeout=1.0) == b"ping"  # delayed, not lost
+
+
+class TestFaultyTransport:
+    def test_connect_failure(self):
+        transport = InProcTransport()
+        listener = transport.listen({"key": "cf"})
+        plan = plan_with()
+        plan.drop(point="connect")
+        faulty = FaultyTransport(transport, plan)
+        with pytest.raises(TransportError):
+            faulty.connect({"transport": "inproc", "key": "cf"})
+        listener.close()
+
+    def test_label_defaults_to_transport_name(self):
+        transport = InProcTransport()
+        faulty = FaultyTransport(transport, plan_with())
+        assert faulty.label == "inproc"
+        assert faulty.name == "inproc"
+
+    def test_connected_channels_are_wrapped(self):
+        transport = InProcTransport()
+        listener = transport.listen({"key": "wrap"})
+        plan = plan_with()
+        plan.drop(label="inproc", point="send", after=1)
+        faulty = FaultyTransport(transport, plan)
+        chan = faulty.connect({"transport": "inproc", "key": "wrap"})
+        server = listener.accept(timeout=1.0)
+        chan.send(b"first")                      # after=1 lets this pass
+        assert server.recv(timeout=1.0) == b"first"
+        with pytest.raises(DeliveryError):
+            chan.send(b"second")
+        listener.close()
+
+    def test_listener_wrapping_opt_in(self):
+        transport = InProcTransport()
+        plan = plan_with()
+        plan.drop(label="inproc", point="recv")
+        faulty = FaultyTransport(transport, plan, wrap_listeners=True)
+        listener = faulty.listen({"key": "srv"})
+        chan = transport.connect({"transport": "inproc", "key": "srv"})
+        server = listener.accept(timeout=1.0)
+        chan.send(b"ping")
+        with pytest.raises(DeliveryError):
+            server.recv(timeout=1.0)
+        listener.close()

@@ -1,0 +1,144 @@
+"""FaultPlan unit tests: rule matching, counters, determinism."""
+
+import pytest
+
+from repro.core.instrumentation import HookBus
+from repro.faults import FaultPlan, FaultRule
+
+
+class TestRuleValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("explode")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultRule("drop", probability=1.5)
+        with pytest.raises(ValueError):
+            FaultRule("drop", probability=-0.1)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule("delay", delay=-1.0)
+
+    def test_partition_groups_must_be_disjoint(self):
+        plan = FaultPlan()
+        with pytest.raises(ValueError):
+            plan.partition({"m1", "m2"}, {"m2", "m3"})
+
+
+class TestLinkDecisions:
+    def test_no_rules_no_decision(self):
+        plan = FaultPlan(hooks=HookBus())
+        assert plan.decide_link("m0", "m1", 100) is None
+        assert plan.injected == []
+
+    def test_drop_matches_src_dst_filters(self):
+        plan = FaultPlan(hooks=HookBus())
+        plan.drop(src="m0", dst="m1")
+        assert plan.decide_link("m1", "m0", 1) is None
+        decision = plan.decide_link("m0", "m1", 1)
+        assert decision.kind == "drop"
+        assert plan.injected == [("drop", "m0->m1")]
+
+    def test_after_skips_first_n(self):
+        plan = FaultPlan(hooks=HookBus())
+        plan.drop(after=2)
+        assert plan.decide_link("a", "b", 1) is None
+        assert plan.decide_link("a", "b", 1) is None
+        assert plan.decide_link("a", "b", 1).kind == "drop"
+
+    def test_count_caps_firings(self):
+        plan = FaultPlan(hooks=HookBus())
+        plan.drop(count=2)
+        assert plan.decide_link("a", "b", 1).kind == "drop"
+        assert plan.decide_link("a", "b", 1).kind == "drop"
+        assert plan.decide_link("a", "b", 1) is None
+
+    def test_delays_accumulate(self):
+        plan = FaultPlan(hooks=HookBus())
+        plan.delay(0.5)
+        plan.delay(0.25)
+        decision = plan.decide_link("a", "b", 1)
+        assert decision.kind == "delay"
+        assert decision.delay == pytest.approx(0.75)
+
+    def test_partition_drops_both_directions(self):
+        plan = FaultPlan(hooks=HookBus())
+        plan.partition({"m1"}, {"m2", "m3"})
+        assert plan.decide_link("m1", "m2", 1).kind == "drop"
+        assert plan.decide_link("m3", "m1", 1).kind == "drop"
+        assert plan.decide_link("m2", "m3", 1) is None  # same side
+        plan.heal()
+        assert plan.decide_link("m1", "m2", 1) is None
+
+    def test_corrupt_rules_ignored_by_decide_link(self):
+        """Corruption is applied by the byte-holding layer, not the
+        accounting transfer."""
+        plan = FaultPlan(hooks=HookBus())
+        plan.corrupt()
+        assert plan.decide_link("a", "b", 1) is None
+
+
+class TestChannelDecisions:
+    def test_point_and_label_filters(self):
+        plan = FaultPlan(hooks=HookBus())
+        plan.disconnect(label="tcp", point="send")
+        assert plan.decide_channel("recv", "tcp") is None
+        assert plan.decide_channel("send", "inproc") is None
+        assert plan.decide_channel("send", "tcp").kind == "disconnect"
+
+    def test_link_scoped_rules_ignored_by_channels(self):
+        plan = FaultPlan(hooks=HookBus())
+        plan.drop(src="m0")
+        assert plan.decide_channel("send", "tcp") is None
+
+
+class TestCorruption:
+    def test_corrupt_flips_exactly_one_byte(self):
+        plan = FaultPlan(seed=3, hooks=HookBus())
+        payload = bytes(range(64))
+        mangled = plan.corrupt_bytes(payload)
+        assert len(mangled) == len(payload)
+        diffs = [i for i, (a, b) in enumerate(zip(payload, mangled))
+                 if a != b]
+        assert len(diffs) == 1
+        assert mangled[diffs[0]] == payload[diffs[0]] ^ 0xFF
+
+    def test_empty_payload_untouched(self):
+        assert FaultPlan(hooks=HookBus()).corrupt_bytes(b"") == b""
+
+    def test_maybe_corrupt_respects_link_filter(self):
+        plan = FaultPlan(hooks=HookBus())
+        plan.corrupt(src="m0", dst="m1")
+        data = b"x" * 32
+        assert plan.maybe_corrupt("m1", "m0", data) == data
+        assert plan.maybe_corrupt("m0", "m1", data) != data
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        plan = FaultPlan(seed=seed, hooks=HookBus())
+        plan.drop(probability=0.3, src="m0")
+        plan.delay(0.1, probability=0.5, dst="m2")
+        trail = []
+        for i in range(200):
+            decision = plan.decide_link("m0", f"m{i % 4}", 128)
+            trail.append(None if decision is None
+                         else (decision.kind, decision.delay))
+        return trail, list(plan.injected)
+
+    def test_same_seed_same_script(self):
+        assert self._run(42) == self._run(42)
+
+    def test_different_seed_diverges(self):
+        assert self._run(42) != self._run(43)
+
+    def test_hook_events_fire(self):
+        bus = HookBus()
+        seen = []
+        bus.on("fault_injected", lambda e: seen.append(e.data["fault"]))
+        plan = FaultPlan(hooks=bus)
+        plan.drop()
+        plan.decide_link("a", "b", 1)
+        assert seen == ["drop"]

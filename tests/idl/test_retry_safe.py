@@ -1,0 +1,61 @@
+"""The ``retry_safe`` method attribute: decorator, textual IDL, wire."""
+
+from repro.idl import (
+    InterfaceSpec,
+    interface_of,
+    parse_idl,
+    remote_interface,
+    remote_method,
+)
+
+
+@remote_interface("SafeStore")
+class SafeStore:
+    @remote_method(retry_safe=True)
+    def put(self, v: int) -> int:
+        return v
+
+    @remote_method
+    def append(self, v: int) -> int:
+        return v
+
+
+class TestDecorator:
+    def test_marking(self):
+        spec = interface_of(SafeStore)
+        assert spec.methods["put"].retry_safe
+        assert not spec.methods["append"].retry_safe
+
+
+class TestWire:
+    def test_roundtrip_preserves_flag(self):
+        spec = interface_of(SafeStore)
+        again = InterfaceSpec.from_wire(spec.to_wire())
+        assert again.methods["put"].retry_safe
+        assert not again.methods["append"].retry_safe
+
+    def test_old_wire_defaults_unsafe(self):
+        """ORs marshalled before the flag existed must decode with the
+        conservative default."""
+        wire = interface_of(SafeStore).to_wire()
+        for m in wire["methods"]:
+            m.pop("retry_safe", None)
+        spec = InterfaceSpec.from_wire(wire)
+        assert not any(m.retry_safe for m in spec.methods.values())
+
+
+class TestParser:
+    IDL = """
+    interface Store {
+        idempotent int put(int v);
+        int append(int v);
+        oneway void poke();
+    };
+    """
+
+    def test_idempotent_modifier(self):
+        spec = parse_idl(self.IDL)["Store"]
+        assert spec.methods["put"].retry_safe
+        assert not spec.methods["append"].retry_safe
+        assert not spec.methods["poke"].retry_safe
+        assert spec.methods["poke"].oneway

@@ -1,0 +1,80 @@
+"""TcpChannel recv-timeout semantics: idle timeouts are harmless,
+mid-frame timeouts poison the stream and must close the channel."""
+
+import socket
+
+import pytest
+
+from repro.exceptions import ChannelClosedError, TransportError
+from repro.transport.framing import write_frame
+from repro.transport.tcp import TcpChannel
+
+
+@pytest.fixture
+def raw_pair():
+    """(TcpChannel client, raw server socket) so tests can dribble
+    bytes that no framed sender would produce."""
+    srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    srv.bind(("127.0.0.1", 0))
+    srv.listen(1)
+    client_sock = socket.create_connection(srv.getsockname())
+    conn, _addr = srv.accept()
+    channel = TcpChannel(client_sock)
+    yield channel, conn
+    channel.close()
+    conn.close()
+    srv.close()
+
+
+def frame_bytes(payload: bytes) -> bytes:
+    buf = bytearray()
+    write_frame(buf.extend, payload)
+    return bytes(buf)
+
+
+class TestIdleTimeout:
+    def test_channel_survives(self, raw_pair):
+        channel, conn = raw_pair
+        with pytest.raises(TransportError):
+            channel.recv(timeout=0.1)
+        assert not channel.closed           # clean frame boundary
+
+    def test_later_frame_delivered_intact(self, raw_pair):
+        """An endpoint polling an idle channel with short timeouts must
+        keep working once traffic arrives."""
+        channel, conn = raw_pair
+        for _ in range(3):
+            with pytest.raises(TransportError):
+                channel.recv(timeout=0.05)
+        conn.sendall(frame_bytes(b"hello"))
+        assert channel.recv(timeout=1.0) == b"hello"
+
+
+class TestMidFrameTimeout:
+    def test_channel_closed(self, raw_pair):
+        channel, conn = raw_pair
+        partial = frame_bytes(b"hello world")[:-4]   # withhold the tail
+        conn.sendall(partial)
+        with pytest.raises(TransportError) as err:
+            channel.recv(timeout=0.2)
+        assert "mid-frame" in str(err.value)
+        assert channel.closed
+
+    def test_no_corrupt_next_frame(self, raw_pair):
+        """The poisoned stream must never deliver a spliced frame."""
+        channel, conn = raw_pair
+        conn.sendall(frame_bytes(b"first")[:-2])
+        with pytest.raises(TransportError):
+            channel.recv(timeout=0.2)
+        conn.sendall(frame_bytes(b"first")[-2:] + frame_bytes(b"second"))
+        with pytest.raises(ChannelClosedError):
+            channel.recv(timeout=0.5)
+
+    def test_partial_header_also_poisons(self, raw_pair):
+        """Even a few header bytes leave the position unknown."""
+        channel, conn = raw_pair
+        conn.sendall(frame_bytes(b"x")[:3])
+        with pytest.raises(TransportError) as err:
+            channel.recv(timeout=0.2)
+        assert "mid-frame" in str(err.value)
+        assert channel.closed
