@@ -50,12 +50,20 @@ from repro.core.monitor import LoadMonitor
 from repro.core.loadbalance import LoadBalancer
 from repro.core.health import HealthMonitor
 from repro.core.cost_policy import CostAwarePolicy
-from repro.core.instrumentation import GLOBAL_HOOKS, HookBus
+from repro.core.instrumentation import (
+    GLOBAL_HOOKS,
+    HookBus,
+    LatencyRegistry,
+    LatencyTracker,
+)
 from repro.core.resilience import (
     AttemptRecord,
     BreakerRegistry,
     BreakerState,
     CircuitBreaker,
+    HedgePolicy,
+    RetryBudget,
+    RetryBudgetRegistry,
     RetryPolicy,
 )
 
@@ -88,8 +96,13 @@ __all__ = [
     "CostAwarePolicy",
     "HookBus",
     "GLOBAL_HOOKS",
+    "LatencyTracker",
+    "LatencyRegistry",
     "AttemptRecord",
     "RetryPolicy",
+    "RetryBudget",
+    "RetryBudgetRegistry",
+    "HedgePolicy",
     "BreakerState",
     "CircuitBreaker",
     "BreakerRegistry",

@@ -146,12 +146,12 @@ class TimeLeaseCapability(Capability):
         return descriptor
 
     def _now(self) -> float:
-        clock = getattr(self.context, "clock", None)
-        if clock is None:
-            import time
+        # The owning context's TimeSource — under simulation that is the
+        # shared VirtualClock, so lease expiry is deterministic; there
+        # is deliberately no time.time() fallback.
+        from repro.util.timing import time_source
 
-            return time.time()
-        return clock.now()
+        return time_source(self.context).now()
 
     @property
     def remaining_seconds(self) -> float:

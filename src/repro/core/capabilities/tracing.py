@@ -42,12 +42,12 @@ class TracingCapability(Capability):
         self.max_events = self.descriptor.get("max_events", 10_000)
 
     def _now(self) -> float:
-        clock = getattr(self.context, "clock", None)
-        if clock is None:
-            import time
+        # The owning context's TimeSource (the VirtualClock under
+        # simulation, so trace timestamps are deterministic); never the
+        # wall-clock epoch.
+        from repro.util.timing import time_source
 
-            return time.time()
-        return clock.now()
+        return time_source(self.context).now()
 
     def _record(self, direction: str, stage: str, nbytes: int) -> None:
         if len(self.events) < self.max_events:

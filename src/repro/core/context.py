@@ -31,6 +31,7 @@ from repro.core.glue import (
     decode_glue_envelope,
     encode_glue_reply,
 )
+from repro.core.instrumentation import LatencyRegistry
 from repro.core.monitor import LoadMonitor
 from repro.core.objref import ObjectReference, ProtocolEntry
 from repro.core.proto_pool import ProtocolPool
@@ -39,7 +40,11 @@ from repro.core.protocol import (
     INVOKE_HANDLER,
     marshaller_for,
 )
-from repro.core.resilience import BreakerRegistry
+from repro.core.resilience import (
+    BreakerRegistry,
+    HedgePolicy,
+    RetryBudgetRegistry,
+)
 from repro.core.request import (
     RequestMeta,
     decode_invocation,
@@ -168,6 +173,55 @@ class Context:
         #: Per-(remote context, proto) circuit breakers shared by every
         #: GP bound in this context; selection sheds open entries.
         self.breakers = BreakerRegistry(self.clock)
+        #: Per-remote-context token-bucket retry budgets shared by every
+        #: GP bound here: N concurrent calls to one flapping peer draw
+        #: from one bounded pool instead of each retrying independently.
+        self.retry_budgets = RetryBudgetRegistry()
+        #: Per-(remote context, proto) streaming latency trackers; fed
+        #: by every successful request, read by the hedging policy.
+        self.latencies = LatencyRegistry()
+        #: Context-wide hedging default for GPs bound here (off until an
+        #: application or test opts in; GPs may override per binding).
+        self.hedge_policy = HedgePolicy(enabled=False)
+        # Shared invocation executor (lazily created): one pool per
+        # context instead of 4 threads per GP, so a process with
+        # thousands of GPs does not leak thousands of idle threads.
+        self._executor = None
+        self._hedge_executor = None
+
+    # ------------------------------------------------------------------
+    # shared executors
+    # ------------------------------------------------------------------
+
+    @property
+    def executor(self):
+        """The context-wide pool ``invoke_async`` submissions run on."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=8,
+                    thread_name_prefix=f"{self.id}-invoke")
+            return self._executor
+
+    @property
+    def hedge_executor(self):
+        """A separate pool for hedged attempt legs.
+
+        Kept apart from :attr:`executor` on purpose: hedged calls wait
+        on their attempt futures, and waiting on the same pool that runs
+        you deadlocks once the pool saturates.  Attempt legs are leaves
+        (they never submit further work), so this pool cannot deadlock.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        with self._lock:
+            if self._hedge_executor is None:
+                self._hedge_executor = ThreadPoolExecutor(
+                    max_workers=8,
+                    thread_name_prefix=f"{self.id}-hedge")
+            return self._hedge_executor
 
     # ------------------------------------------------------------------
     # cost accounting
@@ -450,6 +504,7 @@ class Context:
             "forwards": forwards,
             "glue_stacks": stacks,
             "breakers_open": self.breakers.open_keys(),
+            "retry_budgets": self.retry_budgets.snapshot(),
             "load": {
                 "total_requests": self.monitor.total_requests,
                 "busy_fraction": self.monitor.load,
@@ -462,6 +517,13 @@ class Context:
 
     def stop(self) -> None:
         self.server.stop()
+        with self._lock:
+            executors = [self._executor, self._hedge_executor]
+            self._executor = None
+            self._hedge_executor = None
+        for executor in executors:
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Context {self.id} machine={self.placement.machine!r} "

@@ -27,14 +27,33 @@ A :class:`GlobalPointer` is the client proxy:
   Per-``(context, proto)`` circuit breakers shed flapping peers before
   they burn retry budget, and an idempotence guard refuses to re-issue a
   request that may have reached dispatch unless the method is marked
-  ``retry_safe``.
+  ``retry_safe``;
+* **shared retry budget** — every backoff retry must also be covered by
+  the calling context's per-peer token-bucket
+  :class:`~repro.core.resilience.RetryBudget`, so N concurrent
+  ``invoke_async`` calls against one flapping peer share one bounded
+  retry pool instead of multiplying load N-fold;
+* **hedged requests** — for ``retry_safe`` methods under an enabled
+  :class:`~repro.core.resilience.HedgePolicy`, a primary attempt that
+  outlives the tracked latency percentile is raced by a second attempt
+  on the next-best applicable table entry; the first reply wins and the
+  loser's connection is torn down.  This exploits the adaptive protocol
+  table *before* the timeout instead of after it.
+
+Thread-safety: ``invoke_async`` runs ``_invoke`` on the context's shared
+executor, so the invoke path snapshots the OR (identity, interface, and
+protocol table) once per logical call under ``self._lock``; all table
+mutators (``update_reference``, ``add_capability_stack``,
+``drop_protocol``) swap in *new* lists under the same lock rather than
+editing the published one in place.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Dict, Optional
+from concurrent.futures import FIRST_COMPLETED, Future
+from concurrent.futures import wait as _await_futures
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.context import CONTROL_HANDLER, Context, Placement
 from repro.core.instrumentation import GLOBAL_HOOKS, HookBus
@@ -42,7 +61,12 @@ from repro.core.objref import ObjectReference, ProtocolEntry
 from repro.core.protocol import ProtocolClient, get_proto_class
 from repro.core.proto_pool import ProtocolPool
 from repro.core.request import Invocation
-from repro.core.resilience import AttemptRecord, RetryPolicy, sleep_on
+from repro.core.resilience import (
+    AttemptRecord,
+    HedgePolicy,
+    RetryPolicy,
+    sleep_on,
+)
 from repro.core.selection import FirstMatchPolicy, Locality, SelectionPolicy
 from repro.exceptions import (
     CircuitOpenError,
@@ -53,6 +77,7 @@ from repro.exceptions import (
     ObjectMovedError,
     ProtocolError,
     RemoteInvocationError,
+    RetryBudgetExhaustedError,
     RetryExhaustedError,
     TransportError,
     UnknownProtocolError,
@@ -73,7 +98,8 @@ class GlobalPointer:
                  pool: Optional[ProtocolPool] = None,
                  policy: Optional[SelectionPolicy] = None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 breakers=None):
+                 breakers=None,
+                 hedge_policy: Optional[HedgePolicy] = None):
         self.oref = oref.clone()
         self.context = context
         self.pool = pool if pool is not None else context.proto_pool.clone()
@@ -84,9 +110,16 @@ class GlobalPointer:
         #: every GP talking to the same peer shares failure history.
         self.breakers = breakers if breakers is not None \
             else context.breakers
-        self._clients: Dict[int, ProtocolClient] = {}
+        #: Hedging policy; None falls back to the context-wide default.
+        self.hedge_policy = hedge_policy
+        # Cached clients, keyed by the id() of their table entry.  The
+        # entry itself is kept in the value so the id can never be
+        # recycled by the allocator while the client is cached.
+        self._clients: Dict[int, Tuple[ProtocolEntry, ProtocolClient]] = {}
         self._lock = threading.RLock()
-        self._executor: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+        #: Futures of in-flight ``invoke_async`` calls, drained by close.
+        self._inflight: set = set()
         #: Per-GP observability hooks; GLOBAL_HOOKS fires as well.
         self.hooks = HookBus()
 
@@ -99,10 +132,16 @@ class GlobalPointer:
     # placement & selection
     # ------------------------------------------------------------------
 
-    def server_placement(self) -> Placement:
-        if not self.oref.protocols:
+    @staticmethod
+    def _placement_of(protocols: List[ProtocolEntry]) -> Placement:
+        if not protocols:
             raise RemoteInvocationError("OR has an empty protocol table")
-        return Placement.from_wire(self.oref.protocols[0].proto_data)
+        return Placement.from_wire(protocols[0].proto_data)
+
+    def server_placement(self) -> Placement:
+        with self._lock:
+            protocols = list(self.oref.protocols)
+        return self._placement_of(protocols)
 
     def locality(self) -> Locality:
         return self.context.placement.locality_to(self.server_placement())
@@ -112,30 +151,49 @@ class GlobalPointer:
         proto_cls = get_proto_class(entry.proto_id)
         return proto_cls.applicable(entry, locality, self.context)
 
-    def select_protocol(self, _demoted=frozenset()) -> ProtocolEntry:
-        """Run protocol selection for the current placement/pool state.
+    def _snapshot(self) -> ObjectReference:
+        """The OR to run one logical invocation against.
+
+        ``_invoke`` works exclusively on this snapshot; mutators swap
+        ``self.oref`` (or its ``protocols`` list) wholesale under the
+        lock, so a snapshot is never edited behind a running call.
+        """
+        with self._lock:
+            if self._closed:
+                raise HpcError(
+                    f"GlobalPointer to {self.oref.object_id} is closed")
+            return ObjectReference(
+                object_id=self.oref.object_id,
+                context_id=self.oref.context_id,
+                interface=self.oref.interface,
+                protocols=list(self.oref.protocols),
+                version=self.oref.version)
+
+    def _select(self, context_id: str, protocols: List[ProtocolEntry],
+                _demoted=frozenset()) -> ProtocolEntry:
+        """Protocol selection over one table snapshot.
 
         Entries whose ``(context, proto)`` circuit breaker is open are
-        shed; ``_demoted`` (internal) holds ``id()``\\ s of entries that
-        already failed during the current invocation, so a retry falls
-        through to the next table row.  If selection fails *because* of
-        open breakers, the error is a :class:`CircuitOpenError` rather
-        than a plain no-applicable-protocol failure.
+        shed; ``_demoted`` holds ``id()``\\ s of entries that already
+        failed during the current invocation, so a retry falls through
+        to the next table row.  If selection fails *because* of open
+        breakers, the error is a :class:`CircuitOpenError` rather than a
+        plain no-applicable-protocol failure.
         """
-        locality = self.locality()
+        locality = self.context.placement.locality_to(
+            self._placement_of(protocols))
         shed = []
 
         def usable(entry: ProtocolEntry) -> bool:
             if id(entry) in _demoted:
                 return False
-            if not self.breakers.allow(self.oref.context_id,
-                                       entry.proto_id):
+            if not self.breakers.allow(context_id, entry.proto_id):
                 shed.append(entry.proto_id)
                 return False
             return self._entry_applicable(entry, locality)
 
         try:
-            return self.policy.select(self.oref.protocols, self.pool.ids(),
+            return self.policy.select(protocols, self.pool.ids(),
                                       locality, usable)
         except NoApplicableProtocolError as exc:
             if shed and not _demoted:
@@ -143,6 +201,13 @@ class GlobalPointer:
                     "all applicable protocols shed by open breakers: "
                     f"{sorted(set(shed))}") from exc
             raise
+
+    def select_protocol(self, _demoted=frozenset()) -> ProtocolEntry:
+        """Run protocol selection for the current placement/pool state."""
+        with self._lock:
+            context_id = self.oref.context_id
+            protocols = list(self.oref.protocols)
+        return self._select(context_id, protocols, _demoted)
 
     @property
     def selected_proto_id(self) -> str:
@@ -162,22 +227,29 @@ class GlobalPointer:
     def _client_for(self, entry: ProtocolEntry) -> ProtocolClient:
         key = id(entry)
         with self._lock:
-            client = self._clients.get(key)
-            if client is None:
+            cached = self._clients.get(key)
+            if cached is None:
                 proto_cls = get_proto_class(entry.proto_id)
                 client = proto_cls.make_client(entry, self.context)
-                self._clients[key] = client
-            return client
+                self._clients[key] = (entry, client)
+                return client
+            return cached[1]
+
+    def _fresh_client(self, entry: ProtocolEntry) -> ProtocolClient:
+        """An uncached client (hedge legs get their own connection so a
+        racing attempt can never interleave frames with the primary's)."""
+        proto_cls = get_proto_class(entry.proto_id)
+        return proto_cls.make_client(entry, self.context)
 
     def _evict_client(self, entry: ProtocolEntry) -> None:
-        """Drop the cached client for an entry whose channel died, so
-        the next use of that entry redials instead of reusing a broken
-        connection."""
+        """Drop the cached client for an entry whose channel died (or
+        lost a hedge race), so the next use of that entry redials
+        instead of reusing a broken connection."""
         with self._lock:
-            client = self._clients.pop(id(entry), None)
-        if client is not None:
+            cached = self._clients.pop(id(entry), None)
+        if cached is not None:
             try:
-                client.close()
+                cached[1].close()
             except Exception:  # noqa: BLE001 - already broken
                 pass
 
@@ -185,23 +257,25 @@ class GlobalPointer:
     # invocation
     # ------------------------------------------------------------------
 
-    def _may_retry(self, method: str, dispatched: bool) -> bool:
+    def _may_retry(self, oref: ObjectReference, method: str,
+                   dispatched: bool) -> bool:
         """The idempotence guard: a request that provably never left
         this host is always retryable; one that may have reached
         dispatch is retried only for ``retry_safe`` methods (or under a
         ``retry_unsafe`` policy)."""
         if not dispatched or self.retry_policy.retry_unsafe:
             return True
-        spec = self.oref.interface.methods.get(method)
+        spec = oref.interface.methods.get(method)
         return bool(spec is not None and spec.retry_safe)
 
-    def _select_for_attempt(self, demoted: set, attempts) -> ProtocolEntry:
+    def _select_for_attempt(self, context_id: str, protocols, demoted: set,
+                            attempts) -> ProtocolEntry:
         """Selection for one attempt; when every entry has been demoted
         during this call, the demotion slate is wiped and the whole
         table becomes eligible again (the retry budget, not the table
         length, bounds the loop)."""
         try:
-            return self.select_protocol(_demoted=demoted)
+            return self._select(context_id, protocols, _demoted=demoted)
         except CircuitOpenError as exc:
             exc.attempts = list(attempts)
             raise
@@ -210,23 +284,231 @@ class GlobalPointer:
                 raise
             demoted.clear()
             try:
-                return self.select_protocol()
+                return self._select(context_id, protocols)
             except CircuitOpenError as exc:
                 exc.attempts = list(attempts)
                 raise
 
+    # -- hedging ---------------------------------------------------------------
+
+    def _hedge_policy_for(self, oref: ObjectReference, method: str,
+                          oneway: bool) -> Optional[HedgePolicy]:
+        """The hedge policy governing this call, or None.
+
+        Only ``retry_safe`` methods may be hedged — a hedge is by
+        construction a duplicate dispatch, exactly what the idempotence
+        guard exists to prevent for unsafe methods.
+        """
+        if oneway:
+            return None
+        policy = self.hedge_policy if self.hedge_policy is not None \
+            else getattr(self.context, "hedge_policy", None)
+        if policy is None or not policy.enabled:
+            return None
+        spec = oref.interface.methods.get(method)
+        if spec is None or not spec.retry_safe:
+            return None
+        return policy
+
+    def _hedge_entry(self, context_id: str, protocols, primary: ProtocolEntry,
+                     demoted: set) -> ProtocolEntry:
+        """The next-best applicable entry to race against ``primary``;
+        falls back to ``primary`` itself (over a fresh connection) when
+        the table holds no alternative."""
+        try:
+            return self._select(context_id, protocols,
+                                _demoted=frozenset(demoted) | {id(primary)})
+        except (NoApplicableProtocolError, CircuitOpenError):
+            return primary
+
+    def _attempt(self, oref: ObjectReference, context_id: str, protocols,
+                 entry: ProtocolEntry, client: ProtocolClient,
+                 invocation: Invocation, method: str,
+                 demoted: set) -> Tuple[Any, float]:
+        """Run one attempt, hedged when the policy calls for it.
+
+        Returns ``(result, effective latency seconds)``.  Failures
+        propagate (the primary leg's error when both legs fail) so the
+        caller's retry/failover machinery stays in charge.
+        """
+        clock = self.context.clock
+        policy = self._hedge_policy_for(oref, method, invocation.oneway)
+        delay = None
+        if policy is not None:
+            tracker = self.context.latencies.tracker(context_id,
+                                                     entry.proto_id)
+            delay = policy.hedge_delay(tracker)
+        if delay is None:
+            started = clock.now()
+            result = client.invoke(invocation)
+            return result, clock.now() - started
+        if self.context.sim is not None:
+            return self._hedged_sim(context_id, protocols, entry, client,
+                                    invocation, method, demoted, delay)
+        return self._hedged_wall(context_id, protocols, entry, client,
+                                 invocation, method, demoted, delay)
+
+    def _hedged_sim(self, context_id: str, protocols, entry: ProtocolEntry,
+                    client: ProtocolClient, invocation: Invocation,
+                    method: str, demoted: set,
+                    delay: float) -> Tuple[Any, float]:
+        """Hedging in the synchronous virtual world.
+
+        The simulator runs one attempt at a time, so the race is
+        resolved *counterfactually*: run the primary, and if its virtual
+        duration exceeded the hedge delay — i.e. the hedge would have
+        launched — run the hedge leg too and settle on what a concurrent
+        world would have seen: ``min(d_primary, delay + d_hedge)``.  The
+        global clock still pays for both legs (hedges are real extra
+        load), but the *call's* effective latency, the ``request`` event
+        duration, and the latency tracker all reflect the winner — which
+        is what makes seeded tail-latency assertions meaningful.
+        """
+        clock = self.context.clock
+        started = clock.now()
+        primary_exc: Optional[Exception] = None
+        result = None
+        try:
+            result = client.invoke(invocation)
+        except (TransportError, ProtocolError) as exc:
+            primary_exc = exc
+        primary_latency = clock.now() - started
+        if primary_latency <= delay:
+            # The hedge would never have launched; surface the primary
+            # outcome unchanged (failures go to the normal retry loop).
+            if primary_exc is not None:
+                raise primary_exc
+            return result, primary_latency
+        hedge_entry = self._hedge_entry(context_id, protocols, entry,
+                                        demoted)
+        self._emit("hedge", method=method, proto_id=entry.proto_id,
+                   hedge_proto=hedge_entry.proto_id, delay=delay)
+        hedge_client = self._fresh_client(hedge_entry)
+        hedge_started = clock.now()
+        hedge_exc: Optional[Exception] = None
+        hedge_result = None
+        try:
+            hedge_result = hedge_client.invoke(invocation)
+        except (TransportError, ProtocolError) as exc:
+            hedge_exc = exc
+        finally:
+            try:
+                hedge_client.close()
+            except Exception:  # noqa: BLE001 - loser teardown
+                pass
+        hedged_latency = delay + (clock.now() - hedge_started)
+        if hedge_exc is None and (primary_exc is not None
+                                  or hedged_latency < primary_latency):
+            self.breakers.record_success(context_id, hedge_entry.proto_id)
+            self._emit("hedge_win", method=method,
+                       proto_id=hedge_entry.proto_id,
+                       primary_proto=entry.proto_id,
+                       latency=hedged_latency,
+                       primary_latency=None if primary_exc is not None
+                       else primary_latency)
+            return hedge_result, hedged_latency
+        if primary_exc is not None:
+            # Both legs failed: the primary error drives retry/failover.
+            raise primary_exc
+        if hedge_exc is not None:
+            self.breakers.record_failure(context_id, hedge_entry.proto_id)
+        self._emit("hedge_loss", method=method, proto_id=entry.proto_id,
+                   hedge_proto=hedge_entry.proto_id,
+                   latency=primary_latency)
+        return result, primary_latency
+
+    def _hedged_wall(self, context_id: str, protocols, entry: ProtocolEntry,
+                     client: ProtocolClient, invocation: Invocation,
+                     method: str, demoted: set,
+                     delay: float) -> Tuple[Any, float]:
+        """Hedging over real transports: a genuine two-leg race on the
+        context's hedge executor.  First reply wins; the loser's client
+        is closed so its connection (and thread) unwind promptly."""
+        clock = self.context.clock
+        executor = self.context.hedge_executor
+        started = clock.now()
+        primary = executor.submit(client.invoke, invocation)
+        done, _ = _await_futures([primary], timeout=delay)
+        if primary in done:
+            return primary.result(), clock.now() - started
+        hedge_entry = self._hedge_entry(context_id, protocols, entry,
+                                        demoted)
+        self._emit("hedge", method=method, proto_id=entry.proto_id,
+                   hedge_proto=hedge_entry.proto_id, delay=delay)
+        hedge_client = self._fresh_client(hedge_entry)
+        hedge = executor.submit(hedge_client.invoke, invocation)
+
+        def abandon(future: Future, loser_close) -> None:
+            future.cancel()
+
+            def reap(f: Future) -> None:
+                try:
+                    f.exception()
+                except Exception:  # noqa: BLE001 - incl. CancelledError
+                    pass
+                loser_close()
+            future.add_done_callback(reap)
+
+        outcomes: Dict[Future, Optional[BaseException]] = {}
+        pending = {primary, hedge}
+        while pending:
+            done, pending = _await_futures(pending,
+                                           return_when=FIRST_COMPLETED)
+            for future in done:
+                outcomes[future] = future.exception()
+            if outcomes.get(primary, False) is None:
+                # Primary succeeded: it wins ties by construction.
+                self._emit("hedge_loss", method=method,
+                           proto_id=entry.proto_id,
+                           hedge_proto=hedge_entry.proto_id,
+                           latency=clock.now() - started)
+                if hedge not in outcomes:
+                    abandon(hedge, lambda: _close_quietly(hedge_client))
+                else:
+                    _close_quietly(hedge_client)
+                return primary.result(), clock.now() - started
+            if outcomes.get(hedge, False) is None:
+                latency = clock.now() - started
+                self.breakers.record_success(context_id,
+                                             hedge_entry.proto_id)
+                self._emit("hedge_win", method=method,
+                           proto_id=hedge_entry.proto_id,
+                           primary_proto=entry.proto_id, latency=latency,
+                           primary_latency=None)
+                result = hedge.result()
+                _close_quietly(hedge_client)
+                if primary not in outcomes:
+                    # Tear the primary's connection down so its thread
+                    # unwinds; the next use of the entry redials.
+                    abandon(primary, lambda: self._evict_client(entry))
+                return result, latency
+            if hedge in outcomes and outcomes[hedge] is not None:
+                self.breakers.record_failure(context_id,
+                                             hedge_entry.proto_id)
+        # Both legs failed: surface the primary error to the retry loop.
+        _close_quietly(hedge_client)
+        raise outcomes[primary]
+
+    # -- the recovery loop -----------------------------------------------------
+
     def _invoke(self, method: str, args: tuple,
                 oneway: bool = False) -> Any:
+        oref = self._snapshot()
         # Fail fast on interface violations without a round trip.
-        if method not in self.oref.interface.methods:
+        if method not in oref.interface.methods:
             raise InterfaceError(
-                f"interface {self.oref.interface.name!r} does not expose "
+                f"interface {oref.interface.name!r} does not expose "
                 f"{method!r}")
-        invocation = Invocation(object_id=self.oref.object_id,
+        invocation = Invocation(object_id=oref.object_id,
                                 method=method, args=tuple(args),
                                 oneway=oneway)
         policy = self.retry_policy
         clock = self.context.clock
+        context_id = oref.context_id
+        # The shared per-peer retry budget: the first attempt is offered
+        # load and deposits; only retries withdraw.
+        budget = self.context.retry_budgets.get(context_id)
+        budget.deposit()
         deadline = None if policy.deadline is None \
             else clock.now() + policy.deadline
         attempts: list = []
@@ -235,7 +517,8 @@ class GlobalPointer:
         failures = 0
         hops = 0
         while True:
-            entry = self._select_for_attempt(demoted, attempts)
+            entry = self._select_for_attempt(context_id, oref.protocols,
+                                             demoted, attempts)
             if failed_entry is not None and entry is not failed_entry:
                 self._emit("failover", method=method,
                            from_proto=failed_entry.proto_id,
@@ -245,20 +528,26 @@ class GlobalPointer:
                        method=method)
             started = clock.now()
             try:
-                result = client.invoke(invocation)
+                result, duration = self._attempt(
+                    oref, context_id, oref.protocols, entry, client,
+                    invocation, method, demoted)
             except ObjectMovedError as moved:
                 if moved.forward is None:
                     raise
                 hops += 1
                 if hops >= MAX_FORWARD_HOPS:
                     raise RemoteInvocationError(
-                        f"object {self.oref.object_id} still moving after "
+                        f"object {oref.object_id} still moving after "
                         f"{MAX_FORWARD_HOPS} forwarding hops")
                 self._emit("moved", forward=moved.forward,
-                           from_context=self.oref.context_id,
+                           from_context=context_id,
                            to_context=moved.forward.context_id)
                 self.update_reference(moved.forward)
-                # New OR, new table: demotions no longer apply.
+                # New OR, new table: re-snapshot, demotions no longer
+                # apply, and retries now charge the new peer's budget.
+                oref = self._snapshot()
+                context_id = oref.context_id
+                budget = self.context.retry_budgets.get(context_id)
                 demoted.clear()
                 failed_entry = None
                 continue
@@ -269,8 +558,7 @@ class GlobalPointer:
                 self._emit("request", method=method,
                            proto_id=entry.proto_id, outcome="error",
                            error=exc, duration=clock.now() - started)
-                self.breakers.record_failure(self.oref.context_id,
-                                             entry.proto_id)
+                self.breakers.record_failure(context_id, entry.proto_id)
                 self._evict_client(entry)
                 failures += 1
                 dispatched = bool(
@@ -289,22 +577,33 @@ class GlobalPointer:
                     demoted.add(id(entry))
                     failed_entry = entry
                     try:
-                        self.select_protocol(_demoted=demoted)
+                        self._select(context_id, oref.protocols,
+                                     _demoted=demoted)
                     except (NoApplicableProtocolError, CircuitOpenError):
                         raise exc from None
                     continue
-                if not self._may_retry(method, dispatched):
+                if not self._may_retry(oref, method, dispatched):
                     raise
                 if failures >= policy.max_attempts:
                     raise RetryExhaustedError(
                         f"invocation of {method!r} on "
-                        f"{self.oref.object_id} failed after {failures} "
+                        f"{oref.object_id} failed after {failures} "
                         f"attempts", attempts) from exc
                 pause = policy.backoff(failures)
                 if deadline is not None and clock.now() + pause > deadline:
                     raise DeadlineExceededError(
                         f"deadline of {policy.deadline}s exceeded after "
                         f"{failures} attempts on {method!r}",
+                        attempts) from exc
+                if not budget.try_withdraw():
+                    self._emit("budget_exhausted", method=method,
+                               context_id=context_id,
+                               proto_id=entry.proto_id,
+                               attempt=failures, tokens=budget.tokens)
+                    raise RetryBudgetExhaustedError(
+                        f"shared retry budget for peer {context_id!r} "
+                        f"exhausted after {failures} attempt(s) on "
+                        f"{method!r} (retrying would amplify load)",
                         attempts) from exc
                 demoted.add(id(entry))
                 failed_entry = entry
@@ -318,10 +617,11 @@ class GlobalPointer:
                            proto_id=entry.proto_id, outcome="error",
                            error=exc, duration=clock.now() - started)
                 raise
-            self.breakers.record_success(self.oref.context_id,
-                                         entry.proto_id)
+            self.breakers.record_success(context_id, entry.proto_id)
+            self.context.latencies.observe(context_id, entry.proto_id,
+                                           duration)
             self._emit("request", method=method, proto_id=entry.proto_id,
-                       outcome="ok", duration=clock.now() - started)
+                       outcome="ok", duration=duration)
             return result
 
     def invoke(self, method: str, *args) -> Any:
@@ -335,7 +635,8 @@ class GlobalPointer:
     def invoke_async(self, method: str, *args) -> "Future[Any]":
         """Asynchronous invocation.
 
-        Real transports run in a per-GP worker pool; simulated contexts
+        Real transports run on the *context's* shared worker pool (one
+        pool per context, not four threads per GP); simulated contexts
         execute inline (the virtual world is synchronous) and return an
         already-completed future, preserving the calling convention.
         """
@@ -347,10 +648,14 @@ class GlobalPointer:
                 future.set_exception(exc)
             return future
         with self._lock:
-            if self._executor is None:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=4, thread_name_prefix="gp-async")
-        return self._executor.submit(self._invoke, method, args)
+            if self._closed:
+                raise HpcError(
+                    f"GlobalPointer to {self.oref.object_id} is closed")
+        future = self.context.executor.submit(self._invoke, method, args)
+        with self._lock:
+            self._inflight.add(future)
+        future.add_done_callback(self._inflight.discard)
+        return future
 
     # ------------------------------------------------------------------
     # adaptivity
@@ -360,8 +665,13 @@ class GlobalPointer:
         """Adopt a new OR (migration notice or out-of-band refresh)."""
         if new_oref.object_id != self.oref.object_id:
             raise HpcError("replacement OR names a different object")
-        self._close_clients()
-        self.oref = new_oref.clone()
+        clone = new_oref.clone()
+        with self._lock:
+            victims = list(self._clients.values())
+            self._clients.clear()
+            self.oref = clone
+        for _entry, client in victims:
+            _close_quietly(client)
 
     def add_capability_stack(self, descriptors, *, prefer: bool = True,
                              applicability: Optional[str] = None) -> None:
@@ -383,15 +693,31 @@ class GlobalPointer:
             raise HpcError(f"server refused capability stack: "
                            f"{reply.get('error')}")
         entry = ProtocolEntry.from_wire(reply["entry"])
-        if prefer:
-            self.oref.protocols.insert(0, entry)
-        else:
-            self.oref.protocols.append(entry)
+        with self._lock:
+            protocols = list(self.oref.protocols)
+            if prefer:
+                protocols.insert(0, entry)
+            else:
+                protocols.append(entry)
+            self.oref.protocols = protocols
 
     def drop_protocol(self, proto_id: str) -> None:
-        """Remove every entry of the given protocol from this GP's OR."""
-        self.oref.protocols = [e for e in self.oref.protocols
-                               if e.proto_id != proto_id]
+        """Remove every entry of the given protocol from this GP's OR
+        and close the cached clients those entries were holding open —
+        a dropped protocol must not keep leaking live connections."""
+        with self._lock:
+            kept: List[ProtocolEntry] = []
+            victims: List[ProtocolClient] = []
+            for entry in self.oref.protocols:
+                if entry.proto_id == proto_id:
+                    cached = self._clients.pop(id(entry), None)
+                    if cached is not None:
+                        victims.append(cached[1])
+                else:
+                    kept.append(entry)
+            self.oref.protocols = kept
+        for client in victims:
+            _close_quietly(client)
 
     # ------------------------------------------------------------------
     # ergonomics
@@ -420,15 +746,44 @@ class GlobalPointer:
 
     def _close_clients(self) -> None:
         with self._lock:
-            for client in self._clients.values():
-                client.close()
+            victims = list(self._clients.values())
             self._clients.clear()
+        for _entry, client in victims:
+            _close_quietly(client)
 
-    def close(self) -> None:
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, wait: bool = True) -> None:
+        """Close this GP: drain in-flight async calls, then close the
+        cached clients.
+
+        Futures that have not started yet are cancelled; running ones
+        are waited for (``wait=False`` skips the drain), so an in-flight
+        ``invoke_async`` completes normally instead of dying with a
+        confusing transport error when its connection is yanked.  After
+        close, any invocation raises a clear :class:`HpcError`.
+        """
+        with self._lock:
+            if self._closed:
+                inflight: list = []
+            else:
+                self._closed = True
+                inflight = list(self._inflight)
+        for future in inflight:
+            future.cancel()
+        if wait and inflight:
+            _await_futures(inflight)
         self._close_clients()
-        if self._executor is not None:
-            self._executor.shutdown(wait=False)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<GlobalPointer {self.oref.object_id}@"
                 f"{self.oref.context_id} table={self.oref.proto_ids()}>")
+
+
+def _close_quietly(client: ProtocolClient) -> None:
+    try:
+        client.close()
+    except Exception:  # noqa: BLE001 - teardown of a possibly-dead link
+        pass

@@ -1,4 +1,4 @@
-"""Resilient invocation policy objects: retries and circuit breakers.
+"""Resilient invocation policy objects: retries, budgets, and breakers.
 
 The paper's ordered protocol table is an *adaptation* mechanism: when a
 protocol stops working the ORB can fall through to the next applicable
@@ -8,17 +8,29 @@ entry (§3.2).  This module supplies the policy half of that story:
   invocation, how long to back off between them (exponential with seeded
   jitter, so simulated runs are bit-for-bit reproducible), and an
   optional per-call deadline measured on the calling context's clock.
+* :class:`RetryBudget` — a token bucket shared by *all* concurrent calls
+  of a context to one peer: first attempts deposit a fraction of a
+  token, every backoff retry withdraws a whole one, so a flapping peer
+  is hit with a bounded retry load instead of ``callers x max_attempts``
+  (the amplification hazard of per-call budgets).
+* :class:`RetryBudgetRegistry` — one budget per remote context id,
+  owned by the calling context and consulted by every GP bound there.
 * :class:`CircuitBreaker` — the classic closed / open / half-open state
   machine over an arbitrary :class:`~repro.util.timing.TimeSource`; a
   peer that keeps failing is shed *before* it burns retry budget.
 * :class:`BreakerRegistry` — one breaker per ``(context_id, proto_id)``
   pair, shared by every GP bound in a context, publishing
   ``breaker_open`` / ``breaker_close`` events to the hook bus.
+* :class:`HedgePolicy` — when and how to race a second attempt for
+  retry-safe methods: after the tracked latency crosses a percentile,
+  not after the timeout (the paper's adaptive table, §3.2, made
+  proactive).
 
 All randomness comes from :class:`repro.security.prng.Pcg32`; nothing
 here reads the wall clock directly, so under a
 :class:`~repro.simnet.clock.VirtualClock` the whole recovery path is
-deterministic.
+deterministic (the budget and hedge trigger are pure counter/percentile
+arithmetic — no clock draws at all).
 """
 
 from __future__ import annotations
@@ -35,6 +47,9 @@ from repro.util.timing import TimeSource
 __all__ = [
     "AttemptRecord",
     "RetryPolicy",
+    "RetryBudget",
+    "RetryBudgetRegistry",
+    "HedgePolicy",
     "BreakerState",
     "CircuitBreaker",
     "BreakerRegistry",
@@ -118,6 +133,165 @@ class RetryPolicy:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"RetryPolicy(max_attempts={self.max_attempts}, "
                 f"base={self.base_backoff}, deadline={self.deadline})")
+
+
+class RetryBudget:
+    """Token-bucket retry budget shared across concurrent calls.
+
+    ``deposit()`` is called once per *logical* call (the first attempt
+    is always free — it is offered load, not amplification) and credits
+    ``deposit_per_call`` tokens, capped at ``max_tokens``.
+    ``try_withdraw()`` is called before every backoff retry and spends
+    ``withdraw_per_retry`` tokens; when the bucket cannot cover it the
+    retry is refused.  The steady-state effect is the classic ratio
+    budget: sustained retry traffic is bounded at
+    ``deposit_per_call / withdraw_per_retry`` of the offered load, plus
+    the ``max_tokens`` burst allowance.
+
+    The bucket starts full so a cold client can still ride out a brief
+    blip at full :class:`RetryPolicy` strength.  Purely counter-based —
+    no clock, no randomness — so budget decisions are bit-for-bit
+    deterministic under simulation.
+    """
+
+    def __init__(self, max_tokens: float = 10.0,
+                 deposit_per_call: float = 0.1,
+                 withdraw_per_retry: float = 1.0):
+        if max_tokens <= 0:
+            raise ValueError("max_tokens must be positive")
+        if deposit_per_call < 0:
+            raise ValueError("deposit_per_call must be non-negative")
+        if withdraw_per_retry <= 0:
+            raise ValueError("withdraw_per_retry must be positive")
+        self.max_tokens = float(max_tokens)
+        self.deposit_per_call = float(deposit_per_call)
+        self.withdraw_per_retry = float(withdraw_per_retry)
+        self._tokens = float(max_tokens)
+        self.deposits = 0          # logical calls seen
+        self.withdrawals = 0       # retries granted
+        self.refusals = 0          # retries refused
+        self._lock = threading.Lock()
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+    def deposit(self) -> None:
+        """Credit one logical call's worth of retry allowance."""
+        with self._lock:
+            self.deposits += 1
+            self._tokens = min(self._tokens + self.deposit_per_call,
+                               self.max_tokens)
+
+    def try_withdraw(self) -> bool:
+        """Spend one retry's worth of tokens; False when exhausted."""
+        with self._lock:
+            if self._tokens < self.withdraw_per_retry:
+                self.refusals += 1
+                return False
+            self._tokens -= self.withdraw_per_retry
+            self.withdrawals += 1
+            return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"RetryBudget(tokens={self._tokens:.2f}/"
+                f"{self.max_tokens}, retries={self.withdrawals}, "
+                f"refused={self.refusals})")
+
+
+class RetryBudgetRegistry:
+    """One :class:`RetryBudget` per remote context id.
+
+    Owned by the *calling* context; every GP bound there shares the
+    budget of the peer it talks to, which is exactly what bounds the
+    amplification of N concurrent ``invoke_async`` calls against one
+    flapping peer.
+    """
+
+    def __init__(self, max_tokens: float = 10.0,
+                 deposit_per_call: float = 0.1,
+                 withdraw_per_retry: float = 1.0):
+        self.max_tokens = max_tokens
+        self.deposit_per_call = deposit_per_call
+        self.withdraw_per_retry = withdraw_per_retry
+        self._budgets: Dict[str, RetryBudget] = {}
+        self._lock = threading.Lock()
+
+    def get(self, context_id: str) -> RetryBudget:
+        with self._lock:
+            budget = self._budgets.get(context_id)
+            if budget is None:
+                budget = RetryBudget(
+                    max_tokens=self.max_tokens,
+                    deposit_per_call=self.deposit_per_call,
+                    withdraw_per_retry=self.withdraw_per_retry)
+                self._budgets[context_id] = budget
+            return budget
+
+    def snapshot(self) -> Dict[str, float]:
+        """Remaining tokens per peer (diagnostics)."""
+        with self._lock:
+            return {cid: b.tokens for cid, b in self._budgets.items()}
+
+
+class HedgePolicy:
+    """When to race a second attempt for a retry-safe method.
+
+    A hedge fires once the primary attempt has been outstanding longer
+    than the ``quantile`` of the tracked latency distribution for the
+    same ``(peer context, protocol)`` pair; the second attempt runs on
+    the next-best applicable protocol-table entry (or a fresh connection
+    over the same entry when the table has no alternative) and the first
+    reply wins.  ``min_samples`` keeps the policy quiet until the
+    latency tracker has seen enough traffic to know what "slow" means;
+    ``min_delay``/``max_delay`` clamp the trigger.  ``max_hedges`` is
+    the number of extra attempts per logical call (only 1 is currently
+    raced).
+    """
+
+    def __init__(self, enabled: bool = True, quantile: float = 0.95,
+                 min_samples: int = 20, min_delay: float = 0.0,
+                 max_delay: Optional[float] = None, max_hedges: int = 1):
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if min_delay < 0:
+            raise ValueError("min_delay must be non-negative")
+        if max_delay is not None and max_delay < min_delay:
+            raise ValueError("max_delay must be >= min_delay")
+        if max_hedges < 0:
+            raise ValueError("max_hedges must be non-negative")
+        self.enabled = enabled
+        self.quantile = quantile
+        self.min_samples = min_samples
+        self.min_delay = min_delay
+        self.max_delay = max_delay
+        self.max_hedges = max_hedges
+
+    def hedge_delay(self, tracker) -> Optional[float]:
+        """Seconds to wait before hedging, or None to not hedge.
+
+        ``tracker`` is a
+        :class:`~repro.core.instrumentation.LatencyTracker` (anything
+        with ``count`` and ``quantile(q)``).
+        """
+        if not self.enabled or self.max_hedges < 1:
+            return None
+        if tracker is None or tracker.count < self.min_samples:
+            return None
+        delay = tracker.quantile(self.quantile)
+        if delay is None:
+            return None
+        delay = max(delay, self.min_delay)
+        if self.max_delay is not None:
+            delay = min(delay, self.max_delay)
+        return delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"HedgePolicy(enabled={self.enabled}, "
+                f"q={self.quantile}, min_samples={self.min_samples})")
 
 
 class BreakerState(enum.Enum):

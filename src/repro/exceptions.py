@@ -52,6 +52,7 @@ __all__ = [
     "MethodNotExposedError",
     "ResilienceError",
     "RetryExhaustedError",
+    "RetryBudgetExhaustedError",
     "DeadlineExceededError",
     "CircuitOpenError",
     "MigrationError",
@@ -228,6 +229,17 @@ class ResilienceError(RemoteInvocationError):
 
 class RetryExhaustedError(ResilienceError):
     """Every permitted attempt failed (see the carried attempt trail)."""
+
+
+class RetryBudgetExhaustedError(RetryExhaustedError):
+    """The context's shared per-peer retry budget refused the retry.
+
+    Distinct from plain :class:`RetryExhaustedError`: *this* call may
+    have attempts left under its own :class:`RetryPolicy`, but the
+    token bucket shared by every concurrent call to the same peer is
+    empty — retrying now would amplify load against a peer that is
+    already flapping.
+    """
 
 
 class DeadlineExceededError(ResilienceError):

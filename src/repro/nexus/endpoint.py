@@ -120,7 +120,13 @@ class Endpoint:
                     break
                 except HpcError:
                     continue  # timeout: poll the stop flag
-                self.handle_message(data, channel)
+                try:
+                    self.handle_message(data, channel)
+                except ChannelClosedError:
+                    # The peer hung up between request and reply (a
+                    # closed GP, an evicted hedge loser): an orderly
+                    # disconnect, not a server error.
+                    break
         finally:
             channel.close()
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 import time
 from typing import Protocol, runtime_checkable
 
-__all__ = ["TimeSource", "WallClock", "Stopwatch"]
+__all__ = ["TimeSource", "WallClock", "Stopwatch", "time_source"]
 
 
 @runtime_checkable
@@ -36,6 +36,25 @@ class WallClock:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "WallClock()"
+
+
+#: Shared fallback for owners without a clock of their own; monotonic,
+#: never ``time.time()``.
+_SHARED_WALL = WallClock()
+
+
+def time_source(owner) -> TimeSource:
+    """The :class:`TimeSource` an object should measure time on.
+
+    Returns ``owner.clock`` when it has one (a context under simulation
+    hands back the shared :class:`~repro.simnet.clock.VirtualClock`, so
+    time-dependent components stay deterministic); otherwise a shared
+    monotonic :class:`WallClock`.  This is the single sanctioned escape
+    hatch — components must never read ``time.time()`` directly, or
+    simulated runs stop being a pure function of the seed.
+    """
+    clock = getattr(owner, "clock", None)
+    return clock if clock is not None else _SHARED_WALL
 
 
 class Stopwatch:

@@ -511,3 +511,45 @@ class TestTracing:
         c.process(b"x", RequestMeta())
         c.clear()
         assert c.events == []
+
+
+class TestCapabilityClockSource:
+    """Regression: capability timestamps come from the owning context's
+    TimeSource (the shared VirtualClock under simulation) — never the
+    wall-clock epoch."""
+
+    def test_tracing_timestamps_follow_the_context_clock(self, ctx):
+        cap = make_capability({"type": "tracing"}, ctx, "client")
+        ctx.clock.advance_to(41.5)
+        cap.process(b"x", RequestMeta())
+        ctx.clock.advance(1.0)
+        cap.process_reply(b"y", RequestMeta())
+        assert [e.timestamp for e in cap.events] == \
+            [pytest.approx(41.5), pytest.approx(42.5)]
+
+    def test_lease_duration_resolves_against_the_context_clock(self, ctx):
+        ctx.clock.advance_to(100.0)
+        cap = make_capability(TimeLeaseCapability.lasting(5.0), ctx,
+                              "client")
+        # An epoch fallback would put expiry ~56 years in the future.
+        assert cap.expires_at == pytest.approx(105.0)
+        assert cap.remaining_seconds == pytest.approx(5.0)
+        ctx.clock.advance(5.1)
+        with pytest.raises(LeaseExpiredError):
+            cap.process(b"x", RequestMeta())
+
+    def test_contextless_capability_gets_the_shared_wall_source(self):
+        from repro.util.timing import time_source
+
+        class Bare:
+            keystore = None
+            sim = None
+            machine = None
+
+        bare = Bare()
+        cap = make_capability({"type": "tracing"}, bare, "client")
+        cap.process(b"x", RequestMeta())
+        # No context clock: falls back to the process-wide wall source,
+        # and both read the same timeline.
+        assert cap.events[0].timestamp == pytest.approx(
+            time_source(bare).now(), abs=5.0)

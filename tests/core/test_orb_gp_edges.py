@@ -61,8 +61,13 @@ class TestGpEdges:
         assert gp._clients
         gp.close()
         assert not gp._clients
-        # A closed GP can reconnect lazily on the next call.
-        assert gp.invoke("get") == 1
+        assert gp.closed
+        # A closed GP stays closed: invoking raises clearly instead of
+        # silently redialing connections the caller believes are gone.
+        with pytest.raises(HpcError, match="closed"):
+            gp.invoke("get")
+        # Re-binding the same OR yields a fresh, working GP.
+        assert client.bind(server.export(Counter())).invoke("get") == 0
 
     def test_gp_pool_is_private_copy(self, wall_pair):
         server, client = wall_pair
