@@ -1,18 +1,27 @@
-"""Cluster harness: multi-context deployments and synthetic workloads.
+"""Cluster harness: multi-context deployments, workloads, chaos runs.
 
 Utilities for standing up a simulated cluster (one or more contexts per
-machine, worker objects exported on each) and driving deterministic
+machine, worker objects exported on each), driving deterministic
 synthetic request streams against it — the machinery behind the
 load-balancing experiments (ABL-LB in DESIGN.md) and the larger
-examples.
+examples — and, via :class:`ChaosRun`, driving those workloads through
+seeded fault plans while recording per-bucket degradation curves.
 """
 
-from repro.cluster.node import ClusterNode, build_cluster
+from repro.cluster.chaos import ChaosReport, ChaosRun
+from repro.cluster.node import (
+    ClusterNode,
+    bind_workers,
+    build_cluster,
+)
 from repro.cluster.scheduler import PlacementScheduler
 from repro.cluster.workload import RequestSpec, SyntheticWorkload, WorkloadResult
 
 __all__ = [
+    "ChaosReport",
+    "ChaosRun",
     "ClusterNode",
+    "bind_workers",
     "build_cluster",
     "PlacementScheduler",
     "RequestSpec",

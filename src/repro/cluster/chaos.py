@@ -1,0 +1,140 @@
+"""ChaosRun: seeded fault-plan workloads with degradation curves.
+
+The last mile of the resilience story: drive a deterministic
+:class:`~repro.cluster.workload.SyntheticWorkload` through a phased
+:class:`~repro.faults.plan.FaultPlan` on a simulated cluster, aggregate
+every hook-bus event through a
+:class:`~repro.metrics.recorder.MetricsRecorder`, and emit a
+:class:`~repro.metrics.curves.DegradationCurve` — per-bucket goodput,
+error rate, latency percentiles, and retry/hedge volume — that
+:func:`~repro.metrics.curves.assert_degradation` can gate on.
+
+Determinism contract: the workload script, the plan's draws, the
+phase boundaries, and virtual time are all pure functions of their
+seeds, so an identically-seeded run yields a bucket-for-bucket
+identical curve, an identical metrics snapshot, and an equal
+:class:`~repro.cluster.workload.WorkloadResult`.  That is asserted in
+``tests/cluster/test_chaos.py`` and swept in
+``benchmarks/bench_chaos_sweep.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.workload import SyntheticWorkload, WorkloadResult
+from repro.core.instrumentation import GLOBAL_HOOKS, HookBus
+from repro.faults.plan import FaultPlan
+from repro.metrics.curves import DegradationCurve
+from repro.metrics.recorder import MetricsRecorder
+
+__all__ = ["ChaosRun", "ChaosReport"]
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run produced."""
+
+    result: WorkloadResult
+    curve: DegradationCurve
+    metrics: dict
+    recorder: MetricsRecorder = field(repr=False, compare=False,
+                                      default=None)
+
+    def to_dict(self) -> dict:
+        """Plain-dict view (``==``-comparable across seeded runs)."""
+        return {"result": self.result.to_dict(),
+                "curve": self.curve.to_dicts(),
+                "metrics": self.metrics}
+
+
+class ChaosRun:
+    """Drive a workload through a fault plan; measure the damage.
+
+    ``bucket_seconds`` sets the curve resolution (virtual seconds under
+    simulation).  The harness:
+
+    * installs the plan on the simulator (``sim.fault_plan``) if it is
+      not already there;
+    * gives the plan a **private hook bus** when it would otherwise
+      publish to ``GLOBAL_HOOKS`` (the GP publishes every event to the
+      global bus *too*, so recording both would double-count);
+    * attaches one :class:`MetricsRecorder` to every GP's bus (lazily,
+      as the workload resolves them) plus the plan's bus, and detaches
+      them all afterwards;
+    * fires the plan's scheduled phases (:meth:`FaultPlan.apply_until`)
+      as virtual time passes, before each request;
+    * records invocation failures instead of raising
+      (``on_error="record"``), so the error rate is data, not a crash.
+
+    A :class:`ChaosRun` may be re-run, but only with a rewound plan:
+    fault-plan rules and PRNG draws are consumed by traffic, so
+    re-running a consumed plan would *not* reproduce the first run.
+    :meth:`run` refuses (``ValueError``) until ``plan.reset()``.
+    """
+
+    def __init__(self, workload: SyntheticWorkload, plan: FaultPlan, *,
+                 bucket_seconds: float = 1.0,
+                 recorder: Optional[MetricsRecorder] = None):
+        self.workload = workload
+        self.plan = plan
+        self.bucket_seconds = bucket_seconds
+        self._recorder = recorder
+
+    def run(self, clients: List[dict], sim, *,
+            resolve: Optional[Callable] = None,
+            rebalance_every: int = 0,
+            rebalance: Optional[Callable[[], list]] = None
+            ) -> ChaosReport:
+        """Execute the workload under the plan; return the report."""
+        if self.plan.consumed:
+            raise ValueError(
+                "FaultPlan already consumed by a previous run; call "
+                "plan.reset() to rewind it before re-running")
+        if getattr(sim, "fault_plan", None) is not self.plan:
+            sim.fault_plan = self.plan
+        if self.plan.hooks is GLOBAL_HOOKS:
+            self.plan.hooks = HookBus()
+        recorder = self._recorder
+        if recorder is None:
+            recorder = MetricsRecorder(clock=sim.clock,
+                                       bucket_seconds=self.bucket_seconds)
+        attached: Dict[int, HookBus] = {}
+
+        def watch(bus: HookBus) -> None:
+            if id(bus) not in attached:
+                recorder.attach(bus)
+                attached[id(bus)] = bus
+
+        watch(self.plan.hooks)
+        if resolve is None:
+            for table in clients:
+                for gp in table.values():
+                    watch(gp.hooks)
+            inner_resolve = None
+        else:
+            def inner_resolve(ci, name):
+                gp = resolve(ci, name)
+                watch(gp.hooks)
+                return gp
+
+        t_start = sim.clock.now()
+        self.plan.apply_until(t_start)
+
+        def tick(i: int, req) -> None:
+            self.plan.apply_until(sim.clock.now())
+
+        try:
+            result = self.workload.run(
+                clients, sim, resolve=inner_resolve,
+                rebalance_every=rebalance_every, rebalance=rebalance,
+                before_request=tick, on_error="record")
+        finally:
+            for bus in attached.values():
+                recorder.detach(bus)
+        t_end = sim.clock.now()
+        curve = DegradationCurve.from_recorder(
+            recorder, t_start=t_start, t_end=t_end)
+        return ChaosReport(result=result, curve=curve,
+                           metrics=recorder.snapshot(), recorder=recorder)

@@ -17,7 +17,7 @@ from repro.core.objref import ObjectReference
 from repro.core.orb import ORB
 from repro.idl.interface import remote_interface, remote_method
 
-__all__ = ["WorkUnit", "ClusterNode", "build_cluster"]
+__all__ = ["WorkUnit", "ClusterNode", "build_cluster", "bind_workers"]
 
 
 @remote_interface("WorkUnit")
@@ -28,9 +28,13 @@ class WorkUnit:
         self.name = name
         self.calls = 0
 
-    @remote_method
+    @remote_method(retry_safe=True)
     def process(self, payload):
-        """Echo ``payload`` back (the classic bandwidth servant)."""
+        """Echo ``payload`` back (the classic bandwidth servant).
+
+        Marked ``retry_safe``: the echo is idempotent, so the resilience
+        layer may retry and hedge it — which is what chaos runs measure.
+        """
         self.calls += 1
         return payload
 
@@ -59,6 +63,19 @@ class ClusterNode:
         oref = self.context.export(WorkUnit(name), **export_kwargs)
         self.objects[name] = oref
         return oref
+
+
+def bind_workers(client_ctx: Context, nodes: List["ClusterNode"],
+                 **bind_kwargs) -> Dict[str, object]:
+    """One ``{object name: GlobalPointer}`` table over every worker in
+    ``nodes`` — the client side a workload or chaos run drives.
+    ``bind_kwargs`` (retry_policy, hedge_policy, ...) apply to every
+    binding."""
+    table = {}
+    for node in nodes:
+        for name, oref in node.objects.items():
+            table[name] = client_ctx.bind(oref, **bind_kwargs)
+    return table
 
 
 def build_cluster(orb: ORB, machine_names: List[str],

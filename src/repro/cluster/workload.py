@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.core.gp import GlobalPointer
+from repro.exceptions import HpcError
 from repro.security.prng import Pcg32
 from repro.util.stats import OnlineStats, percentile
 
@@ -34,20 +35,48 @@ class RequestSpec:
 
 @dataclass
 class WorkloadResult:
-    """Aggregate outcome of a workload run (virtual time)."""
+    """Aggregate outcome of a workload run (virtual time).
+
+    A fresh result is built by every :meth:`SyntheticWorkload.run` call
+    (reusing one workload instance is safe — nothing accumulates across
+    runs), and two results from identically-seeded runs compare equal
+    with ``==``.  ``latencies`` covers *successful* requests only;
+    failed ones (``on_error="record"``) are counted in :attr:`errors`.
+    """
 
     latencies: OnlineStats = field(default_factory=OnlineStats)
     per_object_requests: Dict[str, int] = field(default_factory=dict)
     makespan: float = 0.0
     migrations: int = 0
+    errors: int = 0
     _raw: List[float] = field(default_factory=list)
 
     @property
     def mean_latency(self) -> float:
         return self.latencies.mean
 
+    @property
+    def ok(self) -> int:
+        """Successful request count."""
+        return self.latencies.count
+
     def latency_percentile(self, q: float) -> float:
         return percentile(sorted(self._raw), q)
+
+    def to_dict(self) -> dict:
+        """Plain-dict summary (serializable, ``==``-comparable)."""
+        has_lat = bool(self._raw)
+        ordered = sorted(self._raw)
+        return {
+            "ok": self.ok,
+            "errors": self.errors,
+            "makespan": self.makespan,
+            "migrations": self.migrations,
+            "mean_latency": self.mean_latency if has_lat else None,
+            "p50": percentile(ordered, 50) if has_lat else None,
+            "p99": percentile(ordered, 99) if has_lat else None,
+            "per_object_requests": dict(self.per_object_requests),
+        }
 
 
 class SyntheticWorkload:
@@ -98,13 +127,29 @@ class SyntheticWorkload:
             *, resolve: Optional[Callable[[int, str], GlobalPointer]]
             = None,
             rebalance_every: int = 0,
-            rebalance: Optional[Callable[[], list]] = None
-            ) -> WorkloadResult:
+            rebalance: Optional[Callable[[], list]] = None,
+            before_request: Optional[Callable[[int, RequestSpec], None]]
+            = None,
+            on_error: str = "raise") -> WorkloadResult:
         """Execute the program in virtual time.
 
         ``clients`` is either a list of ``{object name: GP}`` dicts (one
         per client) or ``resolve(client_index, object_name)`` is given.
+
+        ``before_request(i, spec)`` (1-based ``i``) runs after the
+        request's think time has elapsed but before it is issued — the
+        chaos harness uses it to fire scheduled fault-plan phases at
+        the right virtual instant.  ``on_error`` is ``"raise"``
+        (default: the first invocation failure propagates) or
+        ``"record"`` (failures are counted in ``result.errors`` and the
+        run carries on — how a chaos run measures error rate instead of
+        dying at the first injected fault).
+
+        Every call builds and returns a **fresh** :class:`WorkloadResult`;
+        a workload instance may be reused and re-run freely.
         """
+        if on_error not in ("raise", "record"):
+            raise ValueError('on_error must be "raise" or "record"')
         if resolve is None:
             tables = clients
 
@@ -116,12 +161,20 @@ class SyntheticWorkload:
         payload = np.arange(self.payload_bytes, dtype=np.uint8)
         for i, req in enumerate(self.script(len(clients) or 1), start=1):
             sim.clock.advance(req.think_seconds)
+            if before_request is not None:
+                before_request(i, req)
             gp = resolve(req.client_index, req.object_name)
             t0 = sim.clock.now()
-            gp.invoke("process", payload[: req.payload_bytes])
-            latency = sim.clock.now() - t0
-            result.latencies.add(latency)
-            result._raw.append(latency)
+            try:
+                gp.invoke("process", payload[: req.payload_bytes])
+            except HpcError:
+                if on_error == "raise":
+                    raise
+                result.errors += 1
+            else:
+                latency = sim.clock.now() - t0
+                result.latencies.add(latency)
+                result._raw.append(latency)
             result.per_object_requests[req.object_name] = \
                 result.per_object_requests.get(req.object_name, 0) + 1
             if rebalance_every and rebalance is not None \

@@ -9,7 +9,12 @@ virtual-time and wall-clock halves of the library with one vocabulary.
 """
 
 from repro.faults.channel import FaultyChannel, FaultyTransport
-from repro.faults.plan import FaultDecision, FaultPlan, FaultRule
+from repro.faults.plan import (
+    FaultDecision,
+    FaultPlan,
+    FaultRule,
+    ScheduledAction,
+)
 
 __all__ = [
     "FaultPlan",
@@ -17,4 +22,5 @@ __all__ = [
     "FaultDecision",
     "FaultyChannel",
     "FaultyTransport",
+    "ScheduledAction",
 ]

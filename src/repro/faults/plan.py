@@ -17,16 +17,27 @@ Determinism: all probability draws come from one
 :class:`~repro.security.prng.Pcg32` seeded at construction, and rules
 fire on per-rule match counters — the same plan over the same message
 sequence always injects the same faults.  No wall-clock randomness.
+
+Plans can also be **phased**: :meth:`FaultPlan.schedule` registers
+actions at absolute (virtual) times — add or remove rules, partition or
+heal — and a driver (the chaos harness, or any loop with a clock) calls
+:meth:`FaultPlan.apply_until` as time passes.  Helpers cover the common
+shapes: :meth:`partition_at` / :meth:`heal_at`, :meth:`rule_between`
+(link degradation with scheduled recovery), and :meth:`flap_node`
+(a machine drops off the network for a window).  Each fired action
+publishes a ``fault_phase`` hook event.  :meth:`reset` rewinds the
+whole plan — counters, PRNG, partitions, scheduled actions — so one
+authored plan can drive repeated identical runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import Callable, List, Optional, Set, Tuple
 
 from repro.security.prng import Pcg32
 
-__all__ = ["FaultRule", "FaultDecision", "FaultPlan"]
+__all__ = ["FaultRule", "FaultDecision", "FaultPlan", "ScheduledAction"]
 
 #: Recognized fault kinds.
 FAULT_KINDS = frozenset({"drop", "delay", "corrupt", "disconnect"})
@@ -88,6 +99,17 @@ class FaultDecision:
     rule: Optional[FaultRule] = None
 
 
+@dataclass
+class ScheduledAction:
+    """One timed plan mutation (fired at most once per run)."""
+
+    at: float
+    seq: int
+    action: Callable[["FaultPlan"], None]
+    label: str = ""
+    fired: bool = field(default=False, compare=False)
+
+
 class FaultPlan:
     """Seeded, deterministic fault script.
 
@@ -102,9 +124,15 @@ class FaultPlan:
         self._rng = Pcg32(seed, stream=0xFA17)
         self.rules: List[FaultRule] = []
         self.partitions: List[Tuple[Set[str], Set[str]]] = []
+        self._authored_partitions: List[Tuple[Set[str], Set[str]]] = []
         #: Every injected fault, in order (kind, detail) — the audit log
         #: tests assert determinism against.
         self.injected: List[Tuple[str, str]] = []
+        #: Timed plan mutations consumed by :meth:`apply_until`.
+        self.scheduled: List[ScheduledAction] = []
+        self._schedule_seq = 0
+        self._in_scheduled = False
+        self._transient_rule_ids: Set[int] = set()
         if hooks is None:
             from repro.core.instrumentation import GLOBAL_HOOKS
             hooks = GLOBAL_HOOKS
@@ -116,7 +144,19 @@ class FaultPlan:
 
     def add(self, rule: FaultRule) -> FaultRule:
         self.rules.append(rule)
+        if self._in_scheduled:
+            # Added by a timed action: removed again by reset(), so a
+            # rewound plan starts from its *authored* rule set.
+            self._transient_rule_ids.add(id(rule))
         return rule
+
+    def remove(self, rule: FaultRule) -> None:
+        """Remove a rule (identity match); unknown rules are ignored."""
+        for i, existing in enumerate(self.rules):
+            if existing is rule:
+                del self.rules[i]
+                self._transient_rule_ids.discard(id(rule))
+                return
 
     def drop(self, **kw) -> FaultRule:
         return self.add(FaultRule("drop", **kw))
@@ -136,10 +176,129 @@ class FaultPlan:
         if a & b:
             raise ValueError("partition groups must be disjoint")
         self.partitions.append((a, b))
+        if not self._in_scheduled:
+            self._authored_partitions.append((set(a), set(b)))
 
     def heal(self) -> None:
         """Remove every partition (link rules keep applying)."""
         self.partitions.clear()
+        if not self._in_scheduled:
+            self._authored_partitions.clear()
+
+    def unpartition(self, group_a, group_b) -> None:
+        """Heal one specific partition (group order irrelevant)."""
+        key = {frozenset(group_a), frozenset(group_b)}
+        self.partitions = [(pa, pb) for pa, pb in self.partitions
+                           if {frozenset(pa), frozenset(pb)} != key]
+        if not self._in_scheduled:
+            self._authored_partitions = [
+                (pa, pb) for pa, pb in self._authored_partitions
+                if {frozenset(pa), frozenset(pb)} != key]
+
+    # ------------------------------------------------------------------
+    # phase / recovery scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, at: float, action: Callable[["FaultPlan"], None],
+                 label: str = "") -> ScheduledAction:
+        """Run ``action(plan)`` once time reaches ``at`` (see
+        :meth:`apply_until`).  Ties fire in registration order."""
+        if at < 0:
+            raise ValueError("schedule time must be non-negative")
+        entry = ScheduledAction(at=at, seq=self._schedule_seq,
+                                action=action, label=label)
+        self._schedule_seq += 1
+        self.scheduled.append(entry)
+        return entry
+
+    def partition_at(self, at: float, group_a, group_b) -> ScheduledAction:
+        """Sever two machine groups once time reaches ``at``."""
+        a, b = set(group_a), set(group_b)
+        if a & b:
+            raise ValueError("partition groups must be disjoint")
+        return self.schedule(at, lambda plan: plan.partition(a, b),
+                             label=f"partition {sorted(a)}|{sorted(b)}")
+
+    def heal_at(self, at: float) -> ScheduledAction:
+        """Remove every partition once time reaches ``at``."""
+        return self.schedule(at, lambda plan: plan.heal(), label="heal")
+
+    def rule_between(self, start: float, stop: float,
+                     rule: FaultRule) -> FaultRule:
+        """Apply ``rule`` only inside the window ``[start, stop)`` —
+        link degradation with scheduled recovery."""
+        if stop <= start:
+            raise ValueError("rule window must end after it starts")
+        self.schedule(start, lambda plan: plan.add(rule),
+                      label=f"begin {rule.kind}")
+        self.schedule(stop, lambda plan: plan.remove(rule),
+                      label=f"end {rule.kind}")
+        return rule
+
+    def flap_node(self, machine: str, others, at: float,
+                  duration: float) -> None:
+        """Drop ``machine`` off the network for ``duration`` seconds
+        starting at ``at`` (partition against ``others``, then heal
+        just that partition)."""
+        if duration <= 0:
+            raise ValueError("flap duration must be positive")
+        group_a, group_b = {machine}, set(others) - {machine}
+        if not group_b:
+            raise ValueError("flap needs at least one other machine")
+        self.schedule(at, lambda plan: plan.partition(group_a, group_b),
+                      label=f"flap {machine} down")
+        self.schedule(at + duration,
+                      lambda plan: plan.unpartition(group_a, group_b),
+                      label=f"flap {machine} up")
+
+    def apply_until(self, now: float) -> List[ScheduledAction]:
+        """Fire every not-yet-fired action scheduled at or before
+        ``now``, in (time, registration) order; returns those fired.
+        Drivers call this as their clock advances — under simulation
+        that makes phase boundaries exact virtual-time events."""
+        due = sorted((a for a in self.scheduled
+                      if not a.fired and a.at <= now),
+                     key=lambda a: (a.at, a.seq))
+        for entry in due:
+            entry.fired = True
+            self._in_scheduled = True
+            try:
+                entry.action(self)
+            finally:
+                self._in_scheduled = False
+            self.hooks.emit("fault_phase", at=entry.at, now=now,
+                            label=entry.label)
+        return due
+
+    # ------------------------------------------------------------------
+    # reuse
+    # ------------------------------------------------------------------
+
+    @property
+    def consumed(self) -> bool:
+        """True once the plan has seen traffic or fired a phase."""
+        return (bool(self.injected)
+                or any(a.fired for a in self.scheduled)
+                or any(r.seen or r.fired for r in self.rules))
+
+    def reset(self) -> None:
+        """Rewind the plan to its freshly-authored state: PRNG
+        re-seeded, rule counters cleared, partitions healed, scheduled
+        actions un-fired, audit log emptied.  Rules that were *added by*
+        scheduled actions are removed, so a replayed plan mutates
+        itself identically."""
+        self._rng = Pcg32(self.seed, stream=0xFA17)
+        self.rules = [r for r in self.rules
+                      if id(r) not in self._transient_rule_ids]
+        self._transient_rule_ids.clear()
+        for rule in self.rules:
+            rule.seen = 0
+            rule.fired = 0
+        self.partitions = [(set(a), set(b))
+                           for a, b in self._authored_partitions]
+        self.injected.clear()
+        for entry in self.scheduled:
+            entry.fired = False
 
     # ------------------------------------------------------------------
     # decision points

@@ -1,0 +1,48 @@
+"""Metrics: aggregation over the observability hook bus.
+
+The hook bus (:mod:`repro.core.instrumentation`) is the ORB's raw event
+feed; this package is the measurement layer on top of it:
+
+* :mod:`repro.metrics.core` — instruments (counters, gauges,
+  nearest-rank histograms, time-bucketed series on a ``TimeSource``)
+  and the :class:`MetricsRegistry` that snapshots them as plain dicts;
+* :mod:`repro.metrics.recorder` — :class:`MetricsRecorder`, which
+  subscribes to hook buses and aggregates every published event;
+* :mod:`repro.metrics.curves` — :class:`DegradationCurve` and the
+  :func:`assert_degradation` envelope check used by chaos tests.
+
+Everything here is deterministic under simulation: same seed, same
+event sequence, bit-for-bit identical snapshot.  The event → metric
+contract is documented in docs/EVENTS.md.
+"""
+
+from repro.metrics.core import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+    nearest_rank,
+)
+from repro.metrics.curves import (
+    CurveBucket,
+    DegradationCurve,
+    DegradationEnvelopeError,
+    assert_degradation,
+)
+from repro.metrics.recorder import RECORDED_EVENTS, MetricsRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimeSeries",
+    "MetricsRegistry",
+    "MetricsRecorder",
+    "RECORDED_EVENTS",
+    "CurveBucket",
+    "DegradationCurve",
+    "DegradationEnvelopeError",
+    "assert_degradation",
+    "nearest_rank",
+]

@@ -1,0 +1,195 @@
+"""Degradation curves and the envelope assertion API.
+
+A :class:`DegradationCurve` is the per-time-bucket health of a workload
+run: goodput (successful requests per second), error rate, latency
+percentiles, and the retry/hedge volume the resilience layer paid to
+keep goodput up.  It is built from a
+:class:`~repro.metrics.recorder.MetricsRecorder`'s time series over a
+known run window, with empty buckets filled in explicitly — a total
+outage shows up as a zero-goodput bucket, not a gap.
+
+:func:`assert_degradation` is the envelope check chaos tests gate on:
+*the dip may be at most this deep, and goodput must be back within that
+many seconds of the trough*.  Violations raise
+:class:`DegradationEnvelopeError` (an ``AssertionError``, so plain
+pytest reporting applies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["CurveBucket", "DegradationCurve", "DegradationEnvelopeError",
+           "assert_degradation"]
+
+
+class DegradationEnvelopeError(AssertionError):
+    """A degradation curve left its allowed envelope."""
+
+
+@dataclass(frozen=True)
+class CurveBucket:
+    """One time bucket of a degradation curve."""
+
+    index: int
+    start: float
+    duration: float
+    requests: int            # completed invocations (ok + error)
+    ok: int
+    errors: int
+    goodput: float           # successful requests / second
+    error_rate: float        # errors / completed (0.0 when idle)
+    p50: Optional[float]     # latency quantiles of successful requests
+    p99: Optional[float]
+    retries: int
+    hedges: int
+    faults: int              # injected faults landing in this bucket
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index, "start": self.start,
+            "duration": self.duration, "requests": self.requests,
+            "ok": self.ok, "errors": self.errors,
+            "goodput": self.goodput, "error_rate": self.error_rate,
+            "p50": self.p50, "p99": self.p99, "retries": self.retries,
+            "hedges": self.hedges, "faults": self.faults,
+        }
+
+
+@dataclass
+class DegradationCurve:
+    """Bucketed health of one run, gap-free over the run window."""
+
+    bucket_seconds: float
+    buckets: List[CurveBucket] = field(default_factory=list)
+
+    @classmethod
+    def from_recorder(cls, recorder, *, t_start: float,
+                      t_end: float) -> "DegradationCurve":
+        """Build the curve for the window ``[t_start, t_end]`` from a
+        recorder's ``requests``/``errors``/``latency``/``retries``/
+        ``hedges``/``faults`` series."""
+        reg = recorder.registry
+        dt = reg.bucket_seconds
+        series = {name: {b["bucket"]: b
+                         for b in reg.series(name).snapshot()}
+                  for name in ("requests", "errors", "latency",
+                               "retries", "hedges", "faults")}
+        first = int(t_start // dt)
+        last = max(first, int(t_end // dt))
+        buckets = []
+        for index in range(first, last + 1):
+            ok = series["requests"].get(index, {}).get("count", 0)
+            errors = series["errors"].get(index, {}).get("count", 0)
+            latency = series["latency"].get(index, {})
+            completed = ok + errors
+            # Edge buckets are only partially covered by the run window;
+            # goodput is normalized by covered time so a run ending
+            # mid-bucket does not fake a throughput collapse.
+            covered = (min((index + 1) * dt, t_end)
+                       - max(index * dt, t_start))
+            if covered <= 0 and completed == 0 and index > first:
+                continue
+            covered = max(covered, dt * 1e-9)
+            buckets.append(CurveBucket(
+                index=index,
+                start=index * dt,
+                duration=covered,
+                requests=completed,
+                ok=ok,
+                errors=errors,
+                goodput=ok / covered,
+                error_rate=(errors / completed) if completed else 0.0,
+                p50=latency.get("p50"),
+                p99=latency.get("p99"),
+                retries=series["retries"].get(index, {}).get("count", 0),
+                hedges=series["hedges"].get(index, {}).get("count", 0),
+                faults=series["faults"].get(index, {}).get("count", 0),
+            ))
+        return cls(bucket_seconds=dt, buckets=buckets)
+
+    # -- views ------------------------------------------------------------
+
+    def goodputs(self) -> List[float]:
+        return [b.goodput for b in self.buckets]
+
+    def error_rates(self) -> List[float]:
+        return [b.error_rate for b in self.buckets]
+
+    def to_dicts(self) -> List[dict]:
+        """Plain-dict buckets (``==``-comparable across runs)."""
+        return [b.to_dict() for b in self.buckets]
+
+    def __len__(self) -> int:
+        return len(self.buckets)
+
+    def format_table(self) -> str:
+        """Human-readable bucket table (used by the chaos benchmark)."""
+        lines = [f"{'t':>6}  {'good/s':>7}  {'err%':>5}  {'p50 ms':>7}  "
+                 f"{'p99 ms':>7}  {'retry':>5}  {'hedge':>5}  {'fault':>5}"]
+        for b in self.buckets:
+            p50 = "-" if b.p50 is None else f"{b.p50 * 1e3:.2f}"
+            p99 = "-" if b.p99 is None else f"{b.p99 * 1e3:.2f}"
+            lines.append(
+                f"{b.start:>6.1f}  {b.goodput:>7.1f}  "
+                f"{b.error_rate * 100:>5.1f}  {p50:>7}  {p99:>7}  "
+                f"{b.retries:>5}  {b.hedges:>5}  {b.faults:>5}")
+        return "\n".join(lines)
+
+
+def assert_degradation(curve: DegradationCurve, *,
+                       max_dip: Optional[float] = None,
+                       recover_within: Optional[float] = None,
+                       recovered_fraction: float = 0.8,
+                       baseline_buckets: int = 1) -> dict:
+    """Assert ``curve`` stays inside a degradation envelope.
+
+    ``baseline_buckets``
+        goodput baseline = mean of the first N buckets (run the first
+        phase of a chaos plan fault-free so the baseline is honest);
+    ``max_dip``
+        deepest allowed relative dip: the worst bucket's goodput must
+        stay >= ``baseline * (1 - max_dip)``;
+    ``recover_within``
+        seconds after the trough bucket's start by which some bucket
+        must climb back to ``recovered_fraction * baseline``.
+
+    Returns a summary dict (baseline, trough, dip, recovery time) for
+    reporting; raises :class:`DegradationEnvelopeError` on violation.
+    """
+    if not curve.buckets:
+        raise DegradationEnvelopeError("empty degradation curve")
+    if not 1 <= baseline_buckets <= len(curve.buckets):
+        raise ValueError("baseline_buckets out of range")
+    head = curve.buckets[:baseline_buckets]
+    baseline = sum(b.goodput for b in head) / len(head)
+    if baseline <= 0:
+        raise DegradationEnvelopeError(
+            "baseline goodput is zero — nothing to degrade from "
+            f"(first {baseline_buckets} bucket(s))")
+    trough = min(curve.buckets, key=lambda b: b.goodput)
+    dip = 1.0 - trough.goodput / baseline
+    if max_dip is not None and dip > max_dip:
+        raise DegradationEnvelopeError(
+            f"goodput dipped {dip:.1%} below baseline at t={trough.start}"
+            f" (allowed {max_dip:.1%}): {trough.goodput:.2f}/s vs "
+            f"baseline {baseline:.2f}/s")
+    recovery_at: Optional[float] = None
+    threshold = recovered_fraction * baseline
+    for bucket in curve.buckets:
+        if bucket.start >= trough.start and bucket.goodput >= threshold:
+            recovery_at = bucket.start
+            break
+    if recover_within is not None:
+        deadline = trough.start + recover_within
+        if recovery_at is None or recovery_at > deadline:
+            where = "never" if recovery_at is None else \
+                f"at t={recovery_at}"
+            raise DegradationEnvelopeError(
+                f"goodput did not recover to {recovered_fraction:.0%} of "
+                f"baseline ({threshold:.2f}/s) within {recover_within}s "
+                f"of the trough at t={trough.start} (recovered {where})")
+    return {"baseline": baseline, "trough_start": trough.start,
+            "trough_goodput": trough.goodput, "dip": dip,
+            "recovered_at": recovery_at}

@@ -1,0 +1,174 @@
+"""MetricsRecorder: aggregate the hook bus into a metrics registry.
+
+The hook bus (:mod:`repro.core.instrumentation`) publishes raw events;
+this module turns them into counters, latency histograms, and
+time-bucketed series — the observing half of Open Implementation with
+aggregation, so a test or an operator can read "error rate in bucket
+7" instead of replaying a callback trail.
+
+The event → metric contract implemented here is **documented in
+docs/EVENTS.md** and enforced by ``tests/docs/test_events_doc.py``;
+change one, change both.
+
+Attachment: a recorder can attach to any number of
+:class:`~repro.core.instrumentation.HookBus`es (each GP has one, fault
+plans have one, plus the global bus).  Attaching twice to the same bus
+is a no-op, so fan-in over many GPs cannot double-count.  **Do not**
+attach one recorder to both a GP's bus and ``GLOBAL_HOOKS`` — the GP
+publishes every event to both, so that *would* double-count.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.instrumentation import HookBus, HookEvent
+from repro.metrics.core import MetricsRegistry
+from repro.util.timing import TimeSource
+
+__all__ = ["MetricsRecorder", "RECORDED_EVENTS"]
+
+#: Every hook-bus event the recorder aggregates (the full vocabulary
+#: emitted anywhere in ``src/repro`` — see docs/EVENTS.md).
+RECORDED_EVENTS = (
+    "selection",
+    "request",
+    "moved",
+    "migration",
+    "retry",
+    "failover",
+    "breaker_open",
+    "breaker_close",
+    "budget_exhausted",
+    "hedge",
+    "hedge_win",
+    "hedge_loss",
+    "fault_injected",
+    "fault_phase",
+)
+
+
+class MetricsRecorder:
+    """Subscribe to hook buses; expose aggregated, snapshottable metrics.
+
+    >>> from repro.core.instrumentation import HookBus
+    >>> bus = HookBus()
+    >>> rec = MetricsRecorder().attach(bus)
+    >>> bus.emit("request", method="m", proto_id="nexus",
+    ...          outcome="ok", duration=0.004)
+    >>> rec.snapshot()["counters"]["requests_ok"]
+    1.0
+    """
+
+    def __init__(self, *, clock: Optional[TimeSource] = None,
+                 bucket_seconds: float = 1.0,
+                 registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else \
+            MetricsRegistry(clock=clock, bucket_seconds=bucket_seconds)
+        self._attached: Dict[int, Tuple[HookBus, List[tuple]]] = {}
+        self._lock = threading.Lock()
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, bus: HookBus) -> "MetricsRecorder":
+        """Subscribe to every recorded event on ``bus`` (idempotent)."""
+        with self._lock:
+            if id(bus) in self._attached:
+                return self
+            handlers = []
+            for kind in RECORDED_EVENTS:
+                handler = self._handle        # one shared bound method
+                bus.on(kind, handler)
+                handlers.append((kind, handler))
+            self._attached[id(bus)] = (bus, handlers)
+        return self
+
+    def detach(self, bus: Optional[HookBus] = None) -> None:
+        """Unsubscribe from ``bus``, or from every attached bus."""
+        with self._lock:
+            if bus is not None:
+                targets = [id(bus)] if id(bus) in self._attached else []
+            else:
+                targets = list(self._attached)
+            for key in targets:
+                attached_bus, handlers = self._attached.pop(key)
+                for kind, handler in handlers:
+                    attached_bus.off(kind, handler)
+
+    @property
+    def attached_buses(self) -> int:
+        return len(self._attached)
+
+    # -- aggregation ------------------------------------------------------
+
+    def _handle(self, event: HookEvent) -> None:
+        reg = self.registry
+        kind = event.kind
+        data = event.data
+        if kind == "request":
+            reg.counter("requests_total").inc()
+            if data.get("outcome") == "ok":
+                reg.counter("requests_ok").inc()
+                duration = data.get("duration")
+                if duration is not None:
+                    reg.histogram("request_latency_seconds").observe(duration)
+                    reg.series("latency").observe(duration)
+                reg.series("requests").observe(1.0)
+            else:
+                reg.counter("requests_error").inc()
+                reg.series("errors").observe(1.0)
+        elif kind == "retry":
+            reg.counter("retries_total").inc()
+            reg.series("retries").observe(1.0)
+        elif kind == "failover":
+            reg.counter("failovers_total").inc()
+        elif kind == "breaker_open":
+            reg.counter("breaker_open_total").inc()
+            reg.gauge("breakers_open").inc()
+        elif kind == "breaker_close":
+            reg.counter("breaker_close_total").inc()
+            reg.gauge("breakers_open").dec()
+        elif kind == "budget_exhausted":
+            reg.counter("budget_exhausted_total").inc()
+        elif kind == "hedge":
+            reg.counter("hedges_total").inc()
+            reg.series("hedges").observe(1.0)
+        elif kind == "hedge_win":
+            reg.counter("hedge_wins_total").inc()
+        elif kind == "hedge_loss":
+            reg.counter("hedge_losses_total").inc()
+        elif kind == "fault_injected":
+            reg.counter("faults_injected_total").inc()
+            fault = data.get("fault")
+            if fault:
+                reg.counter(f"faults_injected.{fault}").inc()
+            reg.series("faults").observe(1.0)
+        elif kind == "fault_phase":
+            reg.counter("fault_phases_total").inc()
+        elif kind == "selection":
+            reg.counter("selections_total").inc()
+        elif kind == "moved":
+            reg.counter("moved_total").inc()
+        elif kind == "migration":
+            reg.counter("migrations_total").inc()
+
+    # -- export -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-dict snapshot of every aggregated metric."""
+        return self.registry.snapshot()
+
+    def counter_value(self, name: str) -> float:
+        return self.registry.counter(name).value
+
+    def series_snapshot(self, name: str) -> list:
+        return self.registry.series(name).snapshot()
+
+    def reset(self) -> None:
+        """Clear aggregates; subscriptions stay attached."""
+        self.registry.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"MetricsRecorder(buses={len(self._attached)}, "
+                f"registry={self.registry!r})")

@@ -51,6 +51,16 @@ class OnlineStats:
     def stddev(self) -> float:
         return math.sqrt(self.variance)
 
+    def __eq__(self, other) -> bool:
+        """Value equality — two accumulators that saw the same samples
+        compare equal, so results carrying them can be diffed across
+        identically-seeded runs."""
+        if not isinstance(other, OnlineStats):
+            return NotImplemented
+        return (self.count == other.count and self.mean == other.mean
+                and self._m2 == other._m2 and self.min == other.min
+                and self.max == other.max)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"OnlineStats(n={self.count}, mean={self.mean:.6g}, "
                 f"sd={self.stddev:.6g})")

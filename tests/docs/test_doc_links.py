@@ -1,0 +1,77 @@
+"""Link-check every markdown file in the repository.
+
+Relative markdown links (``[text](path)`` and ``[text](path#anchor)``)
+must point at files that exist, resolved against the linking file's
+directory.  External links (http/https/mailto) and pure anchors are
+skipped.  Bare token references like ``docs/EVENTS.md`` or
+``ROADMAP.md`` in prose/backticks must also resolve, so a renamed doc
+cannot leave stale mentions behind.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", "node_modules",
+             ".benchmarks"}
+
+#: [text](target) — excluding images' inner brackets and code spans.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: path-like tokens ending in .md (e.g. `docs/EVENTS.md`, README.md)
+TOKEN_RE = re.compile(r"(?<![\w/(])((?:[A-Za-z0-9_.-]+/)*[A-Z][A-Za-z0-9_-]*\.md)\b")
+
+
+def markdown_files():
+    files = []
+    for path in sorted(REPO.rglob("*.md")):
+        if not SKIP_DIRS.intersection(part for part in path.parts):
+            files.append(path)
+    return files
+
+
+def check_target(md_file, target):
+    target = target.split("#", 1)[0]
+    if not target:                        # pure anchor
+        return None
+    if re.match(r"^[a-z][a-z0-9+.-]*:", target):   # http:, mailto:, hpcor:
+        return None
+    resolved = (md_file.parent / target).resolve()
+    if not resolved.exists():
+        return f"{md_file.relative_to(REPO)}: broken link -> {target}"
+    return None
+
+
+@pytest.mark.parametrize("md_file", markdown_files(),
+                         ids=lambda p: str(p.relative_to(REPO)))
+def test_markdown_links_resolve(md_file):
+    text = md_file.read_text()
+    problems = []
+    for target in LINK_RE.findall(text):
+        problem = check_target(md_file, target)
+        if problem:
+            problems.append(problem)
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.parametrize("md_file", markdown_files(),
+                         ids=lambda p: str(p.relative_to(REPO)))
+def test_markdown_doc_tokens_resolve(md_file):
+    """`docs/FOO.md`-style mentions must name a real file (tried both
+    relative to the mentioning file and to the repo root)."""
+    text = md_file.read_text()
+    problems = []
+    for token in set(TOKEN_RE.findall(text)):
+        candidates = [(md_file.parent / token), (REPO / token)]
+        if not any(c.exists() for c in candidates):
+            problems.append(
+                f"{md_file.relative_to(REPO)}: stale doc reference "
+                f"{token!r}")
+    assert not problems, "\n".join(problems)
+
+
+def test_markdown_corpus_nonempty():
+    files = markdown_files()
+    assert len(files) >= 5, files

@@ -1,0 +1,87 @@
+"""docs/EVENTS.md is the authoritative event contract — enforce it.
+
+Two-way diff: every event name emitted anywhere in ``src/repro`` must
+be documented in the event-reference tables, and every documented
+event must still have an emit site.  The metric names the recorder
+produces must be documented too.
+"""
+
+import pathlib
+import re
+
+from repro.core.instrumentation import HookBus
+from repro.metrics import MetricsRecorder
+from repro.simnet.clock import VirtualClock
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+EVENTS_DOC = REPO / "docs" / "EVENTS.md"
+
+#: emit("name", ...) / _emit("name", ...) with a literal event name.
+EMIT_RE = re.compile(r"""\b_?emit\(\s*["']([a-z_]+)["']""")
+
+
+def emitted_event_names() -> set:
+    names = set()
+    for path in SRC.rglob("*.py"):
+        names.update(EMIT_RE.findall(path.read_text()))
+    return names
+
+
+def documented_event_names() -> set:
+    text = EVENTS_DOC.read_text()
+    start = text.index("## Event reference")
+    end = text.index("## Metric names")
+    section = text[start:end]
+    return set(re.findall(r"^\| `([a-z_]+)`", section, re.MULTILINE))
+
+
+def test_every_emitted_event_is_documented():
+    emitted = emitted_event_names()
+    assert emitted, "no emit sites found — extraction regex broken?"
+    undocumented = emitted - documented_event_names()
+    assert not undocumented, (
+        f"events emitted in src/repro but missing from docs/EVENTS.md: "
+        f"{sorted(undocumented)}")
+
+
+def test_every_documented_event_is_emitted():
+    documented = documented_event_names()
+    assert documented, "no documented events found — doc parsing broken?"
+    stale = documented - emitted_event_names()
+    assert not stale, (
+        f"events documented in docs/EVENTS.md with no emit site left: "
+        f"{sorted(stale)}")
+
+
+def test_recorder_metric_names_are_documented():
+    """Feed one of every event through a recorder; each metric name it
+    mints must appear in docs/EVENTS.md."""
+    bus = HookBus()
+    rec = MetricsRecorder(clock=VirtualClock()).attach(bus)
+    bus.emit("request", outcome="ok", duration=0.01)
+    bus.emit("request", outcome="error", error=None, duration=0.01)
+    bus.emit("selection", proto_id="p")
+    bus.emit("moved")
+    bus.emit("migration")
+    bus.emit("retry", attempt=1, backoff=0.1)
+    bus.emit("failover", from_proto="a", to_proto="b")
+    bus.emit("breaker_open", context_id="c", proto_id="p")
+    bus.emit("breaker_close", context_id="c", proto_id="p")
+    bus.emit("budget_exhausted", tokens=0.0)
+    bus.emit("hedge", delay=0.1)
+    bus.emit("hedge_win", latency=0.1)
+    bus.emit("hedge_loss", latency=0.1)
+    bus.emit("fault_injected", fault="drop", detail="a->b")
+    bus.emit("fault_phase", at=0.0, now=0.0, label="x")
+    snap = rec.snapshot()
+    doc = EVENTS_DOC.read_text()
+    names = (list(snap["counters"]) + list(snap["gauges"])
+             + list(snap["histograms"]) + list(snap["series"]))
+    assert names
+    for name in names:
+        if name.startswith("faults_injected."):
+            name = "faults_injected.<kind>"
+        assert f"`{name}`" in doc, (
+            f"metric {name!r} produced by MetricsRecorder but not "
+            f"documented in docs/EVENTS.md")

@@ -1,0 +1,135 @@
+"""Tests for FaultPlan phase/recovery scheduling and reuse."""
+
+import pytest
+
+from repro.core.instrumentation import HookBus
+from repro.faults import FaultPlan, FaultRule
+
+
+class TestScheduling:
+    def test_actions_fire_at_or_before_now(self):
+        plan = FaultPlan(seed=1, hooks=HookBus())
+        order = []
+        plan.schedule(2.0, lambda p: order.append("b"), label="b")
+        plan.schedule(1.0, lambda p: order.append("a"), label="a")
+        assert plan.apply_until(0.5) == []
+        fired = plan.apply_until(2.0)
+        assert order == ["a", "b"]          # time order, not registration
+        assert [f.label for f in fired] == ["a", "b"]
+
+    def test_actions_fire_once(self):
+        plan = FaultPlan(seed=1, hooks=HookBus())
+        hits = []
+        plan.schedule(1.0, lambda p: hits.append(1))
+        plan.apply_until(5.0)
+        plan.apply_until(9.0)
+        assert hits == [1]
+
+    def test_tie_break_is_registration_order(self):
+        plan = FaultPlan(seed=1, hooks=HookBus())
+        order = []
+        plan.schedule(1.0, lambda p: order.append("first"))
+        plan.schedule(1.0, lambda p: order.append("second"))
+        plan.apply_until(1.0)
+        assert order == ["first", "second"]
+
+    def test_fault_phase_event(self):
+        bus = HookBus()
+        events = []
+        bus.on("fault_phase", lambda e: events.append(e.data))
+        plan = FaultPlan(seed=1, hooks=bus)
+        plan.heal_at(3.0)
+        plan.apply_until(4.0)
+        assert events == [{"at": 3.0, "now": 4.0, "label": "heal"}]
+
+    def test_negative_time_rejected(self):
+        plan = FaultPlan(seed=1, hooks=HookBus())
+        with pytest.raises(ValueError):
+            plan.schedule(-1.0, lambda p: None)
+
+
+class TestPhaseHelpers:
+    def test_partition_at_and_heal_at(self):
+        plan = FaultPlan(seed=1, hooks=HookBus())
+        plan.partition_at(1.0, {"m0"}, {"m1"})
+        plan.heal_at(2.0)
+        assert plan.decide_link("m0", "m1", 10) is None
+        plan.apply_until(1.0)
+        assert plan.decide_link("m0", "m1", 10).kind == "drop"
+        plan.apply_until(2.0)
+        assert plan.decide_link("m0", "m1", 10) is None
+
+    def test_rule_between_window(self):
+        plan = FaultPlan(seed=1, hooks=HookBus())
+        plan.rule_between(1.0, 2.0, FaultRule("drop", src="a"))
+        assert plan.decide_link("a", "b", 1) is None
+        plan.apply_until(1.0)
+        assert plan.decide_link("a", "b", 1).kind == "drop"
+        plan.apply_until(2.0)
+        assert plan.decide_link("a", "b", 1) is None
+        with pytest.raises(ValueError):
+            plan.rule_between(2.0, 1.0, FaultRule("drop"))
+
+    def test_flap_node(self):
+        plan = FaultPlan(seed=1, hooks=HookBus())
+        plan.flap_node("m2", ["m0", "m1", "m2"], at=1.0, duration=1.0)
+        plan.apply_until(1.0)
+        assert plan.decide_link("m0", "m2", 1).kind == "drop"
+        assert plan.decide_link("m0", "m1", 1) is None
+        plan.apply_until(2.0)
+        assert plan.decide_link("m0", "m2", 1) is None
+
+    def test_flap_validation(self):
+        plan = FaultPlan(seed=1, hooks=HookBus())
+        with pytest.raises(ValueError):
+            plan.flap_node("m0", ["m0"], at=0.0, duration=1.0)
+        with pytest.raises(ValueError):
+            plan.flap_node("m0", ["m1"], at=0.0, duration=0.0)
+
+    def test_unpartition_is_specific(self):
+        plan = FaultPlan(seed=1, hooks=HookBus())
+        plan.partition({"a"}, {"b"})
+        plan.partition({"c"}, {"d"})
+        plan.unpartition({"b"}, {"a"})       # order-insensitive
+        assert plan.decide_link("a", "b", 1) is None
+        assert plan.decide_link("c", "d", 1).kind == "drop"
+
+
+class TestReset:
+    def test_reset_rewinds_everything(self):
+        plan = FaultPlan(seed=7, hooks=HookBus())
+        plan.drop(probability=0.5, src="a")
+        plan.rule_between(0.0, 5.0, FaultRule("delay", delay=0.01,
+                                              src="a"))
+        plan.partition({"x"}, {"y"})
+
+        def trail():
+            plan.apply_until(1.0)
+            return [plan.decide_link("a", "b", 1) for _ in range(20)], \
+                list(plan.injected)
+
+        first = trail()
+        assert plan.consumed
+        plan.reset()
+        assert not plan.consumed
+        assert plan.injected == []
+        # authored partition survives reset; scheduled rules are gone
+        assert plan.decide_link("x", "y", 1).kind == "drop"
+        plan.injected.clear()
+        second = trail()
+        assert first == second               # bit-identical replay
+
+    def test_reset_removes_scheduled_rules(self):
+        plan = FaultPlan(seed=1, hooks=HookBus())
+        authored = plan.drop(src="a")
+        plan.rule_between(0.0, 9.0, FaultRule("corrupt", src="b"))
+        plan.apply_until(0.0)
+        assert len(plan.rules) == 2
+        plan.reset()
+        assert plan.rules == [authored]
+        assert authored.seen == 0 and authored.fired == 0
+
+    def test_remove_unknown_rule_is_noop(self):
+        plan = FaultPlan(seed=1, hooks=HookBus())
+        plan.remove(FaultRule("drop"))
+        assert plan.rules == []

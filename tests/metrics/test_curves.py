@@ -1,0 +1,96 @@
+"""Tests for degradation curves and the envelope assertion."""
+
+import pytest
+
+from repro.metrics import (
+    CurveBucket,
+    DegradationCurve,
+    DegradationEnvelopeError,
+    MetricsRecorder,
+    assert_degradation,
+)
+from repro.simnet.clock import VirtualClock
+
+
+def bucket(index, ok, errors=0, dt=1.0, retries=0):
+    completed = ok + errors
+    return CurveBucket(
+        index=index, start=index * dt, duration=dt, requests=completed,
+        ok=ok, errors=errors, goodput=ok / dt,
+        error_rate=(errors / completed) if completed else 0.0,
+        p50=None, p99=None, retries=retries, hedges=0, faults=0)
+
+
+def curve(goodputs):
+    return DegradationCurve(
+        bucket_seconds=1.0,
+        buckets=[bucket(i, ok) for i, ok in enumerate(goodputs)])
+
+
+class TestAssertDegradation:
+    def test_flat_curve_passes(self):
+        summary = assert_degradation(curve([10, 10, 10]), max_dip=0.1,
+                                     recover_within=1.0)
+        assert summary["dip"] == 0.0
+        assert summary["baseline"] == 10.0
+
+    def test_dip_within_envelope(self):
+        summary = assert_degradation(curve([10, 4, 9]), max_dip=0.7,
+                                     recover_within=2.0)
+        assert summary["trough_start"] == 1.0
+        assert summary["recovered_at"] == 2.0
+
+    def test_too_deep_dip_raises(self):
+        with pytest.raises(DegradationEnvelopeError, match="dipped"):
+            assert_degradation(curve([10, 1, 10]), max_dip=0.5)
+
+    def test_no_recovery_raises(self):
+        with pytest.raises(DegradationEnvelopeError, match="recover"):
+            assert_degradation(curve([10, 2, 2, 2, 2]),
+                               recover_within=2.0)
+
+    def test_late_recovery_raises(self):
+        with pytest.raises(DegradationEnvelopeError, match="recover"):
+            assert_degradation(curve([10, 2, 2, 2, 9]),
+                               recover_within=2.0)
+
+    def test_zero_baseline_raises(self):
+        with pytest.raises(DegradationEnvelopeError, match="baseline"):
+            assert_degradation(curve([0, 5, 5]))
+
+    def test_empty_curve_raises(self):
+        with pytest.raises(DegradationEnvelopeError, match="empty"):
+            assert_degradation(DegradationCurve(1.0, []))
+
+    def test_baseline_buckets_window(self):
+        summary = assert_degradation(curve([10, 20, 3, 12]),
+                                     baseline_buckets=2, max_dip=0.9)
+        assert summary["baseline"] == 15.0
+        with pytest.raises(ValueError):
+            assert_degradation(curve([10]), baseline_buckets=5)
+
+
+class TestCurveFromRecorder:
+    def test_gap_free_and_edge_normalized(self):
+        clock = VirtualClock()
+        rec = MetricsRecorder(clock=clock, bucket_seconds=1.0)
+        reg = rec.registry
+        reg.series("requests").observe(1.0)
+        reg.series("latency").observe(0.01)
+        clock.advance(2.2)                       # bucket 1 stays empty
+        reg.series("requests").observe(1.0)
+        reg.series("errors").observe(1.0)
+        c = DegradationCurve.from_recorder(rec, t_start=0.0, t_end=2.5)
+        assert [b.index for b in c.buckets] == [0, 1, 2]
+        assert c.buckets[1].requests == 0
+        assert c.buckets[1].goodput == 0.0
+        assert c.buckets[2].error_rate == 0.5
+        # last bucket covers only 0.5s of the window
+        assert c.buckets[2].duration == pytest.approx(0.5)
+        assert c.buckets[2].goodput == pytest.approx(2.0)
+
+    def test_to_dicts_round_trip(self):
+        c = curve([5, 3])
+        dicts = c.to_dicts()
+        assert dicts[0]["goodput"] == 5.0
+        assert dicts == curve([5, 3]).to_dicts()

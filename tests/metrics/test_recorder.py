@@ -1,0 +1,138 @@
+"""Tests for MetricsRecorder: hook bus -> aggregated metrics."""
+
+from repro.core.instrumentation import HookBus
+from repro.metrics import RECORDED_EVENTS, MetricsRecorder
+from repro.simnet.clock import VirtualClock
+
+
+def make(clock=None):
+    bus = HookBus()
+    rec = MetricsRecorder(clock=clock or VirtualClock(),
+                          bucket_seconds=1.0).attach(bus)
+    return bus, rec
+
+
+class TestRecorderCounting:
+    def test_request_ok_and_error(self):
+        bus, rec = make()
+        bus.emit("request", method="m", proto_id="nexus", outcome="ok",
+                 duration=0.01)
+        bus.emit("request", method="m", proto_id="nexus", outcome="ok",
+                 duration=0.03)
+        bus.emit("request", method="m", proto_id="nexus",
+                 outcome="error", error=RuntimeError("x"), duration=0.02)
+        snap = rec.snapshot()
+        assert snap["counters"]["requests_total"] == 3
+        assert snap["counters"]["requests_ok"] == 2
+        assert snap["counters"]["requests_error"] == 1
+        assert snap["histograms"]["request_latency_seconds"]["count"] == 2
+        assert snap["histograms"]["request_latency_seconds"]["p50"] == 0.03
+
+    def test_resilience_events(self):
+        bus, rec = make()
+        bus.emit("retry", method="m", attempt=1, backoff=0.05)
+        bus.emit("failover", method="m", from_proto="a", to_proto="b")
+        bus.emit("budget_exhausted", method="m", tokens=0.0)
+        bus.emit("hedge", method="m", delay=0.01)
+        bus.emit("hedge_win", method="m", latency=0.02)
+        bus.emit("hedge_loss", method="m", latency=0.02)
+        c = rec.snapshot()["counters"]
+        assert c["retries_total"] == 1
+        assert c["failovers_total"] == 1
+        assert c["budget_exhausted_total"] == 1
+        assert c["hedges_total"] == 1
+        assert c["hedge_wins_total"] == 1
+        assert c["hedge_losses_total"] == 1
+
+    def test_breaker_gauge(self):
+        bus, rec = make()
+        bus.emit("breaker_open", context_id="c", proto_id="p")
+        bus.emit("breaker_open", context_id="c", proto_id="q")
+        bus.emit("breaker_close", context_id="c", proto_id="p")
+        snap = rec.snapshot()
+        assert snap["gauges"]["breakers_open"] == 1.0
+        assert snap["counters"]["breaker_open_total"] == 2
+
+    def test_fault_kinds(self):
+        bus, rec = make()
+        bus.emit("fault_injected", fault="drop", detail="a->b")
+        bus.emit("fault_injected", fault="drop", detail="a->b")
+        bus.emit("fault_injected", fault="partition", detail="a->b")
+        c = rec.snapshot()["counters"]
+        assert c["faults_injected_total"] == 3
+        assert c["faults_injected.drop"] == 2
+        assert c["faults_injected.partition"] == 1
+
+    def test_lifecycle_events(self):
+        bus, rec = make()
+        bus.emit("selection", proto_id="p", method="m")
+        bus.emit("moved", from_context="a", to_context="b")
+        bus.emit("migration", object_id="o")
+        bus.emit("fault_phase", at=1.0, now=1.0, label="heal")
+        c = rec.snapshot()["counters"]
+        assert c["selections_total"] == 1
+        assert c["moved_total"] == 1
+        assert c["migrations_total"] == 1
+        assert c["fault_phases_total"] == 1
+
+    def test_series_follow_the_clock(self):
+        clock = VirtualClock()
+        bus, rec = make(clock)
+        bus.emit("request", outcome="ok", duration=0.01)
+        clock.advance(2.5)
+        bus.emit("request", outcome="ok", duration=0.02)
+        series = rec.series_snapshot("requests")
+        assert [b["bucket"] for b in series] == [0, 2]
+
+
+class TestRecorderWiring:
+    def test_attach_is_idempotent(self):
+        bus, rec = make()
+        rec.attach(bus)          # second attach: no double counting
+        bus.emit("retry", attempt=1)
+        assert rec.counter_value("retries_total") == 1
+        assert rec.attached_buses == 1
+
+    def test_multi_bus_fan_in(self):
+        rec = MetricsRecorder(clock=VirtualClock())
+        buses = [HookBus(), HookBus()]
+        for bus in buses:
+            rec.attach(bus)
+        for bus in buses:
+            bus.emit("retry", attempt=1)
+        assert rec.counter_value("retries_total") == 2
+
+    def test_detach(self):
+        bus, rec = make()
+        rec.detach(bus)
+        bus.emit("retry", attempt=1)
+        assert rec.counter_value("retries_total") == 0
+        assert bus.handler_count() == 0
+
+    def test_detach_all(self):
+        rec = MetricsRecorder(clock=VirtualClock())
+        buses = [HookBus(), HookBus()]
+        for bus in buses:
+            rec.attach(bus)
+        rec.detach()
+        assert rec.attached_buses == 0
+        assert all(b.handler_count() == 0 for b in buses)
+
+    def test_covers_every_recorded_event(self):
+        """Feeding one of each recorded event touches the registry for
+        all of them — no event silently ignored by the recorder."""
+        bus, rec = make()
+        for kind in RECORDED_EVENTS:
+            bus.emit(kind, outcome="ok", duration=0.01, fault="drop")
+        counters = rec.snapshot()["counters"]
+        assert counters["requests_total"] == 1
+        assert counters["fault_phases_total"] == 1
+        # the bus never detached a handler for raising
+        assert bus.errors == []
+
+    def test_reset_keeps_subscriptions(self):
+        bus, rec = make()
+        bus.emit("retry", attempt=1)
+        rec.reset()
+        bus.emit("retry", attempt=1)
+        assert rec.counter_value("retries_total") == 1
