@@ -15,9 +15,15 @@ from repro.cluster.node import (
     build_cluster,
 )
 from repro.cluster.scheduler import PlacementScheduler
-from repro.cluster.workload import RequestSpec, SyntheticWorkload, WorkloadResult
+from repro.cluster.workload import (
+    BatchedSyntheticWorkload,
+    RequestSpec,
+    SyntheticWorkload,
+    WorkloadResult,
+)
 
 __all__ = [
+    "BatchedSyntheticWorkload",
     "ChaosReport",
     "ChaosRun",
     "ClusterNode",

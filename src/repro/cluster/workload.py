@@ -20,7 +20,8 @@ from repro.exceptions import HpcError
 from repro.security.prng import Pcg32
 from repro.util.stats import OnlineStats, percentile
 
-__all__ = ["RequestSpec", "WorkloadResult", "SyntheticWorkload"]
+__all__ = ["RequestSpec", "WorkloadResult", "SyntheticWorkload",
+           "BatchedSyntheticWorkload"]
 
 
 @dataclass(frozen=True)
@@ -180,5 +181,84 @@ class SyntheticWorkload:
             if rebalance_every and rebalance is not None \
                     and i % rebalance_every == 0:
                 result.migrations += len(rebalance())
+        result.makespan = sim.clock.now() - start
+        return result
+
+
+class BatchedSyntheticWorkload(SyntheticWorkload):
+    """The same scripted program, issued through explicit
+    :meth:`~repro.core.gp.GlobalPointer.batch` scopes.
+
+    Consecutive requests are grouped into windows of ``batch_size``; all
+    requests in a window aimed at the same GP share one scope and hence
+    (up to the policy's caps) one wire batch.  Transparent coalescing is
+    wall-clock-only, so explicit scopes are how simulated-world runs —
+    seeded benchmarks and chaos regressions — exercise batching while
+    staying deterministic.  Think times, ``before_request`` hooks, and
+    per-object accounting match the unbatched driver request for
+    request; only the wire traffic is aggregated.
+    """
+
+    def __init__(self, *, batch_size: int = 4, **kwargs):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        super().__init__(**kwargs)
+        self.batch_size = batch_size
+
+    def run(self, clients: List[GlobalPointer | dict], sim,
+            *, resolve: Optional[Callable[[int, str], GlobalPointer]]
+            = None,
+            rebalance_every: int = 0,
+            rebalance: Optional[Callable[[], list]] = None,
+            before_request: Optional[Callable[[int, RequestSpec], None]]
+            = None,
+            on_error: str = "raise") -> WorkloadResult:
+        """Execute the program in windows of ``batch_size`` batched
+        calls (same contract as :meth:`SyntheticWorkload.run`)."""
+        if on_error not in ("raise", "record"):
+            raise ValueError('on_error must be "raise" or "record"')
+        if resolve is None:
+            tables = clients
+
+            def resolve(ci, name):  # noqa: F811 - intentional closure
+                return tables[ci][name]
+
+        result = WorkloadResult()
+        start = sim.clock.now()
+        payload = np.arange(self.payload_bytes, dtype=np.uint8)
+        script = self.script(len(clients) or 1)
+        for base in range(0, len(script), self.batch_size):
+            window = script[base:base + self.batch_size]
+            scopes: Dict[int, object] = {}
+            members = []
+            for i, req in enumerate(window, start=base + 1):
+                sim.clock.advance(req.think_seconds)
+                if before_request is not None:
+                    before_request(i, req)
+                gp = resolve(req.client_index, req.object_name)
+                scope = scopes.get(id(gp))
+                if scope is None:
+                    scope = scopes[id(gp)] = gp.batch()
+                future = scope.invoke("process",
+                                      payload[: req.payload_bytes])
+                members.append((i, req, future, sim.clock.now()))
+            for scope in scopes.values():
+                scope.flush()
+            for i, req, future, t0 in members:
+                try:
+                    future.result()
+                except HpcError:
+                    if on_error == "raise":
+                        raise
+                    result.errors += 1
+                else:
+                    latency = sim.clock.now() - t0
+                    result.latencies.add(latency)
+                    result._raw.append(latency)
+                result.per_object_requests[req.object_name] = \
+                    result.per_object_requests.get(req.object_name, 0) + 1
+                if rebalance_every and rebalance is not None \
+                        and i % rebalance_every == 0:
+                    result.migrations += len(rebalance())
         result.makespan = sim.clock.now() - start
         return result

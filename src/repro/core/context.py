@@ -24,6 +24,7 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.core.batching import BatchPolicy, CoalescerRegistry
 from repro.core.glue import (
     GLUE_REPLY_BARE,
     GLUE_REPLY_PROCESSED,
@@ -36,6 +37,8 @@ from repro.core.monitor import LoadMonitor
 from repro.core.objref import ObjectReference, ProtocolEntry
 from repro.core.proto_pool import ProtocolPool
 from repro.core.protocol import (
+    BATCH_HANDLER,
+    GLUE_BATCH_HANDLER,
     GLUE_HANDLER,
     INVOKE_HANDLER,
     marshaller_for,
@@ -66,6 +69,7 @@ from repro.idl.types import InterfaceSpec
 from repro.nexus.multimethod import MultiMethodServer
 from repro.security.acl import AccessControlList
 from repro.security.keys import KeyStore
+from repro.serialization.marshal import BatchReply, BatchRequest
 from repro.simnet.linktypes import TCP_LOOPBACK
 from repro.transport.simtransport import SimShmTransport, SimTransport
 from repro.util.ids import IdGenerator
@@ -163,6 +167,8 @@ class Context:
             self._bound[tname] = self.server.bind(transport)
         self.server.register(INVOKE_HANDLER, self._handle_invoke)
         self.server.register(GLUE_HANDLER, self._handle_glue)
+        self.server.register(BATCH_HANDLER, self._handle_invoke_batch)
+        self.server.register(GLUE_BATCH_HANDLER, self._handle_glue_batch)
         self.server.register(CONTROL_HANDLER, self._handle_control)
 
         self.servants: Dict[str, ServantRecord] = {}
@@ -183,6 +189,14 @@ class Context:
         #: Context-wide hedging default for GPs bound here (off until an
         #: application or test opts in; GPs may override per binding).
         self.hedge_policy = HedgePolicy(enabled=False)
+        #: Transparent-coalescing policy for GPs bound here (off until an
+        #: application opts in; explicit ``gp.batch()`` scopes work
+        #: regardless) and the per-(peer, proto) coalescer table.
+        self.batch_policy = BatchPolicy(enabled=False)
+        self.batching = CoalescerRegistry(self)
+        #: Real-transport channels multiplex concurrent requests by
+        #: correlation id unless an application opts out.
+        self.pipelined_channels = True
         # Shared invocation executor (lazily created): one pool per
         # context instead of 4 threads per GP, so a process with
         # thousands of GPs does not leak thousands of idle threads.
@@ -415,6 +429,50 @@ class Context:
 
     def _handle_invoke(self, payload: bytes) -> bytes:
         return self.dispatch(bytes(payload), RequestMeta())
+
+    def _handle_invoke_batch(self, payload: bytes) -> bytes:
+        """Serve one BatchRequest: dispatch every sub-invocation and
+        reply out of the batch with the matching sub ids.  A failing
+        member produces an exception envelope in its slot; its
+        batch-mates are unaffected."""
+        request = BatchRequest.from_bytes(bytes(payload))
+        meta = RequestMeta()
+        items = tuple((sub_id, self.dispatch(bytes(sub), meta))
+                      for sub_id, sub in request.items)
+        return BatchReply(items).to_bytes()
+
+    def _handle_glue_batch(self, payload: bytes) -> bytes:
+        """Serve one capability-processed BatchRequest.
+
+        The stack un-processes the whole record once, every
+        sub-invocation dispatches, and the stack processes the combined
+        BatchReply once — the server half of the per-call capability
+        cost amortisation."""
+        glue_id, cap_types, processed = decode_glue_envelope(payload)
+        with self._lock:
+            stack = self.glue_stacks.get(glue_id)
+        meta = RequestMeta()
+        if stack is None:
+            bare = encode_reply_exception(
+                self.marshaller,
+                CapabilityError(f"unknown glue stack {glue_id!r}"))
+            return encode_glue_reply(GLUE_REPLY_BARE, bare)
+        try:
+            stack.check_types(cap_types)
+            inner = stack.unprocess_request(processed, meta)
+            request = BatchRequest.from_bytes(inner)
+        except Exception as exc:  # noqa: BLE001 - surfaced to the client
+            bare = encode_reply_exception(self.marshaller, exc)
+            return encode_glue_reply(GLUE_REPLY_BARE, bare)
+        items = tuple((sub_id, self.dispatch(bytes(sub), meta))
+                      for sub_id, sub in request.items)
+        reply = BatchReply(items).to_bytes()
+        try:
+            out = stack.process_reply(reply, meta)
+        except Exception as exc:  # noqa: BLE001
+            bare = encode_reply_exception(self.marshaller, exc)
+            return encode_glue_reply(GLUE_REPLY_BARE, bare)
+        return encode_glue_reply(GLUE_REPLY_PROCESSED, out)
 
     def _handle_glue(self, payload: bytes) -> bytes:
         glue_id, cap_types, processed = decode_glue_envelope(payload)

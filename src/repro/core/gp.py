@@ -60,7 +60,7 @@ from repro.core.instrumentation import GLOBAL_HOOKS, HookBus
 from repro.core.objref import ObjectReference, ProtocolEntry
 from repro.core.protocol import ProtocolClient, get_proto_class
 from repro.core.proto_pool import ProtocolPool
-from repro.core.request import Invocation
+from repro.core.request import Invocation, encode_invocation
 from repro.core.resilience import (
     AttemptRecord,
     HedgePolicy,
@@ -489,10 +489,49 @@ class GlobalPointer:
         _close_quietly(hedge_client)
         raise outcomes[primary]
 
+    # -- batching --------------------------------------------------------------
+
+    def batch(self):
+        """An explicit batching scope: queue invocations, flush them as
+        one multi-request wire record on exit.  Deterministic in both
+        real and simulated worlds (see
+        :class:`~repro.core.batching.BatchScope`)."""
+        from repro.core.batching import BatchScope
+
+        return BatchScope(self)
+
+    def _maybe_coalesce(self, oref: ObjectReference,
+                        invocation: Invocation):
+        """Enqueue this call on the peer's coalescer when transparent
+        batching applies; returns the member future, or None for the
+        direct path (policy off, simulated world, oversized payload, or
+        a selection failure the direct path should surface itself)."""
+        policy = getattr(self.context, "batch_policy", None)
+        if policy is None or not policy.enabled \
+                or self.context.sim is not None:
+            return None
+        try:
+            entry = self._select(oref.context_id, oref.protocols)
+            client = self._client_for(entry)
+            payload = encode_invocation(client.marshaller, invocation)
+        except HpcError:
+            return None
+        if len(payload) > policy.max_item_bytes:
+            return None
+        coalescer = self.context.batching.coalescer(oref.context_id,
+                                                    entry.proto_id)
+        self._emit("selection", proto_id=entry.proto_id, entry=entry,
+                   method=invocation.method)
+        # Oneway calls flush eagerly: the caller will not wait out a
+        # window, and a process exiting right after a oneway must not
+        # leave the batch (its own call included) stranded.
+        return coalescer.submit(self, oref, entry, client, invocation,
+                                payload, eager=invocation.oneway)
+
     # -- the recovery loop -----------------------------------------------------
 
     def _invoke(self, method: str, args: tuple,
-                oneway: bool = False) -> Any:
+                oneway: bool = False, _no_batch: bool = False) -> Any:
         oref = self._snapshot()
         # Fail fast on interface violations without a round trip.
         if method not in oref.interface.methods:
@@ -502,6 +541,10 @@ class GlobalPointer:
         invocation = Invocation(object_id=oref.object_id,
                                 method=method, args=tuple(args),
                                 oneway=oneway)
+        if not _no_batch:
+            member = self._maybe_coalesce(oref, invocation)
+            if member is not None:
+                return member.result()
         policy = self.retry_policy
         clock = self.context.clock
         context_id = oref.context_id
@@ -764,7 +807,14 @@ class GlobalPointer:
         ``invoke_async`` completes normally instead of dying with a
         confusing transport error when its connection is yanked.  After
         close, any invocation raises a clear :class:`HpcError`.
+
+        Any batch still coalescing toward this GP's peer is flushed
+        first — calls enqueued in an un-expired window must complete,
+        not vanish with the connection.
         """
+        batching = getattr(self.context, "batching", None)
+        if batching is not None and not self._closed:
+            batching.flush_peer(self.oref.context_id)
         with self._lock:
             if self._closed:
                 inflight: list = []

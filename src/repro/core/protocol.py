@@ -35,9 +35,9 @@ from repro.core.request import (
 )
 from repro.core.selection import Locality, rule_applies
 from repro.exceptions import ProtocolError, TransportError, UnknownProtocolError
-from repro.nexus.endpoint import Startpoint
+from repro.nexus.endpoint import PipelinedStartpoint, Startpoint
 from repro.serialization.cdr import CdrDecoder, CdrEncoder
-from repro.serialization.marshal import Marshaller
+from repro.serialization.marshal import BatchReply, BatchRequest, Marshaller
 from repro.serialization.xdr import XdrDecoder, XdrEncoder
 
 __all__ = [
@@ -48,12 +48,18 @@ __all__ = [
     "get_proto_class",
     "INVOKE_HANDLER",
     "GLUE_HANDLER",
+    "BATCH_HANDLER",
+    "GLUE_BATCH_HANDLER",
     "marshaller_for",
 ]
 
 #: RSR handler names used by the invocation path (Figure 1 / Figure 2).
 INVOKE_HANDLER = "hpc.invoke"
 GLUE_HANDLER = "hpc.glue"
+#: Batched variants: the payload is one BatchRequest record carrying
+#: many sub-invocations; the reply is one BatchReply.
+BATCH_HANDLER = "hpc.invoke.batch"
+GLUE_BATCH_HANDLER = "hpc.glue.batch"
 
 _MARSHALLERS = {
     "xdr": Marshaller(XdrEncoder, XdrDecoder),
@@ -86,7 +92,17 @@ class ProtocolClient(abc.ABC):
 
     def _connect(self) -> Startpoint:
         """Open (and cache) the startpoint to the first reachable
-        address in the entry's address list (multimethod fallback)."""
+        address in the entry's address list (multimethod fallback).
+
+        Socket (tcp) channels get a :class:`PipelinedStartpoint` (many
+        outstanding requests per connection, demuxed by correlation id)
+        unless the context opts out via ``pipelined_channels=False``.
+        In-process channels and the synchronous simulated world keep
+        the lock-step startpoint: a queue pair has no round trip to
+        hide, and serializing per channel keeps an eviction mid-call a
+        single-request failure instead of a mass kill of every
+        in-flight waiter.
+        """
         if self._startpoint is not None:
             return self._startpoint
         addresses = self.entry.proto_data.get("addresses", [])
@@ -102,7 +118,12 @@ class ProtocolClient(abc.ABC):
             except TransportError as exc:
                 errors.append(f"{address.get('transport')}: {exc}")
                 continue
-            self._startpoint = Startpoint(channel, timeout=self.timeout)
+            pipelined = (address.get("transport") == "tcp"
+                         and self.context.sim is None
+                         and getattr(self.context, "pipelined_channels",
+                                     True))
+            sp_cls = PipelinedStartpoint if pipelined else Startpoint
+            self._startpoint = sp_cls(channel, timeout=self.timeout)
             return self._startpoint
         raise ProtocolError(
             "no reachable address for protocol "
@@ -139,6 +160,21 @@ class ProtocolClient(abc.ABC):
         if invocation.oneway:
             return None
         return decode_reply(self.marshaller, reply)
+
+    def invoke_batch(self, payloads) -> list:
+        """One round trip for many encoded invocations.
+
+        ``payloads`` are encoded invocation records (what
+        :func:`~repro.core.request.encode_invocation` produces); the
+        return value is the list of raw reply envelopes in sub-request
+        order.  Decoding each envelope — and therefore per-member
+        success/failure — is the caller's business, so one failed member
+        never poisons its batch-mates.
+        """
+        record = BatchRequest.of(payloads).to_bytes()
+        self.context.charge_cost("memcpy", len(record))
+        reply = self.call_raw(BATCH_HANDLER, record)
+        return BatchReply.from_bytes(reply).in_order(len(payloads))
 
     def close(self) -> None:
         if self._startpoint is not None:

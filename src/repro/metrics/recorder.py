@@ -44,6 +44,8 @@ RECORDED_EVENTS = (
     "hedge",
     "hedge_win",
     "hedge_loss",
+    "batch_flush",
+    "batch_fallback",
     "fault_injected",
     "fault_phase",
 )
@@ -138,6 +140,17 @@ class MetricsRecorder:
             reg.counter("hedge_wins_total").inc()
         elif kind == "hedge_loss":
             reg.counter("hedge_losses_total").inc()
+        elif kind == "batch_flush":
+            reg.counter("batch_flushes_total").inc()
+            size = data.get("size")
+            if size:
+                reg.counter("batched_calls_total").inc(size)
+                reg.histogram("batch_size").observe(float(size))
+            nbytes = data.get("nbytes")
+            if nbytes is not None:
+                reg.histogram("batch_bytes").observe(float(nbytes))
+        elif kind == "batch_fallback":
+            reg.counter("batch_fallbacks_total").inc()
         elif kind == "fault_injected":
             reg.counter("faults_injected_total").inc()
             fault = data.get("fault")

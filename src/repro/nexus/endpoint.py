@@ -15,6 +15,14 @@ synchronous ``call``; each call writes one request and reads messages
 until its own reply arrives (replies can only interleave when the
 application multiplexes one startpoint across threads, which the lock
 serializes anyway).
+
+A :class:`PipelinedStartpoint` lifts that lock-step restriction: a
+dedicated demux thread routes replies to waiters by request id
+(correlation), so any number of callers may have requests outstanding
+on *one* connection at once — the channel is pipelined instead of
+request/reply ping-pong.  Real transports use it by default; the
+synchronous simulated world keeps the plain startpoint (one virtual
+event at a time makes pipelining meaningless there).
 """
 
 from __future__ import annotations
@@ -27,19 +35,23 @@ from repro.exceptions import (
     HpcError,
     RemoteException,
     RemoteInvocationError,
+    TransportError,
 )
 from repro.nexus.rsr import RsrMessage
 from repro.serialization.marshal import dumps, loads
 from repro.transport.base import Channel, Listener
 from repro.util.ids import IdGenerator
 
-__all__ = ["Endpoint", "Startpoint"]
+__all__ = ["Endpoint", "Startpoint", "PipelinedStartpoint"]
 
 Handler = Callable[[bytes], bytes]
 
 
 class Endpoint:
     """Named-handler dispatch target."""
+
+    #: Cap on concurrently dispatching two-way requests per endpoint.
+    DISPATCH_WORKERS = 16
 
     def __init__(self, name: str = ""):
         self.name = name or "endpoint"
@@ -49,6 +61,7 @@ class Endpoint:
         self._channels: list[Channel] = []
         self._stopping = False
         self._lock = threading.Lock()
+        self._pool = None
 
     # -- handler table -------------------------------------------------------
 
@@ -69,8 +82,10 @@ class Endpoint:
     # -- dispatch ------------------------------------------------------------
 
     def handle_message(self, data: bytes, channel: Channel) -> None:
-        """Decode one inbound message and act on it."""
-        message = RsrMessage.decode(data)
+        """Decode one inbound message and act on it (inline)."""
+        self._run_request(RsrMessage.decode(data), channel)
+
+    def _run_request(self, message: RsrMessage, channel: Channel) -> None:
         if not message.is_request():
             # A stray reply at an endpoint: drop (matches Nexus, which
             # treats unsolicited replies as protocol noise).
@@ -108,10 +123,38 @@ class Endpoint:
 
     # -- threaded service (real transports) -----------------------------------
 
+    def _dispatch_pool(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.DISPATCH_WORKERS,
+                    thread_name_prefix=f"{self.name}-dispatch")
+            return self._pool
+
+    def _run_pooled(self, message: RsrMessage, channel: Channel) -> None:
+        try:
+            self._run_request(message, channel)
+        except ChannelClosedError:
+            # Peer hung up between request and reply: orderly, not an
+            # error (the service loop notices the dead channel itself).
+            pass
+
     def serve_channel(self, channel: Channel) -> None:
-        """Blocking per-channel service loop (run in a thread)."""
+        """Blocking per-channel service loop (run in a thread).
+
+        Two-way requests dispatch on a bounded worker pool so a
+        pipelined client really does get multiple requests *executing*
+        concurrently on one connection; replies carry correlation ids,
+        so completion order is free to differ from arrival order.
+        Oneway requests stay inline: a client thread never waits on
+        them, so arrival-order execution is the only ordering anyone
+        can observe — and it is preserved.
+        """
         with self._lock:
             self._channels.append(channel)
+        inflight: list = []
         try:
             while not self._stopping:
                 try:
@@ -121,13 +164,34 @@ class Endpoint:
                 except HpcError:
                     continue  # timeout: poll the stop flag
                 try:
-                    self.handle_message(data, channel)
+                    message = RsrMessage.decode(data)
+                except HpcError:
+                    continue  # undecodable: protocol noise, skip
+                inflight = [f for f in inflight if not f.done()]
+                try:
+                    if message.is_request() and not message.is_oneway():
+                        inflight.append(self._dispatch_pool().submit(
+                            self._run_pooled, message, channel))
+                    else:
+                        self._run_request(message, channel)
                 except ChannelClosedError:
                     # The peer hung up between request and reply (a
                     # closed GP, an evicted hedge loser): an orderly
                     # disconnect, not a server error.
                     break
+                except RuntimeError:
+                    break  # pool shut down mid-stop
         finally:
+            # Drain before closing: every request consumed off the
+            # channel must get its reply out, even when the peer's
+            # close sentinel raced ahead of the pooled handler — a
+            # client that half-closed (eviction) may still be blocked
+            # waiting for a reply the queue already delivered it.
+            for future in inflight:
+                try:
+                    future.result(timeout=5.0)
+                except Exception:  # noqa: BLE001 - cancelled/timeout/err
+                    pass
             channel.close()
 
     def serve_listener(self, listener: Listener) -> None:
@@ -179,10 +243,13 @@ class Endpoint:
             listeners = list(self._listeners)
             channels = list(self._channels)
             threads = list(self._threads)
+            pool, self._pool = self._pool, None
         for listener in listeners:
             listener.close()
         for channel in channels:
             channel.close()
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
         for thread in threads:
             thread.join(timeout=2.0)
 
@@ -230,3 +297,160 @@ class Startpoint:
 
     def close(self) -> None:
         self.channel.close()
+
+
+class _ReplyWaiter:
+    """One outstanding request's rendezvous slot."""
+
+    __slots__ = ("event", "reply", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.reply: Optional[RsrMessage] = None
+        self.error: Optional[Exception] = None
+
+    def resolve(self, reply: RsrMessage) -> None:
+        self.reply = reply
+        self.event.set()
+
+    def fail(self, error: Exception) -> None:
+        self.error = error
+        self.event.set()
+
+
+class PipelinedStartpoint(Startpoint):
+    """Client handle with multiple outstanding requests per channel.
+
+    ``call`` registers a waiter under its request id, sends, and blocks
+    on the waiter; a dedicated demux thread reads the channel and routes
+    each reply to its waiter by correlation id.  N threads therefore
+    share *one* connection with N requests in flight instead of queueing
+    behind a per-call channel lock — the transport-level half of the
+    batching/pipelining hot path.
+
+    Failure semantics match the plain startpoint: a reply that never
+    arrives (timeout or channel death after the send) surfaces a
+    transport error flagged ``request_sent``, so the GP's idempotence
+    guard still refuses to blind-retry non-retry-safe methods.
+    """
+
+    #: Demux poll interval; bounds close() latency, not call latency.
+    POLL_S = 0.2
+
+    def __init__(self, channel: Channel, timeout: Optional[float] = 30.0):
+        super().__init__(channel, timeout)
+        self._pending: Dict[int, _ReplyWaiter] = {}
+        self._state = threading.Lock()
+        self._reader: Optional[threading.Thread] = None
+        self._closed = False
+        self._broken: Optional[Exception] = None
+
+    # -- the demux thread ----------------------------------------------------
+
+    def _ensure_reader(self) -> None:
+        """Start the demux thread on first use (callers hold _state)."""
+        if self._reader is None or not self._reader.is_alive():
+            self._reader = threading.Thread(
+                target=self._read_loop, name="rsr-demux", daemon=True)
+            self._reader.start()
+
+    def _read_loop(self) -> None:
+        while True:
+            with self._state:
+                if self._closed:
+                    return
+            try:
+                data = self.channel.recv(timeout=self.POLL_S)
+            except ChannelClosedError as exc:
+                self._fail_all(exc)
+                return
+            except HpcError as exc:
+                if getattr(self.channel, "closed", False):
+                    # e.g. a mid-frame timeout made the channel unusable.
+                    self._fail_all(exc)
+                    return
+                continue  # idle poll tick
+            try:
+                reply = RsrMessage.decode(data)
+            except HpcError:
+                continue  # undecodable message: protocol noise, skip
+            if not reply.is_reply():
+                continue
+            with self._state:
+                waiter = self._pending.pop(reply.request_id, None)
+            if waiter is not None:
+                waiter.resolve(reply)
+            # no waiter: a timed-out or cancelled request's late reply —
+            # dropped, never cross-delivered to another request.
+
+    def _fail_all(self, cause: Exception) -> None:
+        with self._state:
+            self._broken = cause
+            victims = list(self._pending.values())
+            self._pending.clear()
+        for waiter in victims:
+            error = ChannelClosedError(
+                f"channel died with request in flight: {cause}")
+            error.request_sent = True
+            waiter.fail(error)
+
+    @property
+    def inflight(self) -> int:
+        """Outstanding request count (observability/tests)."""
+        with self._state:
+            return len(self._pending)
+
+    # -- calls ---------------------------------------------------------------
+
+    def call(self, handler: str, payload: bytes,
+             oneway: bool = False) -> Optional[bytes]:
+        request_id = self._ids.next_int()
+        message = RsrMessage.request(request_id, handler, payload,
+                                     oneway=oneway)
+        if oneway:
+            with self._lock:
+                self.channel.send(message.encode())
+            return None
+        waiter = _ReplyWaiter()
+        with self._state:
+            if self._closed:
+                raise ChannelClosedError("call on closed startpoint")
+            if self._broken is not None:
+                raise ChannelClosedError(
+                    f"channel already failed: {self._broken}")
+            self._pending[request_id] = waiter
+            self._ensure_reader()
+        try:
+            with self._lock:       # serializes *sends*, not round trips
+                self.channel.send(message.encode())
+        except Exception:
+            with self._state:
+                self._pending.pop(request_id, None)
+            raise
+        if not waiter.event.wait(self.timeout):
+            with self._state:
+                self._pending.pop(request_id, None)
+            exc = TransportError(
+                f"request {request_id} timed out after {self.timeout}s "
+                "with no reply")
+            # The request left this host; dispatch status is unknown.
+            exc.request_sent = True
+            raise exc
+        if waiter.error is not None:
+            raise waiter.error
+        reply = waiter.reply
+        if reply.is_error():
+            remote_type, remote_msg = loads(reply.payload)
+            raise RemoteException(remote_type, remote_msg)
+        return reply.payload
+
+    def close(self) -> None:
+        with self._state:
+            if self._closed:
+                return
+            self._closed = True
+            reader = self._reader
+        self.channel.close()
+        self._fail_all(ChannelClosedError("startpoint closed"))
+        if reader is not None and reader is not threading.current_thread():
+            reader.join(timeout=2.0)

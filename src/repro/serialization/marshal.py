@@ -19,7 +19,8 @@ proto-object implementations.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,7 +28,8 @@ from repro.exceptions import MarshalError, TypeCodeError
 from repro.serialization.typecodes import ARRAY_DTYPES, DTYPE_CODES, TypeCode
 from repro.serialization.xdr import XdrDecoder, XdrEncoder
 
-__all__ = ["Marshaller", "dumps", "loads", "set_objref_hooks"]
+__all__ = ["Marshaller", "dumps", "loads", "set_objref_hooks",
+           "BatchRequest", "BatchReply"]
 
 # Pluggable ObjectReference (de)serialization, installed by repro.core.objref
 # at import time to avoid a circular dependency: the marshaller must encode
@@ -256,3 +258,122 @@ def dumps(value: Any) -> bytes:
 def loads(data) -> Any:
     """Unmarshal bytes produced by :func:`dumps`."""
     return _DEFAULT.loads(data)
+
+
+# ---------------------------------------------------------------------------
+# Multi-request batch records
+# ---------------------------------------------------------------------------
+
+#: Wire discriminators so a request record can never be mis-decoded as a
+#: reply (or vice versa) after a framing desync.
+_BATCH_REQUEST_KIND = 0xB0A0
+_BATCH_REPLY_KIND = 0xB0A1
+
+#: Hard cap on sub-requests per record: a corrupted count must fail fast
+#: instead of driving a multi-gigabyte allocation loop.
+MAX_BATCH_ITEMS = 65536
+
+
+def _encode_batch(kind: int, items) -> bytes:
+    enc = XdrEncoder()
+    enc.pack_uint(kind)
+    enc.pack_uint(len(items))
+    for sub_id, payload in items:
+        enc.pack_uhyper(sub_id)
+        enc.pack_opaque(payload)
+    return enc.getvalue()
+
+
+def _decode_batch(kind: int, what: str, data) -> Tuple[Tuple[int, bytes], ...]:
+    dec = XdrDecoder(data)
+    try:
+        seen_kind = dec.unpack_uint()
+        if seen_kind != kind:
+            raise MarshalError(
+                f"not a {what} record (kind 0x{seen_kind:x}, "
+                f"expected 0x{kind:x})")
+        count = dec.unpack_uint()
+        if count > MAX_BATCH_ITEMS:
+            raise MarshalError(
+                f"{what} claims {count} items (cap {MAX_BATCH_ITEMS})")
+        items = tuple((dec.unpack_uhyper(), bytes(dec.unpack_opaque()))
+                      for _ in range(count))
+    except MarshalError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - underflow/struct errors
+        raise MarshalError(f"truncated {what} record: {exc}") from exc
+    if not dec.done():
+        raise MarshalError(f"{what} record has trailing bytes")
+    return items
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One multi-request wire record: ``(sub_id, payload)`` pairs.
+
+    The payloads are opaque at this layer — the invoke path puts encoded
+    invocations in them; the glue path capability-processes the whole
+    encoded record *once*, amortising crypto/compression/integrity cost
+    across every sub-request it carries.  ``sub_id`` is the in-batch
+    correlation id: replies may come back in any order and are matched
+    by id, never by position.
+    """
+
+    items: Tuple[Tuple[int, bytes], ...]
+
+    @classmethod
+    def of(cls, payloads: Sequence[bytes]) -> "BatchRequest":
+        """Wrap ``payloads`` with their positions as sub ids."""
+        return cls(tuple((i, bytes(p)) for i, p in enumerate(payloads)))
+
+    def to_bytes(self) -> bytes:
+        return _encode_batch(_BATCH_REQUEST_KIND, self.items)
+
+    @classmethod
+    def from_bytes(cls, data) -> "BatchRequest":
+        return cls(_decode_batch(_BATCH_REQUEST_KIND, "BatchRequest", data))
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+@dataclass(frozen=True)
+class BatchReply:
+    """The reply record mirroring :class:`BatchRequest`.
+
+    Each payload is an ordinary reply envelope (OK / EXCEPTION / MOVED),
+    so one failed sub-request never poisons its batch-mates — partial
+    failure is per-item by construction.
+    """
+
+    items: Tuple[Tuple[int, bytes], ...]
+
+    def to_bytes(self) -> bytes:
+        return _encode_batch(_BATCH_REPLY_KIND, self.items)
+
+    @classmethod
+    def from_bytes(cls, data) -> "BatchReply":
+        return cls(_decode_batch(_BATCH_REPLY_KIND, "BatchReply", data))
+
+    def in_order(self, count: int) -> list:
+        """The reply payloads for sub ids ``0..count-1``, in id order.
+
+        Raises :class:`MarshalError` when an id is missing or duplicated
+        — a server that drops or double-answers a sub-request must not
+        silently cross-deliver results.
+        """
+        by_id = {}
+        for sub_id, payload in self.items:
+            if sub_id in by_id:
+                raise MarshalError(f"duplicate sub id {sub_id} in batch "
+                                   "reply")
+            by_id[sub_id] = payload
+        try:
+            return [by_id[i] for i in range(count)]
+        except KeyError as exc:
+            raise MarshalError(
+                f"batch reply is missing sub id {exc.args[0]} "
+                f"(got {sorted(by_id)})") from None
+
+    def __len__(self) -> int:
+        return len(self.items)

@@ -22,52 +22,92 @@ from typing import Callable
 from repro.exceptions import ChannelClosedError, FramingError
 from repro.util.checksums import fletcher16
 
-__all__ = ["write_frame", "read_frame", "MAX_FRAME", "HEADER"]
+__all__ = ["write_frame", "read_frame", "read_frame_ex", "MAX_FRAME",
+           "HEADER", "FLAG_BATCH", "buffer_read_exact"]
 
 MAGIC = b"HF"
 VERSION = 1
 HEADER = struct.Struct(">2sBBI")
 CSUM = struct.Struct(">H")
 
+#: Frame-flag bit: the payload is a multi-request batch record
+#: (:class:`repro.serialization.marshal.BatchRequest` /
+#: ``BatchReply``) rather than a single message.  Readers that predate
+#: the bit still reject such frames cleanly — the record's own kind tag
+#: fails their payload decode — but flag-aware readers can route batch
+#: frames without touching the payload.
+FLAG_BATCH = 0x01
+
 #: Refuse frames above 256 MiB — far beyond any benchmark payload and a
 #: hard stop against desync-induced giant allocations.
 MAX_FRAME = 256 * 1024 * 1024
 
 
-def write_frame(write: Callable[[bytes], None], payload_chunks) -> int:
+def write_frame(write: Callable[[bytes], None], payload_chunks,
+                flags: int = 0) -> int:
     """Emit one frame via ``write``; returns total bytes written.
 
     ``payload_chunks`` is an iterable of bytes-likes (a gather list from
     :meth:`repro.util.bytesbuf.ByteBuffer.chunks`) or a single bytes-like.
+    ``flags`` rides in the header's flag byte (e.g. :data:`FLAG_BATCH`)
+    and is covered by the header checksum.
     """
     if isinstance(payload_chunks, (bytes, bytearray, memoryview)):
         payload_chunks = [payload_chunks]
+    if not 0 <= flags <= 0xFF:
+        raise FramingError(f"frame flags {flags:#x} do not fit one byte")
     chunks = list(payload_chunks)
     length = sum(len(c) for c in chunks)
     if length > MAX_FRAME:
         raise FramingError(f"frame of {length} bytes exceeds MAX_FRAME")
-    header = HEADER.pack(MAGIC, VERSION, 0, length)
+    header = HEADER.pack(MAGIC, VERSION, flags, length)
     write(header + CSUM.pack(fletcher16(header)))
     for chunk in chunks:
         write(chunk)
     return HEADER.size + CSUM.size + length
 
 
-def read_frame(read_exact: Callable[[int], bytes]) -> bytes:
+def read_frame_ex(read_exact: Callable[[int], bytes]) -> tuple[int, bytes]:
     """Read one frame via ``read_exact(n)`` (which must return exactly
-    ``n`` bytes or raise).  Returns the payload."""
+    ``n`` bytes or raise).  Returns ``(flags, payload)``."""
     header = read_exact(HEADER.size)
     (csum,) = CSUM.unpack(read_exact(CSUM.size))
     if fletcher16(header) != csum:
         raise FramingError("frame header checksum mismatch (desync?)")
-    magic, version, _flags, length = HEADER.unpack(header)
+    magic, version, flags, length = HEADER.unpack(header)
     if magic != MAGIC:
         raise FramingError(f"bad frame magic {magic!r}")
     if version != VERSION:
         raise FramingError(f"unsupported frame version {version}")
     if length > MAX_FRAME:
         raise FramingError(f"frame length {length} exceeds MAX_FRAME")
-    return read_exact(length) if length else b""
+    return flags, (read_exact(length) if length else b"")
+
+
+def read_frame(read_exact: Callable[[int], bytes]) -> bytes:
+    """Read one frame, dropping the flag byte (legacy single-message
+    callers)."""
+    return read_frame_ex(read_exact)[1]
+
+
+def buffer_read_exact(data) -> Callable[[int], bytes]:
+    """A ``read_exact`` over an in-memory buffer that raises
+    :class:`FramingError` on truncation — the strict reader batch
+    decoding and the property tests use to reject cut-off frames."""
+    view = memoryview(data)
+    pos = 0
+
+    def read_exact(n: int) -> bytes:
+        nonlocal pos
+        if pos + n > len(view):
+            raise FramingError(
+                f"truncated frame: wanted {n} bytes at offset {pos}, "
+                f"buffer holds {len(view)}")
+        out = bytes(view[pos:pos + n])
+        pos += n
+        return out
+
+    return read_exact
 
 
 def sock_read_exact(sock, on_bytes=None) -> Callable[[int], bytes]:

@@ -28,6 +28,7 @@ class InProcChannel(Channel):
         self._send_q = send_q
         self._recv_q = recv_q
         self._closed = False
+        self._peer_closed = False
 
     def send(self, data) -> None:
         if self._closed:
@@ -37,24 +38,35 @@ class InProcChannel(Channel):
     def recv(self, timeout: Optional[float] = None) -> bytes:
         if self._closed:
             raise ChannelClosedError("recv on closed channel")
+        if self._peer_closed:
+            raise ChannelClosedError("peer closed")
         try:
             item = self._recv_q.get(timeout=timeout)
         except queue.Empty:
             raise TransportError(f"recv timed out after {timeout}s") \
                 from None
         if item is _CLOSE:
-            self._closed = True
+            # Half-close: the peer will send no more, but everything it
+            # queued before closing was already delivered (FIFO), and
+            # our own send side stays usable until close() — so a
+            # server that consumed a request before the peer's close
+            # sentinel can still flush the reply.
+            self._peer_closed = True
             raise ChannelClosedError("peer closed")
         return item
 
     def close(self) -> None:
         if not self._closed:
             self._closed = True
+            # Always echo the sentinel, even when the peer closed
+            # first: a caller blocked in recv on the other side (an
+            # evicted client waiting for its reply) must wake with
+            # ChannelClosedError, not hang.
             self._send_q.put(_CLOSE)
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        return self._closed or self._peer_closed
 
 
 class _InProcListener(Listener):

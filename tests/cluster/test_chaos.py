@@ -9,7 +9,13 @@ where a deliberately unhealed partition fails `assert_degradation`.
 
 import pytest
 
-from repro.cluster import ChaosRun, SyntheticWorkload, bind_workers, build_cluster
+from repro.cluster import (
+    BatchedSyntheticWorkload,
+    ChaosRun,
+    SyntheticWorkload,
+    bind_workers,
+    build_cluster,
+)
 from repro.core import ORB
 from repro.core.instrumentation import GLOBAL_HOOKS
 from repro.core.resilience import BreakerRegistry, RetryPolicy
@@ -90,6 +96,105 @@ class TestChaosDeterminism:
         summary = assert_degradation(report.curve, max_dip=0.95,
                                      recover_within=4.0)
         assert summary["recovered_at"] is not None
+
+
+def run_chaos_batched(seed=SEED, plan_factory=loss_and_flap_plan,
+                      n_requests=300, batch_size=4):
+    """`run_chaos`, but driven through explicit batch scopes."""
+    sim, orb, table = make_world(seed)
+    workload = BatchedSyntheticWorkload(
+        seed=seed, n_requests=n_requests, object_names=list(table),
+        payload_bytes=2048, mean_think_seconds=0.02,
+        batch_size=batch_size)
+    plan = plan_factory(seed)
+    report = ChaosRun(workload, plan, bucket_seconds=1.0).run([table], sim)
+    orb.shutdown()
+    return report
+
+
+def quiet_plan(seed=SEED):
+    """A plan with no rules: chaos machinery attached, zero faults."""
+    return FaultPlan(seed=seed)
+
+
+class TestChaosWithBatching:
+    """The batching layer under chaos: seeded runs stay bit-identical,
+    and on a quiet network batching changes the wire shape only — every
+    call's outcome matches the unbatched driver."""
+
+    def test_batched_run_bit_identical_across_runs(self):
+        a = run_chaos_batched()
+        b = run_chaos_batched()
+        assert a.curve.to_dicts() == b.curve.to_dicts()
+        assert a.metrics == b.metrics
+        assert a.result == b.result
+        assert a.to_dict() == b.to_dict()
+
+    def test_batching_actually_engaged_under_faults(self):
+        """The determinism test must not pass vacuously: calls really
+        travel batched, faults really land, and the run degrades."""
+        report = run_chaos_batched()
+        counters = report.metrics["counters"]
+        assert counters["batch_flushes_total"] > 0
+        assert counters["batched_calls_total"] > 0
+        assert counters["faults_injected_total"] > 0
+        assert report.result.errors > 0
+        window = [b for b in report.curve.buckets
+                  if 2.0 <= b.start < 4.0]
+        baseline = report.curve.buckets[0].goodput
+        assert min(b.goodput for b in window) < baseline
+
+    def test_batched_seeds_differ(self):
+        a = run_chaos_batched(seed=17)
+        b = run_chaos_batched(seed=18)
+        assert a.curve.to_dicts() != b.curve.to_dicts()
+
+    def test_quiet_plan_batched_matches_unbatched_aggregates(self):
+        """With no faults the batched and unbatched drivers agree on
+        every aggregate: same successes, same errors (none), same
+        per-object request counts."""
+        direct = run_chaos(plan_factory=quiet_plan, n_requests=120)
+        batched = run_chaos_batched(plan_factory=quiet_plan,
+                                    n_requests=120)
+        assert direct.result.errors == batched.result.errors == 0
+        assert direct.result.ok == batched.result.ok == 120
+        assert direct.result.per_object_requests == \
+            batched.result.per_object_requests
+
+    def test_batched_equals_unbatched_call_for_call(self):
+        """Distinct per-call payloads echo back identically whether the
+        calls ride a batch or go out alone — value for value, in
+        order."""
+        def drive(batched):
+            sim, orb, table = make_world()
+            gps = [table[name] for name in sorted(table)]
+            payloads = [bytes([i % 251]) * (1 + i % 96)
+                        for i in range(80)]
+            values = []
+            if batched:
+                for base in range(0, len(payloads), 8):
+                    futures, scopes = [], {}
+                    for i in range(base, min(base + 8, len(payloads))):
+                        gp = gps[i % len(gps)]
+                        scope = scopes.get(id(gp))
+                        if scope is None:
+                            scope = scopes[id(gp)] = gp.batch()
+                        futures.append(
+                            scope.invoke("process", payloads[i]))
+                    for scope in scopes.values():
+                        scope.flush()
+                    values.extend(f.result() for f in futures)
+            else:
+                for i, payload in enumerate(payloads):
+                    values.append(
+                        gps[i % len(gps)].invoke("process", payload))
+            orb.shutdown()
+            return values
+
+        batched, direct = drive(True), drive(False)
+        assert len(batched) == len(direct) == 80
+        for got, want in zip(batched, direct):
+            assert bytes(got) == bytes(want)
 
 
 class TestChaosEnvelopeNegative:

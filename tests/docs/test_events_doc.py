@@ -72,6 +72,10 @@ def test_recorder_metric_names_are_documented():
     bus.emit("hedge", delay=0.1)
     bus.emit("hedge_win", latency=0.1)
     bus.emit("hedge_loss", latency=0.1)
+    bus.emit("batch_flush", context_id="c", proto_id="p", size=4,
+             nbytes=256, reason="window", duration=0.01)
+    bus.emit("batch_fallback", method="m", context_id="c", proto_id="p",
+             error=None, dispatched=False)
     bus.emit("fault_injected", fault="drop", detail="a->b")
     bus.emit("fault_phase", at=0.0, now=0.0, label="x")
     snap = rec.snapshot()

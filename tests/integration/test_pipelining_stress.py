@@ -1,0 +1,226 @@
+"""Stress the pipelined channel: many threads, one TCP connection.
+
+The :class:`~repro.nexus.endpoint.PipelinedStartpoint` promises that
+any number of callers can have requests outstanding on *one* channel,
+demuxed by correlation id.  These tests hammer that promise:
+
+* N threads x M calls through one GP (one cached client, one socket)
+  with per-call unique tokens — a single cross-delivered reply fails
+  the run;
+* replies that nobody is waiting for any more (timeouts) are dropped,
+  never delivered to a different request;
+* ``close()`` while calls are in flight drains them with the PR-2
+  semantics: in-flight ``invoke_async`` futures complete (result or a
+  clean error), post-close invocations raise ``HpcError``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import ORB
+from repro.core.context import Placement
+from repro.core.objref import ObjectReference
+from repro.core.request import Invocation, decode_reply, encode_invocation
+from repro.exceptions import ChannelClosedError, HpcError, TransportError
+from repro.idl import remote_interface, remote_method
+from repro.nexus.endpoint import PipelinedStartpoint
+
+from tests.core.conftest import Counter
+
+
+@remote_interface("Sluggish")
+class Sluggish:
+    """Echo with an optional per-call delay (to hold requests open)."""
+
+    @remote_method(retry_safe=True)
+    def echo(self, token, delay_s):
+        if delay_s:
+            time.sleep(delay_s)
+        return token
+
+
+def tcp_pair(orb, servant):
+    """(gp, server ctx, client ctx) where the GP can only reach the
+    servant over TCP — one socket carries everything."""
+    server = orb.context("pipe-srv", enable_tcp=True,
+                         placement=Placement("srv", "lan-a", "site-a"))
+    client = orb.context("pipe-cli", enable_tcp=True,
+                         placement=Placement("cli", "lan-b", "site-b"))
+    oref = ObjectReference.from_bytes(server.export(servant).to_bytes())
+    for entry in oref.protocols:
+        entry.proto_data["addresses"] = [
+            a for a in entry.proto_data.get("addresses", [])
+            if a.get("transport") == "tcp"]
+    return client.bind(oref), server, client
+
+
+class TestPipelinedStress:
+    THREADS = 8
+    CALLS = 25
+
+    def test_no_cross_delivery_under_contention(self):
+        """8 threads x 25 calls, every reply must match its request's
+        unique token — over exactly one pipelined connection."""
+        orb = ORB()
+        try:
+            gp, _server, _client = tcp_pair(orb, Sluggish())
+            entry = gp.select_protocol()
+            client_obj = gp._client_for(entry)
+            mismatches = []
+            barrier = threading.Barrier(self.THREADS)
+
+            def worker(tid):
+                barrier.wait()
+                for i in range(self.CALLS):
+                    token = f"t{tid}-c{i}"
+                    got = gp.invoke("echo", token, 0)
+                    if got != token:
+                        mismatches.append((token, got))
+
+            threads = [threading.Thread(target=worker, args=(t,))
+                       for t in range(self.THREADS)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not mismatches, mismatches[:5]
+            # Everything above shared ONE pipelined startpoint.
+            sp = client_obj._startpoint
+            assert isinstance(sp, PipelinedStartpoint)
+            assert sp.inflight == 0
+        finally:
+            orb.shutdown()
+
+    def test_requests_genuinely_overlap(self):
+        """Two slow calls on one connection take ~max, not ~sum: the
+        channel is pipelined, not ping-pong."""
+        orb = ORB()
+        try:
+            gp, _server, _client = tcp_pair(orb, Sluggish())
+            gp.invoke("echo", "warm", 0)  # connect outside the clock
+            started = time.monotonic()
+            futures = [gp.invoke_async("echo", f"s{i}", 0.4)
+                       for i in range(4)]
+            assert [f.result(timeout=30) for f in futures] == \
+                ["s0", "s1", "s2", "s3"]
+            elapsed = time.monotonic() - started
+            # Serial would be >= 1.6s; pipelined rides one round trip
+            # per in-flight window (4 calls, 8 workers -> ~0.4s).
+            assert elapsed < 1.2, f"calls serialized: {elapsed:.2f}s"
+        finally:
+            orb.shutdown()
+
+    def test_late_reply_never_cross_delivers(self):
+        """A request that timed out must not have its (late) reply
+        delivered to any later request on the same channel."""
+        orb = ORB()
+        try:
+            gp, _server, _client = tcp_pair(orb, Sluggish())
+            gp.invoke("echo", "warm", 0)
+            entry = gp.select_protocol()
+            client_obj = gp._client_for(entry)
+            sp = client_obj._startpoint
+            m = client_obj.marshaller
+
+            def payload(token, delay):
+                return encode_invocation(m, Invocation(
+                    object_id=gp.oref.object_id, method="echo",
+                    args=(token, delay)))
+
+            sp.timeout = 0.3
+            with pytest.raises(TransportError):
+                sp.call("hpc.invoke", payload("late", 1.0))
+            # The late reply lands ~0.7s from now on this very channel.
+            # Every subsequent call must still see its own token.
+            sp.timeout = 10.0
+            for i in range(10):
+                reply = sp.call("hpc.invoke", payload(f"after-{i}", 0))
+                assert decode_reply(m, reply) == f"after-{i}"
+                time.sleep(0.1)
+            assert sp.inflight == 0
+        finally:
+            orb.shutdown()
+
+    def test_close_drains_inflight_async(self):
+        """GP.close() while async calls are in flight: every future
+        settles (value or clean cancellation/error), nothing hangs."""
+        orb = ORB()
+        try:
+            gp, _server, _client = tcp_pair(orb, Sluggish())
+            gp.invoke("echo", "warm", 0)
+            futures = [gp.invoke_async("echo", f"d{i}", 0.2)
+                       for i in range(6)]
+            gp.close()  # default wait=True: drain
+            settled = 0
+            for f in futures:
+                if f.cancelled():
+                    settled += 1
+                    continue
+                try:
+                    f.result(timeout=5)
+                except (HpcError, ChannelClosedError):
+                    pass
+                settled += 1
+            assert settled == len(futures)
+            with pytest.raises(HpcError, match="closed"):
+                gp.invoke("echo", "post-close", 0)
+        finally:
+            orb.shutdown()
+
+    def test_startpoint_close_fails_waiters_with_request_sent(self):
+        """Killing the channel under outstanding requests surfaces
+        ChannelClosedError flagged request_sent on every waiter — the
+        idempotence guard's food."""
+        orb = ORB()
+        try:
+            gp, _server, _client = tcp_pair(orb, Sluggish())
+            gp.invoke("echo", "warm", 0)
+            entry = gp.select_protocol()
+            client_obj = gp._client_for(entry)
+            sp = client_obj._startpoint
+            slow = encode_invocation(client_obj.marshaller, Invocation(
+                object_id=gp.oref.object_id, method="echo",
+                args=("slow", 2.0)))
+            result = {}
+
+            def slow_call():
+                try:
+                    sp.call("hpc.invoke", slow)
+                except Exception as exc:  # noqa: BLE001
+                    result["exc"] = exc
+
+            t = threading.Thread(target=slow_call)
+            t.start()
+            deadline = time.monotonic() + 5
+            while sp.inflight == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            time.sleep(0.3)  # the request is provably on the wire
+            sp.close()
+            t.join(timeout=5)
+            exc = result.get("exc")
+            assert isinstance(exc, ChannelClosedError)
+            assert getattr(exc, "request_sent", False)
+        finally:
+            orb.shutdown()
+
+
+class TestPipelinedBatchInterplay:
+    def test_counter_sequential_consistency(self):
+        """Concurrent increments through one pipelined channel land
+        exactly once each (the server serializes dispatch per channel,
+        the client demuxes per reply)."""
+        orb = ORB()
+        try:
+            gp, _server, _client = tcp_pair(orb, Counter())
+            threads = [threading.Thread(
+                target=lambda: [gp.invoke("add", 1) for _ in range(20)])
+                for _ in range(5)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert gp.invoke("get") == 100
+        finally:
+            orb.shutdown()

@@ -1,0 +1,124 @@
+"""Property tests for the BatchRequest/BatchReply wire records.
+
+The multi-request record is the foundation the whole batching layer
+stands on, so it gets the adversarial treatment: arbitrary sub-request
+counts, sizes, and id interleavings must round-trip exactly; any
+truncation or trailing garbage must be *rejected*, never misread.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import MarshalError
+from repro.serialization.marshal import (
+    MAX_BATCH_ITEMS,
+    BatchReply,
+    BatchRequest,
+)
+
+payloads_st = st.lists(st.binary(max_size=512), max_size=32)
+#: Arbitrary (sub_id, payload) pairs — ids need not be dense or ordered.
+items_st = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2**64 - 1),
+              st.binary(max_size=256)),
+    max_size=24).map(tuple)
+
+
+class TestRequestRoundtrip:
+    @given(payloads_st)
+    def test_of_roundtrip(self, payloads):
+        request = BatchRequest.of(payloads)
+        decoded = BatchRequest.from_bytes(request.to_bytes())
+        assert decoded == request
+        assert len(decoded) == len(payloads)
+        assert [p for _i, p in decoded.items] == [bytes(p)
+                                                  for p in payloads]
+
+    @given(items_st)
+    def test_arbitrary_ids_roundtrip(self, items):
+        request = BatchRequest(items)
+        assert BatchRequest.from_bytes(request.to_bytes()).items == items
+
+    def test_empty(self):
+        assert BatchRequest.from_bytes(
+            BatchRequest.of([]).to_bytes()).items == ()
+
+    def test_of_assigns_positions(self):
+        request = BatchRequest.of([b"a", b"b", b"c"])
+        assert [i for i, _p in request.items] == [0, 1, 2]
+
+
+class TestReplyRoundtrip:
+    @given(items_st)
+    def test_roundtrip(self, items):
+        reply = BatchReply(items)
+        assert BatchReply.from_bytes(reply.to_bytes()).items == items
+
+    @given(st.lists(st.binary(max_size=128), max_size=16))
+    def test_in_order_under_shuffled_ids(self, payloads):
+        """Replies arriving in any id order reassemble by id, never by
+        position."""
+        items = list(enumerate(bytes(p) for p in payloads))
+        items.reverse()  # worst-case ordering
+        reply = BatchReply.from_bytes(BatchReply(tuple(items)).to_bytes())
+        assert reply.in_order(len(payloads)) == [bytes(p)
+                                                 for p in payloads]
+
+    def test_in_order_rejects_missing_id(self):
+        reply = BatchReply(((0, b"a"), (2, b"c")))
+        with pytest.raises(MarshalError, match="missing sub id 1"):
+            reply.in_order(3)
+
+    def test_in_order_rejects_duplicate_id(self):
+        reply = BatchReply(((0, b"a"), (0, b"b")))
+        with pytest.raises(MarshalError, match="duplicate sub id"):
+            reply.in_order(2)
+
+    def test_in_order_rejects_short_reply(self):
+        reply = BatchReply(((0, b"a"),))
+        with pytest.raises(MarshalError, match="missing sub id"):
+            reply.in_order(2)
+
+
+class TestRejection:
+    @given(payloads_st.filter(lambda p: len(p) > 0))
+    @settings(max_examples=40)
+    def test_truncation_always_rejected(self, payloads):
+        """Every proper prefix of a record fails loudly."""
+        wire = BatchRequest.of(payloads).to_bytes()
+        for cut in range(0, len(wire), max(1, len(wire) // 16)):
+            if cut == len(wire):
+                continue
+            with pytest.raises(MarshalError):
+                BatchRequest.from_bytes(wire[:cut])
+
+    @given(payloads_st, st.binary(min_size=1, max_size=16))
+    @settings(max_examples=40)
+    def test_trailing_garbage_rejected(self, payloads, junk):
+        wire = BatchRequest.of(payloads).to_bytes() + junk
+        with pytest.raises(MarshalError):
+            BatchRequest.from_bytes(wire)
+
+    def test_kind_tags_are_disjoint(self):
+        """A request record can never decode as a reply or vice versa —
+        the kind tag guards against handler cross-wiring."""
+        request_wire = BatchRequest.of([b"x"]).to_bytes()
+        reply_wire = BatchReply(((0, b"x"),)).to_bytes()
+        with pytest.raises(MarshalError, match="not a BatchReply"):
+            BatchReply.from_bytes(request_wire)
+        with pytest.raises(MarshalError, match="not a BatchRequest"):
+            BatchRequest.from_bytes(reply_wire)
+
+    def test_insane_count_rejected(self):
+        """A corrupted count field must fail fast, not allocate."""
+        from repro.serialization.xdr import XdrEncoder
+
+        enc = XdrEncoder()
+        enc.pack_uint(0xB0A0)
+        enc.pack_uint(MAX_BATCH_ITEMS + 1)
+        with pytest.raises(MarshalError, match="claims"):
+            BatchRequest.from_bytes(enc.getvalue())
+
+    def test_empty_buffer_rejected(self):
+        with pytest.raises(MarshalError):
+            BatchRequest.from_bytes(b"")

@@ -6,7 +6,15 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.exceptions import FramingError
-from repro.transport.framing import HEADER, MAX_FRAME, read_frame, write_frame
+from repro.transport.framing import (
+    FLAG_BATCH,
+    HEADER,
+    MAX_FRAME,
+    buffer_read_exact,
+    read_frame,
+    read_frame_ex,
+    write_frame,
+)
 
 
 def frame_bytes(payload) -> bytes:
@@ -93,3 +101,75 @@ class TestCorruption:
         wire = header + fletcher16(header).to_bytes(2, "big")
         with pytest.raises(FramingError):
             read_frame(reader_over(wire))
+
+
+class TestFlags:
+    """The frame-flag byte: batch routing without touching payloads."""
+
+    def frame_with_flags(self, payload, flags):
+        sink = io.BytesIO()
+        write_frame(sink.write, payload, flags=flags)
+        return sink.getvalue()
+
+    def test_default_flags_zero(self):
+        flags, payload = read_frame_ex(reader_over(frame_bytes(b"x")))
+        assert flags == 0
+        assert payload == b"x"
+
+    def test_batch_flag_roundtrip(self):
+        wire = self.frame_with_flags(b"record", FLAG_BATCH)
+        flags, payload = read_frame_ex(reader_over(wire))
+        assert flags & FLAG_BATCH
+        assert payload == b"record"
+
+    @given(st.integers(min_value=0, max_value=0xFF),
+           st.binary(max_size=500))
+    def test_any_byte_roundtrips(self, flags, payload):
+        wire = self.frame_with_flags(payload, flags)
+        assert read_frame_ex(reader_over(wire)) == (flags, payload)
+
+    @given(st.integers().filter(lambda f: not 0 <= f <= 0xFF))
+    def test_out_of_range_flags_rejected(self, flags):
+        with pytest.raises(FramingError):
+            write_frame(lambda b: None, b"x", flags=flags)
+
+    def test_legacy_reader_drops_flags(self):
+        """read_frame still works on flagged frames (the flag byte was
+        always in the header; old callers just ignored it)."""
+        wire = self.frame_with_flags(b"record", FLAG_BATCH)
+        assert read_frame(reader_over(wire)) == b"record"
+
+    def test_flags_covered_by_checksum(self):
+        wire = bytearray(self.frame_with_flags(b"record", FLAG_BATCH))
+        wire[3] ^= 0x02  # flip a different flag bit in place
+        with pytest.raises(FramingError):
+            read_frame_ex(reader_over(bytes(wire)))
+
+
+class TestBufferReadExact:
+    """The strict in-memory reader the batch layer decodes with."""
+
+    def test_reads_a_whole_frame(self):
+        wire = frame_bytes(b"hello")
+        assert read_frame(buffer_read_exact(wire)) == b"hello"
+
+    def test_sequential_frames(self):
+        read_exact = buffer_read_exact(frame_bytes(b"a") + frame_bytes(b"b"))
+        assert read_frame(read_exact) == b"a"
+        assert read_frame(read_exact) == b"b"
+
+    @given(st.binary(max_size=2000))
+    def test_truncated_frames_always_rejected(self, payload):
+        """Every strict prefix of a frame raises FramingError — a
+        cut-off batch frame can never be silently misread."""
+        wire = frame_bytes(payload)
+        step = max(1, len(wire) // 24)
+        for cut in range(0, len(wire), step):
+            if cut == len(wire):
+                continue
+            with pytest.raises(FramingError):
+                read_frame(buffer_read_exact(wire[:cut]))
+
+    def test_error_names_offset(self):
+        with pytest.raises(FramingError, match="offset"):
+            read_frame(buffer_read_exact(frame_bytes(b"payload")[:5]))
