@@ -1,0 +1,157 @@
+"""OVERLOAD: goodput under 10x offered load, with and without admission.
+
+Four seeded scenarios through :class:`repro.cluster.OverloadRun`
+(open-loop Poisson arrivals in virtual time against the *real*
+:class:`~repro.admission.AdmissionController`):
+
+    unloaded     0.25x capacity, admission on — the latency baseline
+    saturation   1x capacity, admission on — the goodput baseline
+    10x + adm    10x capacity, admission on
+    10x - adm    10x capacity, no admission (fixed workers, unbounded
+                 FIFO — the pre-admission endpoint)
+
+The gates this bench enforces (the headline claims of
+``docs/ADMISSION.md``):
+
+    1. goodput at 10x with admission >= 80% of saturation goodput;
+    2. interactive p99 at 10x within 2x its unloaded value;
+    3. the no-admission baseline collapses (goodput < 20% of
+       saturation) even though it still *completes* requests — they
+       finish too late to beat their deadlines;
+    4. identically seeded runs produce identical reports.
+
+Also runnable as a plain script (CI's docs job uses it as a smoke
+gate):
+
+    python benchmarks/bench_overload.py --smoke
+"""
+
+import argparse
+import sys
+
+import pytest
+
+from repro.admission import AdmissionPolicy
+from repro.cluster import OverloadPhase, OverloadRun
+
+SEED = 11
+SERVICE_TIME = 0.02          #: virtual seconds per request
+WORKERS = 4                  #: baseline pool size == limiter max
+DEADLINE = 0.25              #: per-request budget (virtual seconds)
+CAPACITY = WORKERS / SERVICE_TIME    # 200 requests/second
+DURATION = 10.0
+MIX = (0.6, 0.3, 0.1)
+
+
+def make_policy() -> AdmissionPolicy:
+    """Short queue on purpose: with service time S, W workers, and Q
+    queued units a fresh admit waits up to Q*S/W before dispatch, so
+    the queue bound *is* the interactive tail-latency bound."""
+    return AdmissionPolicy(enabled=True, max_limit=WORKERS,
+                           queue_capacity=8)
+
+
+def run_scenarios(duration: float):
+    def phases(rate):
+        return [OverloadPhase(duration=duration, rate=rate, mix=MIX)]
+
+    def run(policy, rate):
+        return OverloadRun(policy=policy, seed=SEED,
+                           service_time=SERVICE_TIME, deadline=DEADLINE,
+                           baseline_workers=WORKERS).run(phases(rate))
+
+    return {
+        "unloaded": run(make_policy(), 0.25 * CAPACITY),
+        "saturation": run(make_policy(), CAPACITY),
+        "10x + adm": run(make_policy(), 10 * CAPACITY),
+        "10x - adm": run(None, 10 * CAPACITY),
+    }
+
+
+def check(reports) -> None:
+    sat = reports["saturation"].goodput
+    adm = reports["10x + adm"]
+    base = reports["10x - adm"]
+    unloaded_p99 = reports["unloaded"].latency_by_class[
+        "interactive"]["p99"]
+    loaded = adm.latency_by_class["interactive"]
+
+    assert adm.goodput >= 0.8 * sat, \
+        f"10x goodput {adm.goodput:.1f} < 80% of saturation {sat:.1f}"
+    assert loaded["p99"] <= 2.0 * unloaded_p99, \
+        f"interactive p99 {loaded['p99']:.4f} > 2x unloaded " \
+        f"{unloaded_p99:.4f}"
+    assert base.goodput < 0.2 * sat, \
+        f"no-admission baseline did not collapse: {base.goodput:.1f}"
+    # The baseline is not *idle* — it completes at capacity, too late.
+    assert base.completed > 0.8 * sat * adm.duration
+    assert adm.shed_by_reason.get("queue_full", 0) > 0
+    # Strict priority: interactive tail well under batch tail.
+    assert loaded["p99"] < adm.latency_by_class["batch"]["p99"]
+
+
+def run_determinism_check(duration: float) -> None:
+    a = run_scenarios(duration)["10x + adm"]
+    b = run_scenarios(duration)["10x + adm"]
+    assert a.to_dict() == b.to_dict(), \
+        "identical seed must give identical overload reports"
+
+
+def format_report(reports) -> str:
+    lines = [
+        f"capacity {CAPACITY:.0f} req/s ({WORKERS} workers x "
+        f"{SERVICE_TIME * 1000:.0f}ms service), deadline "
+        f"{DEADLINE * 1000:.0f}ms, seed {SEED}, virtual time",
+        "",
+        f"{'scenario':>10}  {'offered':>7}  {'goodput':>7}  {'shed':>6}  "
+        f"{'int p50':>8}  {'int p99':>8}  {'batch p99':>9}",
+    ]
+    for name, r in reports.items():
+        inter = r.latency_by_class["interactive"]
+        batch = r.latency_by_class["batch"]
+
+        def ms(v):
+            return "-" if v is None else f"{v * 1000:.1f}ms"
+
+        lines.append(
+            f"{name:>10}  {r.offered:>7}  {r.goodput:>7.1f}  "
+            f"{r.shed:>6}  {ms(inter['p50']):>8}  {ms(inter['p99']):>8}  "
+            f"{ms(batch['p99']):>9}")
+    adm = reports["10x + adm"]
+    lines.append("")
+    lines.append(f"10x + adm sheds by reason: {adm.shed_by_reason}")
+    lines.append(
+        f"baseline at 10x completes {reports['10x - adm'].completed} "
+        f"requests but only {reports['10x - adm'].timely} in deadline "
+        f"— completion without timeliness is not goodput")
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="overload")
+def test_overload_goodput(benchmark, record_result):
+    reports = benchmark.pedantic(
+        lambda: run_scenarios(DURATION), rounds=1, iterations=1)
+    check(reports)
+    run_determinism_check(DURATION)
+    record_result(
+        "overload_goodput",
+        f"Goodput under overload, admission on/off (10s phases)\n"
+        + format_report(reports))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="short phases (CI smoke gate)")
+    args = parser.parse_args(argv)
+    duration = 4.0 if args.smoke else DURATION
+    reports = run_scenarios(duration)
+    check(reports)
+    run_determinism_check(duration)
+    print(format_report(reports))
+    print("\noverload bench ok: gates held, reports deterministic")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,231 @@
+"""The admission controller: queue + limiter + shed decisions.
+
+One controller fronts one :class:`~repro.nexus.endpoint.Endpoint`.
+Every two-way request the endpoint receives is *offered*; the
+controller either admits it into the bounded priority queue (``admit``
+event) or sheds it with a pushback reply (``shed`` event).  Workers
+draw admitted work through :meth:`pop` (blocking, threaded transports)
+or :meth:`try_pop` (non-blocking, the synchronous simulated world),
+both gated by the adaptive :class:`ConcurrencyLimiter`; completions
+feed service latency back through :meth:`finish`.
+
+Shed reasons — the vocabulary of the ``shed`` event and of
+:class:`~repro.exceptions.OverloadError.reason`::
+
+    queue_full   the bounded queue could not take the request's cost
+    deadline     the request's remaining time budget expired (on
+                 arrival, or while it sat in the queue)
+    stopping     the endpoint is shutting down
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.admission.limiter import ConcurrencyLimiter
+from repro.admission.policy import AdmissionPolicy
+from repro.admission.queue import AdmissionQueue, QueuedItem
+from repro.serialization.marshal import peek_batch_count
+from repro.util.timing import TimeSource, WallClock
+
+__all__ = ["AdmissionController"]
+
+#: Handler-name literals, duplicated from repro.core.protocol to keep
+#: the admission package importable below the core layer.
+_BATCH_HANDLER = "hpc.invoke.batch"
+_GLUE_BATCH_HANDLER = "hpc.glue.batch"
+
+#: reject callback signature: (retry_after_seconds, reason) -> None
+Reject = Callable[[float, str], None]
+
+
+class AdmissionController:
+    """Admission decisions for one endpoint."""
+
+    def __init__(self, policy: Optional[AdmissionPolicy] = None,
+                 clock: Optional[TimeSource] = None, hooks=None):
+        if hooks is None:
+            from repro.core.instrumentation import GLOBAL_HOOKS
+            hooks = GLOBAL_HOOKS
+        self.hooks = hooks
+        self.clock = clock if clock is not None else WallClock()
+        self._policy = policy if policy is not None else AdmissionPolicy()
+        self.queue = AdmissionQueue(self._policy.queue_capacity,
+                                    lifo=self._policy.lifo)
+        self.limiter = ConcurrencyLimiter(self._policy, hooks=hooks)
+        self._cond = threading.Condition()
+        self._stopping = False
+        self.admitted = 0
+        self.shed = 0
+        self.max_depth = 0
+
+    @property
+    def policy(self) -> AdmissionPolicy:
+        return self._policy
+
+    @property
+    def active(self) -> bool:
+        """Should the endpoint route dispatches through admission?"""
+        return self._policy.enabled
+
+    def set_policy(self, policy: AdmissionPolicy) -> None:
+        """Swap the policy at runtime (Open Implementation style).
+
+        Queued work survives: the queue is rebuilt at the new capacity
+        and existing items re-offered in priority order; anything the
+        smaller queue cannot take is shed with pushback.
+        """
+        with self._cond:
+            old_items = self.queue.drain()
+            self._policy = policy
+            self.queue = AdmissionQueue(policy.queue_capacity,
+                                        lifo=policy.lifo)
+            self.limiter = ConcurrencyLimiter(policy, hooks=self.hooks)
+            overflow = []
+            for item in old_items:
+                if not self.queue.offer(item):
+                    overflow.append(item)
+            self._cond.notify_all()
+        for item in overflow:
+            self._shed(item.priority, item.cost,
+                       self._policy.retry_after_hint(self.queue.units),
+                       "queue_full", item.extra)
+
+    # -- cost classification ------------------------------------------------
+
+    def classify(self, handler: str, payload: bytes) -> int:
+        """The cost in units of one request, by a cheap payload peek.
+
+        A batch is N units (its member count is a fixed-offset header
+        word); a glue batch hides its count inside capability-processed
+        bytes and is charged a flat conservative estimate.
+        """
+        if handler == _BATCH_HANDLER:
+            count = peek_batch_count(payload)
+            return max(count, 1) if count is not None else 1
+        if handler == _GLUE_BATCH_HANDLER:
+            return self._policy.opaque_batch_cost
+        return 1
+
+    # -- offering ------------------------------------------------------------
+
+    def _shed(self, priority: int, cost: int, retry_after: float,
+              reason: str, reject: Optional[Reject]) -> None:
+        self.shed += 1
+        self.hooks.emit("shed", reason=reason, priority=priority,
+                        cost=cost, retry_after=retry_after,
+                        depth=self.queue.depth)
+        if reject is not None:
+            reject(retry_after, reason)
+
+    def submit(self, work, *, priority: int = 0,
+               deadline_remaining: Optional[float] = None, cost: int = 1,
+               reject: Optional[Reject] = None) -> bool:
+        """Offer one request; True = admitted, False = shed.
+
+        ``reject`` is called (with the retry-after hint and the shed
+        reason) for every shed, here or later — an admitted item that
+        expires in the queue still answers its peer through it.
+        """
+        if self._stopping:
+            self._shed(priority, cost, self._policy.retry_after, "stopping",
+                       reject)
+            return False
+        expires_at = None
+        if deadline_remaining is not None:
+            if deadline_remaining <= 0:
+                self._shed(priority, cost, 0.0, "deadline", reject)
+                return False
+            expires_at = self.clock.now() + deadline_remaining
+        item = QueuedItem(work=work, priority=priority, cost=cost,
+                          expires_at=expires_at, extra=reject)
+        with self._cond:
+            admitted = self.queue.offer(item)
+            if admitted:
+                self.admitted += 1
+                self.max_depth = max(self.max_depth, self.queue.depth)
+                self._cond.notify()
+        if not admitted:
+            self._shed(priority, cost,
+                       self._policy.retry_after_hint(self.queue.units),
+                       "queue_full", reject)
+            return False
+        self.hooks.emit("admit", priority=priority, cost=cost,
+                        depth=self.queue.depth, units=self.queue.units)
+        return True
+
+    # -- drawing work --------------------------------------------------------
+
+    def _take(self) -> Optional[QueuedItem]:
+        """One admitted, unexpired item under an acquired slot, or None.
+
+        Expired items found at the head are shed on the spot (their
+        reject callback answers the peer) rather than dispatched dead.
+        """
+        while True:
+            if not self.limiter.try_acquire():
+                return None
+            item = self.queue.pop()
+            if item is None:
+                self.limiter.release(-1.0)
+                return None
+            if item.expires_at is not None \
+                    and self.clock.now() > item.expires_at:
+                self.limiter.release(-1.0)
+                self._shed(item.priority, item.cost, 0.0, "deadline",
+                           item.extra)
+                continue
+            return item
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[QueuedItem]:
+        """Blocking draw for threaded workers; None on timeout/stop."""
+        with self._cond:
+            item = self._take()
+            if item is not None:
+                return item
+            if self._stopping:
+                return None
+            self._cond.wait(timeout)
+            return self._take()
+
+    def try_pop(self) -> Optional[QueuedItem]:
+        """Non-blocking draw (the synchronous simulated world)."""
+        with self._cond:
+            return self._take()
+
+    def finish(self, item: QueuedItem, latency: float) -> None:
+        """Report one dispatch complete; feeds the adaptive limit."""
+        queued = self.queue.depth > 0
+        self.limiter.release(latency, queued=queued)
+        with self._cond:
+            self._cond.notify()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stop(self, reason: str = "stopping") -> int:
+        """Refuse new offers and shed everything queued; returns the
+        shed count.  Every queued item's reject callback fires, so no
+        admitted peer is left hanging until its own timeout."""
+        with self._cond:
+            self._stopping = True
+            victims = self.queue.drain()
+            self._cond.notify_all()
+        for item in victims:
+            self._shed(item.priority, item.cost, self._policy.retry_after,
+                       reason, item.extra)
+        return len(victims)
+
+    def snapshot(self) -> dict:
+        """Operational snapshot (``ctx.describe()`` embeds this)."""
+        return {
+            "enabled": self._policy.enabled,
+            "queue_depth": self.queue.depth,
+            "queue_units": self.queue.units,
+            "queue_capacity": self._policy.queue_capacity,
+            "by_class": self.queue.depth_by_class(),
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "max_depth": self.max_depth,
+            **self.limiter.snapshot(),
+        }

@@ -1,0 +1,46 @@
+"""Ambient deadline propagation.
+
+A server dispatching a request with a remaining time budget publishes
+the (absolute, local-clock) expiry for the duration of the servant
+call; any *nested* invoke the servant makes picks it up and stamps the
+shrunken remainder onto its own outgoing request.  Thread-local because
+dispatch and nested invokes share a thread by construction — both in
+the threaded endpoint workers and in the synchronous simulated world.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Optional
+
+__all__ = ["ambient_deadline", "deadline_scope"]
+
+_STATE = threading.local()
+
+
+def ambient_deadline() -> Optional[float]:
+    """The innermost active deadline (absolute, local clock), or None."""
+    return getattr(_STATE, "deadline", None)
+
+
+@contextmanager
+def deadline_scope(expires_at: Optional[float]):
+    """Publish ``expires_at`` as the ambient deadline for the scope.
+
+    Scopes nest; an inner scope only ever *tightens* the deadline (the
+    outer budget still applies to work done inside).  ``None`` is a
+    no-op scope.
+    """
+    previous = ambient_deadline()
+    if expires_at is None:
+        effective = previous
+    elif previous is None:
+        effective = expires_at
+    else:
+        effective = min(previous, expires_at)
+    _STATE.deadline = effective
+    try:
+        yield effective
+    finally:
+        _STATE.deadline = previous

@@ -8,7 +8,13 @@ examples — and, via :class:`ChaosRun`, driving those workloads through
 seeded fault plans while recording per-bucket degradation curves.
 """
 
-from repro.cluster.chaos import ChaosReport, ChaosRun
+from repro.cluster.chaos import (
+    ChaosReport,
+    ChaosRun,
+    OverloadPhase,
+    OverloadReport,
+    OverloadRun,
+)
 from repro.cluster.node import (
     ClusterNode,
     bind_workers,
@@ -29,6 +35,9 @@ __all__ = [
     "ClusterNode",
     "bind_workers",
     "build_cluster",
+    "OverloadPhase",
+    "OverloadReport",
+    "OverloadRun",
     "PlacementScheduler",
     "RequestSpec",
     "SyntheticWorkload",

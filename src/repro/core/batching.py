@@ -41,12 +41,19 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.admission.deadline import ambient_deadline
 from repro.core.request import (
     Invocation,
     decode_reply,
     encode_invocation,
 )
-from repro.exceptions import HpcError, ObjectMovedError, TransportError
+from repro.core.resilience import sleep_on
+from repro.exceptions import (
+    HpcError,
+    ObjectMovedError,
+    OverloadError,
+    TransportError,
+)
 
 __all__ = ["BatchPolicy", "CallCoalescer", "CoalescerRegistry",
            "BatchScope", "flush_batch"]
@@ -153,8 +160,18 @@ def _settle_failed(context, context_id: str, proto_id: str,
     partial recovery, failover, and the idempotence guard all apply
     per member."""
     lead = batch[0]
-    lead.gp.breakers.record_failure(context_id, proto_id)
-    lead.gp._evict_client(lead.entry)
+    if isinstance(exc, OverloadError):
+        # The server shed the whole batch atomically with one pushback
+        # reply: the peer is alive and the channel healthy, so no
+        # breaker strike and no eviction.  Note the hint and wait it
+        # out *once* for the whole batch, then let members fall back
+        # individually (each member's own recovery loop honours any
+        # further pushback).
+        context.pushback.note(context_id, exc.retry_after)
+        sleep_on(context.clock, exc.retry_after)
+    else:
+        lead.gp.breakers.record_failure(context_id, proto_id)
+        lead.gp._evict_client(lead.entry)
     # Only a transport error without the sent flag proves the batch
     # never left this host; anything else (a reply we could not decode,
     # a remote refusal) may have reached dispatch.
@@ -193,9 +210,19 @@ def flush_batch(context, context_id: str, proto_id: str,
     clock = context.clock
     payloads = [item.payload for item in batch]
     nbytes = sum(len(p) for p in payloads)
+    # The batch travels under its most urgent member's class and its
+    # tightest member's remaining budget — the server accounts and
+    # sheds the record as one unit, so the unit must honour every
+    # member's contract.
+    priority = min(item.invocation.priority for item in batch)
+    member_deadlines = [item.invocation.deadline for item in batch
+                        if item.invocation.deadline is not None]
     started = clock.now()
+    remaining = None if not member_deadlines \
+        else min(member_deadlines) - started
     try:
-        envelopes = lead.client.invoke_batch(payloads)
+        envelopes = lead.client.invoke_batch(payloads, priority=priority,
+                                             deadline=remaining)
         duration = clock.now() - started
     except Exception as exc:  # noqa: BLE001 - settled per member
         _settle_failed(context, context_id, proto_id, batch, exc)
@@ -389,6 +416,16 @@ class BatchScope:
             for _method, _args, _oneway, future in queued:
                 future.set_exception(exc)
             return len(queued)
+        # Scope members carry the same admission stamps a direct call
+        # through this GP would: its class, and the tighter of the
+        # retry policy's budget and any ambient (nested-call) deadline.
+        clock = context.clock
+        deadline = None if gp.retry_policy.deadline is None \
+            else clock.now() + gp.retry_policy.deadline
+        inherited = ambient_deadline()
+        if inherited is not None:
+            deadline = inherited if deadline is None \
+                else min(deadline, inherited)
         items: List[_PendingCall] = []
         for method, args, oneway, future in queued:
             if method not in oref.interface.methods:
@@ -400,7 +437,8 @@ class BatchScope:
                 continue
             invocation = Invocation(object_id=oref.object_id,
                                     method=method, args=args,
-                                    oneway=oneway)
+                                    oneway=oneway, priority=gp.priority,
+                                    deadline=deadline)
             item = _PendingCall(gp, oref, entry, client, invocation,
                                 encode_invocation(client.marshaller,
                                                   invocation))

@@ -22,6 +22,7 @@ Built-in capability types:
 ``integrity``   checksum/MAC integrity protection without secrecy
 ``tracing``     pass-through audit trail of requests and sizes
 ``padding``     size-class padding against traffic analysis
+``priority``    pins the connection's server-side admission class
 =============  ==========================================================
 """
 
@@ -37,6 +38,7 @@ from repro.core.capabilities.quota import CallQuotaCapability, TimeLeaseCapabili
 from repro.core.capabilities.compression import CompressionCapability
 from repro.core.capabilities.integrity import IntegrityCapability
 from repro.core.capabilities.padding import PaddingCapability
+from repro.core.capabilities.priority import PriorityCapability
 from repro.core.capabilities.tracing import TracingCapability
 
 __all__ = [
@@ -51,5 +53,6 @@ __all__ = [
     "CompressionCapability",
     "IntegrityCapability",
     "PaddingCapability",
+    "PriorityCapability",
     "TracingCapability",
 ]

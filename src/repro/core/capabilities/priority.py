@@ -1,0 +1,96 @@
+"""Admission-class capability: a connection's priority, negotiated.
+
+The motivating scenario's tiered clients (§1) do not only differ in
+*what* they may do (quotas, leases) but in *how urgently* the server
+treats them under load.  :class:`PriorityCapability` pins a glue
+connection to one admission class of the server's
+:mod:`repro.admission` layer:
+
+* the client half stamps the class into a small accounting header (and
+  the :class:`~repro.core.glue.GlueClient` lifts it onto the RSR META
+  trailer via the ``admission_class`` attribute, where the endpoint's
+  admission queue orders by it);
+* the server half is authoritative: it validates the stamped class
+  against the negotiated descriptor — a client cannot craft its way
+  into the interactive lane — and publishes it as
+  ``meta.properties["admission.class"]`` for servants and audits.
+
+Like the metering capabilities, this one gates/annotates rather than
+transforms: no byte-touching cost is charged.
+"""
+
+from __future__ import annotations
+
+from repro.admission.policy import CLASS_NAMES, class_ordinal
+from repro.core.capabilities.base import Capability, register_capability_type
+from repro.core.request import RequestMeta
+from repro.exceptions import CapabilityError
+from repro.serialization.xdr import XdrDecoder, XdrEncoder
+
+__all__ = ["PriorityCapability"]
+
+
+@register_capability_type
+class PriorityCapability(Capability):
+    """Pin a glue connection to one admission class.
+
+    Descriptor: ``{"type": "priority", "class": "interactive" | "batch"
+    | "best-effort"}`` (an integer ordinal is also accepted).
+    """
+
+    type_name = "priority"
+    default_applicability = "always"
+    cost_kind = None
+
+    def __init__(self, descriptor: dict, context, role: str):
+        super().__init__(descriptor, context, role)
+        declared = self.descriptor.get("class")
+        if declared is None:
+            raise CapabilityError("priority capability needs a class")
+        try:
+            #: The pinned admission class; GlueClient duck-types this
+            #: attribute to stamp the RSR META trailer.
+            self.admission_class = class_ordinal(declared)
+        except ValueError as exc:
+            raise CapabilityError(str(exc)) from None
+
+    @classmethod
+    def of(cls, admission_class,
+           applicability: str | None = None) -> dict:
+        """Descriptor for a pinned class (name or ordinal)."""
+        ordinal = class_ordinal(admission_class)
+        descriptor = cls.describe(**{"class": CLASS_NAMES[ordinal]})
+        if applicability:
+            descriptor["applicability"] = applicability
+        return descriptor
+
+    @property
+    def class_name(self) -> str:
+        return CLASS_NAMES[self.admission_class]
+
+    def process(self, data: bytes, meta: RequestMeta) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_uint(self.admission_class)
+        enc.pack_opaque(data)
+        return enc.getvalue()
+
+    def unprocess(self, data: bytes, meta: RequestMeta) -> bytes:
+        dec = XdrDecoder(data)
+        stamped = dec.unpack_uint()
+        payload = bytes(dec.unpack_opaque())
+        if stamped != self.admission_class:
+            raise CapabilityError(
+                f"request stamped admission class {stamped}, but this "
+                f"connection negotiated {self.class_name!r} — class "
+                "escalation refused")
+        meta.properties["admission.class"] = self.admission_class
+        meta.properties["admission.class_name"] = self.class_name
+        return payload
+
+    # Priority annotates requests only; replies pass through untouched.
+
+    def process_reply(self, data: bytes, meta: RequestMeta) -> bytes:
+        return bytes(data)
+
+    def unprocess_reply(self, data: bytes, meta: RequestMeta) -> bytes:
+        return bytes(data)

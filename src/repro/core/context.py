@@ -24,6 +24,11 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    ambient_deadline,
+)
 from repro.core.batching import BatchPolicy, CoalescerRegistry
 from repro.core.glue import (
     GLUE_REPLY_BARE,
@@ -46,6 +51,7 @@ from repro.core.protocol import (
 from repro.core.resilience import (
     BreakerRegistry,
     HedgePolicy,
+    PushbackRegistry,
     RetryBudgetRegistry,
 )
 from repro.core.request import (
@@ -54,6 +60,7 @@ from repro.core.request import (
     encode_reply_exception,
     encode_reply_moved,
     encode_reply_ok,
+    encode_reply_overload,
 )
 from repro.core.selection import Locality
 from repro.exceptions import (
@@ -183,6 +190,17 @@ class Context:
         #: GP bound here: N concurrent calls to one flapping peer draw
         #: from one bounded pool instead of each retrying independently.
         self.retry_budgets = RetryBudgetRegistry()
+        #: Per-peer overload pushback noted by GPs when a server sheds a
+        #: request; stretches backoff and suppresses hedging toward
+        #: that peer until its retry-after hint elapses.
+        self.pushback = PushbackRegistry(self.clock)
+        #: Server-side admission control for this context's endpoint
+        #: (disabled by default; :meth:`set_admission_policy` turns it
+        #: on and re-tunes it at runtime, Open Implementation style).
+        self.admission = AdmissionController(AdmissionPolicy(),
+                                             clock=self.clock)
+        self.server.endpoint.admission = self.admission
+        self.server.endpoint.clock = self.clock
         #: Per-(remote context, proto) streaming latency trackers; fed
         #: by every successful request, read by the hedging policy.
         self.latencies = LatencyRegistry()
@@ -367,6 +385,16 @@ class Context:
                     self.glue_stacks.pop(glue_id, None)
             self.monitor.forget_object(object_id)
 
+    def set_admission_policy(self, policy: AdmissionPolicy) -> None:
+        """Swap the endpoint's admission policy at runtime.
+
+        Queued work survives the swap (re-offered at the new capacity;
+        overflow is shed with pushback).  ``AdmissionPolicy()`` has
+        ``enabled=False``, so passing a default policy switches
+        admission control off again.
+        """
+        self.admission.set_policy(policy)
+
     def bind(self, oref: ObjectReference, **kwargs):
         """Create a :class:`~repro.core.gp.GlobalPointer` for ``oref``
         rooted in this context."""
@@ -382,6 +410,12 @@ class Context:
         """Run one marshalled invocation; returns the reply envelope."""
         m = self.marshaller
         self.charge_cost("memcpy", len(payload))
+        expires_at = ambient_deadline()
+        if expires_at is not None and self.clock.now() > expires_at:
+            # The caller's budget ran out before this member reached the
+            # servant (e.g. earlier batch-mates consumed it): shed with
+            # pushback instead of doing work nobody will wait for.
+            return encode_reply_overload(m, 0.0, "deadline")
         try:
             inv = decode_invocation(m, payload)
         except HpcError as exc:
@@ -563,6 +597,8 @@ class Context:
             "glue_stacks": stacks,
             "breakers_open": self.breakers.open_keys(),
             "retry_budgets": self.retry_budgets.snapshot(),
+            "pushback": self.pushback.snapshot(),
+            "admission": self.admission.snapshot(),
             "load": {
                 "total_requests": self.monitor.total_requests,
                 "busy_fraction": self.monitor.load,

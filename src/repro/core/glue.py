@@ -27,7 +27,7 @@ Applicability: "the logical AND of all its constituent capabilities"
 
 from __future__ import annotations
 
-from typing import Any, List
+from typing import Any, List, Optional
 
 from repro.core.capabilities.base import Capability, make_capability
 from repro.core.objref import ProtocolEntry
@@ -115,7 +115,22 @@ class GlueClient(ProtocolClient):
         # Marshal with the inner protocol's encoding.
         self.marshaller = self.inner.marshaller
 
+    def _pinned_priority(self) -> Optional[int]:
+        """The admission class pinned by this stack's capabilities (a
+        :class:`~repro.core.capabilities.priority.PriorityCapability`),
+        or None.  A pinned class overrides the caller's per-GP one: the
+        *connection's* class is part of the negotiated contract."""
+        for cap in self.capabilities:
+            pinned = getattr(cap, "admission_class", None)
+            if pinned is not None:
+                return int(pinned)
+        return None
+
     def invoke(self, invocation: Invocation) -> Any:
+        priority, remaining = self._admission_hints(invocation)
+        pinned = self._pinned_priority()
+        if pinned is not None:
+            priority = pinned
         meta = RequestMeta(direction="request")
         payload = encode_invocation(self.marshaller, invocation)
         self.context.charge_cost("memcpy", len(payload))
@@ -125,7 +140,8 @@ class GlueClient(ProtocolClient):
         envelope = encode_glue_envelope(
             self.glue_id, [c.type_name for c in self.capabilities], payload)
         reply = self.inner.call_raw(GLUE_HANDLER, envelope,
-                                    oneway=invocation.oneway)
+                                    oneway=invocation.oneway,
+                                    priority=priority, deadline=remaining)
         if invocation.oneway:
             return None
         flag, data = decode_glue_reply(reply)
@@ -136,7 +152,8 @@ class GlueClient(ProtocolClient):
                 data = cap.unprocess_reply(data, meta)
         return decode_reply(self.marshaller, data)
 
-    def invoke_batch(self, payloads) -> list:
+    def invoke_batch(self, payloads, priority: int = 0,
+                     deadline: Optional[float] = None) -> list:
         """Batched glue calls: the capability stack runs **once** over
         the whole multi-request record instead of once per call.
 
@@ -147,6 +164,9 @@ class GlueClient(ProtocolClient):
         aggregation literature (HAM, HCA) prescribes below the object
         layer.
         """
+        pinned = self._pinned_priority()
+        if pinned is not None:
+            priority = pinned
         meta = RequestMeta(direction="request")
         data = BatchRequest.of(payloads).to_bytes()
         self.context.charge_cost("memcpy", len(data))
@@ -155,7 +175,8 @@ class GlueClient(ProtocolClient):
             data = cap.process(data, meta)
         envelope = encode_glue_envelope(
             self.glue_id, [c.type_name for c in self.capabilities], data)
-        reply = self.inner.call_raw(GLUE_BATCH_HANDLER, envelope)
+        reply = self.inner.call_raw(GLUE_BATCH_HANDLER, envelope,
+                                    priority=priority, deadline=deadline)
         flag, data = decode_glue_reply(reply)
         meta.direction = "reply"
         if flag == GLUE_REPLY_PROCESSED:

@@ -55,6 +55,7 @@ from concurrent.futures import FIRST_COMPLETED, Future
 from concurrent.futures import wait as _await_futures
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.admission.deadline import ambient_deadline
 from repro.core.context import CONTROL_HANDLER, Context, Placement
 from repro.core.instrumentation import GLOBAL_HOOKS, HookBus
 from repro.core.objref import ObjectReference, ProtocolEntry
@@ -75,6 +76,7 @@ from repro.exceptions import (
     InterfaceError,
     NoApplicableProtocolError,
     ObjectMovedError,
+    OverloadError,
     ProtocolError,
     RemoteInvocationError,
     RetryBudgetExhaustedError,
@@ -99,7 +101,8 @@ class GlobalPointer:
                  policy: Optional[SelectionPolicy] = None,
                  retry_policy: Optional[RetryPolicy] = None,
                  breakers=None,
-                 hedge_policy: Optional[HedgePolicy] = None):
+                 hedge_policy: Optional[HedgePolicy] = None,
+                 priority: int = 0):
         self.oref = oref.clone()
         self.context = context
         self.pool = pool if pool is not None else context.proto_pool.clone()
@@ -112,6 +115,10 @@ class GlobalPointer:
             else context.breakers
         #: Hedging policy; None falls back to the context-wide default.
         self.hedge_policy = hedge_policy
+        #: Admission class stamped on every request from this GP
+        #: (0 interactive / 1 batch / 2 best-effort); the server's
+        #: admission queue orders and sheds by it.
+        self.priority = priority
         # Cached clients, keyed by the id() of their table entry.  The
         # entry itself is kept in the value so the id can never be
         # recycled by the allocator while the client is cached.
@@ -333,6 +340,12 @@ class GlobalPointer:
         """
         clock = self.context.clock
         policy = self._hedge_policy_for(oref, method, invocation.oneway)
+        if policy is not None \
+                and self.context.pushback.active(context_id):
+            # Racing a *second* request at a server that just pushed
+            # back is anti-cooperative; hold hedging until the
+            # retry-after window has passed.
+            policy = None
         delay = None
         if policy is not None:
             tracker = self.context.latencies.tracker(context_id,
@@ -538,22 +551,32 @@ class GlobalPointer:
             raise InterfaceError(
                 f"interface {oref.interface.name!r} does not expose "
                 f"{method!r}")
+        policy = self.retry_policy
+        clock = self.context.clock
+        # The call's absolute deadline: the tighter of the policy's
+        # per-call budget and any ambient deadline this thread is
+        # dispatching under, so a nested invoke made from a servant
+        # inherits the caller's *shrunken* remainder rather than a
+        # fresh full budget.
+        deadline = None if policy.deadline is None \
+            else clock.now() + policy.deadline
+        inherited = ambient_deadline()
+        if inherited is not None:
+            deadline = inherited if deadline is None \
+                else min(deadline, inherited)
         invocation = Invocation(object_id=oref.object_id,
                                 method=method, args=tuple(args),
-                                oneway=oneway)
+                                oneway=oneway, priority=self.priority,
+                                deadline=deadline)
         if not _no_batch:
             member = self._maybe_coalesce(oref, invocation)
             if member is not None:
                 return member.result()
-        policy = self.retry_policy
-        clock = self.context.clock
         context_id = oref.context_id
         # The shared per-peer retry budget: the first attempt is offered
         # load and deposits; only retries withdraw.
         budget = self.context.retry_budgets.get(context_id)
         budget.deposit()
-        deadline = None if policy.deadline is None \
-            else clock.now() + policy.deadline
         attempts: list = []
         demoted: set = set()          # id(entry) failed during this call
         failed_entry: Optional[ProtocolEntry] = None
@@ -601,8 +624,20 @@ class GlobalPointer:
                 self._emit("request", method=method,
                            proto_id=entry.proto_id, outcome="error",
                            error=exc, duration=clock.now() - started)
-                self.breakers.record_failure(context_id, entry.proto_id)
-                self._evict_client(entry)
+                overload = isinstance(exc, OverloadError)
+                if overload:
+                    # Pushback, not failure: the peer *answered* — it is
+                    # alive but saturated.  No breaker strike, no client
+                    # eviction (the channel is healthy), and no entry
+                    # demotion (every table entry reaches the same
+                    # saturated server); just note the hint so every GP
+                    # bound to this peer backs off and stops hedging.
+                    self.context.pushback.note(context_id,
+                                               exc.retry_after)
+                else:
+                    self.breakers.record_failure(context_id,
+                                                 entry.proto_id)
+                    self._evict_client(entry)
                 failures += 1
                 dispatched = bool(
                     getattr(exc, "request_sent", False)
@@ -633,6 +668,11 @@ class GlobalPointer:
                         f"{oref.object_id} failed after {failures} "
                         f"attempts", attempts) from exc
                 pause = policy.backoff(failures)
+                if overload:
+                    # Honour the server's retry-after hint: never come
+                    # back sooner than it asked, even if backoff is
+                    # still short this early in the call.
+                    pause = max(pause, exc.retry_after)
                 if deadline is not None and clock.now() + pause > deadline:
                     raise DeadlineExceededError(
                         f"deadline of {policy.deadline}s exceeded after "
@@ -648,8 +688,9 @@ class GlobalPointer:
                         f"exhausted after {failures} attempt(s) on "
                         f"{method!r} (retrying would amplify load)",
                         attempts) from exc
-                demoted.add(id(entry))
-                failed_entry = entry
+                if not overload:
+                    demoted.add(id(entry))
+                    failed_entry = entry
                 self._emit("retry", method=method,
                            proto_id=entry.proto_id, attempt=failures,
                            backoff=pause, error=exc)

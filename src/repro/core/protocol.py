@@ -34,7 +34,13 @@ from repro.core.request import (
     encode_invocation,
 )
 from repro.core.selection import Locality, rule_applies
-from repro.exceptions import ProtocolError, TransportError, UnknownProtocolError
+from repro.exceptions import (
+    DeadlineExceededError,
+    OverloadError,
+    ProtocolError,
+    TransportError,
+    UnknownProtocolError,
+)
 from repro.nexus.endpoint import PipelinedStartpoint, Startpoint
 from repro.serialization.cdr import CdrDecoder, CdrEncoder
 from repro.serialization.marshal import BatchReply, BatchRequest, Marshaller
@@ -129,13 +135,21 @@ class ProtocolClient(abc.ABC):
             "no reachable address for protocol "
             f"{self.entry.proto_id!r}: {errors or 'empty address list'}")
 
-    def call_raw(self, handler: str, payload: bytes,
-                 oneway: bool = False) -> Optional[bytes]:
+    def call_raw(self, handler: str, payload: bytes, oneway: bool = False,
+                 priority: int = 0,
+                 deadline: Optional[float] = None) -> Optional[bytes]:
         """One RSR to the server endpoint, reconnecting once on a dead
-        cached channel."""
+        cached channel.  ``priority``/``deadline`` (remaining seconds)
+        ride the RSR META trailer as the server's admission hints."""
         sp = self._connect()
         try:
-            return sp.call(handler, payload, oneway=oneway)
+            return sp.call(handler, payload, oneway=oneway,
+                           priority=priority, deadline=deadline)
+        except OverloadError:
+            # The server *answered* — with pushback.  The connection is
+            # healthy; an immediate fresh-channel resend would be
+            # exactly the blind retry the hint asks us not to make.
+            raise
         except TransportError as exc:
             # Cached connection went stale (peer restarted): retry fresh
             # — but only when the request provably never left this host;
@@ -146,22 +160,44 @@ class ProtocolClient(abc.ABC):
                     or getattr(exc, "request_dispatched", False):
                 raise
             sp = self._connect()
-            return sp.call(handler, payload, oneway=oneway)
+            return sp.call(handler, payload, oneway=oneway,
+                           priority=priority, deadline=deadline)
 
     # -- invocation --------------------------------------------------------------
+
+    def _admission_hints(self,
+                         invocation: Invocation) -> tuple[int, Optional[float]]:
+        """The (priority, remaining-deadline) pair to stamp on the wire.
+
+        The invocation's deadline is absolute on the calling context's
+        clock; the wire carries the *remainder*.  A budget that is
+        already gone fails fast here — no round trip for a request the
+        server would shed on arrival.
+        """
+        remaining = None
+        if invocation.deadline is not None:
+            remaining = invocation.deadline - self.context.clock.now()
+            if remaining <= 0:
+                raise DeadlineExceededError(
+                    f"deadline already expired before sending "
+                    f"{invocation.method!r}")
+        return invocation.priority, remaining
 
     def invoke(self, invocation: Invocation) -> Any:
         """Marshal, send, decode.  The default path used by ``nexus`` and
         ``shm``; ``glue`` overrides to weave capabilities in."""
+        priority, remaining = self._admission_hints(invocation)
         payload = encode_invocation(self.marshaller, invocation)
         self.context.charge_cost("memcpy", len(payload))
         reply = self.call_raw(INVOKE_HANDLER, payload,
-                              oneway=invocation.oneway)
+                              oneway=invocation.oneway,
+                              priority=priority, deadline=remaining)
         if invocation.oneway:
             return None
         return decode_reply(self.marshaller, reply)
 
-    def invoke_batch(self, payloads) -> list:
+    def invoke_batch(self, payloads, priority: int = 0,
+                     deadline: Optional[float] = None) -> list:
         """One round trip for many encoded invocations.
 
         ``payloads`` are encoded invocation records (what
@@ -169,11 +205,14 @@ class ProtocolClient(abc.ABC):
         return value is the list of raw reply envelopes in sub-request
         order.  Decoding each envelope — and therefore per-member
         success/failure — is the caller's business, so one failed member
-        never poisons its batch-mates.
+        never poisons its batch-mates.  ``deadline`` is remaining
+        seconds; the server's admission layer accounts the batch as N
+        units and sheds it atomically with one pushback reply.
         """
         record = BatchRequest.of(payloads).to_bytes()
         self.context.charge_cost("memcpy", len(record))
-        reply = self.call_raw(BATCH_HANDLER, record)
+        reply = self.call_raw(BATCH_HANDLER, record, priority=priority,
+                              deadline=deadline)
         return BatchReply.from_bytes(reply).in_order(len(payloads))
 
     def close(self) -> None:

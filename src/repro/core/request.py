@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 from repro.exceptions import (
     MarshalError,
     ObjectMovedError,
+    OverloadError,
     RemoteException,
 )
 from repro.serialization.marshal import Marshaller
@@ -26,7 +27,7 @@ from repro.serialization.marshal import Marshaller
 __all__ = ["Invocation", "ReplyStatus", "RequestMeta",
            "encode_invocation", "decode_invocation",
            "encode_reply_ok", "encode_reply_exception",
-           "encode_reply_moved", "decode_reply"]
+           "encode_reply_moved", "encode_reply_overload", "decode_reply"]
 
 
 class ReplyStatus(enum.IntEnum):
@@ -35,16 +36,26 @@ class ReplyStatus(enum.IntEnum):
     OK = 0
     EXCEPTION = 1
     MOVED = 2
+    OVERLOAD = 3
 
 
 @dataclass(frozen=True)
 class Invocation:
-    """One remote method invocation."""
+    """One remote method invocation.
+
+    ``priority`` and ``deadline`` are *local* admission hints — they
+    ride the RSR trailer, not the invocation record, so
+    :func:`encode_invocation` deliberately leaves them out.  ``deadline``
+    is absolute on the calling context's clock; the protocol client
+    converts it to remaining seconds at send time.
+    """
 
     object_id: str
     method: str
     args: Tuple = ()
     oneway: bool = False
+    priority: int = 0
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -86,9 +97,20 @@ def encode_reply_moved(m: Marshaller, forward_bytes: bytes) -> bytes:
     return m.dumps_many([int(ReplyStatus.MOVED), forward_bytes])
 
 
+def encode_reply_overload(m: Marshaller, retry_after: float,
+                          reason: str = "overload") -> bytes:
+    """An in-envelope pushback: the dispatch layer itself shed the call
+    (e.g. its propagated deadline had already expired).  Used where the
+    reply must flow through normal capability processing — the
+    endpoint-level shed path uses the RSR OVERLOAD flag instead."""
+    return m.dumps_many([int(ReplyStatus.OVERLOAD),
+                         (float(retry_after), reason)])
+
+
 def decode_reply(m: Marshaller, data):
     """Decode a reply envelope; returns the value or raises the carried
-    :class:`RemoteException` / :class:`ObjectMovedError`."""
+    :class:`RemoteException` / :class:`ObjectMovedError` /
+    :class:`OverloadError`."""
     status, payload = m.loads_many(data, 2)
     status = ReplyStatus(status)
     if status is ReplyStatus.OK:
@@ -96,6 +118,11 @@ def decode_reply(m: Marshaller, data):
     if status is ReplyStatus.EXCEPTION:
         remote_type, message = payload
         raise RemoteException(remote_type, message)
+    if status is ReplyStatus.OVERLOAD:
+        retry_after, reason = payload
+        raise OverloadError(
+            f"request shed by server ({reason}); retry after "
+            f"{retry_after:.3f}s", retry_after=retry_after, reason=reason)
     # MOVED: payload is the forwarding OR in wire bytes.
     from repro.core.objref import ObjectReference
 

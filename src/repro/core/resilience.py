@@ -53,6 +53,7 @@ __all__ = [
     "BreakerState",
     "CircuitBreaker",
     "BreakerRegistry",
+    "PushbackRegistry",
     "sleep_on",
 ]
 
@@ -292,6 +293,64 @@ class HedgePolicy:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"HedgePolicy(enabled={self.enabled}, "
                 f"q={self.quantile}, min_samples={self.min_samples})")
+
+
+class PushbackRegistry:
+    """Per-peer overload pushback state for one calling context.
+
+    When a server sheds a request it answers with an
+    :class:`~repro.exceptions.OverloadError` carrying a ``retry_after``
+    hint.  The GP notes that hint here; until it elapses (measured on
+    the calling context's clock) every GP bound to the same peer
+
+    * stretches its backoff pauses to at least the remaining hint, and
+    * suppresses hedging — racing a *second* request at a server that
+      just said "too busy" is anti-cooperative.
+
+    Distinct from the circuit breaker on purpose: a breaker opens on a
+    peer that looks *dead*, pushback throttles a peer that is provably
+    *alive* (it answered!) but saturated.  An overload reply is neither
+    a breaker strike nor a reason to fail over to another protocol
+    entry — the peer is the same behind every entry.
+    """
+
+    def __init__(self, clock: TimeSource):
+        self.clock = clock
+        self._until: Dict[str, float] = {}
+        self._lock = threading.Lock()
+        self.notes = 0
+
+    def note(self, context_id: str, retry_after: float) -> None:
+        """Record a pushback hint from a peer; hints only extend."""
+        if retry_after <= 0:
+            return
+        until = self.clock.now() + retry_after
+        with self._lock:
+            self.notes += 1
+            if until > self._until.get(context_id, 0.0):
+                self._until[context_id] = until
+
+    def remaining(self, context_id: str) -> float:
+        """Seconds of pushback left for a peer (0.0 when none)."""
+        with self._lock:
+            until = self._until.get(context_id)
+            if until is None:
+                return 0.0
+            left = until - self.clock.now()
+            if left <= 0:
+                del self._until[context_id]
+                return 0.0
+            return left
+
+    def active(self, context_id: str) -> bool:
+        return self.remaining(context_id) > 0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Remaining pushback seconds per peer (diagnostics)."""
+        with self._lock:
+            now = self.clock.now()
+            return {cid: round(until - now, 6)
+                    for cid, until in self._until.items() if until > now}
 
 
 class BreakerState(enum.Enum):

@@ -33,6 +33,7 @@ __all__ = [
     "ChannelClosedError",
     "FramingError",
     "DeliveryError",
+    "OverloadError",
     "ProtocolError",
     "UnknownProtocolError",
     "NoApplicableProtocolError",
@@ -104,6 +105,27 @@ class FramingError(TransportError):
 
 class DeliveryError(TransportError):
     """The (simulated or real) network could not deliver a message."""
+
+
+class OverloadError(TransportError):
+    """The server shed this request before dispatch (admission control).
+
+    A pushback reply, not a failure of the link: the peer is alive but
+    refused the work (queue full, deadline already expired, or endpoint
+    stopping).  ``retry_after`` is the server's backpressure hint in
+    seconds; the client-side resilience layer stretches its backoff to
+    at least that and suppresses hedging against the pushing-back peer.
+
+    Deliberately a :class:`TransportError` so the GP's recovery loop
+    treats it as retryable — and since a shed request provably never
+    reached dispatch, the idempotence guard always permits the retry.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0,
+                 reason: str = "overload"):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+        self.reason = reason
 
 
 # ---------------------------------------------------------------------------

@@ -48,6 +48,9 @@ RECORDED_EVENTS = (
     "batch_fallback",
     "fault_injected",
     "fault_phase",
+    "admit",
+    "shed",
+    "limit_change",
 )
 
 
@@ -159,6 +162,25 @@ class MetricsRecorder:
             reg.series("faults").observe(1.0)
         elif kind == "fault_phase":
             reg.counter("fault_phases_total").inc()
+        elif kind == "admit":
+            reg.counter("admits_total").inc()
+            depth = data.get("depth")
+            if depth is not None:
+                reg.gauge("admission_queue_depth").set(float(depth))
+        elif kind == "shed":
+            reg.counter("sheds_total").inc()
+            reason = data.get("reason")
+            if reason:
+                reg.counter(f"sheds.{reason}").inc()
+            reg.series("sheds").observe(1.0)
+            depth = data.get("depth")
+            if depth is not None:
+                reg.gauge("admission_queue_depth").set(float(depth))
+        elif kind == "limit_change":
+            reg.counter("limit_changes_total").inc()
+            limit = data.get("limit")
+            if limit is not None:
+                reg.gauge("concurrency_limit").set(float(limit))
         elif kind == "selection":
             reg.counter("selections_total").inc()
         elif kind == "moved":

@@ -33,18 +33,41 @@ from typing import Callable, Dict, Optional
 from repro.exceptions import (
     ChannelClosedError,
     HpcError,
+    OverloadError,
     RemoteException,
     RemoteInvocationError,
     TransportError,
 )
 from repro.nexus.rsr import RsrMessage
-from repro.serialization.marshal import dumps, loads
+from repro.serialization.marshal import (
+    decode_overload_info,
+    dumps,
+    encode_overload_info,
+    loads,
+)
 from repro.transport.base import Channel, Listener
 from repro.util.ids import IdGenerator
+from repro.util.timing import WallClock
 
 __all__ = ["Endpoint", "Startpoint", "PipelinedStartpoint"]
 
 Handler = Callable[[bytes], bytes]
+
+_WALL = WallClock()
+
+#: Sentinel: derive the dispatch deadline from the message itself (the
+#: admission path passes the expiry computed at *arrival* instead, so
+#: queueing time is not silently refunded to the budget).
+_DERIVE = object()
+
+
+def _raise_overload(reply: RsrMessage) -> None:
+    """Raise the OverloadError carried by a pushback reply."""
+    info = decode_overload_info(reply.payload)
+    raise OverloadError(
+        f"server shed request ({info['reason']}, queue depth "
+        f"{info['depth']}); retry after {info['retry_after']:.3f}s",
+        retry_after=info["retry_after"], reason=info["reason"])
 
 
 class Endpoint:
@@ -62,6 +85,15 @@ class Endpoint:
         self._stopping = False
         self._lock = threading.Lock()
         self._pool = None
+        #: Admission controller (set by the owning context); None or an
+        #: inactive controller means the legacy fixed-pool path.
+        self.admission = None
+        #: The owning context's TimeSource; wall clock until wired.
+        self.clock = None
+        self._admission_workers: list[threading.Thread] = []
+
+    def _now(self) -> float:
+        return (self.clock or _WALL).now()
 
     # -- handler table -------------------------------------------------------
 
@@ -85,10 +117,21 @@ class Endpoint:
         """Decode one inbound message and act on it (inline)."""
         self._run_request(RsrMessage.decode(data), channel)
 
-    def _run_request(self, message: RsrMessage, channel: Channel) -> None:
+    def _run_request(self, message: RsrMessage, channel: Channel,
+                     expires_at=_DERIVE) -> None:
         if not message.is_request():
             # A stray reply at an endpoint: drop (matches Nexus, which
             # treats unsolicited replies as protocol noise).
+            return
+        if expires_at is _DERIVE:
+            expires_at = None if message.deadline is None \
+                else self._now() + message.deadline
+        if expires_at is not None and self._now() > expires_at:
+            # The caller's budget is gone; a reply could only be late.
+            if not message.is_oneway():
+                self._send_reply(channel, RsrMessage.overload(
+                    message.request_id,
+                    encode_overload_info(0.0, "deadline")))
             return
         try:
             with self._lock:
@@ -97,7 +140,10 @@ class Endpoint:
                 raise RemoteInvocationError(
                     f"endpoint {self.name!r} has no handler "
                     f"{message.handler!r}")
-            result = handler(message.payload)
+            from repro.admission.deadline import deadline_scope
+
+            with deadline_scope(expires_at):
+                result = handler(message.payload)
             if result is None:
                 result = b""
         except Exception as exc:  # noqa: BLE001 - marshalled to the peer
@@ -133,13 +179,67 @@ class Endpoint:
                     thread_name_prefix=f"{self.name}-dispatch")
             return self._pool
 
-    def _run_pooled(self, message: RsrMessage, channel: Channel) -> None:
+    def _run_pooled(self, message: RsrMessage, channel: Channel,
+                    expires_at=_DERIVE) -> None:
         try:
-            self._run_request(message, channel)
+            self._run_request(message, channel, expires_at)
         except ChannelClosedError:
             # Peer hung up between request and reply: orderly, not an
             # error (the service loop notices the dead channel itself).
             pass
+
+    # -- admission-controlled dispatch ----------------------------------------
+
+    def _offer_admission(self, message: RsrMessage, channel: Channel,
+                         admission) -> None:
+        """Offer one two-way request to the admission controller; a
+        shed answers the peer with an RSR OVERLOAD pushback reply."""
+
+        def reject(retry_after: float, reason: str) -> None:
+            payload = encode_overload_info(retry_after, reason,
+                                           admission.queue.depth)
+            try:
+                self._send_reply(channel, RsrMessage.overload(
+                    message.request_id, payload))
+            except HpcError:
+                pass  # peer already gone: nothing to push back to
+
+        self._ensure_admission_workers(admission)
+        admission.submit(
+            (message, channel), priority=message.priority,
+            deadline_remaining=message.deadline,
+            cost=admission.classify(message.handler, message.payload),
+            reject=reject)
+
+    def _ensure_admission_workers(self, admission) -> None:
+        with self._lock:
+            if self._stopping:
+                return
+            while len(self._admission_workers) < admission.policy.max_workers:
+                worker = threading.Thread(
+                    target=self._admission_worker,
+                    name=f"{self.name}-admit", daemon=True)
+                self._admission_workers.append(worker)
+                self._threads.append(worker)
+                worker.start()
+
+    def _admission_worker(self) -> None:
+        """Draw admitted work while the limiter grants a slot; service
+        latency (queueing excluded) feeds the adaptive limit back."""
+        while not self._stopping:
+            admission = self.admission
+            if admission is None:
+                return
+            item = admission.pop(timeout=0.5)
+            if item is None:
+                continue
+            message, channel = item.work
+            started = self._now()
+            try:
+                self._run_pooled(message, channel,
+                                 expires_at=item.expires_at)
+            finally:
+                admission.finish(item, self._now() - started)
 
     def serve_channel(self, channel: Channel) -> None:
         """Blocking per-channel service loop (run in a thread).
@@ -167,11 +267,17 @@ class Endpoint:
                     message = RsrMessage.decode(data)
                 except HpcError:
                     continue  # undecodable: protocol noise, skip
-                inflight = [f for f in inflight if not f.done()]
+                inflight = [(f, m) for f, m in inflight if not f.done()]
                 try:
                     if message.is_request() and not message.is_oneway():
-                        inflight.append(self._dispatch_pool().submit(
-                            self._run_pooled, message, channel))
+                        admission = self.admission
+                        if admission is not None and admission.active:
+                            self._offer_admission(message, channel,
+                                                  admission)
+                        else:
+                            inflight.append((self._dispatch_pool().submit(
+                                self._run_pooled, message, channel),
+                                message))
                     else:
                         self._run_request(message, channel)
                 except ChannelClosedError:
@@ -186,11 +292,24 @@ class Endpoint:
             # channel must get its reply out, even when the peer's
             # close sentinel raced ahead of the pooled handler — a
             # client that half-closed (eviction) may still be blocked
-            # waiting for a reply the queue already delivered it.
-            for future in inflight:
+            # waiting for a reply the queue already delivered it.  A
+            # future the stopping pool *cancelled* still owes its peer
+            # an answer: fail it explicitly instead of leaving the
+            # client to discover the drop by timeout.
+            for future, message in inflight:
+                if future.cancelled():
+                    try:
+                        err = dumps(("HpcError",
+                                     "endpoint stopped before dispatching "
+                                     "request"))
+                        self._send_reply(channel, RsrMessage.error(
+                            message.request_id, err))
+                    except HpcError:
+                        pass  # peer already gone
+                    continue
                 try:
                     future.result(timeout=5.0)
-                except Exception:  # noqa: BLE001 - cancelled/timeout/err
+                except Exception:  # noqa: BLE001 - timeout/handler error
                     pass
             channel.close()
 
@@ -238,20 +357,28 @@ class Endpoint:
     # -- lifecycle -------------------------------------------------------------
 
     def stop(self) -> None:
+        """Stop serving.  Ordering matters: channels stay open until the
+        serve threads have drained, so queued two-way requests that the
+        stopping pool cancelled (or the admission controller shed) get
+        an explicit error/pushback reply instead of silently vanishing —
+        a pipelined peer must never hang until its own timeout."""
         self._stopping = True
         with self._lock:
             listeners = list(self._listeners)
-            channels = list(self._channels)
             threads = list(self._threads)
             pool, self._pool = self._pool, None
         for listener in listeners:
             listener.close()
-        for channel in channels:
-            channel.close()
+        if self.admission is not None:
+            self.admission.stop()
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
         for thread in threads:
             thread.join(timeout=2.0)
+        with self._lock:
+            channels = list(self._channels)
+        for channel in channels:
+            channel.close()
 
 
 class Startpoint:
@@ -264,15 +391,23 @@ class Startpoint:
         self.timeout = timeout
         self._lock = threading.Lock()
 
-    def call(self, handler: str, payload: bytes,
-             oneway: bool = False) -> Optional[bytes]:
+    def call(self, handler: str, payload: bytes, oneway: bool = False,
+             priority: int = 0,
+             deadline: Optional[float] = None) -> Optional[bytes]:
         """Issue one RSR; returns the reply payload (``None`` if oneway).
 
-        Raises :class:`RemoteException` if the handler raised remotely.
+        ``priority``/``deadline`` are the admission hints carried in the
+        RSR META trailer (``deadline`` is *remaining* seconds).  Raises
+        :class:`RemoteException` if the handler raised remotely, or
+        :class:`OverloadError` if the server shed the request — an
+        overload is a pushback, not a dispatch, so neither
+        ``request_sent`` nor ``request_dispatched`` is set and the retry
+        layer stays free to retry after the hinted pause.
         """
         request_id = self._ids.next_int()
         message = RsrMessage.request(request_id, handler, payload,
-                                     oneway=oneway)
+                                     oneway=oneway, priority=priority,
+                                     deadline=deadline)
         with self._lock:
             self.channel.send(message.encode())
             if oneway:
@@ -290,6 +425,8 @@ class Startpoint:
                     raise
                 if not reply.is_reply() or reply.request_id != request_id:
                     continue  # stale or foreign message: skip
+                if reply.is_overload():
+                    _raise_overload(reply)
                 if reply.is_error():
                     remote_type, remote_msg = loads(reply.payload)
                     raise RemoteException(remote_type, remote_msg)
@@ -402,11 +539,13 @@ class PipelinedStartpoint(Startpoint):
 
     # -- calls ---------------------------------------------------------------
 
-    def call(self, handler: str, payload: bytes,
-             oneway: bool = False) -> Optional[bytes]:
+    def call(self, handler: str, payload: bytes, oneway: bool = False,
+             priority: int = 0,
+             deadline: Optional[float] = None) -> Optional[bytes]:
         request_id = self._ids.next_int()
         message = RsrMessage.request(request_id, handler, payload,
-                                     oneway=oneway)
+                                     oneway=oneway, priority=priority,
+                                     deadline=deadline)
         if oneway:
             with self._lock:
                 self.channel.send(message.encode())
@@ -439,6 +578,8 @@ class PipelinedStartpoint(Startpoint):
         if waiter.error is not None:
             raise waiter.error
         reply = waiter.reply
+        if reply.is_overload():
+            _raise_overload(reply)
         if reply.is_error():
             remote_type, remote_msg = loads(reply.payload)
             raise RemoteException(remote_type, remote_msg)

@@ -29,7 +29,8 @@ from repro.serialization.typecodes import ARRAY_DTYPES, DTYPE_CODES, TypeCode
 from repro.serialization.xdr import XdrDecoder, XdrEncoder
 
 __all__ = ["Marshaller", "dumps", "loads", "set_objref_hooks",
-           "BatchRequest", "BatchReply"]
+           "BatchRequest", "BatchReply", "peek_batch_count",
+           "encode_overload_info", "decode_overload_info"]
 
 # Pluggable ObjectReference (de)serialization, installed by repro.core.objref
 # at import time to avoid a circular dependency: the marshaller must encode
@@ -335,6 +336,52 @@ class BatchRequest:
 
     def __len__(self) -> int:
         return len(self.items)
+
+
+def peek_batch_count(data) -> Optional[int]:
+    """The member count of a :class:`BatchRequest` record, or ``None``
+    when ``data`` is not one.
+
+    Admission control needs the *cost* of an opaque payload before
+    dispatch; the batch record's fixed ``(kind, count)`` header makes
+    that a two-word peek instead of a full decode.
+    """
+    try:
+        dec = XdrDecoder(data)
+        if dec.unpack_uint() != _BATCH_REQUEST_KIND:
+            return None
+        count = dec.unpack_uint()
+    except Exception:  # noqa: BLE001 - truncated/foreign payload
+        return None
+    if count > MAX_BATCH_ITEMS:
+        return None
+    return count
+
+
+def encode_overload_info(retry_after: float, reason: str = "overload",
+                         depth: int = 0) -> bytes:
+    """Encode the payload of an overload (pushback) reply::
+
+        XDR: double retry_after    (seconds; the server's backoff hint)
+             string reason         ("queue_full" | "deadline" | ...)
+             uint   depth          (queue depth at shed time, diagnostics)
+    """
+    enc = XdrEncoder()
+    enc.pack_double(float(retry_after))
+    enc.pack_string(reason)
+    enc.pack_uint(max(int(depth), 0))
+    return enc.getvalue()
+
+
+def decode_overload_info(data) -> dict:
+    """Decode :func:`encode_overload_info` bytes into a plain dict."""
+    try:
+        dec = XdrDecoder(data)
+        return {"retry_after": dec.unpack_double(),
+                "reason": dec.unpack_string(),
+                "depth": dec.unpack_uint()}
+    except Exception as exc:  # noqa: BLE001 - underflow/struct errors
+        raise MarshalError(f"malformed overload info: {exc}") from exc
 
 
 @dataclass(frozen=True)

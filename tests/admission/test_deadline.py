@@ -1,0 +1,46 @@
+"""Ambient deadline propagation: nesting only ever tightens."""
+
+import threading
+
+from repro.admission import ambient_deadline, deadline_scope
+
+
+class TestDeadlineScope:
+    def test_default_is_none(self):
+        assert ambient_deadline() is None
+
+    def test_scope_publishes_and_restores(self):
+        with deadline_scope(5.0) as effective:
+            assert effective == 5.0
+            assert ambient_deadline() == 5.0
+        assert ambient_deadline() is None
+
+    def test_nesting_tightens_never_loosens(self):
+        with deadline_scope(5.0):
+            with deadline_scope(3.0):
+                assert ambient_deadline() == 3.0
+            with deadline_scope(9.0):      # outer budget still applies
+                assert ambient_deadline() == 5.0
+            assert ambient_deadline() == 5.0
+
+    def test_none_scope_is_a_noop(self):
+        with deadline_scope(4.0):
+            with deadline_scope(None):
+                assert ambient_deadline() == 4.0
+
+    def test_restores_after_exception(self):
+        try:
+            with deadline_scope(2.0):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert ambient_deadline() is None
+
+    def test_thread_local(self):
+        seen = []
+        with deadline_scope(7.0):
+            t = threading.Thread(
+                target=lambda: seen.append(ambient_deadline()))
+            t.start()
+            t.join()
+        assert seen == [None]

@@ -1,0 +1,102 @@
+"""ConcurrencyLimiter: AIMD adaptation over observed service latency."""
+
+from repro.admission import AdmissionPolicy, ConcurrencyLimiter
+from repro.core.instrumentation import HookBus
+
+
+def make(window=4, **kw):
+    defaults = dict(enabled=True, min_limit=1, max_limit=16, window=window,
+                    tolerance=2.0, decrease=0.8, increase=1)
+    defaults.update(kw)
+    return AdmissionPolicy(**defaults)
+
+
+def feed_window(lim, latency, queued):
+    """One full adaptation window of identical completions."""
+    for _ in range(lim.policy.window):
+        assert lim.try_acquire()
+        lim.release(latency, queued=queued)
+
+
+class TestSlots:
+    def test_acquire_up_to_limit(self):
+        lim = ConcurrencyLimiter(make(initial_limit=2))
+        assert lim.try_acquire() and lim.try_acquire()
+        assert not lim.try_acquire()
+        lim.release(0.01)
+        assert lim.try_acquire()
+
+    def test_negative_latency_returns_slot_without_sample(self):
+        """release(-1) is the 'nothing was dispatched' path — the slot
+        comes back but the adaptation window must not see a sample."""
+        lim = ConcurrencyLimiter(make(window=1))
+        lim.try_acquire()
+        lim.release(-1.0)
+        assert lim.inflight == 0
+        assert lim.adjustments == 0
+
+    def test_initial_limit_defaults_to_max(self):
+        assert ConcurrencyLimiter(make()).limit == 16
+        assert ConcurrencyLimiter(make(initial_limit=3)).limit == 3
+
+
+class TestAdaptation:
+    def test_inflated_p50_cuts_limit_multiplicatively(self):
+        lim = ConcurrencyLimiter(make())
+        feed_window(lim, 0.010, queued=False)   # establishes baseline
+        feed_window(lim, 0.050, queued=True)    # 5x baseline: congested
+        assert lim.limit == int(16 * 0.8)
+        assert lim.adjustments == 1
+
+    def test_healthy_window_with_demand_grows_additively(self):
+        lim = ConcurrencyLimiter(make(initial_limit=4))
+        feed_window(lim, 0.010, queued=True)
+        assert lim.limit == 5
+
+    def test_no_growth_without_demand(self):
+        """Latency is healthy but nothing was waiting: added concurrency
+        buys nothing, so the limit holds."""
+        lim = ConcurrencyLimiter(make(initial_limit=4))
+        feed_window(lim, 0.010, queued=False)
+        assert lim.limit == 4
+
+    def test_clamped_to_bounds(self):
+        lim = ConcurrencyLimiter(make(initial_limit=2, min_limit=2))
+        feed_window(lim, 0.010, queued=False)
+        feed_window(lim, 0.100, queued=True)
+        assert lim.limit == 2                   # min clamp
+        lim2 = ConcurrencyLimiter(make(max_limit=4, initial_limit=4))
+        feed_window(lim2, 0.010, queued=True)
+        assert lim2.limit == 4                  # max clamp
+
+    def test_baseline_tracks_the_best_window(self):
+        lim = ConcurrencyLimiter(make())
+        feed_window(lim, 0.040, queued=False)
+        feed_window(lim, 0.010, queued=False)   # better: new baseline
+        assert lim.snapshot()["baseline_p50"] == 0.010
+        # 0.015 < 2 x 0.010: healthy relative to the *best* seen
+        feed_window(lim, 0.015, queued=False)
+        assert lim.limit == 16
+
+    def test_limit_change_event(self):
+        bus = HookBus()
+        seen = []
+        bus.on("limit_change", lambda e: seen.append(e.data))
+        lim = ConcurrencyLimiter(make(), hooks=bus)
+        feed_window(lim, 0.010, queued=False)
+        feed_window(lim, 0.050, queued=True)
+        assert len(seen) == 1
+        assert seen[0]["previous"] == 16 and seen[0]["limit"] == 12
+        assert seen[0]["baseline"] == 0.010
+
+    def test_determinism(self):
+        """Same completion sequence, same limit trajectory."""
+        def trajectory():
+            lim = ConcurrencyLimiter(make())
+            out = []
+            for lat in [0.01, 0.05, 0.01, 0.08, 0.02] * 8:
+                lim.try_acquire()
+                lim.release(lat, queued=True)
+                out.append(lim.limit)
+            return out
+        assert trajectory() == trajectory()

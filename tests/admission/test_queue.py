@@ -1,0 +1,96 @@
+"""AdmissionQueue: priority classes, cost-unit bounds, FIFO/LIFO."""
+
+import pytest
+
+from repro.admission import (
+    BATCH,
+    BEST_EFFORT,
+    INTERACTIVE,
+    AdmissionQueue,
+    QueuedItem,
+)
+
+
+def item(priority=INTERACTIVE, cost=1, work=None):
+    return QueuedItem(work=work, priority=priority, cost=cost)
+
+
+class TestBounds:
+    def test_capacity_is_in_units_not_entries(self):
+        q = AdmissionQueue(capacity=4)
+        assert q.offer(item(cost=3))
+        assert not q.offer(item(cost=2))      # 3 + 2 > 4
+        assert q.offer(item(cost=1))
+        assert q.units == 4 and q.depth == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+        q = AdmissionQueue(capacity=4)
+        with pytest.raises(ValueError):
+            q.offer(item(priority=7))
+        with pytest.raises(ValueError):
+            q.offer(item(cost=0))
+
+    def test_oversized_item_only_into_empty_queue(self):
+        """A batch costing more than the whole capacity must not be
+        permanently unadmittable, but must not evict standing work."""
+        q = AdmissionQueue(capacity=4)
+        assert q.offer(item(cost=1))
+        assert not q.offer(item(cost=9))      # standing work: refused
+        assert q.pop() is not None
+        assert q.offer(item(cost=9))          # empty queue: admitted
+        assert q.units == 9
+
+    def test_pop_returns_units(self):
+        q = AdmissionQueue(capacity=2)
+        q.offer(item(cost=2))
+        assert not q.offer(item())
+        q.pop()
+        assert q.offer(item())
+
+
+class TestOrdering:
+    def test_strict_priority_between_classes(self):
+        q = AdmissionQueue(capacity=8)
+        q.offer(item(priority=BEST_EFFORT, work="be"))
+        q.offer(item(priority=BATCH, work="b"))
+        q.offer(item(priority=INTERACTIVE, work="i"))
+        assert [q.pop().work for _ in range(3)] == ["i", "b", "be"]
+
+    def test_fifo_within_class_by_default(self):
+        q = AdmissionQueue(capacity=8)
+        for n in range(3):
+            q.offer(item(work=n))
+        assert [q.pop().work for _ in range(3)] == [0, 1, 2]
+
+    def test_lifo_within_class(self):
+        q = AdmissionQueue(capacity=8, lifo=True)
+        for n in range(3):
+            q.offer(item(work=n))
+        q.offer(item(priority=BATCH, work="b0"))
+        q.offer(item(priority=BATCH, work="b1"))
+        # newest-first within a class, classes still strictly ordered
+        assert [q.pop().work for _ in range(5)] == [2, 1, 0, "b1", "b0"]
+
+    def test_pop_empty_returns_none(self):
+        assert AdmissionQueue(capacity=1).pop() is None
+
+
+class TestDrain:
+    def test_drain_returns_everything_and_resets_units(self):
+        q = AdmissionQueue(capacity=8)
+        q.offer(item(work="a"))
+        q.offer(item(priority=BATCH, work="b", cost=3))
+        drained = q.drain()
+        assert [i.work for i in drained] == ["a", "b"]
+        assert q.units == 0 and q.depth == 0
+        assert q.offer(item(cost=8))          # capacity fully available
+
+    def test_depth_by_class(self):
+        q = AdmissionQueue(capacity=8)
+        q.offer(item())
+        q.offer(item(priority=BATCH))
+        q.offer(item(priority=BATCH))
+        assert q.depth_by_class() == {
+            "interactive": 1, "batch": 2, "best-effort": 0}

@@ -127,7 +127,7 @@ class TestWholeBatchFallback:
         proto_client = gp._client_for(entry)
         calls = {"n": 0}
 
-        def broken_batch(payloads):
+        def broken_batch(payloads, **kwargs):
             calls["n"] += 1
             raise TransportError("wire cut under the batch")
 
@@ -150,7 +150,7 @@ class TestWholeBatchFallback:
         enable_batching(client, min_window=0.2)
         proto_client = gp._client_for(gp.select_protocol())
 
-        def sent_then_died(payloads):
+        def sent_then_died(payloads, **kwargs):
             exc = TransportError("reply lost")
             exc.request_sent = True
             raise exc

@@ -1,0 +1,68 @@
+"""PriorityCapability: a pinned, validated admission class for glue
+connections — the class is part of the negotiated contract, not a
+per-request claim."""
+
+import pytest
+
+from repro.core.capabilities import PriorityCapability, make_capability
+from repro.core.request import RequestMeta
+from repro.exceptions import CapabilityError
+
+from tests.core.test_capabilities import FakeContext
+
+
+@pytest.fixture
+def ctx():
+    return FakeContext()
+
+
+def pair(descriptor, ctx):
+    return (make_capability(descriptor, ctx, "client"),
+            make_capability(descriptor, ctx, "server"))
+
+
+class TestDescriptor:
+    def test_of_builds_descriptor_from_name_or_ordinal(self):
+        assert PriorityCapability.of("batch")["class"] == "batch"
+        assert PriorityCapability.of(2)["class"] == "best-effort"
+        assert PriorityCapability.of(0)["type"] == "priority"
+
+    def test_bad_class_rejected(self, ctx):
+        with pytest.raises(CapabilityError):
+            make_capability({"type": "priority", "class": "vip"},
+                            ctx, "client")
+
+
+class TestStamping:
+    def test_round_trip_sets_meta_class(self, ctx):
+        c, s = pair(PriorityCapability.of("batch"), ctx)
+        meta = RequestMeta()
+        wire = c.process(b"payload", meta)
+        assert wire != b"payload"           # class prepended
+        assert s.unprocess(wire, meta) == b"payload"
+        assert meta.properties["admission.class"] == 1
+        assert meta.properties["admission.class_name"] == "batch"
+
+    def test_client_cap_exposes_pinned_class(self, ctx):
+        cap = make_capability(PriorityCapability.of("best-effort"),
+                              ctx, "client")
+        assert cap.admission_class == 2
+
+    def test_escalation_refused(self, ctx):
+        """A peer stamping a more urgent class than it negotiated is
+        refused — the server half is authoritative."""
+        interactive_client = make_capability(
+            PriorityCapability.of("interactive"), ctx, "client")
+        batch_server = make_capability(
+            PriorityCapability.of("batch"), ctx, "server")
+        meta = RequestMeta()
+        wire = interactive_client.process(b"p", meta)
+        with pytest.raises(CapabilityError):
+            batch_server.unprocess(wire, meta)
+
+    def test_reply_passes_through(self, ctx):
+        c, s = pair(PriorityCapability.of("batch"), ctx)
+        meta = RequestMeta()
+        s.unprocess(c.process(b"req", meta), meta)
+        reply_wire = s.process_reply(b"reply", meta)
+        assert c.unprocess_reply(reply_wire, meta) == b"reply"

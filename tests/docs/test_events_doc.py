@@ -78,6 +78,11 @@ def test_recorder_metric_names_are_documented():
              error=None, dispatched=False)
     bus.emit("fault_injected", fault="drop", detail="a->b")
     bus.emit("fault_phase", at=0.0, now=0.0, label="x")
+    bus.emit("admit", priority=0, cost=1, depth=1, units=1)
+    bus.emit("shed", reason="queue_full", priority=1, cost=4,
+             retry_after=0.05, depth=8)
+    bus.emit("limit_change", limit=8, previous=9, p50=0.02,
+             baseline=0.005)
     snap = rec.snapshot()
     doc = EVENTS_DOC.read_text()
     names = (list(snap["counters"]) + list(snap["gauges"])
@@ -86,6 +91,8 @@ def test_recorder_metric_names_are_documented():
     for name in names:
         if name.startswith("faults_injected."):
             name = "faults_injected.<kind>"
+        if name.startswith("sheds."):
+            name = "sheds.<reason>"
         assert f"`{name}`" in doc, (
             f"metric {name!r} produced by MetricsRecorder but not "
             f"documented in docs/EVENTS.md")

@@ -55,7 +55,7 @@ class TestWireCorruption:
         glue_client = gp._client_for(gp.select_protocol())
         original = glue_client.inner.call_raw
 
-        def corrupting_call(handler, payload, oneway=False):
+        def corrupting_call(handler, payload, oneway=False, **kwargs):
             glue_id, cap_types, body = decode_glue_envelope(payload)
             body = bytearray(body)
             body[len(body) // 2] ^= 0xFF
@@ -79,7 +79,7 @@ class TestWireCorruption:
         glue_client = gp._client_for(gp.select_protocol())
         original = glue_client.inner.call_raw
 
-        def truncating_call(handler, payload, oneway=False):
+        def truncating_call(handler, payload, oneway=False, **kwargs):
             glue_id, cap_types, body = decode_glue_envelope(payload)
             return original(handler,
                             encode_glue_envelope(glue_id, cap_types,
@@ -103,7 +103,7 @@ class TestWireCorruption:
         glue_client = gp._client_for(gp.select_protocol())
         original = glue_client.inner.call_raw
 
-        def lying_call(handler, payload, oneway=False):
+        def lying_call(handler, payload, oneway=False, **kwargs):
             glue_id, _cap_types, body = decode_glue_envelope(payload)
             return original(handler,
                             encode_glue_envelope(glue_id,

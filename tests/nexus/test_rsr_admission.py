@@ -1,0 +1,101 @@
+"""RSR admission extensions: the META trailer (priority + remaining
+deadline) and the OVERLOAD pushback reply, on the wire and in the
+reply envelope."""
+
+import pytest
+
+from repro.core.request import (
+    ReplyStatus,
+    decode_reply,
+    encode_reply_overload,
+)
+from repro.exceptions import OverloadError
+from repro.nexus.rsr import RsrFlags, RsrMessage
+from repro.serialization.marshal import (
+    BatchRequest,
+    Marshaller,
+    decode_overload_info,
+    encode_overload_info,
+    peek_batch_count,
+)
+
+
+class TestMetaTrailer:
+    def test_default_request_carries_no_trailer(self):
+        m = RsrMessage.request(1, "echo", b"x")
+        assert not (m.flags & RsrFlags.META)
+        decoded = RsrMessage.decode(m.encode())
+        assert decoded.priority == 0 and decoded.deadline is None
+
+    def test_priority_round_trips(self):
+        m = RsrMessage.request(2, "echo", b"x", priority=2)
+        assert m.flags & RsrFlags.META
+        decoded = RsrMessage.decode(m.encode())
+        assert decoded.priority == 2
+        assert decoded.deadline is None
+        assert decoded.payload == b"x"
+
+    def test_deadline_round_trips_as_remaining_seconds(self):
+        m = RsrMessage.request(3, "echo", b"x", deadline=0.125)
+        decoded = RsrMessage.decode(m.encode())
+        assert decoded.deadline == 0.125
+        assert decoded.priority == 0
+
+    def test_priority_and_deadline_together(self):
+        m = RsrMessage.request(4, "work", b"pay", priority=1,
+                               deadline=2.5)
+        decoded = RsrMessage.decode(m.encode())
+        assert (decoded.priority, decoded.deadline) == (1, 2.5)
+        assert decoded.handler == "work"
+
+    def test_oneway_keeps_hints(self):
+        m = RsrMessage.request(5, "fire", b"", oneway=True, priority=1,
+                               deadline=1.0)
+        decoded = RsrMessage.decode(m.encode())
+        assert decoded.is_oneway()
+        assert (decoded.priority, decoded.deadline) == (1, 1.0)
+
+
+class TestOverloadReply:
+    def test_overload_reply_round_trips(self):
+        payload = encode_overload_info(0.05, "queue_full", depth=8)
+        m = RsrMessage.overload(9, payload)
+        decoded = RsrMessage.decode(m.encode())
+        assert decoded.is_overload()
+        assert decoded.is_reply() and decoded.is_error()
+        info = decode_overload_info(decoded.payload)
+        assert info == {"retry_after": 0.05, "reason": "queue_full",
+                        "depth": 8}
+
+    def test_plain_error_is_not_overload(self):
+        assert not RsrMessage.error(1, b"boom").is_overload()
+
+    def test_envelope_overload_raises_client_side(self):
+        m = Marshaller()
+        data = encode_reply_overload(m, 0.25, "deadline")
+        with pytest.raises(OverloadError) as info:
+            decode_reply(m, data)
+        exc = info.value
+        assert exc.retry_after == 0.25
+        assert exc.reason == "deadline"
+        # pushback means the request was *answered*, never dispatched:
+        # the idempotence guard must always permit the retry
+        assert not getattr(exc, "request_sent", False)
+        assert not getattr(exc, "request_dispatched", False)
+
+    def test_ok_reply_still_decodes(self):
+        m = Marshaller()
+        data = m.dumps_many([int(ReplyStatus.OK), 42])
+        assert decode_reply(m, data) == 42
+
+
+class TestBatchPeek:
+    def test_peek_counts_members_without_decoding(self):
+        payload = BatchRequest.of([b"a", b"bb", b"ccc"]).to_bytes()
+        assert peek_batch_count(payload) == 3
+
+    def test_peek_rejects_non_batch_bytes(self):
+        assert peek_batch_count(b"") is None
+        assert peek_batch_count(b"\x00\x01\x02\x03") is None
+        m = Marshaller()
+        assert peek_batch_count(m.dumps("not a batch")) is None
