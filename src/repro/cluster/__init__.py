@@ -6,6 +6,11 @@ synthetic request streams against it — the machinery behind the
 load-balancing experiments (ABL-LB in DESIGN.md) and the larger
 examples — and, via :class:`ChaosRun`, driving those workloads through
 seeded fault plans while recording per-bucket degradation curves.
+
+The real-process half (:mod:`repro.cluster.procs` +
+``python -m repro.cluster.node``) spawns genuine endpoint processes
+over kernel TCP and drives the same chaos machinery — SIGKILL crashes,
+SIGSTOP gray failures, SIGTERM rolling restarts — against them.
 """
 
 from repro.cluster.chaos import (
@@ -15,10 +20,28 @@ from repro.cluster.chaos import (
     OverloadReport,
     OverloadRun,
 )
+from repro.cluster.control import (
+    ConfigRecord,
+    ControlChannel,
+    GoodbyeRecord,
+    ReadyRecord,
+    ShutdownRecord,
+    SnapshotRecord,
+    SnapshotRequest,
+)
 from repro.cluster.node import (
     ClusterNode,
     bind_workers,
     build_cluster,
+    strip_to_tcp,
+)
+from repro.cluster.procs import (
+    NodeSpec,
+    ProcCluster,
+    ProcNode,
+    ProcReport,
+    ProcRun,
+    merge_orefs,
 )
 from repro.cluster.scheduler import PlacementScheduler
 from repro.cluster.workload import (
@@ -33,8 +56,22 @@ __all__ = [
     "ChaosReport",
     "ChaosRun",
     "ClusterNode",
+    "ConfigRecord",
+    "ControlChannel",
+    "GoodbyeRecord",
+    "NodeSpec",
+    "ProcCluster",
+    "ProcNode",
+    "ProcReport",
+    "ProcRun",
+    "ReadyRecord",
+    "ShutdownRecord",
+    "SnapshotRecord",
+    "SnapshotRequest",
     "bind_workers",
     "build_cluster",
+    "merge_orefs",
+    "strip_to_tcp",
     "OverloadPhase",
     "OverloadReport",
     "OverloadRun",

@@ -1,0 +1,398 @@
+"""Control-plane protocol between a :class:`ProcCluster` parent and its
+node worker processes.
+
+The data plane between cluster processes is the ORB itself (real TCP,
+real ``ObjectReference``\\ s).  The *control* plane — "are you up", "send
+me your metrics", "drain and exit" — must not ride the same machinery it
+exists to observe and kill, so it runs over a pair of inherited pipes
+using the transport layer's own length-prefixed frames.
+
+Each message is one frame whose payload is a kind-tagged XDR record,
+with the same strictness discipline as the batch records in
+:mod:`repro.serialization.marshal`: foreign kind, truncation, or
+trailing garbage raises :class:`MarshalError` rather than being
+misread.  Six kinds cover the whole protocol::
+
+    parent -> child   ConfigRecord      boot parameters, sent once
+    child  -> parent  ReadyRecord       pid + exported object URIs
+    parent -> child   SnapshotRequest   poll for metrics
+    child  -> parent  SnapshotRecord    MetricsRegistry snapshot + calls
+    parent -> child   ShutdownRecord    drain and exit cleanly
+    child  -> parent  GoodbyeRecord     final snapshot-free sign-off
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import ChannelClosedError, MarshalError, TransportError
+from repro.metrics.codec import decode_snapshot, encode_snapshot
+from repro.serialization.xdr import XdrDecoder, XdrEncoder
+from repro.transport.framing import read_frame_ex, write_frame
+
+__all__ = ["ConfigRecord", "ReadyRecord", "SnapshotRequest",
+           "SnapshotRecord", "ShutdownRecord", "GoodbyeRecord",
+           "ControlChannel", "decode_record", "CONTROL_KINDS"]
+
+# Wire discriminators, one per record kind.  Disjoint from the batch
+# records (0xB0A0/0xB0A1) and the snapshot record (0x5A90) so a frame
+# routed to the wrong decoder fails loudly on the first word.
+_CONFIG_KIND = 0xC7C0
+_READY_KIND = 0xC7C1
+_SNAP_REQ_KIND = 0xC7C2
+_SNAPSHOT_KIND = 0xC7C3
+_SHUTDOWN_KIND = 0xC7C4
+_GOODBYE_KIND = 0xC7C5
+
+#: Every control-record kind tag, for the disjointness property test.
+CONTROL_KINDS = (_CONFIG_KIND, _READY_KIND, _SNAP_REQ_KIND,
+                 _SNAPSHOT_KIND, _SHUTDOWN_KIND, _GOODBYE_KIND)
+
+#: Caps on repeated fields so a corrupted count fails fast instead of
+#: driving a giant allocation loop (cf. ``MAX_BATCH_ITEMS``).
+MAX_WORKERS = 4096
+MAX_OPTIONS = 4096
+
+
+def _decode_strict(data, kind: int, what: str, body):
+    """Shared strict-decode shell: kind check, truncation wrap, and the
+    trailing-bytes check every record decoder must perform."""
+    dec = XdrDecoder(data)
+    try:
+        seen = dec.unpack_uint()
+        if seen != kind:
+            raise MarshalError(
+                f"not a {what} record (kind 0x{seen:x}, "
+                f"expected 0x{kind:x})")
+        out = body(dec)
+    except MarshalError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - underflow/struct errors
+        raise MarshalError(f"truncated {what} record: {exc}") from exc
+    if not dec.done():
+        raise MarshalError(f"{what} record has trailing bytes")
+    return out
+
+
+def _pack_str_map(enc: XdrEncoder, mapping: Dict[str, str],
+                  what: str) -> None:
+    if len(mapping) > MAX_OPTIONS:
+        raise MarshalError(f"{what} has {len(mapping)} entries "
+                           f"(cap {MAX_OPTIONS})")
+    enc.pack_uint(len(mapping))
+    for key in sorted(mapping):
+        enc.pack_string(key)
+        enc.pack_string(mapping[key])
+
+
+def _unpack_str_map(dec: XdrDecoder, what: str) -> Dict[str, str]:
+    count = dec.unpack_uint()
+    if count > MAX_OPTIONS:
+        raise MarshalError(f"{what} claims {count} entries "
+                           f"(cap {MAX_OPTIONS})")
+    return {dec.unpack_string(): dec.unpack_string()
+            for _ in range(count)}
+
+
+@dataclass(frozen=True)
+class ConfigRecord:
+    """Parent → child boot parameters (sent exactly once).
+
+    ``workers`` are the object ids the node must export; every node in a
+    replica group exports the *same* ids so client-side failover can
+    treat their protocol entries as interchangeable.  ``options`` is a
+    flat string map for servant tuning (admission policy, delays, ...).
+    """
+
+    node: str
+    context_id: str
+    workers: Tuple[str, ...]
+    options: Dict[str, str] = field(default_factory=dict)
+
+    def to_bytes(self) -> bytes:
+        if len(self.workers) > MAX_WORKERS:
+            raise MarshalError(f"ConfigRecord has {len(self.workers)} "
+                               f"workers (cap {MAX_WORKERS})")
+        enc = XdrEncoder()
+        enc.pack_uint(_CONFIG_KIND)
+        enc.pack_string(self.node)
+        enc.pack_string(self.context_id)
+        enc.pack_uint(len(self.workers))
+        for wid in self.workers:
+            enc.pack_string(wid)
+        _pack_str_map(enc, self.options, "ConfigRecord options")
+        return enc.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data) -> "ConfigRecord":
+        def body(dec):
+            node = dec.unpack_string()
+            context_id = dec.unpack_string()
+            count = dec.unpack_uint()
+            if count > MAX_WORKERS:
+                raise MarshalError(f"ConfigRecord claims {count} workers "
+                                   f"(cap {MAX_WORKERS})")
+            workers = tuple(dec.unpack_string() for _ in range(count))
+            options = _unpack_str_map(dec, "ConfigRecord options")
+            return cls(node=node, context_id=context_id, workers=workers,
+                       options=options)
+        return _decode_strict(data, _CONFIG_KIND, "ConfigRecord", body)
+
+
+@dataclass(frozen=True)
+class ReadyRecord:
+    """Child → parent readiness: the endpoint is accepting connections.
+
+    ``orefs`` maps each exported object id to its ``hpcor:`` URI with
+    the protocol table already stripped to TCP-only addresses — in-proc
+    addresses are meaningless across an ``exec`` boundary and must never
+    leave the worker.
+    """
+
+    node: str
+    pid: int
+    orefs: Dict[str, str]
+
+    def to_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_uint(_READY_KIND)
+        enc.pack_string(self.node)
+        enc.pack_uhyper(self.pid)
+        _pack_str_map(enc, self.orefs, "ReadyRecord orefs")
+        return enc.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data) -> "ReadyRecord":
+        def body(dec):
+            node = dec.unpack_string()
+            pid = dec.unpack_uhyper()
+            orefs = _unpack_str_map(dec, "ReadyRecord orefs")
+            return cls(node=node, pid=pid, orefs=orefs)
+        return _decode_strict(data, _READY_KIND, "ReadyRecord", body)
+
+
+@dataclass(frozen=True)
+class SnapshotRequest:
+    """Parent → child: reply with a :class:`SnapshotRecord` now."""
+
+    def to_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_uint(_SNAP_REQ_KIND)
+        return enc.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data) -> "SnapshotRequest":
+        return _decode_strict(data, _SNAP_REQ_KIND, "SnapshotRequest",
+                              lambda dec: cls())
+
+
+@dataclass(frozen=True)
+class SnapshotRecord:
+    """Child → parent observability payload.
+
+    ``metrics`` is a full ``MetricsRegistry`` snapshot, carried as an
+    opaque :func:`~repro.metrics.codec.encode_snapshot` record so the
+    snapshot codec's own strictness applies unchanged.  ``servant_calls``
+    maps object id → calls served, straight from the servants.
+    """
+
+    node: str
+    captured_at: float
+    metrics: dict
+    servant_calls: Dict[str, int] = field(default_factory=dict)
+
+    def to_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_uint(_SNAPSHOT_KIND)
+        enc.pack_string(self.node)
+        enc.pack_double(self.captured_at)
+        enc.pack_opaque(encode_snapshot(self.metrics))
+        if len(self.servant_calls) > MAX_WORKERS:
+            raise MarshalError(f"SnapshotRecord has "
+                               f"{len(self.servant_calls)} servant entries "
+                               f"(cap {MAX_WORKERS})")
+        enc.pack_uint(len(self.servant_calls))
+        for key in sorted(self.servant_calls):
+            enc.pack_string(key)
+            enc.pack_uhyper(self.servant_calls[key])
+        return enc.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data) -> "SnapshotRecord":
+        def body(dec):
+            node = dec.unpack_string()
+            captured_at = dec.unpack_double()
+            metrics = decode_snapshot(bytes(dec.unpack_opaque()))
+            count = dec.unpack_uint()
+            if count > MAX_WORKERS:
+                raise MarshalError(f"SnapshotRecord claims {count} servant "
+                                   f"entries (cap {MAX_WORKERS})")
+            servant_calls = {dec.unpack_string(): dec.unpack_uhyper()
+                             for _ in range(count)}
+            return cls(node=node, captured_at=captured_at, metrics=metrics,
+                       servant_calls=servant_calls)
+        return _decode_strict(data, _SNAPSHOT_KIND, "SnapshotRecord", body)
+
+
+@dataclass(frozen=True)
+class ShutdownRecord:
+    """Parent → child: drain in-flight work, stop serving, exit 0."""
+
+    reason: str = "shutdown"
+
+    def to_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_uint(_SHUTDOWN_KIND)
+        enc.pack_string(self.reason)
+        return enc.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data) -> "ShutdownRecord":
+        return _decode_strict(
+            data, _SHUTDOWN_KIND, "ShutdownRecord",
+            lambda dec: cls(reason=dec.unpack_string()))
+
+
+@dataclass(frozen=True)
+class GoodbyeRecord:
+    """Child → parent sign-off: the node drained and is about to exit."""
+
+    node: str
+    clean: bool = True
+
+    def to_bytes(self) -> bytes:
+        enc = XdrEncoder()
+        enc.pack_uint(_GOODBYE_KIND)
+        enc.pack_string(self.node)
+        enc.pack_bool(self.clean)
+        return enc.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data) -> "GoodbyeRecord":
+        def body(dec):
+            return cls(node=dec.unpack_string(), clean=dec.unpack_bool())
+        return _decode_strict(data, _GOODBYE_KIND, "GoodbyeRecord", body)
+
+
+_DECODERS = {
+    _CONFIG_KIND: ConfigRecord.from_bytes,
+    _READY_KIND: ReadyRecord.from_bytes,
+    _SNAP_REQ_KIND: SnapshotRequest.from_bytes,
+    _SNAPSHOT_KIND: SnapshotRecord.from_bytes,
+    _SHUTDOWN_KIND: ShutdownRecord.from_bytes,
+    _GOODBYE_KIND: GoodbyeRecord.from_bytes,
+}
+
+
+def decode_record(data):
+    """Decode any control record by its leading kind tag."""
+    try:
+        kind = XdrDecoder(data).unpack_uint()
+    except Exception as exc:  # noqa: BLE001 - empty/short buffer
+        raise MarshalError(f"truncated control record: {exc}") from exc
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise MarshalError(f"unknown control record kind 0x{kind:x}")
+    return decoder(data)
+
+
+class ControlChannel:
+    """Framed control records over a pipe fd pair.
+
+    Both ends hold one read fd and one write fd (two ``os.pipe()`` pairs,
+    the child's ends inherited via ``pass_fds``).  Messages use the
+    transport layer's checksummed frames, so a desynchronized or
+    corrupted pipe fails loudly instead of silently misparsing.
+
+    ``recv`` takes an optional timeout enforced with ``select`` on every
+    chunk; because control messages are single small frames written
+    atomically (well under ``PIPE_BUF``), a timeout always strikes at a
+    frame boundary and the channel stays usable.
+    """
+
+    def __init__(self, read_fd: int, write_fd: int):
+        self._read_fd = read_fd
+        self._write_fd = write_fd
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._closed = False
+
+    # -- sending -------------------------------------------------------
+
+    def send(self, record) -> None:
+        if self._closed:
+            raise ChannelClosedError("send on closed control channel")
+        payload = record.to_bytes()
+        with self._send_lock:
+            try:
+                write_frame(self._write, payload)
+            except OSError as exc:
+                # EPIPE: the peer died.  Dead peers are this harness's
+                # subject matter, not an internal error.
+                raise ChannelClosedError(
+                    f"control peer gone: {exc}") from exc
+
+    def _write(self, data) -> None:
+        view = memoryview(data)
+        while view:
+            n = os.write(self._write_fd, view)
+            view = view[n:]
+
+    # -- receiving -----------------------------------------------------
+
+    def recv(self, timeout: Optional[float] = None):
+        """Read and decode one control record.
+
+        Raises :class:`TransportError` on timeout,
+        :class:`ChannelClosedError` when the peer's write end is gone.
+        """
+        if self._closed:
+            raise ChannelClosedError("recv on closed control channel")
+        with self._recv_lock:
+            deadline = (None if timeout is None
+                        else time.monotonic() + timeout)
+            payload = read_frame_ex(self._make_read_exact(deadline))[1]
+        return decode_record(payload)
+
+    def _make_read_exact(self, deadline):
+        def read_exact(n: int) -> bytes:
+            parts = []
+            remaining = n
+            while remaining:
+                if deadline is not None:
+                    budget = deadline - time.monotonic()
+                    if budget <= 0:
+                        raise TransportError("control recv timed out")
+                    ready, _, _ = select.select([self._read_fd], [], [],
+                                                budget)
+                    if not ready:
+                        raise TransportError("control recv timed out")
+                try:
+                    chunk = os.read(self._read_fd, remaining)
+                except OSError as exc:
+                    raise ChannelClosedError(
+                        f"control read failed: {exc}") from exc
+                if not chunk:
+                    raise ChannelClosedError("control peer closed")
+                parts.append(chunk)
+                remaining -= len(chunk)
+            return b"".join(parts)
+        return read_exact
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            for fd in (self._read_fd, self._write_fd):
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

@@ -1,14 +1,27 @@
-"""Cluster construction helpers.
+"""Cluster construction helpers, and the real-process node worker.
 
 A :class:`ClusterNode` pairs a simulated machine with a serving context
 and a bag of exported worker objects; :func:`build_cluster` stamps out a
 node per machine.  The worker servant (:class:`WorkUnit`) does real
 byte-level work — it echoes payloads through the full marshalling path —
 so cluster experiments exercise the invocation machinery, not stubs.
+
+Run as a module (``python -m repro.cluster.node --control-in FD
+--control-out FD``) this file is the **worker entrypoint** of the
+real-process harness (:mod:`repro.cluster.procs`): it reads a
+:class:`~repro.cluster.control.ConfigRecord` off an inherited pipe,
+stands up a wall-clock ORB serving :class:`WorkUnit` servants over
+kernel TCP, reports readiness, and then serves control-plane requests
+(metrics snapshots, drain-and-exit) until told — or signalled — to
+stop.
 """
 
 from __future__ import annotations
 
+import os
+import signal
+import sys
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -17,7 +30,8 @@ from repro.core.objref import ObjectReference
 from repro.core.orb import ORB
 from repro.idl.interface import remote_interface, remote_method
 
-__all__ = ["WorkUnit", "ClusterNode", "build_cluster", "bind_workers"]
+__all__ = ["WorkUnit", "ClusterNode", "build_cluster", "bind_workers",
+           "strip_to_tcp", "main"]
 
 
 @remote_interface("WorkUnit")
@@ -94,3 +108,152 @@ def build_cluster(orb: ORB, machine_names: List[str],
             node.export_worker(f"w{mname}-{i}")
         nodes.append(node)
     return nodes
+
+
+# ---------------------------------------------------------------------------
+# Real-process worker entrypoint (python -m repro.cluster.node)
+# ---------------------------------------------------------------------------
+
+
+def strip_to_tcp(oref: ObjectReference) -> ObjectReference:
+    """Clone ``oref`` keeping only TCP addresses (and only entries that
+    still have one).
+
+    In-proc and shared-memory addresses index registries of the
+    *exporting* process; across an ``exec`` boundary they dangle — or
+    worse, collide with the importing process's own registries and
+    silently route to the wrong object.  A worker must never let them
+    escape.
+    """
+    clone = oref.clone()
+    entries = []
+    for entry in clone.protocols:
+        addrs = [a for a in entry.proto_data.get("addresses", [])
+                 if a.get("transport") == "tcp"]
+        if addrs:
+            entry.proto_data["addresses"] = addrs
+            entries.append(entry)
+    if not entries:
+        raise ValueError(f"object {oref.object_id!r} has no TCP address "
+                         "to publish")
+    clone.protocols = entries
+    return clone
+
+
+class _DrainRequested(Exception):
+    """Raised out of a SIGTERM handler to unwind into the drain path.
+
+    Python runs signal handlers on the main thread between bytecodes;
+    raising here interrupts even a blocked ``os.read``/``select`` (the
+    syscall returns EINTR and the exception propagates, PEP 475), which
+    turns SIGTERM into an orderly drain-then-exit instead of an abrupt
+    interpreter death mid-reply.
+    """
+
+
+def main(argv=None) -> int:
+    """Worker process body; returns the exit status.
+
+    Protocol (see :mod:`repro.cluster.control`): recv ``ConfigRecord``,
+    serve, send ``ReadyRecord``, answer ``SnapshotRequest``s until a
+    ``ShutdownRecord``, SIGTERM, or parent death, then drain in-flight
+    requests, send ``GoodbyeRecord``, exit 0.
+    """
+    import argparse
+
+    from repro.cluster.control import (ControlChannel, GoodbyeRecord,
+                                       ReadyRecord, ShutdownRecord,
+                                       SnapshotRecord, SnapshotRequest)
+    from repro.core.context import Placement
+    from repro.core.instrumentation import GLOBAL_HOOKS
+    from repro.exceptions import HpcError
+    from repro.metrics.recorder import MetricsRecorder
+
+    parser = argparse.ArgumentParser(prog="repro.cluster.node")
+    parser.add_argument("--control-in", type=int, required=True,
+                        help="inherited fd: parent -> this process")
+    parser.add_argument("--control-out", type=int, required=True,
+                        help="inherited fd: this process -> parent")
+    args = parser.parse_args(argv)
+    channel = ControlChannel(args.control_in, args.control_out)
+
+    config = channel.recv(timeout=30.0)
+    bucket_seconds = float(config.options.get("bucket_seconds", "1.0"))
+
+    orb = ORB()
+    ctx = orb.context(
+        config.context_id, enable_tcp=True,
+        placement=Placement(config.node, "proc-lan", "proc-site"))
+    recorder = MetricsRecorder(bucket_seconds=bucket_seconds)
+    # Server side of the hook contract: admission and endpoint events
+    # publish on the global bus (there are no GPs here to double-count).
+    recorder.attach(GLOBAL_HOOKS)
+
+    servants: Dict[str, WorkUnit] = {}
+    orefs: Dict[str, str] = {}
+    for object_id in config.workers:
+        servant = WorkUnit(object_id)
+        # Same object ids on every replica node: server dispatch is by
+        # object id, so any node in the group can answer for the OR.
+        oref = ctx.export(servant, object_id=object_id, include_shm=False)
+        servants[object_id] = servant
+        orefs[object_id] = strip_to_tcp(oref).to_uri()
+
+    endpoint = ctx.server.endpoint
+    if not endpoint.wait_ready(timeout=10.0):
+        raise RuntimeError("endpoint accept loop failed to start")
+
+    draining = False
+
+    def on_sigterm(signum, frame):
+        # Only flag-flipping (signal-safe) work here; the raise unwinds
+        # the control loop into the drain path below.
+        endpoint.request_stop()
+        if not draining:
+            raise _DrainRequested()
+
+    signal.signal(signal.SIGTERM, on_sigterm)
+    channel.send(ReadyRecord(node=config.node, pid=os.getpid(),
+                             orefs=orefs))
+
+    def snapshot_record() -> SnapshotRecord:
+        return SnapshotRecord(
+            node=config.node, captured_at=time.time(),
+            metrics=recorder.snapshot(),
+            servant_calls={oid: s.calls for oid, s in servants.items()})
+
+    clean = True
+    try:
+        while True:
+            try:
+                record = channel.recv(timeout=None)
+            except HpcError:
+                # Parent's write end gone: the parent died or dropped
+                # us.  Orphaned workers must exit, not linger.
+                clean = False
+                break
+            if isinstance(record, SnapshotRequest):
+                channel.send(snapshot_record())
+            elif isinstance(record, ShutdownRecord):
+                break
+            # Foreign record kinds: ignore (forward-compatible).
+    except _DrainRequested:
+        pass
+    draining = True
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+
+    # Drain: Endpoint.stop (via context/orb shutdown) lets in-flight
+    # requests reply before channels close — SIGTERM'd replicas finish
+    # the requests they accepted.
+    recorder.detach()
+    orb.shutdown()
+    try:
+        channel.send(GoodbyeRecord(node=config.node, clean=clean))
+    except HpcError:
+        pass  # parent already gone
+    channel.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

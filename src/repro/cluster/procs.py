@@ -1,0 +1,632 @@
+"""Real-process cluster harness: spawn, crash, and measure live nodes.
+
+Everything else in the cluster package runs inside one Python process —
+simnet time, in-proc transports, thread "nodes".  This module is the
+other half of the validation story: each node is a **real OS process**
+(:mod:`repro.cluster.node` run as a module) serving
+:class:`~repro.cluster.node.WorkUnit` servants over kernel TCP, and the
+fault actions are the real thing too — ``SIGKILL`` is a crash,
+``SIGSTOP`` is a gray failure, ``SIGTERM`` is a rolling restart.
+
+Layers:
+
+* :class:`NodeSpec` / :class:`ProcNode` — one worker process: spawn it,
+  handshake over the pipe control channel
+  (:mod:`repro.cluster.control`), poll its metrics, signal it, reap it.
+* :class:`ProcCluster` — a context manager booting N nodes, wiring a
+  client context to them through *merged* ``ObjectReference``\\ s (one
+  protocol entry per replica node, so the GP's demotion/hedging
+  machinery fails over across processes exactly as it does across
+  simulated links), and exposing ``kill``/``pause``/``resume``/
+  ``restart`` by node name.  ``__exit__`` reaps every child — escalating
+  clean shutdown → SIGTERM → SIGKILL — and never leaves orphans.
+* :class:`ProcRun` / :class:`ProcReport` — a wall-clock closed-loop
+  workload with scheduled fault phases (the :class:`ChaosRun` shape),
+  producing a :class:`~repro.metrics.curves.DegradationCurve` that the
+  same :func:`~repro.metrics.curves.assert_degradation` envelopes used
+  by simnet chaos apply to, plus the per-node registry snapshots
+  shipped back over the control channel.
+
+Process-lifecycle observability rides the cluster's hook bus —
+``proc_spawn`` / ``proc_exit`` / ``proc_pause`` events (docs/EVENTS.md)
+— so the recorder's counters cover process churn alongside request
+traffic.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.control import (
+    ConfigRecord,
+    ControlChannel,
+    GoodbyeRecord,
+    ReadyRecord,
+    ShutdownRecord,
+    SnapshotRecord,
+    SnapshotRequest,
+)
+from repro.core.context import Placement
+from repro.core.instrumentation import HookBus
+from repro.core.objref import ObjectReference
+from repro.core.orb import ORB
+from repro.exceptions import HpcError
+from repro.metrics.curves import DegradationCurve
+from repro.metrics.recorder import MetricsRecorder
+
+__all__ = ["NodeSpec", "ProcNode", "ProcCluster", "ProcRun", "ProcReport",
+           "merge_orefs"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Recipe for one worker process.
+
+    ``workers`` are the object ids the node exports.  Nodes sharing an
+    object id form a replica group for it: the cluster merges their
+    protocol entries into one OR, in node order, so the first node
+    listed is the primary and the rest are failover/hedge targets.
+    """
+
+    name: str
+    workers: Tuple[str, ...] = ("w0",)
+    options: Dict[str, str] = field(default_factory=dict)
+
+
+def merge_orefs(orefs: List[ObjectReference]) -> ObjectReference:
+    """One OR whose protocol table concatenates every replica's entries
+    (first OR's identity wins).  The GP treats the table as a preference
+    list, so per-call demotion and hedging walk the replicas naturally.
+    """
+    if not orefs:
+        raise ValueError("merge_orefs needs at least one OR")
+    merged = orefs[0].clone()
+    for other in orefs[1:]:
+        if other.object_id != merged.object_id:
+            raise ValueError(
+                f"cannot merge ORs for different objects "
+                f"({other.object_id!r} vs {merged.object_id!r})")
+        merged.protocols.extend(e.clone() for e in other.protocols)
+    return merged
+
+
+def _repro_env() -> dict:
+    """Child environment with the repro package importable, regardless
+    of how the parent found it (installed, PYTHONPATH, src layout)."""
+    import repro
+
+    pkg_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = pkg_root if not existing else \
+        pkg_root + os.pathsep + existing
+    return env
+
+
+class ProcNode:
+    """One spawned worker process plus its control channel."""
+
+    def __init__(self, spec: NodeSpec, *, context_id: Optional[str] = None,
+                 hooks: Optional[HookBus] = None):
+        self.spec = spec
+        self.name = spec.name
+        self.context_id = context_id or f"node-{spec.name}"
+        self.hooks = hooks or HookBus()
+        self.proc: Optional[subprocess.Popen] = None
+        self.channel: Optional[ControlChannel] = None
+        self.pid: Optional[int] = None
+        #: object id -> TCP-only ObjectReference (set by :meth:`spawn`).
+        self.orefs: Dict[str, ObjectReference] = {}
+        self.paused = False
+        self.returncode: Optional[int] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def spawn(self, ready_timeout: float = 20.0) -> "ProcNode":
+        """Fork+exec the worker; block until its ``ReadyRecord``."""
+        if self.proc is not None:
+            raise RuntimeError(f"node {self.name!r} already spawned")
+        # Two pipes: (parent -> child) and (child -> parent).  The child
+        # ends ride pass_fds; stdout/stderr stay untouched for logs.
+        child_r, parent_w = os.pipe()
+        parent_r, child_w = os.pipe()
+        os.set_inheritable(child_r, True)
+        os.set_inheritable(child_w, True)
+        try:
+            # -c instead of -m: runpy would re-execute node.py on top of
+            # the already-imported repro.cluster.node module (the parent
+            # package imports it) and warn about the shadow.
+            self.proc = subprocess.Popen(
+                [sys.executable, "-c",
+                 "import sys; from repro.cluster.node import main; "
+                 "sys.exit(main())",
+                 "--control-in", str(child_r),
+                 "--control-out", str(child_w)],
+                pass_fds=(child_r, child_w), env=_repro_env())
+        finally:
+            os.close(child_r)
+            os.close(child_w)
+        self.channel = ControlChannel(parent_r, parent_w)
+        self.channel.send(ConfigRecord(
+            node=self.name, context_id=self.context_id,
+            workers=tuple(self.spec.workers),
+            options=dict(self.spec.options)))
+        try:
+            ready = self.channel.recv(timeout=ready_timeout)
+        except HpcError as exc:
+            self._abort()
+            raise RuntimeError(
+                f"node {self.name!r} failed to become ready: "
+                f"{exc}") from exc
+        if not isinstance(ready, ReadyRecord):
+            self._abort()
+            raise RuntimeError(
+                f"node {self.name!r} sent {type(ready).__name__} "
+                "instead of ReadyRecord")
+        self.pid = ready.pid
+        self.orefs = {oid: ObjectReference.from_uri(uri)
+                      for oid, uri in ready.orefs.items()}
+        self.hooks.emit("proc_spawn", node=self.name, pid=self.pid,
+                        workers=sorted(self.orefs))
+        return self
+
+    def _abort(self) -> None:
+        """Tear down a half-spawned node (failed handshake)."""
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=10.0)
+        self._note_exit(how="abort")
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    def _note_exit(self, how: str) -> None:
+        if self.returncode is not None:
+            return  # already accounted
+        if self.proc is not None:
+            self.returncode = self.proc.returncode
+        if self.channel is not None:
+            self.channel.close()
+        self.hooks.emit("proc_exit", node=self.name, pid=self.pid,
+                        returncode=self.returncode, how=how)
+
+    # -- control plane -------------------------------------------------
+
+    def snapshot(self, timeout: float = 10.0) -> SnapshotRecord:
+        """Fetch the node's current metrics snapshot."""
+        if not self.alive or self.channel is None:
+            raise RuntimeError(f"node {self.name!r} is not running")
+        self.channel.send(SnapshotRequest())
+        record = self.channel.recv(timeout=timeout)
+        if not isinstance(record, SnapshotRecord):
+            raise RuntimeError(
+                f"node {self.name!r} answered snapshot request with "
+                f"{type(record).__name__}")
+        return record
+
+    # -- fault actions -------------------------------------------------
+
+    def kill(self) -> None:
+        """``kill -9``: the crash nothing in the worker gets to handle."""
+        if not self.alive:
+            return
+        self.proc.kill()
+        self.proc.wait(timeout=10.0)
+        self._note_exit(how="sigkill")
+
+    def pause(self) -> None:
+        """SIGSTOP: the process freezes but its listener's kernel
+        backlog still accepts connections — the classic gray failure."""
+        if not self.alive or self.paused:
+            return
+        os.kill(self.proc.pid, signal.SIGSTOP)
+        self.paused = True
+        self.hooks.emit("proc_pause", node=self.name, pid=self.pid,
+                        action="pause")
+
+    def resume(self) -> None:
+        """SIGCONT a paused node."""
+        if not self.paused or self.proc is None:
+            return
+        if self.proc.poll() is None:
+            os.kill(self.proc.pid, signal.SIGCONT)
+        self.paused = False
+        self.hooks.emit("proc_pause", node=self.name, pid=self.pid,
+                        action="resume")
+
+    def terminate(self, grace: float = 10.0) -> None:
+        """SIGTERM: the worker drains in-flight requests and exits 0."""
+        if not self.alive:
+            return
+        self.resume()  # a stopped process cannot run its signal handler
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=grace)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=10.0)
+        self._note_exit(how="sigterm")
+
+    def shutdown(self, grace: float = 10.0) -> None:
+        """Clean control-plane shutdown, escalating to signals.
+
+        ``ShutdownRecord`` → wait for ``GoodbyeRecord``+exit → SIGTERM →
+        SIGKILL.  Always leaves the child reaped.
+        """
+        if not self.alive:
+            self._note_exit(how="shutdown")
+            return
+        self.resume()
+        try:
+            self.channel.send(ShutdownRecord("cluster exit"))
+            deadline = time.monotonic() + grace
+            while time.monotonic() < deadline:
+                record = self.channel.recv(
+                    timeout=max(deadline - time.monotonic(), 0.01))
+                if isinstance(record, GoodbyeRecord):
+                    break
+        except HpcError:
+            pass  # channel died — fall through to signal escalation
+        try:
+            self.proc.wait(timeout=grace)
+        except subprocess.TimeoutExpired:
+            self.terminate(grace)
+            return
+        self._note_exit(how="shutdown")
+
+
+class ProcCluster:
+    """Boot N worker processes; wire clients; inject process faults.
+
+    >>> with ProcCluster(nodes=3) as cluster:      # doctest: +SKIP
+    ...     gp = cluster.bind("w0")
+    ...     gp.invoke("process", b"payload")
+    ...     cluster.kill("n1")                     # crash a replica
+    ...     gp.invoke("process", b"payload")       # fails over
+
+    Every node exports the same worker object ids (``workers``), so each
+    id's merged OR has one ``nexus`` entry per node and the GP machinery
+    — per-call demotion, circuit breakers, hedging — handles node death
+    transparently.  ``restart`` respawns a node and pushes the fresh OR
+    into every bound GP via ``update_reference`` (the reschedule).
+    """
+
+    def __init__(self, specs: Optional[List[NodeSpec]] = None, *,
+                 nodes: int = 3, workers: Tuple[str, ...] = ("w0",),
+                 options: Optional[Dict[str, str]] = None,
+                 ready_timeout: float = 20.0,
+                 call_timeout: Optional[float] = 2.0,
+                 hooks: Optional[HookBus] = None):
+        if specs is None:
+            specs = [NodeSpec(f"n{i}", tuple(workers),
+                              dict(options or {})) for i in range(nodes)]
+        if not specs:
+            raise ValueError("ProcCluster needs at least one NodeSpec")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate node names: {names}")
+        self.specs = list(specs)
+        self.ready_timeout = ready_timeout
+        self.call_timeout = call_timeout
+        #: Cluster-lifecycle event bus (proc_spawn/proc_exit/proc_pause).
+        #: Private by default so recorders can attach without
+        #: double-counting the GPs' GLOBAL_HOOKS traffic.
+        self.hooks = hooks or HookBus()
+        self.nodes: Dict[str, ProcNode] = {}
+        self._order: List[str] = names
+        self.orb: Optional[ORB] = None
+        self.client_ctx = None
+        self._bound: Dict[str, List] = {}
+        self._entered = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "ProcCluster":
+        self._entered = True
+        try:
+            for spec in self.specs:
+                node = ProcNode(spec, hooks=self.hooks)
+                node.spawn(ready_timeout=self.ready_timeout)
+                self.nodes[spec.name] = node
+            self.orb = ORB()
+            self.client_ctx = self.orb.context(
+                "proc-client", enable_tcp=True,
+                placement=Placement("client-host", "client-lan",
+                                    "client-site"))
+            if self.call_timeout is not None:
+                self.client_ctx.call_timeout = self.call_timeout
+        except BaseException:
+            self.__exit__(*sys.exc_info())
+            raise
+        return self
+
+    def __exit__(self, *exc) -> None:
+        try:
+            for gps in self._bound.values():
+                for gp in gps:
+                    try:
+                        gp.close(wait=False)
+                    except Exception:  # noqa: BLE001 - best-effort
+                        pass
+            if self.orb is not None:
+                self.orb.shutdown()
+        finally:
+            for name in self._order:
+                node = self.nodes.get(name)
+                if node is not None:
+                    node.shutdown()
+            self._entered = False
+
+    @property
+    def orphans(self) -> List[str]:
+        """Names of child processes not yet reaped (must be empty after
+        ``__exit__`` — the no-orphans acceptance criterion)."""
+        return [name for name, node in self.nodes.items()
+                if node.proc is not None and node.proc.poll() is None]
+
+    def exit_codes(self) -> Dict[str, Optional[int]]:
+        return {name: node.returncode
+                for name, node in self.nodes.items()}
+
+    # -- client wiring -------------------------------------------------
+
+    def object_ids(self) -> List[str]:
+        seen: List[str] = []
+        for name in self._order:
+            for oid in self.nodes[name].orefs:
+                if oid not in seen:
+                    seen.append(oid)
+        return seen
+
+    def merged_oref(self, object_id: str,
+                    prefer: Optional[str] = None) -> ObjectReference:
+        """The replica-merged OR for ``object_id`` over live nodes.
+
+        ``prefer`` puts that node's entries first (its traffic primary).
+        """
+        order = list(self._order)
+        if prefer is not None:
+            if prefer not in self.nodes:
+                raise KeyError(f"unknown node {prefer!r}")
+            order.remove(prefer)
+            order.insert(0, prefer)
+        orefs = [self.nodes[name].orefs[object_id]
+                 for name in order
+                 if self.nodes[name].alive
+                 and object_id in self.nodes[name].orefs]
+        if not orefs:
+            raise RuntimeError(
+                f"no live node exports {object_id!r}")
+        return merge_orefs(orefs)
+
+    def bind(self, object_id: str, *, prefer: Optional[str] = None,
+             **bind_kwargs):
+        """A client GP for ``object_id`` spanning every replica node.
+
+        ``bind_kwargs`` (retry_policy, hedge_policy, ...) pass through
+        to :meth:`Context.bind`.  The GP is tracked: a later
+        :meth:`restart` refreshes its OR automatically.
+        """
+        if self.client_ctx is None:
+            raise RuntimeError("ProcCluster is not entered")
+        gp = self.client_ctx.bind(self.merged_oref(object_id,
+                                                   prefer=prefer),
+                                  **bind_kwargs)
+        self._bound.setdefault(object_id, []).append(gp)
+        return gp
+
+    def _rewire(self, object_ids) -> None:
+        for object_id in object_ids:
+            for gp in self._bound.get(object_id, []):
+                try:
+                    gp.update_reference(self.merged_oref(object_id))
+                except RuntimeError:
+                    pass  # no live exporter right now; GP keeps old OR
+
+    # -- fault actions by node name ------------------------------------
+
+    def node(self, name: str) -> ProcNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r} "
+                           f"(have {self._order})") from None
+
+    def kill(self, name: str) -> None:
+        self.node(name).kill()
+
+    def pause(self, name: str) -> None:
+        self.node(name).pause()
+
+    def resume(self, name: str) -> None:
+        self.node(name).resume()
+
+    def restart(self, name: str, *, grace: float = 10.0) -> ProcNode:
+        """Rolling restart: SIGTERM-drain ``name``, respawn it, and
+        reschedule every bound GP onto the fresh endpoints."""
+        old = self.node(name)
+        old.terminate(grace=grace)
+        fresh = ProcNode(old.spec, context_id=old.context_id,
+                         hooks=self.hooks)
+        fresh.spawn(ready_timeout=self.ready_timeout)
+        self.nodes[name] = fresh
+        self._rewire(fresh.orefs.keys())
+        return fresh
+
+    # -- observability -------------------------------------------------
+
+    def snapshots(self, timeout: float = 10.0) -> Dict[str, SnapshotRecord]:
+        """Metrics snapshots from every live, unpaused node."""
+        out = {}
+        for name in self._order:
+            node = self.nodes[name]
+            if node.alive and not node.paused:
+                try:
+                    out[name] = node.snapshot(timeout=timeout)
+                except (HpcError, RuntimeError):
+                    continue  # died under us: its loss is the data
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Workloads with scheduled process faults
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProcReport:
+    """Everything one :class:`ProcRun` produced."""
+
+    ok: int
+    errors: int
+    duration: float
+    curve: DegradationCurve
+    metrics: dict
+    node_snapshots: Dict[str, SnapshotRecord] = field(default_factory=dict)
+    phase_log: List[Tuple[float, str]] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.ok + self.errors
+
+    def to_dict(self) -> dict:
+        return {"ok": self.ok, "errors": self.errors,
+                "duration": self.duration,
+                "curve": self.curve.to_dicts(),
+                "phases": [list(p) for p in self.phase_log]}
+
+
+@dataclass
+class _Phase:
+    at: float
+    action: Callable[[], None]
+    label: str
+
+
+class ProcRun:
+    """Closed-loop wall-clock workload with scheduled fault phases.
+
+    ``threads`` client threads call ``method`` on GPs round-robin for
+    ``duration`` seconds; a phase thread fires each scheduled action at
+    its offset, publishing a ``fault_phase`` event on the cluster's
+    hook bus (the same event simnet plans publish, so one recorder
+    vocabulary covers both worlds).  Invocation failures are recorded,
+    not raised — error rate is data here.
+    """
+
+    def __init__(self, *, duration: float = 6.0, threads: int = 4,
+                 payload_bytes: int = 256, method: str = "process",
+                 bucket_seconds: float = 0.5):
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if threads < 1:
+            raise ValueError("need at least one client thread")
+        self.duration = duration
+        self.threads = threads
+        self.payload = os.urandom(max(payload_bytes, 1))
+        self.method = method
+        self.bucket_seconds = bucket_seconds
+        self._phases: List[_Phase] = []
+
+    def schedule(self, at: float, action: Callable[[], None],
+                 label: str = "") -> "ProcRun":
+        """Run ``action`` ``at`` seconds after the workload starts."""
+        if at < 0:
+            raise ValueError("phase offset must be >= 0")
+        self._phases.append(_Phase(at, action, label or f"phase@{at}"))
+        return self
+
+    def run(self, cluster: ProcCluster, gps: List,
+            *, recorder: Optional[MetricsRecorder] = None) -> ProcReport:
+        """Drive the workload; returns the merged report."""
+        if not gps:
+            raise ValueError("need at least one GlobalPointer")
+        if recorder is None:
+            recorder = MetricsRecorder(bucket_seconds=self.bucket_seconds)
+        attached = []
+        for gp in gps:
+            recorder.attach(gp.hooks)
+            attached.append(gp.hooks)
+        recorder.attach(cluster.hooks)
+        attached.append(cluster.hooks)
+
+        clock = recorder.registry.clock
+        counts_lock = threading.Lock()
+        counts = {"ok": 0, "errors": 0}
+        phase_log: List[Tuple[float, str]] = []
+        stop_at = time.monotonic() + self.duration
+
+        def client_loop(index: int) -> None:
+            gp = gps[index % len(gps)]
+            ok = errors = 0
+            while time.monotonic() < stop_at:
+                try:
+                    gp.invoke(self.method, self.payload)
+                    ok += 1
+                except HpcError:
+                    errors += 1
+                except Exception:  # noqa: BLE001 - count, keep loading
+                    errors += 1
+            with counts_lock:
+                counts["ok"] += ok
+                counts["errors"] += errors
+
+        def phase_loop(started: float) -> None:
+            for phase in sorted(self._phases, key=lambda p: p.at):
+                delay = started + phase.at - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                if time.monotonic() >= stop_at:
+                    return
+                cluster.hooks.emit("fault_phase", at=phase.at,
+                                   now=clock.now(), label=phase.label)
+                phase_log.append((phase.at, phase.label))
+                try:
+                    phase.action()
+                except Exception as exc:  # noqa: BLE001 - phase is data
+                    phase_log.append((phase.at,
+                                      f"{phase.label}!error:{exc}"))
+
+        t_start = clock.now()
+        started = time.monotonic()
+        workers = [threading.Thread(target=client_loop, args=(i,),
+                                    name=f"proc-load-{i}", daemon=True)
+                   for i in range(self.threads)]
+        phaser = threading.Thread(target=phase_loop, args=(started,),
+                                  name="proc-phases", daemon=True)
+        for worker in workers:
+            worker.start()
+        phaser.start()
+        for worker in workers:
+            worker.join()
+        phaser.join(timeout=5.0)
+        t_end = clock.now()
+
+        node_snapshots = cluster.snapshots()
+        for bus in attached:
+            recorder.detach(bus)
+        curve = DegradationCurve.from_recorder(recorder, t_start=t_start,
+                                               t_end=t_end)
+        # Edge buckets covering a small slice of wall-clock are pure
+        # noise at process timescales (a 30ms tail bucket extrapolates a
+        # handful of calls into a fake trough); drop them.
+        while len(curve.buckets) > 2 and \
+                curve.buckets[-1].duration < 0.5 * curve.bucket_seconds:
+            curve.buckets.pop()
+        if len(curve.buckets) > 2 and \
+                curve.buckets[0].duration < 0.5 * curve.bucket_seconds:
+            curve.buckets.pop(0)
+        return ProcReport(ok=counts["ok"], errors=counts["errors"],
+                          duration=t_end - t_start, curve=curve,
+                          metrics=recorder.snapshot(),
+                          node_snapshots=node_snapshots,
+                          phase_log=phase_log)

@@ -23,11 +23,14 @@ A :class:`GlobalPointer` is the client proxy:
   :class:`~repro.core.resilience.RetryPolicy` with *protocol failover*:
   the failed entry is demoted for the rest of the call and selection
   re-runs, so the next applicable table entry carries the retry — the
-  ordered protocol table *is* the redundancy the paper promises.
-  Per-``(context, proto)`` circuit breakers shed flapping peers before
-  they burn retry budget, and an idempotence guard refuses to re-issue a
-  request that may have reached dispatch unless the method is marked
-  ``retry_safe``;
+  ordered protocol table *is* the redundancy the paper promises.  A
+  failed row also sits in a *penalty box* for ``penalty_seconds``, so
+  later calls skip a dead replica row instead of re-paying its doomed
+  first attempt (breakers cannot isolate one row of a merged replica
+  table — every row shares a proto_id).  Per-``(context, proto)``
+  circuit breakers shed flapping peers before they burn retry budget,
+  and an idempotence guard refuses to re-issue a request that may have
+  reached dispatch unless the method is marked ``retry_safe``;
 * **shared retry budget** — every backoff retry must also be covered by
   the calling context's per-peer token-bucket
   :class:`~repro.core.resilience.RetryBudget`, so N concurrent
@@ -123,6 +126,15 @@ class GlobalPointer:
         # entry itself is kept in the value so the id can never be
         # recycled by the allocator while the client is cached.
         self._clients: Dict[int, Tuple[ProtocolEntry, ProtocolClient]] = {}
+        #: Sticky demotion across calls: id(entry) -> clock time until
+        #: which the entry is skipped by selection.  Breakers are keyed
+        #: by (context, proto) and so cannot isolate one dead replica in
+        #: a merged table where every row shares a proto_id; the penalty
+        #: box is per-row, so a crashed node stops taxing every call
+        #: with a doomed first attempt, yet is re-probed after the TTL.
+        self._penalties: Dict[int, float] = {}
+        #: How long one failed table row stays penalized (seconds).
+        self.penalty_seconds = 1.0
         self._lock = threading.RLock()
         self._closed = False
         #: Futures of in-flight ``invoke_async`` calls, drained by close.
@@ -177,23 +189,39 @@ class GlobalPointer:
                 version=self.oref.version)
 
     def _select(self, context_id: str, protocols: List[ProtocolEntry],
-                _demoted=frozenset()) -> ProtocolEntry:
+                _demoted=frozenset(),
+                _ignore_penalties: bool = False) -> ProtocolEntry:
         """Protocol selection over one table snapshot.
 
         Entries whose ``(context, proto)`` circuit breaker is open are
         shed; ``_demoted`` holds ``id()``\\ s of entries that already
         failed during the current invocation, so a retry falls through
-        to the next table row.  If selection fails *because* of open
-        breakers, the error is a :class:`CircuitOpenError` rather than a
-        plain no-applicable-protocol failure.
+        to the next table row.  Entries sitting in the penalty box
+        (failed within the last ``penalty_seconds``) are skipped too —
+        unless skipping them leaves nothing, in which case selection
+        reruns ignoring penalties so a fully-penalized table degrades to
+        plain retry behaviour instead of failing outright.  If selection
+        fails *because* of open breakers, the error is a
+        :class:`CircuitOpenError` rather than a plain
+        no-applicable-protocol failure.
         """
         locality = self.context.placement.locality_to(
             self._placement_of(protocols))
+        now = self.context.clock.now()
         shed = []
+        penalized = []
 
         def usable(entry: ProtocolEntry) -> bool:
             if id(entry) in _demoted:
                 return False
+            if not _ignore_penalties and self._penalties:
+                expiry = self._penalties.get(id(entry))
+                if expiry is not None:
+                    if expiry <= now:
+                        self._penalties.pop(id(entry), None)
+                    else:
+                        penalized.append(entry.proto_id)
+                        return False
             if not self.breakers.allow(context_id, entry.proto_id):
                 shed.append(entry.proto_id)
                 return False
@@ -203,6 +231,10 @@ class GlobalPointer:
             return self.policy.select(protocols, self.pool.ids(),
                                       locality, usable)
         except NoApplicableProtocolError as exc:
+            if penalized:
+                return self._select(context_id, protocols,
+                                    _demoted=_demoted,
+                                    _ignore_penalties=True)
             if shed and not _demoted:
                 raise CircuitOpenError(
                     "all applicable protocols shed by open breakers: "
@@ -247,6 +279,13 @@ class GlobalPointer:
         racing attempt can never interleave frames with the primary's)."""
         proto_cls = get_proto_class(entry.proto_id)
         return proto_cls.make_client(entry, self.context)
+
+    def _penalize(self, entry: ProtocolEntry) -> None:
+        """Put a failed table row in the penalty box: selection skips it
+        until the TTL lapses (or a later success clears it early)."""
+        if self.penalty_seconds > 0:
+            self._penalties[id(entry)] = \
+                self.context.clock.now() + self.penalty_seconds
 
     def _evict_client(self, entry: ProtocolEntry) -> None:
         """Drop the cached client for an entry whose channel died (or
@@ -638,6 +677,7 @@ class GlobalPointer:
                     self.breakers.record_failure(context_id,
                                                  entry.proto_id)
                     self._evict_client(entry)
+                    self._penalize(entry)
                 failures += 1
                 dispatched = bool(
                     getattr(exc, "request_sent", False)
@@ -702,6 +742,7 @@ class GlobalPointer:
                            error=exc, duration=clock.now() - started)
                 raise
             self.breakers.record_success(context_id, entry.proto_id)
+            self._penalties.pop(id(entry), None)
             self.context.latencies.observe(context_id, entry.proto_id,
                                            duration)
             self._emit("request", method=method, proto_id=entry.proto_id,
@@ -753,6 +794,7 @@ class GlobalPointer:
         with self._lock:
             victims = list(self._clients.values())
             self._clients.clear()
+            self._penalties.clear()
             self.oref = clone
         for _entry, client in victims:
             _close_quietly(client)

@@ -15,6 +15,13 @@ from repro.faults.plan import (
     FaultRule,
     ScheduledAction,
 )
+from repro.faults.process import (
+    kill_node,
+    pause_node,
+    pulse_pause,
+    restart_node,
+    resume_node,
+)
 
 __all__ = [
     "FaultPlan",
@@ -23,4 +30,9 @@ __all__ = [
     "FaultyChannel",
     "FaultyTransport",
     "ScheduledAction",
+    "kill_node",
+    "pause_node",
+    "pulse_pause",
+    "restart_node",
+    "resume_node",
 ]

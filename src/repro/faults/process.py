@@ -1,0 +1,70 @@
+"""Process-level fault actions for the real-process cluster harness.
+
+The link-level vocabulary (:mod:`repro.faults.plan`) mutates simulated
+networks; these actions mutate *operating-system processes* — the
+failure modes a deployed ORB actually meets.  Each factory returns a
+zero-argument callable suitable for
+:meth:`repro.cluster.procs.ProcRun.schedule`, so a proc chaos script
+reads like a fault plan::
+
+    run = (ProcRun(duration=6.0)
+           .schedule(2.0, kill_node(cluster, "n1"), "crash n1")
+           .schedule(4.0, restart_node(cluster, "n1"), "reschedule n1"))
+
+Semantics of the three primitive faults:
+
+``kill_node``
+    ``SIGKILL`` — an un-handleable crash.  Connections die, clients see
+    transport errors, and recovery is entirely the client stack's
+    (failover, breakers, retry budget) problem.
+``pause_node`` / ``resume_node``
+    ``SIGSTOP``/``SIGCONT`` — the gray failure.  The frozen process's
+    listen backlog still accepts TCP connections, so naive clients hang
+    instead of failing; deadlines and hedging are what keep goodput up.
+``restart_node``
+    ``SIGTERM`` drain, respawn, and GP reschedule via
+    ``update_reference`` — a rolling restart, the planned-maintenance
+    shape of process death.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["kill_node", "pause_node", "resume_node", "restart_node",
+           "pulse_pause"]
+
+
+def kill_node(cluster, name: str) -> Callable[[], None]:
+    """SIGKILL ``name`` when invoked (idempotent once dead)."""
+    return lambda: cluster.kill(name)
+
+
+def pause_node(cluster, name: str) -> Callable[[], None]:
+    """SIGSTOP ``name`` when invoked."""
+    return lambda: cluster.pause(name)
+
+
+def resume_node(cluster, name: str) -> Callable[[], None]:
+    """SIGCONT ``name`` when invoked."""
+    return lambda: cluster.resume(name)
+
+
+def restart_node(cluster, name: str, *,
+                 grace: float = 10.0) -> Callable[[], None]:
+    """Rolling-restart ``name`` when invoked (drain, respawn, rewire)."""
+    return lambda: cluster.restart(name, grace=grace)
+
+
+def pulse_pause(run, cluster, name: str, *, at: float,
+                duration: float):
+    """Schedule a SIGSTOP at ``at`` and its SIGCONT ``duration`` later
+    on ``run`` — the bounded gray-failure pulse the SIGSTOP tests use.
+    Returns ``run`` for chaining.
+    """
+    if duration <= 0:
+        raise ValueError("pause duration must be positive")
+    run.schedule(at, pause_node(cluster, name), f"pause {name}")
+    run.schedule(at + duration, resume_node(cluster, name),
+                 f"resume {name}")
+    return run

@@ -9,13 +9,16 @@ feed; this package is the measurement layer on top of it:
 * :mod:`repro.metrics.recorder` — :class:`MetricsRecorder`, which
   subscribes to hook buses and aggregates every published event;
 * :mod:`repro.metrics.curves` — :class:`DegradationCurve` and the
-  :func:`assert_degradation` envelope check used by chaos tests.
+  :func:`assert_degradation` envelope check used by chaos tests;
+* :mod:`repro.metrics.codec` — the strict kind-tagged wire codec that
+  ships registry snapshots across the proc-cluster control channel.
 
 Everything here is deterministic under simulation: same seed, same
 event sequence, bit-for-bit identical snapshot.  The event → metric
 contract is documented in docs/EVENTS.md.
 """
 
+from repro.metrics.codec import decode_snapshot, encode_snapshot
 from repro.metrics.core import (
     Counter,
     Gauge,
@@ -44,5 +47,7 @@ __all__ = [
     "DegradationCurve",
     "DegradationEnvelopeError",
     "assert_degradation",
+    "decode_snapshot",
+    "encode_snapshot",
     "nearest_rank",
 ]

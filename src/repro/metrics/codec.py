@@ -1,0 +1,80 @@
+"""Wire codec for :class:`~repro.metrics.core.MetricsRegistry` snapshots.
+
+A registry snapshot is already a plain dict of counters/gauges/
+histograms/series — ``==``-comparable and free of live objects — which
+makes it the natural unit of *remote* observability: a node process
+serializes its snapshot once and ships it over the cluster control
+channel, and the parent merges many of them into one report.
+
+The record is kind-tagged and strict, mirroring the batch records in
+:mod:`repro.serialization.marshal`: a truncated buffer, trailing
+garbage, or a foreign kind tag raises :class:`MarshalError` instead of
+being misread.  Snapshots must survive the trip *exactly* (the proc
+chaos tests compare them with ``==``), so the payload rides the
+self-describing value marshaller, which round-trips ``None``, floats,
+and arbitrarily nested dicts/lists bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import MarshalError
+from repro.serialization.marshal import Marshaller
+from repro.serialization.xdr import XdrDecoder, XdrEncoder
+
+__all__ = ["encode_snapshot", "decode_snapshot", "SNAPSHOT_KIND"]
+
+#: Kind tag guarding against handler cross-wiring (cf. the batch
+#: records' 0xB0A0/0xB0A1).
+SNAPSHOT_KIND = 0x5A90
+
+_MARSHAL = Marshaller(XdrEncoder, XdrDecoder)
+
+#: The four instrument sections every registry snapshot carries.
+_SECTIONS = ("counters", "gauges", "histograms", "series")
+
+
+def encode_snapshot(snapshot: dict) -> bytes:
+    """Encode one registry snapshot as a kind-tagged wire record."""
+    if not isinstance(snapshot, dict):
+        raise MarshalError(
+            f"snapshot must be a dict, not {type(snapshot).__name__}")
+    for section in _SECTIONS:
+        if section not in snapshot:
+            raise MarshalError(
+                f"snapshot is missing the {section!r} section")
+        if not isinstance(snapshot[section], dict):
+            raise MarshalError(
+                f"snapshot section {section!r} must be a dict")
+    enc = XdrEncoder()
+    enc.pack_uint(SNAPSHOT_KIND)
+    _MARSHAL.encode_value(enc, snapshot)
+    return enc.getvalue()
+
+
+def decode_snapshot(data) -> dict:
+    """Decode :func:`encode_snapshot` bytes; strict.
+
+    Rejects foreign kind tags, truncation, trailing garbage, and
+    payloads that are not shaped like a registry snapshot.
+    """
+    dec = XdrDecoder(data)
+    try:
+        kind = dec.unpack_uint()
+        if kind != SNAPSHOT_KIND:
+            raise MarshalError(
+                f"not a metrics snapshot record (kind 0x{kind:x}, "
+                f"expected 0x{SNAPSHOT_KIND:x})")
+        value = _MARSHAL.decode_value(dec)
+    except MarshalError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - underflow/struct errors
+        raise MarshalError(f"truncated metrics snapshot: {exc}") from exc
+    if not dec.done():
+        raise MarshalError("metrics snapshot record has trailing bytes")
+    if not isinstance(value, dict):
+        raise MarshalError("metrics snapshot payload is not a dict")
+    for section in _SECTIONS:
+        if section not in value or not isinstance(value[section], dict):
+            raise MarshalError(
+                f"metrics snapshot payload lacks the {section!r} section")
+    return value

@@ -51,6 +51,9 @@ RECORDED_EVENTS = (
     "admit",
     "shed",
     "limit_change",
+    "proc_spawn",
+    "proc_exit",
+    "proc_pause",
 )
 
 
@@ -181,6 +184,20 @@ class MetricsRecorder:
             limit = data.get("limit")
             if limit is not None:
                 reg.gauge("concurrency_limit").set(float(limit))
+        elif kind == "proc_spawn":
+            reg.counter("proc_spawns_total").inc()
+            reg.gauge("procs_alive").inc()
+        elif kind == "proc_exit":
+            reg.counter("proc_exits_total").inc()
+            reg.gauge("procs_alive").dec()
+            how = data.get("how")
+            if how:
+                reg.counter(f"proc_exits.{how}").inc()
+        elif kind == "proc_pause":
+            reg.counter("proc_pauses_total").inc()
+            action = data.get("action")
+            if action:
+                reg.counter(f"proc_pauses.{action}").inc()
         elif kind == "selection":
             reg.counter("selections_total").inc()
         elif kind == "moved":

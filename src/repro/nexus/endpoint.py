@@ -83,6 +83,9 @@ class Endpoint:
         self._listeners: list[Listener] = []
         self._channels: list[Channel] = []
         self._stopping = False
+        self._stopped = False
+        self._stop_mutex = threading.Lock()
+        self._ready = threading.Event()
         self._lock = threading.Lock()
         self._pool = None
         #: Admission controller (set by the owning context); None or an
@@ -319,6 +322,11 @@ class Endpoint:
             self._listeners.append(listener)
 
         def accept_loop():
+            # Readiness means "the accept loop is live": the listener's
+            # socket already has a bound address, but only now is someone
+            # draining its backlog.  A worker process signals ready to
+            # its parent off this event.
+            self._ready.set()
             while not self._stopping:
                 try:
                     channel = listener.accept(timeout=0.5)
@@ -353,32 +361,81 @@ class Endpoint:
         # Adopt any connections that raced in before we were installed.
         while listener.pending:
             on_connect(listener.pending.popleft())
+        self._ready.set()  # inline dispatch serves as soon as installed
 
     # -- lifecycle -------------------------------------------------------------
+
+    def wait_ready(self, timeout: Optional[float] = None) -> bool:
+        """Block until a serve loop is live (accept loop running, or
+        inline sim dispatch installed).  Returns ``False`` on timeout.
+
+        A parent that spawned this endpoint's process must not hand its
+        address to clients before this — a bound-but-unserved listener
+        accepts connections into the kernel backlog and then strands
+        them, which reads as a gray failure rather than a clean refusal.
+        """
+        return self._ready.wait(timeout)
+
+    @property
+    def stopping(self) -> bool:
+        return self._stopping
+
+    def request_stop(self) -> None:
+        """Flag the endpoint to stop without doing any teardown.
+
+        This is the *only* stop entry safe inside a signal handler: it
+        takes no locks and joins nothing — it flips one flag, which
+        every serve/accept/admission loop polls at least twice a second.
+        The handler (or the code it unwinds into) then calls
+        :meth:`stop` from normal context to reap threads and close
+        channels.
+        """
+        self._stopping = True
 
     def stop(self) -> None:
         """Stop serving.  Ordering matters: channels stay open until the
         serve threads have drained, so queued two-way requests that the
         stopping pool cancelled (or the admission controller shed) get
         an explicit error/pushback reply instead of silently vanishing —
-        a pipelined peer must never hang until its own timeout."""
+        a pipelined peer must never hang until its own timeout.
+
+        Idempotent and re-entrant: a second call (including one from a
+        signal handler that interrupted the first mid-teardown on this
+        very thread) returns immediately instead of double-closing or
+        deadlocking, and stop-before-start simply pins the endpoint in
+        the stopped state.
+        """
         self._stopping = True
-        with self._lock:
-            listeners = list(self._listeners)
-            threads = list(self._threads)
-            pool, self._pool = self._pool, None
-        for listener in listeners:
-            listener.close()
-        if self.admission is not None:
-            self.admission.stop()
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
-        for thread in threads:
-            thread.join(timeout=2.0)
-        with self._lock:
-            channels = list(self._channels)
-        for channel in channels:
-            channel.close()
+        if not self._stop_mutex.acquire(blocking=False):
+            # Teardown already running — possibly in an outer frame of
+            # this same thread (signal handler re-entry), where blocking
+            # would self-deadlock.  The flag is set; that is enough.
+            return
+        try:
+            if self._stopped:
+                return
+            with self._lock:
+                listeners = list(self._listeners)
+                threads = list(self._threads)
+                pool, self._pool = self._pool, None
+            for listener in listeners:
+                listener.close()
+            if self.admission is not None:
+                self.admission.stop()
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+            current = threading.current_thread()
+            for thread in threads:
+                if thread is current:
+                    continue  # a serve thread stopping its own endpoint
+                thread.join(timeout=2.0)
+            with self._lock:
+                channels = list(self._channels)
+            for channel in channels:
+                channel.close()
+            self._stopped = True
+        finally:
+            self._stop_mutex.release()
 
 
 class Startpoint:

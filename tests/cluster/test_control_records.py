@@ -1,0 +1,207 @@
+"""Property tests for the proc-cluster control-channel records.
+
+The control channel is how a parent learns its children are alive,
+healthy, and gone; a record that silently misparses turns process
+orchestration into guesswork.  Same adversarial treatment as the batch
+records: arbitrary contents round-trip exactly; truncation, trailing
+garbage, foreign kinds, and corrupted counts are rejected loudly.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.control import (
+    CONTROL_KINDS,
+    MAX_WORKERS,
+    ConfigRecord,
+    ControlChannel,
+    GoodbyeRecord,
+    ReadyRecord,
+    ShutdownRecord,
+    SnapshotRecord,
+    SnapshotRequest,
+    decode_record,
+)
+from repro.exceptions import ChannelClosedError, MarshalError, TransportError
+from repro.serialization.xdr import XdrEncoder
+
+names_st = st.text(min_size=0, max_size=32)
+str_map_st = st.dictionaries(st.text(max_size=24), st.text(max_size=48),
+                             max_size=8)
+#: A structurally valid registry snapshot with assorted value shapes.
+snapshot_st = st.fixed_dictionaries({
+    "counters": st.dictionaries(st.text(max_size=16),
+                                st.floats(allow_nan=False,
+                                          allow_infinity=False),
+                                max_size=6),
+    "gauges": st.dictionaries(st.text(max_size=16),
+                              st.floats(allow_nan=False,
+                                        allow_infinity=False),
+                              max_size=4),
+    "histograms": st.dictionaries(
+        st.text(max_size=16),
+        st.one_of(st.none(),
+                  st.fixed_dictionaries({"count": st.integers(0, 2**31)})),
+        max_size=4),
+    "series": st.dictionaries(
+        st.text(max_size=16),
+        st.lists(st.fixed_dictionaries({
+            "bucket": st.integers(0, 2**31),
+            "count": st.integers(0, 2**31)}), max_size=3),
+        max_size=4),
+})
+
+records_st = st.one_of(
+    st.builds(ConfigRecord, node=names_st, context_id=names_st,
+              workers=st.lists(st.text(max_size=24), max_size=8).map(tuple),
+              options=str_map_st),
+    st.builds(ReadyRecord, node=names_st,
+              pid=st.integers(min_value=0, max_value=2**31),
+              orefs=str_map_st),
+    st.just(SnapshotRequest()),
+    st.builds(SnapshotRecord, node=names_st,
+              captured_at=st.floats(allow_nan=False, allow_infinity=False),
+              metrics=snapshot_st,
+              servant_calls=st.dictionaries(
+                  st.text(max_size=16),
+                  st.integers(min_value=0, max_value=2**63 - 1),
+                  max_size=6)),
+    st.builds(ShutdownRecord, reason=names_st),
+    st.builds(GoodbyeRecord, node=names_st, clean=st.booleans()),
+)
+
+
+class TestRoundtrip:
+    @given(records_st)
+    def test_roundtrip_exact(self, record):
+        wire = record.to_bytes()
+        assert type(record).from_bytes(wire) == record
+
+    @given(records_st)
+    def test_decode_record_dispatches_by_kind(self, record):
+        decoded = decode_record(record.to_bytes())
+        assert type(decoded) is type(record)
+        assert decoded == record
+
+
+class TestRejection:
+    @given(records_st)
+    @settings(max_examples=40)
+    def test_truncation_always_rejected(self, record):
+        wire = record.to_bytes()
+        for cut in range(0, len(wire), max(1, len(wire) // 16)):
+            if cut == len(wire):
+                continue
+            with pytest.raises(MarshalError):
+                type(record).from_bytes(wire[:cut])
+
+    @given(records_st, st.binary(min_size=1, max_size=16))
+    @settings(max_examples=40)
+    def test_trailing_garbage_rejected(self, record, junk):
+        with pytest.raises(MarshalError):
+            type(record).from_bytes(record.to_bytes() + junk)
+
+    def test_kind_tags_are_disjoint(self):
+        """Six record kinds, six distinct tags — and none shared with
+        the batch (0xB0A0/1) or snapshot (0x5A90) records."""
+        assert len(set(CONTROL_KINDS)) == len(CONTROL_KINDS)
+        assert not set(CONTROL_KINDS) & {0xB0A0, 0xB0A1, 0x5A90}
+
+    def test_cross_kind_decode_rejected(self):
+        """Every record refuses every *other* record's wire bytes."""
+        samples = [ConfigRecord("n", "c", ("w",)),
+                   ReadyRecord("n", 1, {}),
+                   SnapshotRequest(),
+                   SnapshotRecord("n", 0.0, {"counters": {}, "gauges": {},
+                                             "histograms": {},
+                                             "series": {}}),
+                   ShutdownRecord(),
+                   GoodbyeRecord("n")]
+        for this in samples:
+            for other in samples:
+                if type(this) is type(other):
+                    continue
+                with pytest.raises(MarshalError, match="not a"):
+                    type(this).from_bytes(other.to_bytes())
+
+    def test_unknown_kind_rejected(self):
+        enc = XdrEncoder()
+        enc.pack_uint(0xDEAD)
+        with pytest.raises(MarshalError, match="unknown control record"):
+            decode_record(enc.getvalue())
+
+    def test_insane_worker_count_rejected(self):
+        enc = XdrEncoder()
+        enc.pack_uint(CONTROL_KINDS[0])   # ConfigRecord
+        enc.pack_string("n")
+        enc.pack_string("ctx")
+        enc.pack_uint(MAX_WORKERS + 1)
+        with pytest.raises(MarshalError, match="claims"):
+            ConfigRecord.from_bytes(enc.getvalue())
+
+    def test_empty_buffer_rejected(self):
+        with pytest.raises(MarshalError):
+            decode_record(b"")
+
+
+class TestControlChannel:
+    """The framed pipe transport under the records."""
+
+    def make_pair(self):
+        a_r, b_w = os.pipe()
+        b_r, a_w = os.pipe()
+        return ControlChannel(a_r, a_w), ControlChannel(b_r, b_w)
+
+    def test_bidirectional_records(self):
+        parent, child = self.make_pair()
+        try:
+            parent.send(ConfigRecord("n0", "ctx", ("w0",), {"k": "v"}))
+            config = child.recv(timeout=5.0)
+            assert config == ConfigRecord("n0", "ctx", ("w0",), {"k": "v"})
+            child.send(ReadyRecord("n0", 42, {"w0": "hpcor:AAAA"}))
+            assert parent.recv(timeout=5.0).pid == 42
+        finally:
+            parent.close()
+            child.close()
+
+    def test_recv_timeout_leaves_channel_usable(self):
+        parent, child = self.make_pair()
+        try:
+            with pytest.raises(TransportError, match="timed out"):
+                parent.recv(timeout=0.05)
+            child.send(GoodbyeRecord("n0"))
+            assert parent.recv(timeout=5.0) == GoodbyeRecord("n0")
+        finally:
+            parent.close()
+            child.close()
+
+    def test_peer_close_raises_channel_closed(self):
+        parent, child = self.make_pair()
+        try:
+            child.close()
+            with pytest.raises(ChannelClosedError):
+                parent.recv(timeout=5.0)
+        finally:
+            parent.close()
+
+    def test_send_after_close_rejected(self):
+        parent, child = self.make_pair()
+        parent.close()
+        child.close()
+        with pytest.raises(ChannelClosedError):
+            parent.send(SnapshotRequest())
+
+    @given(st.lists(records_st, min_size=1, max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_record_stream_preserves_order_and_content(self, records):
+        parent, child = self.make_pair()
+        try:
+            for record in records:
+                parent.send(record)
+            for record in records:
+                assert child.recv(timeout=5.0) == record
+        finally:
+            parent.close()
+            child.close()

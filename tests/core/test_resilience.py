@@ -349,3 +349,70 @@ class TestResilientInvocation:
         with pytest.raises(CircuitOpenError):
             gp.invoke("put", 1)
         assert client.describe()["breakers_open"] == ["s1:nexus"]
+
+
+class TestPenaltyBox:
+    """Sticky per-row demotion: a failed table entry is skipped by
+    selection for ``penalty_seconds``.  Breakers can't do this in a
+    merged replica table (every row shares a proto_id, so one key would
+    shed them all); the penalty box isolates exactly the dead row."""
+
+    def _merged_gp(self, sim_world, **gp_kwargs):
+        from repro.cluster.procs import merge_orefs
+
+        _orb, sim, _tb, contexts = sim_world
+        r1, r2 = Register(), Register()
+        o1 = contexts["s1"].export(r1, object_id="reg")
+        o2 = contexts["s2"].export(r2, object_id="reg")
+        gp = contexts["client"].bind(merge_orefs([o1, o2]), **gp_kwargs)
+        kinds = []
+        gp.hooks.on("failover", lambda e: kinds.append("failover"))
+        gp.hooks.on("request",
+                    lambda e: kinds.append(f"request:{e.data['outcome']}"))
+        return sim, contexts, gp, r1, r2, kinds
+
+    def test_failed_replica_row_is_skipped_until_ttl(self, sim_world):
+        sim, contexts, gp, r1, r2, kinds = self._merged_gp(sim_world)
+        clock = contexts["client"].clock
+        plan = FaultPlan(hooks=HookBus())
+        rule = plan.drop(dst="M1")          # s1's machine is unreachable
+        sim.fault_plan = plan
+
+        # First call pays one failed attempt, then fails over to s2.
+        assert gp.invoke("put", 1) == 1
+        assert r2.value == 1 and r1.calls == 0
+        assert "failover" in kinds
+        assert kinds.count("request:error") == 1
+
+        # While the penalty is live, calls go straight to s2 — the dead
+        # row is not probed at all.
+        kinds.clear()
+        for v in (2, 3, 4):
+            assert gp.invoke("put", v) == v
+        assert kinds == ["request:ok"] * 3
+        assert r2.calls == 4
+
+        # TTL lapses and the fault heals: the row is probed again and a
+        # success clears the penalty.
+        rule.count = rule.fired             # heal
+        sim.fault_plan = None
+        clock.advance(gp.penalty_seconds + 0.1)
+        assert gp.invoke("put", 5) == 5
+        assert r1.calls == 1                # traffic is back on s1
+        assert not gp._penalties
+
+    def test_fully_penalized_table_still_selects(self, sim_world):
+        """When every row is in the box, selection ignores penalties
+        rather than failing a call that plain retry would have saved."""
+        _sim, contexts, gp, r1, _r2, _kinds = self._merged_gp(sim_world)
+        for entry in gp.oref.protocols:
+            gp._penalize(entry)
+        assert gp.invoke("put", 7) == 7
+        assert r1.value == 7                # first row, as without box
+
+    def test_update_reference_clears_penalties(self, sim_world):
+        _sim, _contexts, gp, _r1, _r2, _kinds = self._merged_gp(sim_world)
+        gp._penalize(gp.oref.protocols[0])
+        assert gp._penalties
+        gp.update_reference(gp.oref.clone())
+        assert gp._penalties == {}

@@ -83,6 +83,10 @@ def test_recorder_metric_names_are_documented():
              retry_after=0.05, depth=8)
     bus.emit("limit_change", limit=8, previous=9, p50=0.02,
              baseline=0.005)
+    bus.emit("proc_spawn", node="n0", pid=101)
+    bus.emit("proc_exit", node="n0", pid=101, returncode=-9,
+             how="sigkill")
+    bus.emit("proc_pause", node="n1", pid=102, action="pause")
     snap = rec.snapshot()
     doc = EVENTS_DOC.read_text()
     names = (list(snap["counters"]) + list(snap["gauges"])
@@ -93,6 +97,10 @@ def test_recorder_metric_names_are_documented():
             name = "faults_injected.<kind>"
         if name.startswith("sheds."):
             name = "sheds.<reason>"
+        if name.startswith("proc_exits."):
+            name = "proc_exits.<how>"
+        if name.startswith("proc_pauses."):
+            name = "proc_pauses.<action>"
         assert f"`{name}`" in doc, (
             f"metric {name!r} produced by MetricsRecorder but not "
             f"documented in docs/EVENTS.md")

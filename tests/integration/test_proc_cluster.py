@@ -1,0 +1,191 @@
+"""Crash matrix against real endpoint processes (tier-2, ``-m proc``).
+
+Every resilience mechanism the suite validates in-process — failover,
+breakers, hedging, degradation envelopes — is exercised here against
+genuine OS processes over kernel TCP: SIGKILL crashes, SIGSTOP gray
+failures, SIGTERM rolling restarts.  These tests spawn subprocesses and
+run wall-clock workloads, so they live behind the ``proc`` marker and
+out of tier-1 (CI runs them in a timeout-guarded tier-2 job).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.cluster.procs import NodeSpec, ProcCluster, ProcRun
+from repro.core.resilience import HedgePolicy, RetryPolicy
+from repro.faults.process import kill_node, pulse_pause, restart_node
+from repro.metrics.curves import assert_degradation
+
+pytestmark = pytest.mark.proc
+
+RETRY = RetryPolicy(max_attempts=4, base_backoff=0.02, max_backoff=0.2)
+
+
+def assert_all_reaped(cluster: ProcCluster) -> None:
+    """The no-orphans acceptance criterion: every child is waited on,
+    and its pid no longer names a live process of ours."""
+    assert cluster.orphans == []
+    for name, node in cluster.nodes.items():
+        assert node.proc is not None and node.proc.poll() is not None, \
+            f"node {name} not reaped"
+        if node.pid is not None:
+            try:
+                os.kill(node.pid, 0)
+            except ProcessLookupError:
+                pass  # fully gone — the expected case
+            except PermissionError:  # pragma: no cover - pid reuse
+                pass
+
+
+class TestCrashMatrix:
+    """SIGKILL one node mid-workload, per role; clients must recover to
+    >= 80% of pre-kill goodput inside the envelope window."""
+
+    @pytest.mark.parametrize("role", ["primary", "replica", "mid-restart"])
+    def test_sigkill_recovers_within_envelope(self, role):
+        with ProcCluster(nodes=3) as cluster:
+            gp = cluster.bind("w0", prefer="n0", retry_policy=RETRY)
+            run = ProcRun(duration=5.0, threads=4, bucket_seconds=0.5)
+            if role == "primary":
+                # The node every call tries first.
+                run.schedule(2.0, kill_node(cluster, "n0"), "kill primary")
+            elif role == "replica":
+                # A load-balanced failover/hedge target.
+                run.schedule(2.0, kill_node(cluster, "n1"), "kill replica")
+            else:
+                # A node mid-reschedule: rolling-restart it, then SIGKILL
+                # the freshly respawned process while GPs are being
+                # rewired onto it.
+                run.schedule(1.6, restart_node(cluster, "n1"),
+                             "rolling restart n1")
+                run.schedule(2.2, kill_node(cluster, "n1"),
+                             "kill n1 mid-reschedule")
+            report = run.run(cluster, [gp])
+
+            assert report.ok > 0
+            # Clients recover through failover/breakers: goodput back to
+            # >= 80% of the pre-kill baseline within 2.5s of the trough.
+            summary = assert_degradation(
+                report.curve, recover_within=2.5,
+                recovered_fraction=0.8, baseline_buckets=3)
+            assert summary["baseline"] > 0
+            # The kill actually happened and was observed as an event.
+            assert report.metrics["counters"]["proc_exits.sigkill"] >= 1.0
+            # Surviving nodes answered the post-mortem snapshot poll and
+            # carried real traffic (codec round-trip is exercised live).
+            survivors = report.node_snapshots
+            assert survivors  # at least one node outlived the crash
+            assert sum(s.servant_calls.get("w0", 0)
+                       for s in survivors.values()) > 0
+        assert_all_reaped(cluster)
+
+    def test_client_visible_errors_stay_low(self):
+        """With retry_safe echo traffic, a single crash should be almost
+        invisible to callers — the retries absorb it."""
+        with ProcCluster(nodes=3) as cluster:
+            gp = cluster.bind("w0", retry_policy=RETRY)
+            run = ProcRun(duration=4.0, threads=4, bucket_seconds=0.5)
+            run.schedule(2.0, kill_node(cluster, "n0"), "kill n0")
+            report = run.run(cluster, [gp])
+            assert report.total > 0
+            assert report.errors <= max(report.total * 0.02, 4)
+        assert_all_reaped(cluster)
+
+
+class TestGrayFailure:
+    def test_sigstop_hedging_wins_instead_of_hanging(self):
+        """A SIGSTOP'd node keeps accepting TCP into its kernel backlog;
+        naive clients would hang.  Deadlined calls plus hedging must
+        keep every call bounded and goodput recovering after SIGCONT."""
+        with ProcCluster(nodes=3, call_timeout=1.0) as cluster:
+            gp = cluster.bind(
+                "w0",
+                retry_policy=RetryPolicy(max_attempts=4,
+                                         base_backoff=0.02,
+                                         max_backoff=0.2, deadline=5.0),
+                hedge_policy=HedgePolicy(enabled=True, min_samples=5,
+                                         min_delay=0.05, max_delay=0.25))
+            run = ProcRun(duration=5.0, threads=4, bucket_seconds=0.5)
+            pulse_pause(run, cluster, "n0", at=1.5, duration=1.5)
+            started = time.monotonic()
+            report = run.run(cluster, [gp])
+            elapsed = time.monotonic() - started
+
+            # Nothing hung: the run ended on schedule, not on a stuck
+            # call; the workload joined its threads within the duration
+            # plus the per-call bound.
+            assert elapsed < run.duration + 10.0
+            counters = report.metrics["counters"]
+            # Hedging took over for the frozen node...
+            assert counters.get("hedge_wins_total", 0.0) > 0
+            # ...and deadlines kept the pause from hanging callers: the
+            # pause window still completed calls (hedged around n0).
+            assert report.ok > 0
+            assert report.errors <= max(report.total * 0.05, 8)
+            # n0 was resumed and survives to the end.
+            assert cluster.nodes["n0"].alive
+            assert counters["proc_pauses.pause"] == 1.0
+            assert counters["proc_pauses.resume"] == 1.0
+            # Post-resume goodput is back near baseline.
+            head = report.curve.buckets[:3]
+            baseline = sum(b.goodput for b in head) / len(head)
+            assert report.curve.buckets[-1].goodput >= 0.5 * baseline
+        assert_all_reaped(cluster)
+
+
+class TestLifecycle:
+    def test_rolling_restart_reschedules_clients(self):
+        """SIGTERM drain + respawn + update_reference: the same GP keeps
+        working across the restart and lands on the new process."""
+        with ProcCluster(nodes=2) as cluster:
+            gp = cluster.bind("w0", retry_policy=RETRY)
+            assert gp.invoke("process", b"before") == b"before"
+            old = cluster.nodes["n0"]
+            fresh = cluster.restart("n0")
+            assert fresh.pid != old.pid
+            assert gp.invoke("process", b"after") == b"after"
+            # The drained process exited cleanly (SIGTERM != crash).
+            assert old.proc.returncode == 0
+        assert_all_reaped(cluster)
+
+    def test_snapshots_round_trip_live(self):
+        """Control-channel snapshots from live nodes decode to real
+        registry snapshots with the traffic we just sent."""
+        with ProcCluster(nodes=2) as cluster:
+            gp = cluster.bind("w0", prefer="n0", retry_policy=RETRY)
+            for i in range(10):
+                gp.invoke("process", b"x" * 64)
+            snaps = cluster.snapshots()
+            assert set(snaps) == {"n0", "n1"}
+            total = sum(s.servant_calls["w0"] for s in snaps.values())
+            assert total >= 10
+            for snap in snaps.values():
+                assert set(snap.metrics) >= {"counters", "gauges",
+                                             "histograms", "series"}
+        assert_all_reaped(cluster)
+        # Clean control-plane shutdown: both exited 0, and the harness
+        # recorded the spawn/exit pairing on its hook bus.
+        assert set(cluster.exit_codes().values()) == {0}
+
+    def test_exit_reaps_even_paused_nodes(self):
+        """__exit__ must not hang on (or orphan) a SIGSTOP'd child."""
+        with ProcCluster(nodes=2) as cluster:
+            cluster.pause("n1")
+        assert_all_reaped(cluster)
+
+    def test_distinct_worker_sets_per_node(self):
+        """Nodes need not be uniform replicas: ids bind to whichever
+        nodes export them."""
+        specs = [NodeSpec("a", ("shared", "only-a")),
+                 NodeSpec("b", ("shared", "only-b"))]
+        with ProcCluster(specs) as cluster:
+            shared = cluster.bind("shared", retry_policy=RETRY)
+            only_b = cluster.bind("only-b", retry_policy=RETRY)
+            assert shared.invoke("process", b"s") == b"s"
+            assert only_b.invoke("process", b"b") == b"b"
+            # 'shared' has one entry per node, the singletons just one.
+            assert len(cluster.merged_oref("shared").protocols) == 2
+            assert len(cluster.merged_oref("only-b").protocols) == 1
+        assert_all_reaped(cluster)

@@ -1,0 +1,124 @@
+"""Property tests for the MetricsRegistry snapshot wire codec.
+
+A node's snapshot crossing the control channel must arrive *exactly* —
+the proc harness compares merged reports with ``==`` — and corrupted
+bytes must be rejected, never misread into plausible-looking metrics.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.instrumentation import HookBus
+from repro.exceptions import MarshalError
+from repro.metrics.codec import SNAPSHOT_KIND, decode_snapshot, \
+    encode_snapshot
+from repro.metrics.core import MetricsRegistry
+from repro.metrics.recorder import MetricsRecorder
+from repro.serialization.xdr import XdrEncoder
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+section_values = st.one_of(
+    st.none(), finite, st.integers(min_value=-2**31, max_value=2**31),
+    st.dictionaries(st.text(max_size=12),
+                    st.one_of(st.none(), finite,
+                              st.integers(-2**31, 2**31)),
+                    max_size=4),
+    st.lists(st.dictionaries(st.text(max_size=8),
+                             st.one_of(finite, st.integers(-2**31, 2**31)),
+                             max_size=3), max_size=3))
+snapshots_st = st.fixed_dictionaries({
+    "counters": st.dictionaries(st.text(max_size=20), section_values,
+                                max_size=8),
+    "gauges": st.dictionaries(st.text(max_size=20), section_values,
+                              max_size=8),
+    "histograms": st.dictionaries(st.text(max_size=20), section_values,
+                                  max_size=8),
+    "series": st.dictionaries(st.text(max_size=20), section_values,
+                              max_size=8),
+})
+
+
+class TestRoundtrip:
+    @given(snapshots_st)
+    def test_roundtrip_exact(self, snapshot):
+        assert decode_snapshot(encode_snapshot(snapshot)) == snapshot
+
+    def test_live_registry_snapshot_roundtrips(self):
+        """A snapshot from the real instruments — histograms, series,
+        empty distributions and all — survives the wire unchanged."""
+        reg = MetricsRegistry()
+        reg.counter("requests_total").inc(41)
+        reg.gauge("procs_alive").set(3.0)
+        reg.histogram("latency").observe(0.004)
+        reg.histogram("latency").observe(0.009)
+        reg.histogram("empty")            # None-valued snapshot section
+        reg.series("requests").observe(1.0)
+        snap = reg.snapshot()
+        assert decode_snapshot(encode_snapshot(snap)) == snap
+
+    def test_recorder_snapshot_roundtrips(self):
+        """The aggregation layer's output is codec-clean too."""
+        bus = HookBus()
+        recorder = MetricsRecorder().attach(bus)
+        bus.emit("request", method="m", proto_id="nexus", outcome="ok",
+                 duration=0.002)
+        bus.emit("proc_spawn", node="n0", pid=1)
+        bus.emit("proc_exit", node="n0", pid=1, returncode=-9,
+                 how="sigkill")
+        snap = recorder.snapshot()
+        decoded = decode_snapshot(encode_snapshot(snap))
+        assert decoded == snap
+        assert decoded["counters"]["proc_exits.sigkill"] == 1.0
+
+
+class TestRejection:
+    @given(snapshots_st)
+    @settings(max_examples=40)
+    def test_truncation_always_rejected(self, snapshot):
+        wire = encode_snapshot(snapshot)
+        for cut in range(0, len(wire), max(1, len(wire) // 16)):
+            if cut == len(wire):
+                continue
+            with pytest.raises(MarshalError):
+                decode_snapshot(wire[:cut])
+
+    @given(snapshots_st, st.binary(min_size=1, max_size=16))
+    @settings(max_examples=40)
+    def test_trailing_garbage_rejected(self, snapshot, junk):
+        with pytest.raises(MarshalError):
+            decode_snapshot(encode_snapshot(snapshot) + junk)
+
+    def test_foreign_kind_rejected(self):
+        enc = XdrEncoder()
+        enc.pack_uint(0xB0A0)  # a BatchRequest, not a snapshot
+        with pytest.raises(MarshalError, match="not a metrics snapshot"):
+            decode_snapshot(enc.getvalue())
+
+    def test_non_dict_payload_rejected(self):
+        from repro.serialization.marshal import Marshaller
+
+        enc = XdrEncoder()
+        enc.pack_uint(SNAPSHOT_KIND)
+        Marshaller().encode_value(enc, [1, 2, 3])
+        with pytest.raises(MarshalError, match="not a dict"):
+            decode_snapshot(enc.getvalue())
+
+    def test_missing_section_rejected_both_ways(self):
+        bad = {"counters": {}, "gauges": {}, "histograms": {}}
+        with pytest.raises(MarshalError, match="series"):
+            encode_snapshot(bad)
+        enc = XdrEncoder()
+        enc.pack_uint(SNAPSHOT_KIND)
+        from repro.serialization.marshal import Marshaller
+
+        Marshaller().encode_value(enc, bad)
+        with pytest.raises(MarshalError, match="series"):
+            decode_snapshot(enc.getvalue())
+
+    def test_non_dict_input_rejected(self):
+        with pytest.raises(MarshalError, match="must be a dict"):
+            encode_snapshot([("counters", {})])
+
+    def test_empty_buffer_rejected(self):
+        with pytest.raises(MarshalError):
+            decode_snapshot(b"")

@@ -1,0 +1,85 @@
+"""Endpoint lifecycle: idempotent stop, signal-safety, readiness.
+
+The node worker stops its endpoint from a SIGTERM handler while the
+parent may concurrently be tearing the same endpoint down over the
+control channel — double-stop, stop-before-start, and stop-from-a-
+serve-thread must all be orderly, and readiness must be observable
+before any client is pointed at the listener.
+"""
+
+import threading
+
+from repro.nexus.endpoint import Endpoint
+from repro.transport.tcp import TcpTransport
+
+
+class TestStopIdempotence:
+    def test_double_stop_is_harmless(self):
+        endpoint = Endpoint("e")
+        endpoint.serve_listener(TcpTransport().listen())
+        endpoint.stop()
+        endpoint.stop()  # second call must be a no-op, not a re-teardown
+        assert endpoint.stopping
+
+    def test_stop_before_start_pins_stopped(self):
+        endpoint = Endpoint("e")
+        endpoint.stop()
+        assert endpoint.stopping
+        # Serving after stop is allowed but inert: the accept loop sees
+        # the flag and exits instead of stranding connections.
+        listener = TcpTransport().listen()
+        endpoint.serve_listener(listener)
+        endpoint.stop()
+
+    def test_concurrent_stops_single_teardown(self):
+        endpoint = Endpoint("e")
+        endpoint.serve_listener(TcpTransport().listen())
+        threads = [threading.Thread(target=endpoint.stop)
+                   for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_request_stop_takes_no_locks(self):
+        """The signal-handler entry point must work even while another
+        thread holds the endpoint's internal lock (the exact state a
+        signal can interrupt)."""
+        endpoint = Endpoint("e")
+        with endpoint._lock:           # simulate an interrupted critical
+            endpoint.request_stop()    # section: must not deadlock
+        assert endpoint.stopping
+        endpoint.stop()
+
+    def test_stop_from_registered_thread_skips_self_join(self):
+        """A serve thread calling stop() on its own endpoint must not
+        try to join itself."""
+        endpoint = Endpoint("e")
+        done = threading.Event()
+
+        def stop_from_inside():
+            endpoint.stop()
+            done.set()
+
+        worker = threading.Thread(target=stop_from_inside)
+        with endpoint._lock:
+            endpoint._threads.append(worker)
+        worker.start()
+        assert done.wait(timeout=10.0)
+        worker.join(timeout=10.0)
+
+
+class TestReadiness:
+    def test_wait_ready_after_serve_listener(self):
+        endpoint = Endpoint("e")
+        try:
+            assert not endpoint.wait_ready(timeout=0.0)
+            endpoint.serve_listener(TcpTransport().listen())
+            assert endpoint.wait_ready(timeout=10.0)
+        finally:
+            endpoint.stop()
+
+    def test_wait_ready_times_out_when_never_served(self):
+        endpoint = Endpoint("e")
+        assert endpoint.wait_ready(timeout=0.05) is False
