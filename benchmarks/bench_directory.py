@@ -1,0 +1,184 @@
+"""DIRECTORY: replicated-naming availability through a leader partition.
+
+Stands up a 3-replica `repro.directory` group on the simulated network,
+binds a few names, partitions the leader's machine away mid-run, and
+measures resolution availability while the majority side re-elects,
+takes a write, heals, and converges.  Two gates:
+
+* **availability** — fresh resolves must succeed for >= 80% of attempts
+  across the whole run, outage window included;
+* **determinism** — the run is seeded end to end (election timeouts,
+  fault plan, virtual time), so executing the same scenario twice must
+  produce bit-identical traces.
+
+Also runnable as a plain script (CI's docs job uses it as a smoke
+gate):
+
+    python benchmarks/bench_directory.py --smoke
+"""
+
+import argparse
+import sys
+
+import pytest
+
+from repro.core import ORB
+from repro.core.instrumentation import HookBus
+from repro.directory import FOLLOWER, DirectoryCluster
+from repro.exceptions import HpcError
+from repro.faults import FaultPlan
+from repro.idl.interface import remote_interface, remote_method
+from repro.simnet import ETHERNET_10, NetworkSimulator, Topology
+
+SEED = 42
+MACHINES = ["m0", "m1", "m2"]
+NAMES = 3
+ROUNDS = 32
+STEP = 0.25
+PARTITION_AT = 0.5
+HEAL_AT = 5.0
+
+
+@remote_interface("DirBenchTarget")
+class DirBenchTarget:
+    @remote_method
+    def ping(self) -> str:
+        return "pong"
+
+
+def run_once(seed: int = SEED) -> dict:
+    """One seeded partition scenario; returns its full plain-data trace."""
+    topo = Topology()
+    site = topo.add_site("site")
+    lan = topo.add_lan("lan", site, ETHERNET_10)
+    for name in MACHINES + ["mc"]:
+        topo.add_machine(name, lan)
+    sim = NetworkSimulator(topo, keep_records=0)
+    orb = ORB(simulator=sim)
+    bus = HookBus()
+    events = []
+    for kind in ("leader_elected", "lease_expired", "quorum_write"):
+        bus.on(kind, lambda e: events.append(e.kind))
+    cluster = DirectoryCluster(orb, replicas=3, machines=MACHINES,
+                               seed=seed, hooks=bus)
+    cli = orb.context("cli", machine="mc")
+    client = cluster.client(cli)
+
+    first = cluster.elect()
+    oref = cli.export(DirBenchTarget())
+    for i in range(NAMES):
+        client.bind(f"svc/{i}", oref)
+
+    leader_machine = MACHINES[int(first.split("-")[1])]
+    others = [m for m in MACHINES if m != leader_machine]
+    plan = FaultPlan(seed=seed)
+    start = cluster.contexts[0].clock.now()
+    plan.partition_at(start + PARTITION_AT, [leader_machine], others)
+    plan.heal_at(start + HEAL_AT)
+    sim.fault_plan = plan
+
+    ok = attempts = 0
+    wrote_during = None
+    trace = []
+    for round_no in range(ROUNDS):
+        cluster.pump(STEP, plan=plan)
+        for i in range(NAMES):
+            attempts += 1
+            try:
+                client.resolve(f"svc/{i}", fresh=True)
+                ok += 1
+            except HpcError:
+                pass
+        # One write must land on the majority side during the outage.
+        if wrote_during is None and round_no >= 8:
+            try:
+                wrote_during = (round_no,
+                                client.bind("svc/during", oref))
+            except HpcError:
+                pass
+        trace.append((round_no,
+                      round(cluster.contexts[0].clock.now(), 6),
+                      cluster.leader_id(), ok))
+    # Let the deposed leader rejoin and the logs converge.
+    settled = None
+    for extra in range(40):
+        cluster.pump(0.5, plan=plan)
+        if (cluster.leader_id()
+                and cluster.replicas[first].role == FOLLOWER
+                and len({rep.state.last_seq
+                         for rep in cluster.replicas.values()}) == 1):
+            settled = extra
+            break
+    result = {
+        "first": first,
+        "second": cluster.leader_id(),
+        "wrote_during": wrote_during,
+        "settled": settled,
+        "events": events,
+        "trace": trace,
+        "snapshots": {nid: rep.state.snapshot() for nid, rep
+                      in sorted(cluster.replicas.items())},
+        "ok": ok,
+        "attempts": attempts,
+        "availability": ok / attempts,
+    }
+    cluster.stop()
+    return result
+
+
+def check(a: dict, b: dict) -> dict:
+    """The acceptance criteria every run pair must uphold."""
+    assert a["availability"] >= 0.8, (
+        f"resolution availability {a['availability']:.1%} < 80% "
+        f"through the partition")
+    assert a["second"], "no leader after heal"
+    assert a["second"] != a["first"], "majority side never re-elected"
+    assert a["wrote_during"] is not None, \
+        "no write landed during the outage"
+    assert a["settled"] is not None, "replica logs never converged"
+    assert len(set(map(repr, a["snapshots"].values()))) == 1, \
+        "replica tables diverged"
+    assert a == b, "seeded runs were not bit-identical"
+    return {"availability": a["availability"],
+            "failover": f"{a['first']} -> {a['second']}",
+            "elections": a["events"].count("leader_elected"),
+            "settled_after": a["settled"]}
+
+
+def format_report(summary: dict) -> str:
+    return (f"availability={summary['availability']:.1%} "
+            f"failover={summary['failover']} "
+            f"elections={summary['elections']} "
+            f"converged(+{summary['settled_after']} settle rounds)")
+
+
+@pytest.mark.benchmark(group="directory")
+def test_directory_partition_availability(benchmark, record_result):
+    a = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    b = run_once()
+    summary = check(a, b)
+    record_result(
+        "directory_partition",
+        f"Replicated directory through a leader partition (3 replicas, "
+        f"simnet, seed={SEED}, partition {PARTITION_AT}s–{HEAL_AT}s)\n"
+        + format_report(summary))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke gate (same scenario; kept for "
+                        "symmetry with the other benches)")
+    parser.add_argument("--seed", type=int, default=SEED)
+    args = parser.parse_args(argv)
+    a = run_once(args.seed)
+    b = run_once(args.seed)
+    summary = check(a, b)
+    print(format_report(summary))
+    print("\ndirectory ok: re-elected through a leader partition, "
+          "bit-identical across two seeded runs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -199,6 +199,32 @@ def main(argv=None) -> int:
         servants[object_id] = servant
         orefs[object_id] = strip_to_tcp(oref).to_uri()
 
+    # Optional directory replica (options={"directory": "1"}): each node
+    # hosts one replica of the replicated name directory.  Unlike the
+    # workers above, the export is per-node, NOT a replica group — the
+    # object id carries the node name so clients address each replica
+    # individually.  Peers arrive later via the remote ``join`` call
+    # (over the ordinary data plane, not the control pipe), which also
+    # starts the tick thread.
+    directory = None
+    if config.options.get("directory"):
+        from repro.directory import DIRECTORY_OBJECT_ID, DirectoryReplica
+
+        directory = DirectoryReplica(
+            ctx, config.node,
+            seed=int(config.options.get("dir_seed", "0")),
+            stream=int(config.options.get("dir_stream", "0")),
+            lease_seconds=float(config.options.get("dir_lease", "1.2")),
+            heartbeat_seconds=float(
+                config.options.get("dir_heartbeat", "0.3")),
+            election_timeout=(
+                float(config.options.get("dir_election_lo", "0.6")),
+                float(config.options.get("dir_election_hi", "1.2"))))
+        dir_oref = ctx.export(
+            directory, object_id=DIRECTORY_OBJECT_ID,
+            include_shm=False, migratable=False)
+        orefs[DIRECTORY_OBJECT_ID] = strip_to_tcp(dir_oref).to_uri()
+
     endpoint = ctx.server.endpoint
     if not endpoint.wait_ready(timeout=10.0):
         raise RuntimeError("endpoint accept loop failed to start")
@@ -246,6 +272,8 @@ def main(argv=None) -> int:
     # requests reply before channels close — SIGTERM'd replicas finish
     # the requests they accepted.
     recorder.detach()
+    if directory is not None:
+        directory.stop()
     orb.shutdown()
     try:
         channel.send(GoodbyeRecord(node=config.node, clean=clean))

@@ -525,7 +525,7 @@ class ProcRun:
 
     def __init__(self, *, duration: float = 6.0, threads: int = 4,
                  payload_bytes: int = 256, method: str = "process",
-                 bucket_seconds: float = 0.5):
+                 bucket_seconds: float = 0.5, op: Optional[Callable] = None):
         if duration <= 0:
             raise ValueError("duration must be positive")
         if threads < 1:
@@ -535,6 +535,12 @@ class ProcRun:
         self.payload = os.urandom(max(payload_bytes, 1))
         self.method = method
         self.bucket_seconds = bucket_seconds
+        #: Custom per-iteration operation: called as ``op(target)`` with
+        #: the thread's round-robin element of ``gps`` (which then need
+        #: not be GlobalPointers at all — e.g. a
+        #: :class:`~repro.directory.resolver.DirectoryClient`).  When
+        #: unset, the classic ``gp.invoke(method, payload)`` echo load.
+        self.op = op
         self._phases: List[_Phase] = []
 
     def schedule(self, at: float, action: Callable[[], None],
@@ -554,8 +560,12 @@ class ProcRun:
             recorder = MetricsRecorder(bucket_seconds=self.bucket_seconds)
         attached = []
         for gp in gps:
-            recorder.attach(gp.hooks)
-            attached.append(gp.hooks)
+            # Composite targets (DirectoryClient) expose every internal
+            # GP's bus via ``hook_buses``; plain GPs expose ``hooks``.
+            buses = getattr(gp, "hook_buses", None) or [gp.hooks]
+            for bus in buses:
+                recorder.attach(bus)
+                attached.append(bus)
         recorder.attach(cluster.hooks)
         attached.append(cluster.hooks)
 
@@ -570,7 +580,10 @@ class ProcRun:
             ok = errors = 0
             while time.monotonic() < stop_at:
                 try:
-                    gp.invoke(self.method, self.payload)
+                    if self.op is not None:
+                        self.op(gp)
+                    else:
+                        gp.invoke(self.method, self.payload)
                     ok += 1
                 except HpcError:
                     errors += 1

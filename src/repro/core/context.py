@@ -124,6 +124,10 @@ class ServantRecord:
     acl: Optional[AccessControlList]
     glue: List[tuple]  # [(glue_id, descriptors), ...]
     migratable: bool = True
+    #: Incarnation number of this export: 0 for a fresh export, bumped
+    #: by each migration hop so OR versions increase strictly along a
+    #: migration chain (A -> B -> C), wherever each hop started from.
+    version: int = 0
 
 
 class Context:
@@ -215,6 +219,14 @@ class Context:
         #: Real-transport channels multiplex concurrent requests by
         #: correlation id unless an application opts out.
         self.pipelined_channels = True
+        # Per-context name→OR resolver cache (TTL + version-checked;
+        # see docs/DIRECTORY.md).  GPs bound here feed MOVED forwarding
+        # notices into it so every cached alias of a migrated object is
+        # patched the moment *any* call observes the move.  Imported
+        # lazily: repro.directory sits above core in the layering.
+        from repro.directory.resolver import ResolverCache
+
+        self.resolver = ResolverCache(self.clock)
         # Shared invocation executor (lazily created): one pool per
         # context instead of 4 threads per GP, so a process with
         # thousands of GPs does not leak thousands of idle threads.

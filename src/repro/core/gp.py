@@ -648,6 +648,12 @@ class GlobalPointer:
                            from_context=context_id,
                            to_context=moved.forward.context_id)
                 self.update_reference(moved.forward)
+                # Patch the context's resolver cache: every cached
+                # alias of this object follows the forwarding notice,
+                # so sibling GPs resolving by name skip the stale hop.
+                resolver = getattr(self.context, "resolver", None)
+                if resolver is not None:
+                    resolver.note_moved(oref.object_id, moved.forward)
                 # New OR, new table: re-snapshot, demotions no longer
                 # apply, and retries now charge the new peer's budget.
                 oref = self._snapshot()

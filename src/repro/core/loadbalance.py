@@ -43,7 +43,7 @@ class LoadBalancer:
                  high_water: float = 0.75, low_water: float = 0.40,
                  on_migrate: Optional[Callable[[MigrationEvent], None]]
                  = None,
-                 health=None):
+                 health=None, directory=None):
         if not 0.0 <= low_water <= high_water <= 1.0:
             raise ValueError("need 0 <= low_water <= high_water <= 1")
         self.contexts = list(contexts)
@@ -53,6 +53,14 @@ class LoadBalancer:
         #: Optional :class:`repro.core.health.HealthMonitor`; contexts
         #: whose last probe failed are never chosen as receivers.
         self.health = health
+        #: Optional directory publication target: anything with
+        #: ``rebind_object(object_id, new_oref)`` — a
+        #: :class:`~repro.directory.resolver.DirectoryClient` publishes
+        #: each migration to the replica group so fleet-wide resolution
+        #: follows the sweep (a plain :class:`~repro.core.naming
+        #: .NameService` works too; ORB-local registries are already
+        #: updated by ``migrate`` itself).
+        self.directory = directory
         self.history: List[MigrationEvent] = []
 
     def add_context(self, ctx: Context) -> None:
@@ -97,6 +105,8 @@ class LoadBalancer:
                 target_load=target.monitor.load, new_oref=new_oref)
             events.append(event)
             self.history.append(event)
+            if self.directory is not None:
+                self.directory.rebind_object(object_id, new_oref)
             if self.on_migrate is not None:
                 self.on_migrate(event)
             # Recompute receiver order: the target just got work.

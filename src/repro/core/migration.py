@@ -79,13 +79,14 @@ def migrate(source: Context, object_id: str, target: Context,
         acl=record.acl,
         migratable=record.migratable,
     )
-    new_oref.version = _next_version(source, object_id)
+    new_oref.version = _next_version(source, object_id, record)
 
     # Capability state (quota counters, replay windows) migrates with the
     # object: pair old and new server-side stacks positionally and let
     # each fresh capability absorb its predecessor's run-time state.
     with target._lock:
         new_record = target.servants[object_id]
+        new_record.version = new_oref.version
     for (old_gid, _d1), (new_gid, _d2) in zip(record.glue,
                                               new_record.glue):
         old_stack = source.glue_stacks.get(old_gid)
@@ -103,6 +104,16 @@ def migrate(source: Context, object_id: str, target: Context,
         source.forwards[object_id] = new_oref.clone()
     source.monitor.forget_object(object_id)
 
+    # Publish the move to the involved ORBs' name registries
+    # (version-checked), so ``orb.resolve`` keeps answering with the
+    # live OR even after the source context — and with it the
+    # forwarding record — goes away.
+    orbs = [source.orb]
+    if target.orb is not source.orb:
+        orbs.append(target.orb)
+    for orb in orbs:
+        orb.naming.rebind_object(object_id, new_oref)
+
     from repro.core.instrumentation import GLOBAL_HOOKS
 
     GLOBAL_HOOKS.emit("migration", object_id=object_id,
@@ -111,6 +122,11 @@ def migrate(source: Context, object_id: str, target: Context,
     return new_oref
 
 
-def _next_version(source: Context, object_id: str) -> int:
+def _next_version(source: Context, object_id: str,
+                  record) -> int:
+    """Strictly greater than every version this object has had here:
+    the incarnation the servant record arrived with (chained hops) and
+    any forwarding record a previous departure left behind."""
     previous = source.forwards.get(object_id)
-    return (previous.version if previous else 0) + 1
+    prior = previous.version if previous else 0
+    return max(prior, record.version) + 1

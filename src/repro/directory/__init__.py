@@ -1,0 +1,42 @@
+"""repro.directory — the replicated, self-healing object directory.
+
+The paper's ORB presumes a well-known naming service every client
+bootstraps through; :mod:`repro.core.naming` provides the single-node
+version.  This package is that service grown to fleet scale: a replica
+group with lease-based leader election and quorum-acknowledged writes
+(:mod:`~repro.directory.replica`), a deterministic versioned binding
+log (:mod:`~repro.directory.state`), client-side versioned caching
+(:mod:`~repro.directory.resolver`), and deployment drivers for the
+simnet and real-process rails (:mod:`~repro.directory.cluster`).
+
+See docs/DIRECTORY.md for the protocol and its failure modes.
+"""
+
+from repro.directory.cluster import (
+    DIRECTORY_OBJECT_ID,
+    DirectoryCluster,
+    join_proc_directory,
+)
+from repro.directory.replica import (
+    CANDIDATE,
+    FOLLOWER,
+    LEADER,
+    DirectoryReplica,
+)
+from repro.directory.resolver import DirectoryClient, ResolverCache
+from repro.directory.state import BindingRecord, DirectoryState, LogEntry
+
+__all__ = [
+    "DIRECTORY_OBJECT_ID",
+    "DirectoryCluster",
+    "DirectoryReplica",
+    "DirectoryClient",
+    "ResolverCache",
+    "DirectoryState",
+    "LogEntry",
+    "BindingRecord",
+    "join_proc_directory",
+    "FOLLOWER",
+    "CANDIDATE",
+    "LEADER",
+]

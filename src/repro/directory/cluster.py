@@ -1,0 +1,188 @@
+"""Stand up and drive a directory replica group inside one ORB.
+
+:class:`DirectoryCluster` is the deployment helper for both validation
+rails that share one process:
+
+* **simnet** — each replica gets a context on a simulated machine; the
+  test pumps virtual time with :meth:`pump`, which advances the clock
+  and ticks replicas in a fixed order, so a seeded run (elections,
+  partitions, migration storms and all) is bit-identical across
+  executions;
+* **wall-clock, in-process** — replicas live on ordinary contexts and
+  :meth:`start` drives each from its own tick thread (the TUTORIAL §14
+  shape); the real-process rail lives in :mod:`repro.cluster.procs`,
+  which hosts the same :class:`DirectoryReplica` inside worker
+  processes (see :func:`join_proc_directory`).
+
+Directory traffic is ordinary invoke traffic, so the constructor can
+hang capability stacks (``glue_stacks``) and admission control
+(``admission``) in front of every replica — auth/tracing/priority and
+resolve-flood pushback apply to the naming tier exactly as they do to
+application servants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.objref import ObjectReference
+from repro.directory.replica import LEADER, DirectoryReplica
+from repro.directory.resolver import DirectoryClient
+from repro.exceptions import HpcError
+
+__all__ = ["DirectoryCluster", "join_proc_directory",
+           "DIRECTORY_OBJECT_ID"]
+
+#: The well-known object id every replica exports itself under.
+DIRECTORY_OBJECT_ID = "directory"
+
+
+class DirectoryCluster:
+    """N directory replicas, their contexts, and a driving loop."""
+
+    def __init__(self, orb, *, replicas: int = 3,
+                 machines: Optional[List] = None, seed: int = 0,
+                 lease_seconds: float = 1.2,
+                 heartbeat_seconds: float = 0.3,
+                 election_timeout: Tuple[float, float] = (0.6, 1.2),
+                 object_id: str = DIRECTORY_OBJECT_ID,
+                 glue_stacks: Optional[List[List[dict]]] = None,
+                 admission=None, hooks=None):
+        if machines is not None and len(machines) != replicas:
+            raise ValueError("need exactly one machine per replica")
+        self.orb = orb
+        self.object_id = object_id
+        self.contexts = []
+        self.replicas: Dict[str, DirectoryReplica] = {}
+        self.orefs: Dict[str, ObjectReference] = {}
+        self._clients: List[DirectoryClient] = []
+        for i in range(replicas):
+            node_id = f"dir-{i}"
+            ctx = orb.context(
+                node_id,
+                machine=machines[i] if machines is not None else None)
+            if admission is not None:
+                ctx.set_admission_policy(admission)
+            replica = DirectoryReplica(
+                ctx, node_id, seed=seed, stream=i,
+                lease_seconds=lease_seconds,
+                heartbeat_seconds=heartbeat_seconds,
+                election_timeout=election_timeout, hooks=hooks)
+            oref = ctx.export(replica, object_id=object_id,
+                              glue_stacks=glue_stacks,
+                              migratable=False)
+            self.contexts.append(ctx)
+            self.replicas[node_id] = replica
+            self.orefs[node_id] = oref
+        for replica in self.replicas.values():
+            replica.set_peers(self.orefs)
+
+    # -- driving -------------------------------------------------------
+
+    def tick_all(self) -> None:
+        """One tick of every live replica, in fixed node order."""
+        for node_id in sorted(self.replicas):
+            replica = self.replicas[node_id]
+            if not replica.stopped:
+                replica.tick()
+
+    def pump(self, seconds: float, *, step: float = 0.05,
+             plan=None) -> None:
+        """Advance time by ``seconds``, ticking replicas every ``step``.
+
+        Under simulation the clock is the simulator's virtual clock and
+        ``plan`` (a :class:`~repro.faults.plan.FaultPlan`) gets its
+        scheduled phases applied as time passes; on the wall clock this
+        sleeps.  Replica RPCs themselves charge additional virtual
+        time — ``seconds`` is a floor, not an exact span.
+        """
+        clock = self.contexts[0].clock
+        sim = self.orb.sim
+        end = clock.now() + seconds
+        while clock.now() < end:
+            if sim is not None:
+                sim.clock.advance(step)
+                if plan is not None:
+                    plan.apply_until(sim.clock.now())
+            else:
+                import time
+                time.sleep(step)
+            self.tick_all()
+
+    def start(self, interval: Optional[float] = None) -> None:
+        """Wall-clock mode: one tick thread per replica."""
+        for replica in self.replicas.values():
+            replica.start_ticking(interval)
+
+    def stop(self) -> None:
+        for replica in self.replicas.values():
+            replica.stop()
+        for client in self._clients:
+            client.close()
+        self._clients.clear()
+
+    # -- convenience ---------------------------------------------------
+
+    def leader_id(self) -> str:
+        """The current leaseholder's node id ("" when none)."""
+        for node_id in sorted(self.replicas):
+            replica = self.replicas[node_id]
+            if not replica.stopped and replica.role == LEADER and \
+                    replica.clock.now() < replica._lease_until:
+                return node_id
+        return ""
+
+    def elect(self, *, budget: float = 30.0, step: float = 0.05) -> str:
+        """Pump until a leader holds a lease; returns its node id."""
+        clock = self.contexts[0].clock
+        deadline = clock.now() + budget
+        while clock.now() < deadline:
+            leader = self.leader_id()
+            if leader:
+                return leader
+            self.pump(step, step=step)
+        raise HpcError(f"no directory leader within {budget}s")
+
+    def client(self, ctx, **kwargs) -> DirectoryClient:
+        """A :class:`DirectoryClient` for this group bound in ``ctx``."""
+        client = DirectoryClient(ctx, self.orefs, **kwargs)
+        self._clients.append(client)
+        return client
+
+    def stop_replica(self, node_id: str) -> DirectoryReplica:
+        """Simulate a replica crash in-process: it stops ticking and its
+        context stops serving (connections refused, like a dead node)."""
+        replica = self.replicas[node_id]
+        replica.stop()
+        replica.ctx.stop()
+        return replica
+
+
+def join_proc_directory(cluster, *, object_id: str = DIRECTORY_OBJECT_ID,
+                        **client_kwargs) -> DirectoryClient:
+    """Wire up the directory replicas hosted by a
+    :class:`~repro.cluster.procs.ProcCluster`'s worker processes.
+
+    Each node spawned with ``options={"directory": "1"}`` exports a
+    :class:`DirectoryReplica` under ``object_id``; this sends every
+    replica the full peer table (a ``join`` call over the ordinary
+    invoke path — there is deliberately no side channel), then returns
+    a :class:`DirectoryClient` over the per-node ORs bound in the
+    cluster's client context.
+    """
+    peers = {}
+    for name, node in cluster.nodes.items():
+        oref = node.orefs.get(object_id)
+        if oref is None:
+            raise HpcError(
+                f"node {name!r} exports no directory object "
+                f"{object_id!r} (spawn it with options['directory'])")
+        peers[name] = oref
+    peer_uris = {name: oref.to_uri() for name, oref in peers.items()}
+    for name, oref in peers.items():
+        gp = cluster.client_ctx.bind(oref)
+        try:
+            gp.invoke("join", peer_uris)
+        finally:
+            gp.close(wait=False)
+    return DirectoryClient(cluster.client_ctx, peers, **client_kwargs)

@@ -1,0 +1,332 @@
+"""Client-side resolution: the versioned resolver cache and the
+directory client that fills it.
+
+Millions of clients re-resolving through the directory on every call
+would turn the naming tier into the hot path; the
+:class:`ResolverCache` (one per context, at ``ctx.resolver``) makes the
+common case local.  Two mechanisms keep cached ORs correct through
+migration storms:
+
+* **TTL** — entries expire on the context's clock (virtual under
+  simulation), bounding how stale an unnoticed binding can get;
+* **version checks** — every cached entry carries the directory's
+  per-name version; a ``put`` from a lagging follower can never clobber
+  a newer binding, and a MOVED reply observed by *any* GP in the
+  context (see :meth:`note_moved`) patches every cached alias of the
+  moved object in place, because the forwarding OR the server handed
+  back is strictly newer than what the cache holds.
+
+:class:`DirectoryClient` is the resolving face of a replica group: it
+reads from any live replica (availability first — versions order the
+answers), writes through the leader following ``not_leader`` redirects,
+and funnels everything through the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.objref import ObjectReference
+from repro.core.resilience import RetryPolicy
+from repro.directory.state import check_name
+from repro.exceptions import (
+    DirectoryUnavailableError,
+    HpcError,
+    NameNotFoundError,
+    QuorumWriteError,
+    RemoteException,
+)
+
+__all__ = ["ResolverCache", "DirectoryClient"]
+
+
+@dataclass
+class _CacheEntry:
+    oref: ObjectReference
+    version: int
+    expires_at: float
+
+
+class ResolverCache:
+    """TTL + version-checked name → OR cache (one per context)."""
+
+    def __init__(self, clock, *, ttl: float = 5.0, hooks=None):
+        from repro.core.instrumentation import GLOBAL_HOOKS
+
+        self.clock = clock
+        self.ttl = ttl
+        self.hooks = hooks if hooks is not None else GLOBAL_HOOKS
+        self._entries: Dict[str, _CacheEntry] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, name: str) -> Optional[ObjectReference]:
+        """Fresh cached OR for ``name``, or None (expired entries are
+        dropped silently — expiry is routine, not an invalidation)."""
+        check_name(name)
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                self.misses += 1
+                return None
+            if self.clock.now() >= entry.expires_at:
+                del self._entries[name]
+                self.misses += 1
+                return None
+            self.hits += 1
+            return entry.oref.clone()
+
+    def version_of(self, name: str) -> Optional[int]:
+        with self._lock:
+            entry = self._entries.get(name)
+            return entry.version if entry is not None else None
+
+    def put(self, name: str, oref: ObjectReference, version: int) -> bool:
+        """Cache a resolution; refuses to replace a newer version (a
+        lagging follower's answer must not roll the cache back).
+        Returns whether the entry was stored."""
+        check_name(name)
+        with self._lock:
+            current = self._entries.get(name)
+            if current is not None and current.version > version:
+                return False
+            self._entries[name] = _CacheEntry(
+                oref=oref.clone(), version=version,
+                expires_at=self.clock.now() + self.ttl)
+            return True
+
+    def invalidate(self, name: str, *, reason: str = "explicit") -> bool:
+        """Drop one name; emits ``cache_invalidate`` when it was held."""
+        check_name(name)
+        with self._lock:
+            entry = self._entries.pop(name, None)
+        if entry is None:
+            return False
+        self.hooks.emit("cache_invalidate", name=name,
+                        object_id=entry.oref.object_id, reason=reason)
+        return True
+
+    def note_moved(self, object_id: str,
+                   forward: Optional[ObjectReference]) -> int:
+        """A MOVED reply reached some GP in this context.
+
+        Every cached alias of ``object_id`` is patched to the forwarding
+        OR when it is a newer incarnation (``ObjectReference.version``),
+        or dropped when no usable forward came along.  Returns the
+        number of entries touched.
+        """
+        touched = 0
+        events = []
+        with self._lock:
+            for name, entry in list(self._entries.items()):
+                if entry.oref.object_id != object_id:
+                    continue
+                if forward is not None and \
+                        forward.version >= entry.oref.version:
+                    entry.oref = forward.clone()
+                    events.append((name, "moved"))
+                else:
+                    del self._entries[name]
+                    events.append((name, "moved_dropped"))
+                touched += 1
+        for name, reason in events:
+            self.hooks.emit("cache_invalidate", name=name,
+                            object_id=object_id, reason=reason)
+        return touched
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class DirectoryClient:
+    """Resolve/bind against a directory replica group.
+
+    ``replicas`` maps node id → OR of that node's
+    :class:`~repro.directory.replica.DirectoryReplica` export.  Reads
+    walk replicas starting from the last known leader; writes chase
+    ``not_leader`` redirects.  All traffic rides ordinary GPs bound in
+    ``ctx`` — capabilities, admission pushback, and breakers included.
+    """
+
+    def __init__(self, ctx, replicas: Dict[str, ObjectReference], *,
+                 cache: Optional[ResolverCache] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 **bind_kwargs):
+        if not replicas:
+            raise ValueError("DirectoryClient needs at least one replica")
+        self.ctx = ctx
+        policy = retry_policy or RetryPolicy(max_attempts=2)
+        self._gps = {
+            node_id: ctx.bind(oref.clone(), retry_policy=policy,
+                              **bind_kwargs)
+            for node_id, oref in replicas.items()
+        }
+        self._order = sorted(self._gps)
+        self.cache = cache if cache is not None \
+            else getattr(ctx, "resolver", None) or ResolverCache(ctx.clock)
+        self._leader_hint = ""
+        self._lock = threading.Lock()
+
+    # -- plumbing ------------------------------------------------------
+
+    @property
+    def hook_buses(self) -> List:
+        """Every underlying GP bus (attach recorders here, never to
+        both these and ``GLOBAL_HOOKS``)."""
+        return [gp.hooks for gp in self._gps.values()]
+
+    def _probe_order(self) -> List[str]:
+        with self._lock:
+            hint = self._leader_hint
+        order = [n for n in self._order if n != hint]
+        return ([hint] if hint in self._gps else []) + order
+
+    def _note_leader(self, leader: Optional[str]) -> None:
+        with self._lock:
+            self._leader_hint = leader or ""
+
+    # -- reads ---------------------------------------------------------
+
+    def resolve(self, name: str, *,
+                fresh: bool = False) -> ObjectReference:
+        """Resolve ``name`` to an OR, via the cache unless ``fresh``.
+
+        Raises :class:`NameNotFoundError` on an authoritative miss and
+        :class:`DirectoryUnavailableError` when no replica answered.
+        """
+        check_name(name)
+        if not fresh:
+            cached = self.cache.get(name)
+            if cached is not None:
+                return cached
+        missed = False
+        last_error: Optional[HpcError] = None
+        for node_id in self._probe_order():
+            gp = self._gps[node_id]
+            try:
+                reply = gp.invoke("resolve", name)
+            except HpcError as exc:
+                last_error = exc
+                continue
+            self._note_leader(reply.get("leader"))
+            if reply.get("found"):
+                oref = reply["oref"]
+                self.cache.put(name, oref, int(reply["version"]))
+                return oref.clone()
+            missed = True
+            # A follower can lag the commit by one heartbeat; only a
+            # miss confirmed by the leader (or by every reachable
+            # replica) is authoritative.
+            if node_id == reply.get("leader"):
+                break
+        if missed:
+            raise NameNotFoundError(f"name {name!r} is not bound")
+        raise DirectoryUnavailableError(
+            f"no directory replica answered resolve({name!r})"
+        ) from last_error
+
+    def leader(self) -> str:
+        """Current leader's node id ("" when none is known)."""
+        for node_id in self._probe_order():
+            try:
+                reply = self._gps[node_id].invoke("status")
+            except HpcError:
+                continue
+            if reply.get("role") == "leader" and reply.get("lease_valid"):
+                self._note_leader(reply["node"])
+                return reply["node"]
+            if reply.get("leader"):
+                self._note_leader(reply["leader"])
+                return reply["leader"]
+        return ""
+
+    # -- writes --------------------------------------------------------
+
+    def _write(self, method: str, *args) -> dict:
+        last_error: Optional[HpcError] = None
+        tried_no_quorum = None
+        attempts = len(self._gps) + 1  # one extra hop for a redirect
+        order = self._probe_order()
+        idx = 0
+        for _ in range(attempts):
+            if idx >= len(order):
+                break
+            node_id = order[idx]
+            gp = self._gps[node_id]
+            try:
+                reply = gp.invoke(method, *args)
+            except RemoteException:
+                # The servant itself rejected the operation (invalid
+                # name, bind of a bound name, ...): a caller error, not
+                # a replica failure — never mask it by failing over.
+                raise
+            except HpcError as exc:
+                last_error = exc
+                idx += 1
+                continue
+            if reply.get("ok"):
+                self._note_leader(reply.get("leader") or
+                                  reply.get("node"))
+                return reply
+            error = reply.get("error")
+            if error == "not_leader":
+                hint = reply.get("leader")
+                if hint and hint in self._gps and hint not in order[:idx]:
+                    # Jump straight to the advertised leader.
+                    order = [hint] + [n for n in order if n != hint]
+                    self._note_leader(hint)
+                    idx = 0
+                    continue
+                idx += 1
+                continue
+            if error == "no_quorum":
+                tried_no_quorum = reply
+                break
+            raise DirectoryUnavailableError(
+                f"directory write {method} failed: {error!r}")
+        if tried_no_quorum is not None:
+            raise QuorumWriteError(
+                f"directory write {method}{args[:1]} got "
+                f"{tried_no_quorum.get('acks')} ack(s), quorum lost")
+        raise DirectoryUnavailableError(
+            f"no directory leader reachable for {method}"
+        ) from last_error
+
+    def bind(self, name: str, oref: ObjectReference) -> int:
+        reply = self._write("bind", name, oref)
+        self.cache.put(name, oref, int(reply["version"]))
+        return int(reply["version"])
+
+    def rebind(self, name: str, oref: ObjectReference) -> int:
+        reply = self._write("rebind", name, oref)
+        self.cache.put(name, oref, int(reply["version"]))
+        return int(reply["version"])
+
+    def unbind(self, name: str) -> None:
+        self._write("unbind", name)
+        self.cache.invalidate(name, reason="unbound")
+
+    def rebind_object(self, object_id: str,
+                      oref: ObjectReference) -> List[str]:
+        """Publish a migration: every alias of ``object_id`` rebinds to
+        ``oref`` (the :class:`~repro.core.loadbalance.LoadBalancer`
+        directory hook calls this after each migration)."""
+        reply = self._write("rebind_object", object_id, oref)
+        for name in reply.get("rebound", []):
+            self.cache.invalidate(name, reason="migrated")
+        return list(reply.get("rebound", []))
+
+    def close(self) -> None:
+        for gp in self._gps.values():
+            try:
+                gp.close(wait=False)
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass

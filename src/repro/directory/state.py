@@ -1,0 +1,233 @@
+"""Replicated directory state: a versioned binding log and its table.
+
+The directory's replication unit is the :class:`LogEntry` — one
+bind/rebind/unbind operation, stamped with a monotonically increasing
+log sequence number (``seq``), the leader term that appended it, and the
+per-name ``version`` it establishes.  :class:`DirectoryState` is the
+deterministic state machine both leaders and followers run: appending
+the same entries in the same order always produces the same binding
+table, so followers catch up simply by replaying the leader's log tail.
+
+Versioning has two layers, on purpose:
+
+* **per-name version** — bumped by every bind/rebind/unbind of that
+  name; what :class:`~repro.directory.resolver.ResolverCache` compares
+  so a stale follower read can never overwrite a newer cached binding;
+* **OR version** — ``ObjectReference.version``, bumped by migration;
+  carried through opaquely so clients can order *incarnations* of the
+  same object independently of directory churn.
+
+Everything here is process-local and lock-protected; the consensus
+machinery that decides *which* entries get appended lives in
+:mod:`repro.directory.replica`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.objref import ObjectReference
+from repro.exceptions import (
+    DirectoryError,
+    InvalidNameError,
+    NameAlreadyBoundError,
+    NameNotFoundError,
+)
+
+__all__ = ["LogEntry", "BindingRecord", "DirectoryState",
+           "OP_BIND", "OP_REBIND", "OP_UNBIND"]
+
+OP_BIND = "bind"
+OP_REBIND = "rebind"
+OP_UNBIND = "unbind"
+
+_OPS = (OP_BIND, OP_REBIND, OP_UNBIND)
+
+
+def check_name(name: str) -> None:
+    """Reject names that can never be bound (an input bug, not a miss)."""
+    if not isinstance(name, str) or not name:
+        raise InvalidNameError("directory names must be non-empty strings")
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One replicated binding operation."""
+
+    seq: int            # log position, 1-based, gap-free
+    term: int           # leader term that appended it
+    op: str             # OP_BIND / OP_REBIND / OP_UNBIND
+    name: str
+    oref: Optional[ObjectReference]  # None for unbind
+    version: int        # per-name version this entry establishes
+
+    def to_wire(self) -> dict:
+        """Marshallable dict (ORs are first-class marshal values)."""
+        return {"seq": self.seq, "term": self.term, "op": self.op,
+                "name": self.name, "version": self.version,
+                "oref": self.oref.clone() if self.oref is not None
+                else None}
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "LogEntry":
+        op = data["op"]
+        if op not in _OPS:
+            raise DirectoryError(f"unknown log op {op!r}")
+        oref = data.get("oref")
+        return cls(seq=int(data["seq"]), term=int(data["term"]), op=op,
+                   name=data["name"], version=int(data["version"]),
+                   oref=oref.clone() if oref is not None else None)
+
+
+@dataclass(frozen=True)
+class BindingRecord:
+    """The current table row for one name."""
+
+    name: str
+    oref: Optional[ObjectReference]  # None => tombstone (unbound)
+    version: int
+
+
+class DirectoryState:
+    """Deterministic log + binding table (one per replica)."""
+
+    def __init__(self):
+        self._log: List[LogEntry] = []
+        self._bindings: Dict[str, BindingRecord] = {}
+        self._lock = threading.RLock()
+
+    # -- log shape -----------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        with self._lock:
+            return self._log[-1].seq if self._log else 0
+
+    @property
+    def last_term(self) -> int:
+        with self._lock:
+            return self._log[-1].term if self._log else 0
+
+    def term_at(self, seq: int) -> int:
+        """Term of the entry at ``seq`` (0 for the empty prefix)."""
+        with self._lock:
+            if seq == 0:
+                return 0
+            if not 1 <= seq <= len(self._log):
+                raise DirectoryError(f"no log entry at seq {seq}")
+            return self._log[seq - 1].term
+
+    def entries_from(self, seq: int, limit: int = 256) -> List[LogEntry]:
+        """Log tail starting at ``seq`` (for follower catch-up)."""
+        with self._lock:
+            return list(self._log[max(seq - 1, 0):max(seq - 1, 0) + limit])
+
+    # -- mutation ------------------------------------------------------
+
+    def make_entry(self, term: int, op: str, name: str,
+                   oref: Optional[ObjectReference]) -> LogEntry:
+        """Build (without appending) the next entry for ``op`` on
+        ``name`` — leader-side validation happens here, so an invalid
+        operation never reaches the log."""
+        check_name(name)
+        if op not in _OPS:
+            raise DirectoryError(f"unknown log op {op!r}")
+        with self._lock:
+            current = self._bindings.get(name)
+            bound = current is not None and current.oref is not None
+            if op == OP_BIND and bound:
+                raise NameAlreadyBoundError(
+                    f"name {name!r} already bound (use rebind)")
+            if op == OP_UNBIND and not bound:
+                raise NameNotFoundError(f"name {name!r} is not bound")
+            version = (current.version if current else 0) + 1
+            return LogEntry(seq=self.last_seq + 1, term=term, op=op,
+                            name=name, version=version,
+                            oref=oref.clone() if oref is not None
+                            else None)
+
+    def append(self, entry: LogEntry) -> None:
+        """Append one entry and apply it to the table.
+
+        Appends must be gap-free and in order; an entry whose seq is
+        already present is rejected (use :meth:`truncate` first when
+        resolving a divergent suffix).
+        """
+        with self._lock:
+            if entry.seq != self.last_seq + 1:
+                raise DirectoryError(
+                    f"log gap: appending seq {entry.seq} after "
+                    f"{self.last_seq}")
+            if entry.term < self.last_term:
+                raise DirectoryError(
+                    f"term went backwards: {entry.term} after "
+                    f"{self.last_term}")
+            self._log.append(entry)
+            self._apply(entry)
+
+    def _apply(self, entry: LogEntry) -> None:
+        oref = None if entry.op == OP_UNBIND else entry.oref
+        self._bindings[entry.name] = BindingRecord(
+            name=entry.name, oref=oref, version=entry.version)
+
+    def truncate(self, seq: int) -> None:
+        """Drop every entry after ``seq`` and rebuild the table.
+
+        Used by followers resolving a divergent suffix after a leader
+        change: logs are short-lived test/metadata scale, so a full
+        replay is simpler and safer than incremental undo.
+        """
+        with self._lock:
+            if seq >= self.last_seq:
+                return
+            self._log = self._log[:seq]
+            self._bindings.clear()
+            for entry in self._log:
+                self._apply(entry)
+
+    # -- reads ---------------------------------------------------------
+
+    def lookup(self, name: str) -> Optional[BindingRecord]:
+        """Current record for ``name`` (tombstones included), or None."""
+        check_name(name)
+        with self._lock:
+            record = self._bindings.get(name)
+            if record is None:
+                return None
+            oref = record.oref.clone() if record.oref is not None else None
+            return BindingRecord(name=record.name, oref=oref,
+                                 version=record.version)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(name for name, rec in self._bindings.items()
+                          if rec.oref is not None)
+
+    def names_for_object(self, object_id: str) -> List[str]:
+        """Every live name currently bound to ``object_id``."""
+        with self._lock:
+            return sorted(
+                name for name, rec in self._bindings.items()
+                if rec.oref is not None
+                and rec.oref.object_id == object_id)
+
+    def snapshot(self) -> dict:
+        """Diagnostic summary (log shape + live bindings)."""
+        with self._lock:
+            return {
+                "last_seq": self.last_seq,
+                "last_term": self.last_term,
+                "bindings": {
+                    name: {"version": rec.version,
+                           "object_id": rec.oref.object_id
+                           if rec.oref is not None else None}
+                    for name, rec in sorted(self._bindings.items())
+                },
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(1 for rec in self._bindings.values()
+                       if rec.oref is not None)

@@ -60,6 +60,11 @@ __all__ = [
     "NamingError",
     "NameNotFoundError",
     "NameAlreadyBoundError",
+    "InvalidNameError",
+    "DirectoryError",
+    "NotLeaderError",
+    "QuorumWriteError",
+    "DirectoryUnavailableError",
     "SimulationError",
     "TopologyError",
     "IdlError",
@@ -290,6 +295,44 @@ class NameNotFoundError(NamingError):
 
 class NameAlreadyBoundError(NamingError):
     """``bind`` of a name that is already bound (use ``rebind``)."""
+
+
+class InvalidNameError(NamingError, ValueError):
+    """A name that can never be bound (empty, or otherwise malformed).
+
+    Deliberately *also* a :class:`ValueError`: passing an empty name is a
+    caller bug, not a lookup that happened to miss, so it must not be
+    caught by ``except NameNotFoundError`` retry loops.
+    """
+
+
+class DirectoryError(NamingError):
+    """Base class for replicated-directory (``repro.directory``) errors."""
+
+
+class NotLeaderError(DirectoryError):
+    """A write reached a replica that is not the current lease holder.
+
+    ``leader`` carries the replica's best hint (node id, may be ``""``
+    when no leader is known) so clients can redirect instead of probing.
+    """
+
+    def __init__(self, message: str, leader: str = ""):
+        super().__init__(message)
+        self.leader = leader
+
+
+class QuorumWriteError(DirectoryError):
+    """The leader could not gather a write quorum (partition/crash).
+
+    The entry stays in the leader's log and may still commit when the
+    cluster heals — the write is *in doubt*, not certainly lost, which
+    is why this is distinct from :class:`NotLeaderError`.
+    """
+
+
+class DirectoryUnavailableError(DirectoryError):
+    """No directory replica answered a resolve/write attempt."""
 
 
 class SimulationError(HpcError):

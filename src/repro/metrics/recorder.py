@@ -54,6 +54,11 @@ RECORDED_EVENTS = (
     "proc_spawn",
     "proc_exit",
     "proc_pause",
+    "leader_elected",
+    "lease_expired",
+    "quorum_write",
+    "cache_invalidate",
+    "directory_miss",
 )
 
 
@@ -198,6 +203,25 @@ class MetricsRecorder:
             action = data.get("action")
             if action:
                 reg.counter(f"proc_pauses.{action}").inc()
+        elif kind == "leader_elected":
+            reg.counter("leader_elections_total").inc()
+            term = data.get("term")
+            if term is not None:
+                reg.gauge("directory_term").set(float(term))
+        elif kind == "lease_expired":
+            reg.counter("lease_expirations_total").inc()
+        elif kind == "quorum_write":
+            reg.counter("quorum_writes_total").inc()
+            op = data.get("op")
+            if op:
+                reg.counter(f"quorum_writes.{op}").inc()
+        elif kind == "cache_invalidate":
+            reg.counter("cache_invalidates_total").inc()
+            reason = data.get("reason")
+            if reason:
+                reg.counter(f"cache_invalidates.{reason}").inc()
+        elif kind == "directory_miss":
+            reg.counter("directory_misses_total").inc()
         elif kind == "selection":
             reg.counter("selections_total").inc()
         elif kind == "moved":

@@ -118,6 +118,13 @@ class Endpoint:
 
     def handle_message(self, data: bytes, channel: Channel) -> None:
         """Decode one inbound message and act on it (inline)."""
+        if self._stopping:
+            # A stopped endpoint is a dead process to its callers:
+            # sever the channel instead of serving, so a simulated
+            # crash (inline dispatch) refuses exactly like a real
+            # transport whose serve loops have exited.
+            channel.close()
+            return
         self._run_request(RsrMessage.decode(data), channel)
 
     def _run_request(self, message: RsrMessage, channel: Channel,

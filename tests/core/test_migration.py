@@ -60,7 +60,10 @@ class TestMigrate:
         o2 = migrate(a, oref.object_id, b)
         assert o2.version == 1
         o3 = migrate(b, oref.object_id, c)
-        assert o3.version == 1  # b had no prior forward for it
+        # Versions order *incarnations* globally, not per-context: the
+        # second hop must be strictly newer than the first even though
+        # B itself had no prior forward for the object.
+        assert o3.version == 2
 
     def test_forwarding_chain_followed(self, three_contexts):
         a, b, c = three_contexts
@@ -72,6 +75,52 @@ class TestMigrate:
         # The GP still points at A; it must follow A -> B -> C.
         assert gp.invoke("get") == 1
         assert gp.oref.context_id == "C"
+
+    def test_double_migration_two_moved_hops(self, three_contexts):
+        """A -> B -> C while a GP still points at A: the stale GP eats
+        two MOVED hops in one logical call, re-running protocol
+        selection per hop, and the OR version increases strictly
+        along the chain."""
+        a, b, c = three_contexts
+        oref = a.export(Counter())
+        gp = a.bind(oref)
+        gp.invoke("add", 1)
+        o2 = migrate(a, oref.object_id, b)
+        o3 = migrate(b, oref.object_id, c)
+        assert oref.version < o2.version < o3.version
+
+        moved = []
+        selections = []
+        gp.hooks.on("moved", moved.append)
+        gp.hooks.on("selection", selections.append)
+        assert gp.invoke("get") == 1
+        # Two forwarding records, two MOVED replies, one re-selection
+        # per hop (plus the call's initial selection) — and the GP
+        # lands on the final incarnation.
+        assert len(moved) == 2
+        assert len(selections) == 3
+        assert gp.oref.context_id == "C"
+        assert gp.oref.version == o3.version
+        # The chain collapses: the *next* call goes straight to C.
+        moved.clear()
+        assert gp.invoke("get") == 1
+        assert moved == []
+
+    def test_moved_reply_patches_resolver_cache(self, three_contexts):
+        """A MOVED reply seen by any GP updates the context's resolver
+        cache in place for every alias of the moved object."""
+        a, b, _c = three_contexts
+        oref = a.export(Counter())
+        gp = a.bind(oref)
+        a.resolver.put("svc/main", oref, 1)
+        a.resolver.put("svc/alias", oref, 1)
+        new_oref = migrate(a, oref.object_id, b)
+        assert gp.invoke("add", 2) == 2  # eats the MOVED reply
+        for name in ("svc/main", "svc/alias"):
+            cached = a.resolver.get(name)
+            assert cached is not None
+            assert cached.context_id == "B"
+            assert cached.version == new_oref.version
 
     def test_unknown_object(self, three_contexts):
         a, b, _c = three_contexts

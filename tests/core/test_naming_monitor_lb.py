@@ -3,8 +3,9 @@
 import pytest
 
 from repro.core import ORB, LoadBalancer
-from repro.core.naming import NameServer, NameService
+from repro.core.naming import NameServer, NameService, resolve_oref
 from repro.exceptions import (
+    InvalidNameError,
     NameAlreadyBoundError,
     NameNotFoundError,
     RemoteException,
@@ -45,6 +46,19 @@ class TestNameService:
         with pytest.raises(NameNotFoundError):
             NameService().resolve("ghost")
 
+    def test_empty_name_rejected(self, wall_orb):
+        """Empty / non-string names are argument errors, not lookups."""
+        ns = NameService()
+        oref = sample_oref(wall_orb)
+        for bad in ("", None, 42):
+            with pytest.raises(InvalidNameError):
+                ns.bind(bad, oref)
+            with pytest.raises(InvalidNameError):
+                ns.rebind(bad, oref)
+        # InvalidNameError is a ValueError, NOT a NameNotFoundError.
+        assert issubclass(InvalidNameError, ValueError)
+        assert not issubclass(InvalidNameError, NameNotFoundError)
+
     def test_unbind(self, wall_orb):
         ns = NameService()
         ns.bind("x", sample_oref(wall_orb))
@@ -84,10 +98,21 @@ class TestRemoteNameServer:
         service.bind("counter", counter_oref)
 
         ns = client.bind(ns_oref).narrow()
-        resolved = ns.resolve("counter")
+        resolved = resolve_oref(ns, "counter")
         gp = client.bind(resolved)
         assert gp.invoke("add", 5) == 5
         assert ns.names() == ["counter"]
+
+    def test_remote_miss_is_a_typed_reply(self, wall_orb):
+        """Misses come back as data, not a marshalled exception."""
+        home = wall_orb.context("home-miss")
+        client = wall_orb.context("client-miss")
+        ns = client.bind(home.export(NameServer(NameService()))).narrow()
+        reply = ns.resolve("ghost")
+        assert reply["found"] is False
+        assert reply["name"] == "ghost"
+        with pytest.raises(NameNotFoundError):
+            resolve_oref(ns, "ghost")
 
     def test_remote_bind_and_errors(self, wall_orb):
         home = wall_orb.context("home2")

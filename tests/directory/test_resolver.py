@@ -1,0 +1,118 @@
+"""Tests for the client-side resolver cache: TTL expiry, version
+ordering, and MOVED-driven invalidation."""
+
+import pytest
+
+from repro.core import ORB
+from repro.core.instrumentation import HookBus
+from repro.directory.resolver import ResolverCache
+from repro.exceptions import InvalidNameError
+from repro.simnet.clock import VirtualClock
+
+from tests.core.conftest import Counter
+
+
+@pytest.fixture
+def orb():
+    orb = ORB()
+    yield orb
+    orb.shutdown()
+
+
+@pytest.fixture
+def oref(orb):
+    return orb.context("cache-test").export(Counter())
+
+
+def make_cache(ttl=5.0):
+    bus = HookBus()
+    events = []
+    bus.on("cache_invalidate", events.append)
+    return ResolverCache(VirtualClock(), ttl=ttl, hooks=bus), events
+
+
+class TestResolverCache:
+    def test_put_get_round_trip(self, oref):
+        cache, _ = make_cache()
+        assert cache.get("svc") is None
+        assert cache.put("svc", oref, 1)
+        got = cache.get("svc")
+        assert got.object_id == oref.object_id
+        assert cache.version_of("svc") == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+        # The cache hands out copies, not its own entry.
+        got.protocols.clear()
+        assert cache.get("svc").protocols
+
+    def test_ttl_expiry_is_silent(self, oref):
+        cache, events = make_cache(ttl=2.0)
+        cache.put("svc", oref, 1)
+        cache.clock.advance(1.9)
+        assert cache.get("svc") is not None
+        cache.clock.advance(0.2)
+        assert cache.get("svc") is None
+        assert len(cache) == 0
+        assert events == []  # expiry is routine, not an invalidation
+
+    def test_version_ordering_rejects_rollback(self, oref):
+        cache, _ = make_cache()
+        newer = oref.clone()
+        newer.version = 2
+        assert cache.put("svc", newer, 5)
+        assert not cache.put("svc", oref, 3)  # lagging follower answer
+        assert cache.version_of("svc") == 5
+        assert cache.put("svc", newer, 5)  # equal version refreshes TTL
+
+    def test_invalidate_emits_reason(self, oref):
+        cache, events = make_cache()
+        cache.put("svc", oref, 1)
+        assert cache.invalidate("svc", reason="unbound")
+        assert not cache.invalidate("svc")  # already gone: no event
+        assert len(events) == 1
+        assert events[0].data["reason"] == "unbound"
+        assert events[0].data["object_id"] == oref.object_id
+
+    def test_note_moved_patches_every_alias(self, oref):
+        cache, events = make_cache()
+        cache.put("svc/main", oref, 1)
+        cache.put("svc/alias", oref, 2)
+        cache.put("other", oref.clone(), 1)
+        other = cache.get("other")
+        forward = oref.clone()
+        forward.version = 3
+        forward.context_id = "elsewhere"
+        touched = cache.note_moved(oref.object_id, forward)
+        # 'other' shares the object id, so all three aliases move.
+        assert touched == 3
+        for name in ("svc/main", "svc/alias", "other"):
+            assert cache.get(name).context_id == "elsewhere"
+        assert {e.data["reason"] for e in events} == {"moved"}
+        assert other.context_id != "elsewhere"  # copies stay put
+
+    def test_note_moved_drops_without_usable_forward(self, oref):
+        cache, events = make_cache()
+        newer = oref.clone()
+        newer.version = 5
+        cache.put("svc", newer, 1)
+        stale_forward = oref.clone()
+        stale_forward.version = 2  # older incarnation than cached
+        assert cache.note_moved(oref.object_id, stale_forward) == 1
+        assert cache.get("svc") is None
+        assert events[0].data["reason"] == "moved_dropped"
+        cache.put("svc", newer, 2)
+        assert cache.note_moved(oref.object_id, None) == 1
+        assert cache.get("svc") is None
+
+    def test_bad_names_rejected(self, oref):
+        cache, _ = make_cache()
+        for op in (cache.get, cache.invalidate):
+            with pytest.raises(InvalidNameError):
+                op("")
+        with pytest.raises(InvalidNameError):
+            cache.put(None, oref, 1)
+
+    def test_context_has_a_resolver(self, orb):
+        """Every context carries a ResolverCache on its own clock."""
+        ctx = orb.context("has-resolver")
+        assert isinstance(ctx.resolver, ResolverCache)
+        assert ctx.resolver.clock is ctx.clock

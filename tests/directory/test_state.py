@@ -1,0 +1,148 @@
+"""Tests for the directory's replicated state machine: the versioned
+binding log, its table, and the wire form entries travel in."""
+
+import pytest
+
+from repro.core import ORB
+from repro.directory.state import (
+    OP_BIND,
+    OP_REBIND,
+    OP_UNBIND,
+    DirectoryState,
+    LogEntry,
+)
+from repro.exceptions import (
+    DirectoryError,
+    InvalidNameError,
+    NameAlreadyBoundError,
+    NameNotFoundError,
+)
+from repro.serialization.marshal import dumps, loads
+
+from tests.core.conftest import Counter
+
+
+@pytest.fixture
+def oref():
+    orb = ORB()
+    try:
+        yield orb.context("state-test").export(Counter())
+    finally:
+        orb.shutdown()
+
+
+def append(state, term, op, name, oref):
+    entry = state.make_entry(term, op, name, oref)
+    state.append(entry)
+    return entry
+
+
+class TestLogAndTable:
+    def test_versions_increase_per_name(self, oref):
+        state = DirectoryState()
+        e1 = append(state, 1, OP_BIND, "svc", oref)
+        e2 = append(state, 1, OP_REBIND, "svc", oref)
+        e3 = append(state, 1, OP_UNBIND, "svc", None)
+        e4 = append(state, 2, OP_BIND, "svc", oref)
+        assert [e.version for e in (e1, e2, e3, e4)] == [1, 2, 3, 4]
+        assert [e.seq for e in (e1, e2, e3, e4)] == [1, 2, 3, 4]
+        assert state.lookup("svc").version == 4
+
+    def test_leader_side_validation(self, oref):
+        state = DirectoryState()
+        append(state, 1, OP_BIND, "svc", oref)
+        with pytest.raises(NameAlreadyBoundError):
+            state.make_entry(1, OP_BIND, "svc", oref)
+        with pytest.raises(NameNotFoundError):
+            state.make_entry(1, OP_UNBIND, "ghost", None)
+        with pytest.raises(InvalidNameError):
+            state.make_entry(1, OP_BIND, "", oref)
+        with pytest.raises(DirectoryError):
+            state.make_entry(1, "promote", "svc", oref)
+
+    def test_unbind_leaves_tombstone(self, oref):
+        state = DirectoryState()
+        append(state, 1, OP_BIND, "svc", oref)
+        append(state, 1, OP_UNBIND, "svc", None)
+        record = state.lookup("svc")
+        assert record is not None and record.oref is None
+        assert state.names() == []
+        assert len(state) == 0
+        # Rebinding over a tombstone continues the version chain.
+        entry = append(state, 1, OP_BIND, "svc", oref)
+        assert entry.version == 3
+
+    def test_append_rejects_gaps_and_term_regress(self, oref):
+        state = DirectoryState()
+        entry = state.make_entry(3, OP_BIND, "svc", oref)
+        state.append(entry)
+        gap = LogEntry(seq=5, term=3, op=OP_BIND, name="x",
+                       oref=oref, version=1)
+        with pytest.raises(DirectoryError):
+            state.append(gap)
+        regress = LogEntry(seq=2, term=2, op=OP_BIND, name="x",
+                           oref=oref, version=1)
+        with pytest.raises(DirectoryError):
+            state.append(regress)
+
+    def test_truncate_rebuilds_table(self, oref):
+        state = DirectoryState()
+        append(state, 1, OP_BIND, "a", oref)
+        append(state, 1, OP_BIND, "b", oref)
+        append(state, 1, OP_REBIND, "a", oref)
+        state.truncate(2)
+        assert state.last_seq == 2
+        assert state.lookup("a").version == 1
+        assert state.names() == ["a", "b"]
+        # Truncating at/after the tip is a no-op.
+        state.truncate(5)
+        assert state.last_seq == 2
+
+    def test_lookup_returns_copies(self, oref):
+        state = DirectoryState()
+        append(state, 1, OP_BIND, "svc", oref)
+        got = state.lookup("svc")
+        got.oref.protocols.clear()
+        assert state.lookup("svc").oref.protocols
+
+    def test_names_for_object(self, oref):
+        state = DirectoryState()
+        append(state, 1, OP_BIND, "svc/main", oref)
+        append(state, 1, OP_BIND, "svc/alias", oref)
+        assert state.names_for_object(oref.object_id) == \
+            ["svc/alias", "svc/main"]
+        assert state.names_for_object("ghost") == []
+
+    def test_entries_from_and_term_at(self, oref):
+        state = DirectoryState()
+        for i in range(5):
+            append(state, 1, OP_BIND, f"n{i}", oref)
+        tail = state.entries_from(3)
+        assert [e.seq for e in tail] == [3, 4, 5]
+        assert [e.seq for e in state.entries_from(1, limit=2)] == [1, 2]
+        assert state.term_at(0) == 0
+        assert state.term_at(3) == 1
+        with pytest.raises(DirectoryError):
+            state.term_at(99)
+
+
+class TestWireForm:
+    def test_round_trip_through_marshal(self, oref):
+        entry = LogEntry(seq=7, term=3, op=OP_REBIND, name="svc",
+                         oref=oref, version=4)
+        wire = loads(dumps(entry.to_wire()))
+        back = LogEntry.from_wire(wire)
+        assert (back.seq, back.term, back.op, back.name, back.version) \
+            == (7, 3, OP_REBIND, "svc", 4)
+        assert back.oref.object_id == oref.object_id
+
+    def test_unbind_carries_no_oref(self):
+        entry = LogEntry(seq=1, term=1, op=OP_UNBIND, name="svc",
+                         oref=None, version=3)
+        back = LogEntry.from_wire(loads(dumps(entry.to_wire())))
+        assert back.oref is None
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(DirectoryError):
+            LogEntry.from_wire({"seq": 1, "term": 1, "op": "promote",
+                                "name": "x", "version": 1, "oref": None})

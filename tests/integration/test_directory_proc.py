@@ -1,0 +1,162 @@
+"""Directory crash matrix against real endpoint processes (tier-2,
+``-m proc``).
+
+The acceptance scenario for the replicated directory: three worker
+processes each host a :class:`DirectoryReplica`, elect over kernel TCP,
+and take a SIGKILL of the *leader* in the middle of a migration sweep
+while a resolve workload measures availability.  A follower kill rides
+along as the cheap half of the matrix.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster.procs import NodeSpec, ProcCluster, ProcRun
+from repro.directory import join_proc_directory
+from repro.exceptions import HpcError
+from repro.faults.process import kill_node
+from repro.metrics.curves import assert_degradation
+
+from tests.integration.test_proc_cluster import assert_all_reaped
+
+pytestmark = pytest.mark.proc
+
+LEASE = 1.2
+ELECTION_HI = 1.2
+
+
+def directory_specs(n=3):
+    return [NodeSpec(f"n{i}", ("w0",),
+                     {"directory": "1", "dir_seed": "42",
+                      "dir_stream": str(i)})
+            for i in range(n)]
+
+
+def wait_for_leader(client, budget=15.0):
+    deadline = time.monotonic() + budget
+    while time.monotonic() < deadline:
+        leader = client.leader()
+        if leader:
+            return leader
+        time.sleep(0.1)
+    raise AssertionError(f"no directory leader within {budget}s")
+
+
+class TestDirectoryCrashMatrix:
+    def test_sigkill_leader_mid_migration_sweep(self):
+        with ProcCluster(directory_specs()) as cluster:
+            client = join_proc_directory(cluster)
+            try:
+                first = wait_for_leader(client)
+                target = cluster.nodes["n0"].orefs["w0"]
+                for i in range(3):
+                    client.bind(f"svc/{i}", target)
+
+                # A background migration sweep keeps republishing the
+                # object under fresh incarnations — the write traffic
+                # the kill lands in the middle of.
+                stop = threading.Event()
+                sweeps = {"before": 0, "after": 0, "failed": 0}
+                stamps = {}
+
+                def sweep_loop():
+                    hop = 0
+                    while not stop.is_set():
+                        hop += 1
+                        moved = target.clone()
+                        moved.version = target.version + hop
+                        try:
+                            rebound = client.rebind_object(
+                                target.object_id, moved)
+                            assert rebound  # the aliases followed
+                            phase = "after" if "kill" in stamps \
+                                else "before"
+                            sweeps[phase] += 1
+                        except HpcError:
+                            sweeps["failed"] += 1
+                        time.sleep(0.15)
+
+                def watch_loop():
+                    while not stop.is_set():
+                        if "kill" in stamps and "new" not in stamps:
+                            try:
+                                cur = client.leader()
+                            except HpcError:
+                                cur = ""
+                            if cur and cur != first:
+                                stamps["new"] = (time.monotonic(), cur)
+                        time.sleep(0.05)
+
+                def kill_leader():
+                    stamps["kill"] = time.monotonic()
+                    kill_node(cluster, first)()
+
+                run = ProcRun(duration=6.0, threads=4,
+                              bucket_seconds=0.5,
+                              op=lambda c: c.resolve("svc/0", fresh=True))
+                run.schedule(
+                    1.2, lambda: threading.Thread(
+                        target=sweep_loop, daemon=True).start(),
+                    "start migration sweep")
+                run.schedule(1.5, kill_leader, "SIGKILL directory leader")
+                watcher = threading.Thread(target=watch_loop, daemon=True)
+                watcher.start()
+                report = run.run(cluster, [client])
+                stop.set()
+                watcher.join(timeout=5.0)
+
+                # A new leader took over within the lease + election
+                # budget of the moment the old one died.
+                assert "new" in stamps, \
+                    f"no new leader after killing {first}"
+                took = stamps["new"][0] - stamps["kill"]
+                assert stamps["new"][1] != first
+                assert took <= LEASE + ELECTION_HI + 2.0, \
+                    f"failover took {took:.2f}s"
+
+                # Resolution availability through the crash: >= 80%
+                # overall and the degradation envelope recovers.
+                assert report.total > 0
+                assert report.ok / report.total >= 0.8
+                assert_degradation(report.curve, recover_within=3.0,
+                                   recovered_fraction=0.8,
+                                   baseline_buckets=2)
+                # The sweep ran on both sides of the crash: the new
+                # leader accepted migration publishes too.
+                assert sweeps["before"] >= 1
+                assert sweeps["after"] >= 1
+                # The kill registered as a real SIGKILL exit.
+                counters = report.metrics["counters"]
+                assert counters["proc_exits.sigkill"] >= 1.0
+                # The survivors agree on the swept binding.
+                got = client.resolve("svc/0", fresh=True)
+                assert got.object_id == target.object_id
+                assert got.version > target.version
+            finally:
+                client.close()
+        assert_all_reaped(cluster)
+
+    def test_sigkill_follower_is_a_non_event(self):
+        """Killing a non-leader must neither change the leader nor
+        interrupt writes: quorum is still 2 of 3."""
+        with ProcCluster(directory_specs()) as cluster:
+            client = join_proc_directory(cluster)
+            try:
+                first = wait_for_leader(client)
+                target = cluster.nodes["n0"].orefs["w0"]
+                client.bind("svc/main", target)
+                follower = next(n for n in sorted(cluster.nodes)
+                                if n != first)
+                cluster.kill(follower)
+                time.sleep(0.5)
+                assert client.leader() == first
+                for i in range(3):
+                    assert client.bind(f"post/{i}", target) == 1
+                    assert client.resolve(
+                        f"post/{i}", fresh=True).object_id == \
+                        target.object_id
+            finally:
+                client.close()
+        assert_all_reaped(cluster)

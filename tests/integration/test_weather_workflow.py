@@ -17,7 +17,7 @@ from repro.core.capabilities import (
     EncryptionCapability,
 )
 from repro.core.instrumentation import GLOBAL_HOOKS
-from repro.core.naming import NameServer, NameService
+from repro.core.naming import NameServer, NameService, resolve_oref
 from repro.exceptions import QuotaExceededError, RemoteException
 from repro.idl import InterfaceView, remote_interface, remote_method
 from repro.security.acl import AccessControlList
@@ -143,7 +143,7 @@ class TestWeatherWorkflow:
 
         # Campus partner: resolves its OR remotely; authenticated and
         # encrypted because it is off-site.
-        partner_gp = campus_client.bind(ns.resolve("sim/partner"))
+        partner_gp = campus_client.bind(resolve_oref(ns, "sim/partner"))
         assert partner_gp.describe_selection() == "glue[auth+encryption]"
         partner_stub = partner_gp.narrow()
         assert partner_stub.feed([1.0, 2.0, 3.0]) == 3
@@ -152,7 +152,7 @@ class TestWeatherWorkflow:
         assert not hasattr(partner_stub, "step")
 
         # Metered public client.
-        public_gp = campus_client.bind(ns.resolve("sim/public"))
+        public_gp = campus_client.bind(resolve_oref(ns, "sim/public"))
         public = public_gp.narrow()
         for _ in range(3):
             public.summary()
