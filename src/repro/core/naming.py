@@ -118,13 +118,16 @@ def resolve_reply(service: NameService, name: str, node: str) -> dict:
     ``directory_miss`` event on a miss (misses are data, not errors)."""
     from repro.core.instrumentation import GLOBAL_HOOKS
 
+    # ``lease_valid`` mirrors the replicated directory's reply shape: a
+    # single NameServer is always authoritative for its own misses.
     try:
         oref = service.resolve(name)
     except NameNotFoundError:
         GLOBAL_HOOKS.emit("directory_miss", name=name, node=node)
-        return {"found": False, "name": name, "node": node}
+        return {"found": False, "name": name, "node": node,
+                "lease_valid": True}
     return {"found": True, "name": name, "node": node, "oref": oref,
-            "version": oref.version}
+            "version": oref.version, "lease_valid": True}
 
 
 def resolve_oref(resolver, name: str) -> ObjectReference:
@@ -163,6 +166,16 @@ class NameServer:
     @remote_method(retry_safe=True)
     def resolve(self, name: str) -> dict:
         return resolve_reply(self._service, name, self._node)
+
+    @remote_method(retry_safe=True)
+    def resolve_or(self, name: str):
+        """Compatibility shim for clients written against the original
+        wire contract, where ``resolve`` returned the OR directly and
+        marshalled a :class:`NameNotFoundError` on every miss.  New
+        code should call ``resolve`` and unwrap with
+        :func:`resolve_oref`; this method exists so external callers
+        have a drop-in target while they migrate."""
+        return self._service.resolve(name)
 
     @remote_method
     def unbind(self, name: str) -> None:

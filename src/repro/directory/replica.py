@@ -21,8 +21,13 @@ The consensus protocol is a lease-based simplification of Raft:
   writes it can no longer commit;
 * **quorum writes** — a bind/rebind/unbind appends to the leader's
   binding log and is acknowledged to the client only after a majority
-  of replicas hold it (``quorum_write``); followers replay the log tail
-  carried by heartbeats, truncating any divergent suffix.
+  of replicas hold *that entry* (a lagging follower acking a partial
+  catch-up batch does not count, ``quorum_write``); followers replay
+  the log tail carried by heartbeats, truncating any divergent suffix;
+* **committed reads** — entries reach the binding table only as the
+  commit index passes them, so ``resolve`` never serves a write the
+  client was told failed, nor a follower's divergent uncommitted
+  suffix.
 
 Time is *passive*: nothing here sleeps or schedules.  A driver calls
 :meth:`tick` — the simnet harness as it advances virtual time, a
@@ -251,8 +256,14 @@ class DirectoryReplica:
             # guaranteed, but heartbeats start immediately below).
             self._lease_until = now + self.lease_seconds
             self._next_heartbeat = now
+            # Match indices restart at zero: a peer only counts as
+            # holding an entry once it *acks* it this term.  (The first
+            # heartbeat re-ships a batch peers likely already hold —
+            # their acks snap _match to their true last_seq — which is
+            # the price of never computing a commit index, or a write
+            # quorum, from unverified optimism.)
             for node_id in self._match:
-                self._match[node_id] = self.state.last_seq
+                self._match[node_id] = 0
             plan = self._replication_plan()
         self._emit("leader_elected", node=self.node_id, term=term,
                    votes=votes, peers=len(peers) + 1)
@@ -331,6 +342,7 @@ class DirectoryReplica:
                                  reverse=True)
                 self._commit_seq = max(self._commit_seq,
                                        matched[self.quorum - 1])
+                self.state.apply_to(self._commit_seq)
             return acks
 
     # ------------------------------------------------------------------
@@ -376,6 +388,7 @@ class DirectoryReplica:
                 self.state.truncate(prev_seq - 1)
                 return {"term": self.term, "ok": False,
                         "last_seq": self.state.last_seq}
+            stored_all = True
             for wire in entries:
                 entry = LogEntry.from_wire(wire)
                 if entry.seq <= self.state.last_seq:
@@ -384,10 +397,16 @@ class DirectoryReplica:
                         self.state.append(entry)
                     continue  # duplicate of what we already hold
                 if entry.seq != self.state.last_seq + 1:
-                    break  # gap: nack below, leader rewinds
+                    stored_all = False  # gap: nack, leader rewinds
+                    break
                 self.state.append(entry)
-            self._commit_seq = min(commit_seq, self.state.last_seq)
-            return {"term": self.term, "ok": True,
+            # The prefix up to last_seq matches the leader's log (the
+            # prev checks above passed), so the leader's commit index
+            # applies to it even when the batch had a gap.
+            self._commit_seq = max(self._commit_seq,
+                                   min(commit_seq, self.state.last_seq))
+            self.state.apply_to(self._commit_seq)
+            return {"term": self.term, "ok": stored_all,
                     "last_seq": self.state.last_seq}
 
     # ------------------------------------------------------------------
@@ -400,14 +419,22 @@ class DirectoryReplica:
 
     @remote_method(retry_safe=True)
     def resolve(self, name: str) -> dict:
-        """Typed lookup served by *any* replica (reads prefer
-        availability; the per-name version lets caches order what
-        different replicas said)."""
+        """Typed lookup served by *any* replica, from **committed**
+        state only (reads prefer availability; the per-name version
+        lets caches order what different replicas said).
+
+        ``lease_valid`` tells the client whether this answer came from
+        a leader that currently holds its write lease — only such a
+        miss is authoritative; a deposed leader that has not noticed
+        its lease lapse yet still self-reports ``leader`` but must not
+        turn a lagging view into a hard NameNotFoundError."""
         check_name(name)
         with self._lock:
             record = self.state.lookup(name)
             reply = self._reply_base()
             reply["name"] = name
+            reply["lease_valid"] = (self.role == LEADER and
+                                    self.clock.now() < self._lease_until)
             if record is None or record.oref is None:
                 reply["found"] = False
                 miss_node = self.node_id
@@ -423,6 +450,14 @@ class DirectoryReplica:
                oref: Optional[ObjectReference]) -> dict:
         """Leader-only write path: append, replicate, ack on quorum.
 
+        A peer counts toward the write quorum only once its acked
+        ``last_seq`` covers the new entry — a lagging follower acking a
+        256-entry catch-up batch that stops *short* of the entry must
+        not let the client believe the write is majority-held.
+        Heartbeat rounds repeat while followers are still making
+        catch-up progress; the loop ends at quorum, at leadership/lease
+        loss, or when a full round moves no follower (``no_quorum``).
+
         Non-leader and quorum-loss outcomes are *typed replies* (they
         are routine redirect/retry traffic, not exceptional), while
         validation failures (bad name, bind of a bound name) raise and
@@ -433,18 +468,48 @@ class DirectoryReplica:
                 reply = self._reply_base()
                 reply.update(ok=False, error="not_leader")
                 return reply
-            entry = self.state.make_entry(self.term, op, name, oref)
+            term = self.term
+            entry = self.state.make_entry(term, op, name, oref)
             self.state.append(entry)
-            plan = self._replication_plan()
-        acks = self._run_heartbeat(plan)
-        reply = self._reply_base()
-        if acks >= self.quorum:
-            self._emit("quorum_write", node=self.node_id, op=op,
-                       name=name, version=entry.version,
-                       seq=entry.seq, acks=acks)
-            reply.update(ok=True, version=entry.version, seq=entry.seq)
-        else:
-            reply.update(ok=False, error="no_quorum", acks=acks)
+        acks = 1  # self
+        while True:
+            with self._lock:
+                if self.term != term or self.role != LEADER or \
+                        self.clock.now() >= self._lease_until:
+                    reply = self._reply_base()
+                    reply.update(ok=False, error="not_leader")
+                    return reply
+                before = dict(self._match)
+                plan = self._replication_plan()
+            self._run_heartbeat(plan)
+            with self._lock:
+                if self.term != term or self.role != LEADER:
+                    reply = self._reply_base()
+                    reply.update(ok=False, error="not_leader")
+                    return reply
+                acks = 1 + sum(1 for v in self._match.values()
+                               if v >= entry.seq)
+                if acks >= self.quorum:
+                    # A majority stores the entry and it is from the
+                    # current term: committed.  Apply before acking so
+                    # the leader's own resolve path serves the write
+                    # the moment the client hears ok (read-your-writes
+                    # even when this round's raw ack count fell short
+                    # of advancing the commit index itself).
+                    self._commit_seq = max(self._commit_seq, entry.seq)
+                    self.state.apply_to(self._commit_seq)
+                    reply = self._reply_base()
+                    break
+                progressed = any(self._match.get(n, 0) != before.get(n, 0)
+                                 for n in self._match)
+            if not progressed:
+                reply = self._reply_base()
+                reply.update(ok=False, error="no_quorum", acks=acks)
+                return reply
+        self._emit("quorum_write", node=self.node_id, op=op,
+                   name=name, version=entry.version,
+                   seq=entry.seq, acks=acks)
+        reply.update(ok=True, version=entry.version, seq=entry.seq)
         return reply
 
     @remote_method

@@ -222,10 +222,14 @@ class DirectoryClient:
                 self.cache.put(name, oref, int(reply["version"]))
                 return oref.clone()
             missed = True
-            # A follower can lag the commit by one heartbeat; only a
-            # miss confirmed by the leader (or by every reachable
-            # replica) is authoritative.
-            if node_id == reply.get("leader"):
+            # A follower can lag the commit by one heartbeat, and a
+            # partitioned/deposed leader that has not noticed its lease
+            # lapse still self-reports as leader while its view falls
+            # behind the real one.  Only a miss from a *lease-valid*
+            # leader (or from every reachable replica) is
+            # authoritative; anything else keeps probing.
+            if node_id == reply.get("leader") and \
+                    reply.get("lease_valid"):
                 break
         if missed:
             raise NameNotFoundError(f"name {name!r} is not bound")

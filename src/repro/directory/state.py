@@ -8,6 +8,18 @@ deterministic state machine both leaders and followers run: appending
 the same entries in the same order always produces the same binding
 table, so followers catch up simply by replaying the leader's log tail.
 
+Append and apply are two distinct steps, on purpose.  :meth:`append`
+only stores an entry in the log; it reaches the binding table when
+:meth:`apply_to` advances past it — which the consensus layer calls as
+the commit index moves.  Reads (:meth:`lookup`, :meth:`names`, ...)
+therefore only ever see **committed** bindings: an entry a leader could
+not get quorum for, or a divergent uncommitted suffix on a follower, is
+never served and can never poison a client cache with a version that
+loses the quorum it was acked under.  Leader-side validation and
+version numbering (:meth:`make_entry`) still run against the *latest*
+view — committed table plus the uncommitted log suffix — because the
+leader's own in-flight entries must chain correctly.
+
 Versioning has two layers, on purpose:
 
 * **per-name version** — bumped by every bind/rebind/unbind of that
@@ -96,6 +108,7 @@ class DirectoryState:
     def __init__(self):
         self._log: List[LogEntry] = []
         self._bindings: Dict[str, BindingRecord] = {}
+        self._applied = 0
         self._lock = threading.RLock()
 
     # -- log shape -----------------------------------------------------
@@ -104,6 +117,13 @@ class DirectoryState:
     def last_seq(self) -> int:
         with self._lock:
             return self._log[-1].seq if self._log else 0
+
+    @property
+    def applied_seq(self) -> int:
+        """Highest seq applied to the binding table (the committed
+        prefix reads are served from)."""
+        with self._lock:
+            return self._applied
 
     @property
     def last_term(self) -> int:
@@ -126,16 +146,30 @@ class DirectoryState:
 
     # -- mutation ------------------------------------------------------
 
+    def _latest(self, name: str) -> Optional[BindingRecord]:
+        """The record ``name`` will have once the whole log commits:
+        the committed row overlaid with any uncommitted suffix ops
+        (lock held by caller)."""
+        record = self._bindings.get(name)
+        for entry in self._log[self._applied:]:
+            if entry.name == name:
+                oref = None if entry.op == OP_UNBIND else entry.oref
+                record = BindingRecord(name=name, oref=oref,
+                                       version=entry.version)
+        return record
+
     def make_entry(self, term: int, op: str, name: str,
                    oref: Optional[ObjectReference]) -> LogEntry:
         """Build (without appending) the next entry for ``op`` on
         ``name`` — leader-side validation happens here, so an invalid
-        operation never reaches the log."""
+        operation never reaches the log.  Validation and the version
+        chain run against the *latest* view (committed table plus the
+        uncommitted suffix): the leader's own in-flight entries count."""
         check_name(name)
         if op not in _OPS:
             raise DirectoryError(f"unknown log op {op!r}")
         with self._lock:
-            current = self._bindings.get(name)
+            current = self._latest(name)
             bound = current is not None and current.oref is not None
             if op == OP_BIND and bound:
                 raise NameAlreadyBoundError(
@@ -149,7 +183,8 @@ class DirectoryState:
                             else None)
 
     def append(self, entry: LogEntry) -> None:
-        """Append one entry and apply it to the table.
+        """Append one entry to the log (NOT the table — that waits for
+        :meth:`apply_to` as the commit index advances).
 
         Appends must be gap-free and in order; an entry whose seq is
         already present is rejected (use :meth:`truncate` first when
@@ -165,7 +200,18 @@ class DirectoryState:
                     f"term went backwards: {entry.term} after "
                     f"{self.last_term}")
             self._log.append(entry)
-            self._apply(entry)
+
+    def apply_to(self, seq: int) -> int:
+        """Apply log entries up to ``seq`` (clamped to the log tip) to
+        the binding table; idempotent and monotone.  The consensus
+        layer calls this as its commit index advances — reads only ever
+        see what has passed through here.  Returns the applied seq."""
+        with self._lock:
+            seq = min(seq, self.last_seq)
+            while self._applied < seq:
+                self._apply(self._log[self._applied])
+                self._applied += 1
+            return self._applied
 
     def _apply(self, entry: LogEntry) -> None:
         oref = None if entry.op == OP_UNBIND else entry.oref
@@ -173,24 +219,31 @@ class DirectoryState:
             name=entry.name, oref=oref, version=entry.version)
 
     def truncate(self, seq: int) -> None:
-        """Drop every entry after ``seq`` and rebuild the table.
+        """Drop every entry after ``seq``.
 
         Used by followers resolving a divergent suffix after a leader
-        change: logs are short-lived test/metadata scale, so a full
-        replay is simpler and safer than incremental undo.
+        change.  A correct consensus layer never truncates committed
+        entries, so the table normally needs no touch-up; if ``seq``
+        does land inside the applied prefix, the table is rebuilt by
+        full replay (logs are short-lived test/metadata scale, so
+        replay is simpler and safer than incremental undo).
         """
         with self._lock:
             if seq >= self.last_seq:
                 return
             self._log = self._log[:seq]
-            self._bindings.clear()
-            for entry in self._log:
-                self._apply(entry)
+            if self._applied > seq:
+                self._bindings.clear()
+                self._applied = 0
+                for entry in self._log:
+                    self._apply(entry)
+                    self._applied = entry.seq
 
     # -- reads ---------------------------------------------------------
 
     def lookup(self, name: str) -> Optional[BindingRecord]:
-        """Current record for ``name`` (tombstones included), or None."""
+        """Committed record for ``name`` (tombstones included), or
+        None — uncommitted log entries are never served."""
         check_name(name)
         with self._lock:
             record = self._bindings.get(name)
@@ -219,6 +272,7 @@ class DirectoryState:
             return {
                 "last_seq": self.last_seq,
                 "last_term": self.last_term,
+                "applied_seq": self._applied,
                 "bindings": {
                     name: {"version": rec.version,
                            "object_id": rec.oref.object_id

@@ -188,6 +188,114 @@ class TestFailover:
             assert got.version == moved.version
 
 
+class TestWriteQuorumSafety:
+    def test_partial_catchup_ack_does_not_reach_quorum(self, monkeypatch):
+        """A lagging follower acking a catch-up batch that stops short
+        of the new entry must not count toward the write quorum: the
+        client's ok has to mean a majority holds *the entry* at ack
+        time, not merely that a majority answered a heartbeat."""
+        import repro.directory.replica as replica_mod
+        from repro.directory.state import OP_BIND
+
+        monkeypatch.setattr(replica_mod, "CATCHUP_BATCH", 2)
+        _sim, _orb, cluster, cli = make_world()
+        first = cluster.elect()
+        leader = cluster.replicas[first]
+        followers = [n for n in sorted(cluster.replicas) if n != first]
+        # One follower is dead: the quorum write can only go through
+        # the surviving (and now lagging) one.
+        cluster.stop_replica(followers[1])
+        survivor = cluster.replicas[followers[0]]
+        # The leader runs ahead of the survivor by more than one
+        # catch-up batch (as if earlier replication rounds never
+        # landed): the next write's first round ships a partial batch.
+        oref = sample_oref(cli)
+        for i in range(3):
+            leader.state.append(
+                leader.state.make_entry(leader.term, OP_BIND,
+                                        f"pre/{i}", oref))
+        assert leader.state.last_seq - survivor.state.last_seq > 2
+
+        client = cluster.client(cli)
+        version = client.bind("svc/new", oref)
+        assert version == 1
+        # The ack is honest: the survivor holds the entry *now*, not
+        # after some future heartbeat the leader might not live to send.
+        assert survivor.state.last_seq >= leader.state.last_seq
+        assert survivor.state.last_seq == 4
+
+    def test_quorum_loss_is_reported_not_acked(self):
+        """With both followers dead but the lease still warm, a write
+        must come back as a quorum failure immediately — never ok."""
+        from repro.exceptions import QuorumWriteError
+
+        _sim, _orb, cluster, cli = make_world()
+        first = cluster.elect()
+        for node_id in [n for n in cluster.replicas if n != first]:
+            cluster.stop_replica(node_id)
+        client = cluster.client(cli)
+        with pytest.raises(QuorumWriteError):
+            client.bind("svc/x", sample_oref(cli))
+        # And the failed write is not served by the leader's reads.
+        with pytest.raises((NameNotFoundError,
+                            DirectoryUnavailableError)):
+            client.resolve("svc/x", fresh=True)
+
+    def test_append_entries_gap_is_a_nack(self):
+        """A batch with a sequence gap nacks (the contiguous prefix is
+        kept); it must never ack as if the whole batch were stored."""
+        from repro.directory.replica import DirectoryReplica
+        from repro.directory.state import OP_BIND, LogEntry
+
+        orb = ORB()
+        try:
+            ctx = orb.context("lone")
+            replica = DirectoryReplica(ctx, "lone", seed=1)
+            oref = ctx.export(Counter())
+            e1 = LogEntry(seq=1, term=1, op=OP_BIND, name="a",
+                          oref=oref, version=1)
+            e3 = LogEntry(seq=3, term=1, op=OP_BIND, name="c",
+                          oref=oref, version=1)
+            reply = replica.append_entries(
+                1, "ldr", 0, 0, [e1.to_wire(), e3.to_wire()], 5)
+            assert reply["ok"] is False
+            assert reply["last_seq"] == 1
+            # The stored prefix still commits up to what it holds.
+            assert replica.state.lookup("a").version == 1
+            assert replica.state.lookup("c") is None
+        finally:
+            orb.shutdown()
+
+
+class TestDeposedLeaderReads:
+    def test_miss_from_deposed_leader_is_not_authoritative(self):
+        """A partitioned leader that has not ticked past its lease yet
+        still self-reports as leader; its miss must keep the client
+        probing instead of hard-failing a name the real leader holds."""
+        from repro.directory.replica import LEADER as ROLE_LEADER
+        from repro.directory.state import OP_BIND
+
+        _sim, _orb, cluster, cli = make_world(replicas=2)
+        deposed_id, current_id = sorted(cluster.replicas)
+        deposed = cluster.replicas[deposed_id]
+        current = cluster.replicas[current_id]
+        # The probe-order-first replica looks like a leader whose lease
+        # silently lapsed (no tick has noticed yet) and lags the group.
+        deposed.role = ROLE_LEADER
+        deposed.leader_id = deposed_id
+        deposed.term = 1
+        deposed._lease_until = deposed.clock.now() - 1.0
+        # The real state lives on the other replica.
+        oref = sample_oref(cli)
+        entry = current.state.make_entry(2, OP_BIND, "svc/live", oref)
+        current.state.append(entry)
+        current.state.apply_to(entry.seq)
+
+        client = cluster.client(cli)
+        got = client.resolve("svc/live", fresh=True)
+        assert got.object_id == oref.object_id
+
+
 class TestGlueAndAdmission:
     def test_capabilities_apply_to_directory_traffic(self):
         """Directory RPCs ride the ordinary invoke path, so a glue

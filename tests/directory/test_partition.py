@@ -88,7 +88,7 @@ def run_partition_scenario(seed=SEED):
         cluster.pump(0.5, plan=plan)
         if (cluster.leader_id()
                 and cluster.replicas[first].role == FOLLOWER
-                and len({rep.state.last_seq
+                and len({(rep.state.last_seq, rep.state.applied_seq)
                          for rep in cluster.replicas.values()}) == 1):
             settled_round = extra
             break

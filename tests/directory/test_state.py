@@ -32,8 +32,11 @@ def oref():
 
 
 def append(state, term, op, name, oref):
+    """Append *and commit* one entry (most table tests want the
+    committed view; the commit-gating tests drive apply_to by hand)."""
     entry = state.make_entry(term, op, name, oref)
     state.append(entry)
+    state.apply_to(entry.seq)
     return entry
 
 
@@ -112,6 +115,64 @@ class TestLogAndTable:
         assert state.names_for_object(oref.object_id) == \
             ["svc/alias", "svc/main"]
         assert state.names_for_object("ghost") == []
+
+    def test_uncommitted_entries_are_not_served(self, oref):
+        """Reads come from the committed prefix only: an appended but
+        unapplied entry is invisible to lookup/names/len — a client
+        whose write failed quorum must never see it resolve."""
+        state = DirectoryState()
+        entry = state.make_entry(1, OP_BIND, "svc", oref)
+        state.append(entry)
+        assert state.last_seq == 1
+        assert state.applied_seq == 0
+        assert state.lookup("svc") is None
+        assert state.names() == []
+        assert len(state) == 0
+        state.apply_to(entry.seq)
+        assert state.applied_seq == 1
+        assert state.lookup("svc").version == 1
+
+    def test_apply_to_is_monotone_and_clamped(self, oref):
+        state = DirectoryState()
+        for i in range(3):
+            state.append(state.make_entry(1, OP_BIND, f"n{i}", oref))
+        assert state.apply_to(2) == 2
+        assert state.names() == ["n0", "n1"]
+        # Re-applying an older seq never rolls the table back...
+        assert state.apply_to(1) == 2
+        assert state.names() == ["n0", "n1"]
+        # ...and applying past the tip clamps to it.
+        assert state.apply_to(99) == 3
+        assert state.names() == ["n0", "n1", "n2"]
+
+    def test_make_entry_validates_against_uncommitted_suffix(self, oref):
+        """The leader's own in-flight entries count: a second bind of a
+        name whose first bind is appended-but-uncommitted must fail,
+        and the version chain continues from the suffix, not the
+        committed table."""
+        state = DirectoryState()
+        state.append(state.make_entry(1, OP_BIND, "svc", oref))
+        with pytest.raises(NameAlreadyBoundError):
+            state.make_entry(1, OP_BIND, "svc", oref)
+        follow_up = state.make_entry(1, OP_REBIND, "svc", oref)
+        assert follow_up.version == 2
+        # An uncommitted unbind makes the name unbindable-from again.
+        state.append(follow_up)
+        state.append(state.make_entry(1, OP_UNBIND, "svc", None))
+        with pytest.raises(NameNotFoundError):
+            state.make_entry(1, OP_UNBIND, "svc", None)
+        assert state.make_entry(1, OP_BIND, "svc", oref).version == 4
+
+    def test_truncate_uncommitted_suffix_leaves_table_alone(self, oref):
+        state = DirectoryState()
+        committed = state.make_entry(1, OP_BIND, "a", oref)
+        state.append(committed)
+        state.apply_to(committed.seq)
+        state.append(state.make_entry(1, OP_BIND, "b", oref))
+        state.truncate(1)  # divergent uncommitted suffix drops
+        assert state.last_seq == 1
+        assert state.applied_seq == 1
+        assert state.names() == ["a"]
 
     def test_entries_from_and_term_at(self, oref):
         state = DirectoryState()
